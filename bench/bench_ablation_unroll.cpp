@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: kernel register blocking vs output forwarding.
+ *
+ * The accumulate dependency (C is both source and destination of every
+ * tile compute) can be hidden two ways: in software, by blocking the
+ * j loop over multiple C tile registers, or in hardware, by output
+ * forwarding (Section V-C).  This ablation sweeps four kernel shapes
+ *
+ *   - naive Listing 1 (C reloaded from memory every k iteration --
+ *     the dependency goes through the store/load path, so OF cannot
+ *     apply),
+ *   - register-blocked with U = 1, 2, 3 C tiles (U = 1 is the
+ *     dependence-limited stream OF is designed for),
+ *
+ * with OF off and on, across representative engines.  The paper's
+ * "another 32%/37% runtime reduction from OF" corresponds to the
+ * U = 1 rows.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "cpu/trace_cpu.hpp"
+#include "kernels/gemm_kernels.hpp"
+
+namespace {
+
+using namespace vegeta;
+using namespace vegeta::kernels;
+
+Cycles
+simulate(const engine::EngineConfig &cfg, const cpu::Trace &trace,
+         bool of)
+{
+    cpu::CoreConfig core;
+    core.outputForwarding = of;
+    cpu::TraceCpu cpu_model(core, cfg);
+    return cpu_model.run(trace).totalCycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const GemmDims dims{128, 128, 1024};
+    std::cout << "Ablation: C-register blocking vs output forwarding\n"
+              << "Layer " << dims.m << "x" << dims.n << "x" << dims.k
+              << ", 2:4 layer-wise sparsity\n\n";
+
+    struct KernelShape
+    {
+        const char *label;
+        bool optimized;
+        u32 blocking;
+    };
+    const KernelShape shapes[] = {
+        {"naive (Listing 1)", false, 1},
+        {"blocked U=1", true, 1},
+        {"blocked U=2", true, 2},
+        {"blocked U=3", true, 3},
+    };
+
+    Table table({"engine", "kernel", "noOF_cycles", "OF_cycles",
+                 "OF_gain_%"});
+    for (const auto &cfg :
+         {engine::vegetaD12(), engine::vegetaS12(), engine::vegetaS22(),
+          engine::vegetaS162()}) {
+        const u32 executed_n = cfg.effectiveN(2);
+        for (const auto &shape : shapes) {
+            KernelOptions opts;
+            opts.optimized = shape.optimized;
+            opts.cBlocking = shape.blocking;
+            opts.traceOnly = true;
+            const auto run = runSpmmKernel(dims, executed_n, opts);
+
+            const Cycles no_of = simulate(cfg, run.trace, false);
+            table.row().cell(cfg.name).cell(shape.label).cell(
+                static_cast<unsigned long long>(no_of));
+            if (cfg.sparse) {
+                const Cycles with_of = simulate(cfg, run.trace, true);
+                table.cell(static_cast<unsigned long long>(with_of));
+                table.cell(100.0 * (1.0 - static_cast<double>(with_of) /
+                                              static_cast<double>(no_of)),
+                           1);
+            } else {
+                table.cell("-").cell("-");
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: OF cannot help the naive kernel (the C "
+                 "dependency goes through memory), removes a large "
+                 "fraction of runtime at U=1 (the paper's 32%/37% "
+                 "claims), and becomes residual once software blocking "
+                 "already hides the accumulate latency (U=3).\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates Figure 13: normalized runtime of every evaluated engine
+ * on the Table IV layers with 4:4 / 2:4 / 1:4 layer-wise sparsity
+ * (core 2 GHz, engines 0.5 GHz, data prefetched to L2).
+ *
+ * Runtimes are normalized to the longest run (GPT-L3 on RASA-SM with
+ * the dense pattern), exactly as in the paper.  Pass --quick for a
+ * reduced workload set.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "kernels/driver.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vegeta;
+    using namespace vegeta::kernels;
+
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const auto workloads = quick ? quickWorkloads() : tableIVWorkloads();
+    const auto engines = engine::allEvaluatedConfigs();
+
+    std::cout << "Figure 13: normalized runtime, "
+              << (quick ? "quick" : "full Table IV") << " workloads\n"
+              << "(engines at 0.5 GHz via 4x clock divider; lower is "
+                 "better; normalized to the longest run)\n\n";
+
+    const auto measurements = figure13Sweep(workloads, engines);
+
+    // Normalize to the longest runtime (paper: GPT-L3 on RASA-SM).
+    Cycles longest = 0;
+    std::string longest_label;
+    for (const auto &m : measurements) {
+        if (m.coreCycles > longest) {
+            longest = m.coreCycles;
+            longest_label = m.workload + " on " + m.engineName;
+        }
+    }
+    std::cout << "Longest run (normalization base): " << longest_label
+              << " = " << longest << " core cycles\n\n";
+
+    for (u32 layer_n : {4u, 2u, 1u}) {
+        std::cout << "--- Layer-wise " << layer_n << ":4 sparsity ---\n";
+        std::vector<std::string> headers{"engine"};
+        for (const auto &w : workloads)
+            headers.push_back(w.name);
+        Table table(headers);
+
+        // Collect rows per engine variant (name + OF flag).
+        std::vector<std::pair<std::string, bool>> variants;
+        for (const auto &e : engines) {
+            variants.emplace_back(e.name, false);
+            if (e.sparse)
+                variants.emplace_back(e.name, true);
+        }
+        for (const auto &[name, of] : variants) {
+            table.row().cell(of ? name + " +OF" : name);
+            for (const auto &w : workloads) {
+                for (const auto &m : measurements) {
+                    if (m.engineName == name && m.workload == w.name &&
+                        m.layerN == layer_n &&
+                        m.outputForwarding == of) {
+                        table.cell(static_cast<double>(m.coreCycles) /
+                                       static_cast<double>(longest),
+                                   4);
+                    }
+                }
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // Geomean speed-ups vs the RASA-DM dense baseline (headline).
+    std::cout << "Geomean speed-up of VEGETA-S-16-2 (+OF) over "
+                 "RASA-DM (VEGETA-D-1-2):\n";
+    Table summary({"pattern", "speedup", "paper"});
+    const struct
+    {
+        u32 n;
+        const char *paper;
+    } rows[] = {{4, "1.09x"}, {2, "2.20x"}, {1, "3.74x"}};
+    for (const auto &r : rows) {
+        const double s = geomeanSpeedupVsDenseBaseline(
+            workloads, r.n, engine::vegetaS162(), true);
+        summary.row()
+            .cell(std::to_string(r.n) + ":4")
+            .cell(s, 2)
+            .cell(r.paper);
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates the abstract's headline numbers: a VEGETA engine
+ * provides 1.09x / 2.20x / 3.74x / 3.28x speed-ups over the SOTA
+ * dense matrix engine (RASA-DM) for 4:4 / 2:4 / 1:4 / unstructured
+ * (95%) sparse DNN layers.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "kernels/driver.hpp"
+#include "model/unstructured_analysis.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vegeta;
+    using namespace vegeta::kernels;
+
+    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const auto workloads = quick ? quickWorkloads() : tableIVWorkloads();
+
+    std::cout << "Headline speed-ups vs SOTA dense engine (RASA-DM), "
+              << (quick ? "quick" : "full Table IV") << " workloads\n\n";
+
+    Table table({"pattern", "measured", "paper"});
+
+    const struct
+    {
+        u32 n;
+        const char *label;
+        const char *paper;
+    } structured[] = {
+        {4, "4:4 (dense)", "1.09x"},
+        {2, "2:4", "2.20x"},
+        {1, "1:4", "3.74x"},
+    };
+    for (const auto &row : structured) {
+        const double s = geomeanSpeedupVsDenseBaseline(
+            workloads, row.n, engine::vegetaS162(), true);
+        table.row().cell(row.label).cell(formatDouble(s, 2) + "x").cell(
+            row.paper);
+    }
+
+    // Unstructured 95%: the Section VI-E roofline path (row-wise
+    // transformation, compute-bound model).
+    const auto unstructured =
+        model::figure15Series(workloads, {0.95});
+    table.row()
+        .cell("unstructured (95%)")
+        .cell(formatDouble(unstructured[0].rowWise, 2) + "x")
+        .cell("3.28x");
+
+    table.print(std::cout);
+    return 0;
+}

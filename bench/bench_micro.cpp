@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator stack itself:
+ * functional emulation, compression, the detailed systolic dataflow,
+ * and the trace-driven CPU model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "cpu/trace_cpu.hpp"
+#include "engine/systolic.hpp"
+#include "isa/emulator.hpp"
+#include "kernels/gemm_kernels.hpp"
+#include "sparsity/pruning.hpp"
+#include "sparsity/rowwise_transform.hpp"
+
+namespace {
+
+using namespace vegeta;
+
+void
+BM_EmulatorTileGemm(benchmark::State &state)
+{
+    isa::FlatMemory mem;
+    isa::Emulator emu(mem);
+    Rng rng(1);
+    emu.writeTileBF16(isa::treg(4), randomMatrixBF16(16, 32, rng));
+    emu.writeTileBF16(isa::treg(0), randomMatrixBF16(16, 32, rng));
+    const auto instr =
+        isa::makeTileGemm(isa::treg(5), isa::treg(4), isa::treg(0));
+    for (auto _ : state)
+        emu.execute(instr);
+    state.SetItemsProcessed(state.iterations() *
+                            isa::effectualMacs(instr.op));
+}
+BENCHMARK(BM_EmulatorTileGemm);
+
+void
+BM_EmulatorTileSpmmV(benchmark::State &state)
+{
+    isa::FlatMemory mem;
+    isa::Emulator emu(mem);
+    Rng rng(2);
+    const auto tile = randomNMMatrix(16, 128, pattern14(), rng);
+    const auto ct = CompressedTile::compress(tile, pattern14());
+    emu.writeTileBF16(isa::treg(4), ct.values());
+    emu.setMetadata(4, ct.packMetadata());
+    emu.writeTileBF16(isa::vreg(0),
+                      randomMatrixBF16(128, 16, rng).transposed());
+    const auto instr =
+        isa::makeTileSpmmV(isa::treg(5), isa::treg(4), isa::vreg(0));
+    for (auto _ : state)
+        emu.execute(instr);
+    state.SetItemsProcessed(state.iterations() *
+                            isa::effectualMacs(instr.op));
+}
+BENCHMARK(BM_EmulatorTileSpmmV);
+
+void
+BM_CompressTile(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto tile = randomNMMatrix(16, 64, pattern24(), rng);
+    for (auto _ : state) {
+        auto ct = CompressedTile::compress(tile, pattern24());
+        benchmark::DoNotOptimize(ct);
+    }
+}
+BENCHMARK(BM_CompressTile);
+
+void
+BM_RowWiseTransform(benchmark::State &state)
+{
+    Rng rng(4);
+    const auto chunk = randomUnstructuredMatrix(32, 64, 0.9, rng);
+    for (auto _ : state) {
+        auto rwt = transformChunkToRowWise(chunk);
+        benchmark::DoNotOptimize(rwt);
+    }
+}
+BENCHMARK(BM_RowWiseTransform);
+
+void
+BM_SystolicSpmm(benchmark::State &state)
+{
+    Rng rng(5);
+    const auto tile = randomNMMatrix(16, 64, pattern24(), rng);
+    const auto ct = CompressedTile::compress(tile, pattern24());
+    const auto bt = randomMatrixBF16(64, 16, rng).transposed();
+    const MatrixF c0(16, 16);
+    engine::SystolicSimulator sim(engine::vegetaS22());
+    for (auto _ : state) {
+        auto result = sim.runSpmm(ct, bt, c0);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SystolicSpmm);
+
+void
+BM_TraceCpuSimulation(benchmark::State &state)
+{
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    const auto run =
+        kernels::runSpmmKernel({64, 64, 512}, 2, opts);
+    for (auto _ : state) {
+        cpu::TraceCpu cpu({}, engine::vegetaS162());
+        auto result = cpu.run(run.trace);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * run.trace.size());
+}
+BENCHMARK(BM_TraceCpuSimulation);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    for (auto _ : state) {
+        auto run = kernels::runSpmmKernel({64, 64, 512}, 2, opts);
+        benchmark::DoNotOptimize(run);
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Network-level study: layer-wise vs network-wise N:M execution
+ * (paper Section III-B's motivation for flexible per-layer sparsity).
+ *
+ * A DominoSearch-style pruner assigns different N:4 patterns per
+ * layer.  Hardware that supports only one network-wide pattern must
+ * run every layer at the densest N any layer needs; VEGETA executes
+ * each layer at its own N.  The gap is the value of the "flexible"
+ * half of flexible N:M support.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "kernels/network.hpp"
+
+int
+main()
+{
+    using namespace vegeta;
+    using namespace vegeta::kernels;
+
+    for (const Network &net :
+         {resnetFrontNetwork(), bertEncoderNetwork()}) {
+        std::cout << "Network " << net.name << " ("
+                  << net.layers.size() << " layers, "
+                  << net.totalMacs() << " MACs)\n";
+        std::cout << "  per-layer patterns:";
+        for (const auto &l : net.layers)
+            std::cout << " " << l.layerN << ":4";
+        std::cout << "\n\n";
+
+        Table table({"engine", "layer-wise cycles",
+                     "network-wise cycles", "layer-wise gain"});
+        for (const auto &cfg :
+             {engine::vegetaD12(), engine::stcLike(),
+              engine::vegetaS22(), engine::vegetaS162()}) {
+            const auto lw = simulateNetwork(
+                net, cfg, NetworkPolicy::LayerWise);
+            const auto nw = simulateNetwork(
+                net, cfg, NetworkPolicy::NetworkWise);
+            table.row()
+                .cell(cfg.name)
+                .cell(static_cast<unsigned long long>(lw.totalCycles))
+                .cell(static_cast<unsigned long long>(nw.totalCycles))
+                .cell(static_cast<double>(nw.totalCycles) /
+                          static_cast<double>(lw.totalCycles),
+                      2);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Reading: dense engines see no difference (they skip "
+                 "nothing); an STC-like engine gains only where 2:4 "
+                 "covers the mix; full VEGETA-S engines turn each "
+                 "layer's own pattern into runtime, which is why "
+                 "layer-wise flexibility matters (Section III-B).\n";
+    return 0;
+}

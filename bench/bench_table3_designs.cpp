@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table III: the VEGETA-D / VEGETA-S design space, plus
+ * the per-design stage latencies and initiation intervals implied by
+ * Section V-C.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "engine/pipeline.hpp"
+
+int
+main()
+{
+    using namespace vegeta;
+    using namespace vegeta::engine;
+
+    std::cout << "Table III: VEGETA engine design space (all keep "
+              << kTotalMacs << " MACs)\n\n";
+
+    Table table({"engine", "Nrows", "Ncols", "MACs/PE", "inputs/PE",
+                 "broadcast(a)", "drain", "sparsity", "prior work"});
+    for (const auto &cfg : allTableIIIConfigs()) {
+        table.row()
+            .cell(cfg.name)
+            .cell(static_cast<int>(cfg.nRows()))
+            .cell(static_cast<int>(cfg.nCols()))
+            .cell(static_cast<int>(cfg.macsPerPe()))
+            .cell(static_cast<int>(cfg.inputsPerPe()))
+            .cell(static_cast<int>(cfg.alpha))
+            .cell(static_cast<unsigned long long>(cfg.drainLatency()))
+            .cell(cfg.sparse ? "1:4, 2:4, 4:4" : "Dense")
+            .cell(cfg.priorWorkLabel);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDerived pipelining behaviour (Section V-C):\n\n";
+    Table stages({"engine", "WL", "FF", "FS", "DR", "isolated_latency",
+                  "initiation_interval"});
+    const auto instr =
+        isa::makeTileGemm(isa::treg(5), isa::treg(4), isa::treg(0));
+    for (const auto &cfg : allTableIIIConfigs()) {
+        PipelineModel model(cfg);
+        const auto lat = model.stages(instr);
+        stages.row()
+            .cell(cfg.name)
+            .cell(static_cast<unsigned long long>(lat.wl))
+            .cell(static_cast<unsigned long long>(lat.ff))
+            .cell(static_cast<unsigned long long>(lat.fs))
+            .cell(static_cast<unsigned long long>(lat.dr))
+            .cell(static_cast<unsigned long long>(lat.total()))
+            .cell(static_cast<unsigned long long>(
+                initiationInterval(cfg)));
+    }
+    stages.print(std::cout);
+    return 0;
+}

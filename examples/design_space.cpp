@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Design-space exploration example: performance (cycle model), area,
+ * power, and frequency for every Table III engine on one workload --
+ * the trade-off study of paper Sections VI-C / VI-D in one table.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "engine/area_model.hpp"
+#include "kernels/driver.hpp"
+
+int
+main()
+{
+    using namespace vegeta;
+    using namespace vegeta::kernels;
+
+    Workload layer;
+    layer.name = "GPT-L1";
+    layer.gemm = {256, 256, 2048};
+
+    std::cout << "Design-space exploration on " << layer.name << " ("
+              << layer.gemm.m << "x" << layer.gemm.n << "x"
+              << layer.gemm.k << "), 2:4 layer-wise sparsity\n\n";
+
+    const auto physical =
+        engine::figure14Series(engine::allTableIIIConfigs());
+    const auto baseline =
+        simulateLayer(layer, 2, engine::vegetaD12(), false);
+
+    Table table({"engine", "cycles", "speedup", "norm_area",
+                 "norm_power", "max_GHz", "perf/area"});
+    for (const auto &cfg : engine::allTableIIIConfigs()) {
+        const auto m = simulateLayer(layer, 2, cfg, cfg.sparse);
+        const double speedup =
+            static_cast<double>(baseline.coreCycles) /
+            static_cast<double>(m.coreCycles);
+        double area = 1.0, power = 1.0, freq = 0.0;
+        for (const auto &p : physical) {
+            if (p.name == cfg.name) {
+                area = p.normalizedArea;
+                power = p.normalizedPower;
+                freq = p.maxFrequencyGhz;
+            }
+        }
+        table.row()
+            .cell(cfg.name + (cfg.sparse ? " +OF" : ""))
+            .cell(static_cast<unsigned long long>(m.coreCycles))
+            .cell(speedup, 2)
+            .cell(area, 3)
+            .cell(power, 3)
+            .cell(freq, 2)
+            .cell(speedup / area, 2);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nVEGETA-S-8-2 / S-16-2 pair the full sparse "
+                 "speed-up with *less* area than the dense baseline "
+                 "(Section VI-D) -- the paper's recommended design "
+                 "points.\n";
+    return 0;
+}

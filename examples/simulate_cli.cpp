@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Command-line simulator front end — the "release binary" of the
+ * repository: pick a Table IV workload (or give explicit GEMM dims),
+ * an engine, a sparsity pattern, and simulate; optionally write or
+ * replay a trace file.
+ *
+ * Usage:
+ *   simulate_cli --workload BERT-L1 --engine VEGETA-S-16-2 \
+ *                --pattern 2 [--no-of] [--naive] [--trace-out f.vgtr]
+ *   simulate_cli --gemm 256x256x2048 --engine VEGETA-D-1-2 --pattern 4
+ *   simulate_cli --trace-in f.vgtr --engine VEGETA-S-2-2
+ *   simulate_cli --list
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cpu/trace_io.hpp"
+#include "kernels/driver.hpp"
+#include "kernels/network.hpp"
+
+namespace {
+
+using namespace vegeta;
+using namespace vegeta::kernels;
+
+void
+usage()
+{
+    std::cout
+        << "vegeta simulate_cli\n"
+           "  --list                     list workloads and engines\n"
+           "  --workload NAME            a Table IV layer\n"
+           "  --gemm MxNxK               explicit GEMM dimensions\n"
+           "  --engine NAME              engine (default "
+           "VEGETA-S-16-2)\n"
+           "  --pattern N                layer-wise N:4 (1/2/4, "
+           "default 2)\n"
+           "  --no-of                    disable output forwarding\n"
+           "  --naive                    Listing 1 kernel (no C "
+           "blocking)\n"
+           "  --trace-out FILE           save the generated trace\n"
+           "  --trace-in FILE            replay a saved trace\n";
+}
+
+bool
+parseGemm(const std::string &text, GemmDims &dims)
+{
+    unsigned m = 0, n = 0, k = 0;
+    if (std::sscanf(text.c_str(), "%ux%ux%u", &m, &n, &k) != 3)
+        return false;
+    if (m == 0 || n == 0 || k == 0)
+        return false;
+    dims = {m, n, k};
+    return true;
+}
+
+void
+report(const cpu::SimResult &sim, const engine::EngineConfig &engine,
+       bool of)
+{
+    std::cout << "engine:             " << engine.toString() << "\n"
+              << "output forwarding:  " << (of ? "on" : "off") << "\n"
+              << "retired ops:        " << sim.retiredOps << "\n"
+              << "core cycles:        " << sim.totalCycles << "\n"
+              << "runtime @ 2 GHz:    "
+              << static_cast<double>(sim.totalCycles) / 2e9 * 1e3
+              << " ms\n"
+              << "engine instrs:      " << sim.engineInstructions << "\n"
+              << "MAC utilization:    " << sim.macUtilization * 100.0
+              << " %\n"
+              << "L1 hits / misses:   " << sim.cacheHits << " / "
+              << sim.cacheMisses << "\n";
+    for (const auto &[kind, count] : sim.kindCounts)
+        std::cout << "  " << cpu::uopKindName(kind) << ": " << count
+                  << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name;
+    std::string gemm_text;
+    std::string engine_name = "VEGETA-S-16-2";
+    std::string trace_out, trace_in;
+    u32 pattern = 2;
+    bool of = true;
+    bool naive = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--list") {
+            std::cout << "workloads:\n";
+            for (const auto &w : tableIVWorkloads())
+                std::cout << "  " << w.name << " (" << w.gemm.m << "x"
+                          << w.gemm.n << "x" << w.gemm.k << ")\n";
+            std::cout << "engines:\n";
+            for (const auto &e : engine::allEvaluatedConfigs())
+                std::cout << "  " << e.name << "\n";
+            return 0;
+        } else if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--gemm") {
+            gemm_text = next();
+        } else if (arg == "--engine") {
+            engine_name = next();
+        } else if (arg == "--pattern") {
+            pattern = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--no-of") {
+            of = false;
+        } else if (arg == "--naive") {
+            naive = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--trace-in") {
+            trace_in = next();
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    const auto engine = engine::configByName(engine_name);
+    if (!engine) {
+        std::cerr << "unknown engine: " << engine_name << "\n";
+        return 1;
+    }
+    if (pattern != 1 && pattern != 2 && pattern != 4) {
+        std::cerr << "pattern must be 1, 2, or 4\n";
+        return 1;
+    }
+
+    cpu::Trace trace;
+    if (!trace_in.empty()) {
+        auto loaded = cpu::readTraceFile(trace_in);
+        if (!loaded) {
+            std::cerr << "cannot read trace: " << trace_in << "\n";
+            return 1;
+        }
+        trace = std::move(*loaded);
+        std::cout << "replaying " << trace.size() << " ops from "
+                  << trace_in << "\n";
+    } else {
+        GemmDims dims{256, 256, 2048};
+        std::string label = "GPT-L1 (default)";
+        if (!workload_name.empty()) {
+            bool found = false;
+            for (const auto &w : tableIVWorkloads()) {
+                if (w.name == workload_name) {
+                    dims = w.gemm;
+                    label = w.name;
+                    found = true;
+                }
+            }
+            if (!found) {
+                std::cerr << "unknown workload: " << workload_name
+                          << " (try --list)\n";
+                return 1;
+            }
+        } else if (!gemm_text.empty()) {
+            if (!parseGemm(gemm_text, dims)) {
+                std::cerr << "bad --gemm format, expected MxNxK\n";
+                return 1;
+            }
+            label = gemm_text;
+        }
+
+        const u32 executed_n = engine->effectiveN(pattern);
+        KernelOptions opts;
+        opts.optimized = !naive;
+        opts.traceOnly = true;
+        const auto run = runSpmmKernel(dims, executed_n, opts);
+        trace = std::move(run.trace);
+        std::cout << "workload:           " << label << "\n"
+                  << "pattern:            " << pattern << ":4 (executes "
+                  << executed_n << ":4 on this engine)\n";
+        if (!trace_out.empty()) {
+            if (!cpu::writeTraceFile(trace_out, trace)) {
+                std::cerr << "cannot write trace: " << trace_out << "\n";
+                return 1;
+            }
+            std::cout << "trace saved:        " << trace_out << " ("
+                      << trace.size() << " ops)\n";
+        }
+    }
+
+    cpu::CoreConfig core;
+    core.outputForwarding = of && engine->sparse;
+    cpu::TraceCpu cpu_model(core, *engine);
+    report(cpu_model.run(trace), *engine, core.outputForwarding);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse DNN inference example: a transformer projection layer
+ * (reduced BERT shape) pruned to each supported N:4 pattern, executed
+ * with the VEGETA kernels, verified against the dense reference, and
+ * timed on the full engine sweep -- a miniature Figure 13.
+ */
+
+#include <iostream>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "kernels/driver.hpp"
+#include "kernels/gemm_kernels.hpp"
+#include "sparsity/pruning.hpp"
+
+int
+main()
+{
+    using namespace vegeta;
+    using namespace vegeta::kernels;
+
+    // Reduced BERT-L2-like projection: Y = W x X.
+    const GemmDims dims{128, 128, 768};
+    Rng rng(7);
+    const MatrixBF16 dense_w = randomMatrixBF16(dims.m, dims.k, rng);
+    const MatrixBF16 acts = randomMatrixBF16(dims.k, dims.n, rng);
+
+    std::cout << "Layer: " << dims.m << "x" << dims.n << "x" << dims.k
+              << " (" << dims.macs() << " MACs)\n\n";
+
+    // --- Functional pass per pattern ---------------------------------
+    std::cout << "Functional verification (kernel vs reference):\n";
+    for (u32 n : {4u, 2u, 1u}) {
+        const MatrixBF16 w =
+            n == 4 ? dense_w : magnitudePruneNM(dense_w, {n, 4});
+        KernelOptions opts;
+        const auto run = runSpmmKernel(dims, n, opts, &w, &acts);
+        MatrixF want(dims.m, dims.n);
+        referenceGemm(w, acts, want);
+        std::cout << "  " << n << ":4 -> " << run.tileComputes
+                  << " tile computes, max abs error "
+                  << maxAbsDiff(run.c, want) << "\n";
+    }
+
+    // --- Cycle-level sweep (miniature Figure 13) ---------------------
+    std::cout << "\nSimulated runtime (core cycles, engines at "
+                 "0.5 GHz):\n\n";
+    Workload layer;
+    layer.name = "bert-reduced";
+    layer.gemm = dims;
+
+    Table table({"engine", "4:4", "2:4", "1:4", "2:4 speedup"});
+    const auto baseline =
+        simulateLayer(layer, 2, engine::vegetaD12(), false);
+    for (const auto &cfg : engine::allEvaluatedConfigs()) {
+        const bool of = cfg.sparse;
+        const auto d = simulateLayer(layer, 4, cfg, of);
+        const auto s24 = simulateLayer(layer, 2, cfg, of);
+        const auto s14 = simulateLayer(layer, 1, cfg, of);
+        table.row()
+            .cell(cfg.name + (of ? " +OF" : ""))
+            .cell(static_cast<unsigned long long>(d.coreCycles))
+            .cell(static_cast<unsigned long long>(s24.coreCycles))
+            .cell(static_cast<unsigned long long>(s14.coreCycles))
+            .cell(static_cast<double>(baseline.coreCycles) /
+                      static_cast<double>(s24.coreCycles),
+                  2);
+    }
+    table.print(std::cout);
+    std::cout << "\n(2:4 speedup is vs RASA-DM running the same "
+                 "pruned layer densely.)\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unstructured sparsity example (paper Sections III-D / V-E): take a
+ * weight matrix with random unstructured sparsity, losslessly
+ * transform it to row-wise N:4, execute it with TILE_SPMM_R, and
+ * compare the achievable speed-up across sparsity granularities.
+ */
+
+#include <iostream>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "kernels/gemm_kernels.hpp"
+#include "sparsity/pruning.hpp"
+#include "sparsity/rowwise_transform.hpp"
+
+int
+main()
+{
+    using namespace vegeta;
+
+    const double degree = 0.93;
+    Rng rng(11);
+    const MatrixBF16 weights =
+        randomUnstructuredMatrix(96, 256, degree, rng);
+    const MatrixBF16 acts = randomMatrixBF16(256, 32, rng);
+
+    std::cout << "Unstructured weights: " << weights.rows() << "x"
+              << weights.cols() << " at "
+              << sparsityDegree(weights) * 100 << "% sparsity\n\n";
+
+    // --- Row-wise profile of the first column chunk ------------------
+    const MatrixBF16 chunk = weights.block(0, 0, weights.rows(), 64);
+    auto profile = rowNProfile(chunk);
+    u32 histogram[5] = {0, 0, 0, 0, 0};
+    for (u32 n : profile)
+        ++histogram[n];
+    std::cout << "Per-row covering N in the first 64-wide chunk: "
+              << histogram[0] << " empty, " << histogram[1] << " x 1:4, "
+              << histogram[2] << " x 2:4, " << histogram[4]
+              << " x 4:4\n\n";
+
+    // --- Lossless execution through TILE_SPMM_R ----------------------
+    const auto run = kernels::runRowWiseSpmmKernel(weights, acts);
+    MatrixF want(weights.rows(), acts.cols());
+    referenceGemm(weights, acts, want);
+    std::cout << "TILE_SPMM_R kernel: " << run.tileComputes
+              << " tile computes, max abs error vs dense reference "
+              << maxAbsDiff(run.c, want) << " (lossless transform)\n\n";
+
+    // --- Granularity comparison (miniature Figure 15) ----------------
+    std::cout << "Speed-up over a dense engine by granularity:\n\n";
+    Table table({"granularity", "speedup"});
+    for (auto g : {SparsityGranularity::LayerWise,
+                   SparsityGranularity::TileWise,
+                   SparsityGranularity::PseudoRowWise,
+                   SparsityGranularity::RowWise}) {
+        table.row()
+            .cell(granularityName(g))
+            .cell(granularitySpeedup(weights, g), 2);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRow-wise N:4 covers every non-zero (no accuracy "
+                 "loss) while skipping most of the work layer-wise "
+                 "hardware cannot.\n";
+    return 0;
+}

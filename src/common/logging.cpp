@@ -1,0 +1,58 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace vegeta {
+
+namespace {
+
+/**
+ * Tests want to intercept panic/fatal instead of killing the process.
+ * When VEGETA_LOGGING_THROWS is set (see SimError below), panic/fatal
+ * throw instead of aborting.
+ */
+bool throwOnError = false;
+
+} // namespace
+
+void
+setLoggingThrows(bool throws)
+{
+    throwOnError = throws;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    if (throwOnError)
+        throw std::logic_error("panic: " + msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    if (throwOnError)
+        throw std::runtime_error("fatal: " + msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace vegeta

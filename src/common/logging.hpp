@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - internal invariant violated; aborts.
+ * fatal()  - user/configuration error; exits with status 1.
+ * warn()   - suspicious but non-fatal condition.
+ * inform() - status message.
+ */
+
+#ifndef VEGETA_COMMON_LOGGING_HPP
+#define VEGETA_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace vegeta {
+
+/**
+ * Redirect panic()/fatal() to C++ exceptions instead of abort()/exit().
+ * Used by death-style unit tests that want to assert error paths.
+ */
+void setLoggingThrows(bool throws);
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace vegeta
+
+#define VEGETA_PANIC(...)                                                    \
+    ::vegeta::panicImpl(__FILE__, __LINE__,                                  \
+                        ::vegeta::detail::format(__VA_ARGS__))
+
+#define VEGETA_FATAL(...)                                                    \
+    ::vegeta::fatalImpl(__FILE__, __LINE__,                                  \
+                        ::vegeta::detail::format(__VA_ARGS__))
+
+#define VEGETA_WARN(...)                                                     \
+    ::vegeta::warnImpl(::vegeta::detail::format(__VA_ARGS__))
+
+#define VEGETA_INFORM(...)                                                   \
+    ::vegeta::informImpl(::vegeta::detail::format(__VA_ARGS__))
+
+/** Assert a simulator invariant; always enabled (unlike <cassert>). */
+#define VEGETA_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            VEGETA_PANIC("assertion failed: " #cond " ",                     \
+                         ::vegeta::detail::format(__VA_ARGS__));             \
+        }                                                                    \
+    } while (0)
+
+#endif // VEGETA_COMMON_LOGGING_HPP

@@ -1,0 +1,108 @@
+#include "common/random.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta {
+
+namespace {
+
+u64
+splitMix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+u64
+Rng::nextBelow(u64 bound)
+{
+    VEGETA_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+float
+Rng::nextGaussian()
+{
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i)
+        sum += nextDouble();
+    return static_cast<float>(sum - 6.0);
+}
+
+std::vector<u32>
+Rng::choose(u32 n, u32 k)
+{
+    VEGETA_ASSERT(k <= n, "choose: k=", k, " exceeds n=", n);
+    std::vector<u32> pool(n);
+    for (u32 i = 0; i < n; ++i)
+        pool[i] = i;
+    for (u32 i = 0; i < k; ++i) {
+        u32 j = i + static_cast<u32>(nextBelow(n - i));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    std::sort(pool.begin(), pool.end());
+    return pool;
+}
+
+} // namespace vegeta

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (unstructured sparsity masks,
+ * synthetic weights, property-test inputs) flows through Rng so that every
+ * experiment is reproducible bit-for-bit from a seed.  The core generator
+ * is xoshiro256** seeded via SplitMix64, both public-domain algorithms.
+ */
+
+#ifndef VEGETA_COMMON_RANDOM_HPP
+#define VEGETA_COMMON_RANDOM_HPP
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vegeta {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    u64 nextBelow(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Bernoulli trial: true with probability p. */
+    bool nextBool(double p);
+
+    /** Standard-normal-ish value via sum of uniforms (Irwin-Hall, n=12). */
+    float nextGaussian();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(nextBelow(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /**
+     * Choose exactly k distinct positions out of n (reservoir-free,
+     * partial Fisher-Yates).  Returned positions are sorted.
+     */
+    std::vector<u32> choose(u32 n, u32 k);
+
+  private:
+    std::array<u64, 4> state_;
+};
+
+} // namespace vegeta
+
+#endif // VEGETA_COMMON_RANDOM_HPP

@@ -1,0 +1,37 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vegeta {
+
+const ScalarStat *
+StatGroup::find(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : stats_) {
+        os << name_ << "." << name << " sum=" << stat.sum()
+           << " count=" << stat.count() << " mean=" << stat.mean() << "\n";
+    }
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    VEGETA_ASSERT(!values.empty(), "geomean of empty series");
+    double log_sum = 0.0;
+    for (double v : values) {
+        VEGETA_ASSERT(v > 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace vegeta

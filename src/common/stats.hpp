@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lightweight statistics collection for the simulators.
+ *
+ * A StatGroup is a named bag of scalar counters and distributions; the
+ * CPU/engine models register counters once and bump them during
+ * simulation.  Dumping produces deterministic, alphabetized output.
+ */
+
+#ifndef VEGETA_COMMON_STATS_HPP
+#define VEGETA_COMMON_STATS_HPP
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vegeta {
+
+/** A running scalar statistic (count / sum / min / max). */
+class ScalarStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    void increment(double v = 1.0) { sample(v); }
+
+    u64 count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    u64 count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Named collection of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Get-or-create a named statistic. */
+    ScalarStat &stat(const std::string &name) { return stats_[name]; }
+
+    const ScalarStat *find(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Dump "group.stat sum count mean" lines, alphabetized. */
+    void dump(std::ostream &os) const;
+
+    void clear() { stats_.clear(); }
+
+  private:
+    std::string name_;
+    std::map<std::string, ScalarStat> stats_;
+};
+
+/** Geometric mean of a series (used for speed-up summaries). */
+double geomean(const std::vector<double> &values);
+
+} // namespace vegeta
+
+#endif // VEGETA_COMMON_STATS_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table / CSV printing used by the benchmark harnesses to emit
+ * paper-style tables and figure series.
+ */
+
+#ifndef VEGETA_COMMON_TABLE_HPP
+#define VEGETA_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vegeta {
+
+/**
+ * A simple column-aligned text table.  Cells are strings; numeric
+ * convenience overloads format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    Table &row();
+
+    /** Append a cell to the current row. */
+    Table &cell(const std::string &value);
+    Table &cell(const char *value);
+    Table &cell(double value, int precision = 3);
+    Table &cell(long long value);
+    Table &cell(unsigned long long value);
+    Table &cell(int value);
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper shared with benches). */
+std::string formatDouble(double value, int precision);
+
+} // namespace vegeta
+
+#endif // VEGETA_COMMON_TABLE_HPP

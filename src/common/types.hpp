@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the VEGETA library.
+ */
+
+#ifndef VEGETA_COMMON_TYPES_HPP
+#define VEGETA_COMMON_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vegeta {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation time expressed in clock cycles of some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Byte address in the emulated flat memory. */
+using Addr = std::uint64_t;
+
+} // namespace vegeta
+
+#endif // VEGETA_COMMON_TYPES_HPP

@@ -1,0 +1,59 @@
+#include "cpu/cache.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta::cpu {
+
+CacheModel::CacheModel(CacheConfig config) : config_(config)
+{
+    VEGETA_ASSERT(config_.l1Sets > 0 && config_.l1Ways > 0 &&
+                      config_.lineBytes > 0,
+                  "degenerate cache configuration");
+    sets_.resize(config_.l1Sets);
+}
+
+Cycles
+CacheModel::accessLine(Addr addr)
+{
+    const u64 line = addr / config_.lineBytes;
+    Set &set = sets_[line % config_.l1Sets];
+
+    auto it = std::find(set.lru.begin(), set.lru.end(), line);
+    if (it != set.lru.end()) {
+        set.lru.erase(it);
+        set.lru.push_front(line);
+        ++hits_;
+        return config_.l1Latency;
+    }
+
+    ++misses_;
+    set.lru.push_front(line);
+    if (set.lru.size() > config_.l1Ways)
+        set.lru.pop_back();
+    return config_.l2Latency;
+}
+
+std::vector<Cycles>
+CacheModel::accessRange(Addr addr, u32 bytes)
+{
+    VEGETA_ASSERT(bytes > 0, "zero-length access");
+    std::vector<Cycles> latencies;
+    const u64 first = addr / config_.lineBytes;
+    const u64 last = (addr + bytes - 1) / config_.lineBytes;
+    for (u64 line = first; line <= last; ++line)
+        latencies.push_back(accessLine(line * config_.lineBytes));
+    return latencies;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &set : sets_)
+        set.lru.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace vegeta::cpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Simple data-cache latency model.
+ *
+ * The Figure 13 experiments assume the working set is prefetched into
+ * the L2 cache (Section VI-B), so the model is a set-associative L1D
+ * with LRU backed by an always-hitting L2: the first touch of a line
+ * pays the L2 hit latency, re-references within L1 residency pay the
+ * L1 latency.
+ */
+
+#ifndef VEGETA_CPU_CACHE_HPP
+#define VEGETA_CPU_CACHE_HPP
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vegeta::cpu {
+
+struct CacheConfig
+{
+    u32 lineBytes = 64;
+    u32 l1Sets = 64;
+    u32 l1Ways = 12;        ///< 48 KB L1D
+    Cycles l1Latency = 4;
+    Cycles l2Latency = 14;  ///< all misses hit in the prefetched L2
+};
+
+/** L1-with-L2-backing latency model. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(CacheConfig config = {});
+
+    /** Access one line-aligned address; returns the load-use latency. */
+    Cycles accessLine(Addr addr);
+
+    /**
+     * Access [addr, addr + bytes); returns per-line latencies (one
+     * entry per touched cache line).
+     */
+    std::vector<Cycles> accessRange(Addr addr, u32 bytes);
+
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Set
+    {
+        std::list<u64> lru; ///< front = most recent line tag
+    };
+
+    CacheConfig config_;
+    std::vector<Set> sets_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+} // namespace vegeta::cpu
+
+#endif // VEGETA_CPU_CACHE_HPP

@@ -1,0 +1,219 @@
+#include "cpu/trace_cpu.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta::cpu {
+
+TraceCpu::TraceCpu(CoreConfig core, engine::EngineConfig engine)
+    : core_(core), engine_config_(std::move(engine))
+{
+    VEGETA_ASSERT(core_.fetchWidth > 0 && core_.retireWidth > 0 &&
+                      core_.robEntries > 0,
+                  "degenerate core configuration");
+}
+
+Cycles
+TraceCpu::toEngineCycles(Cycles core) const
+{
+    // Round up: an engine instruction can begin at the next engine
+    // clock edge at or after the core-cycle issue.
+    const u32 div = core_.engineClockDivider;
+    return (core + div - 1) / div;
+}
+
+Cycles
+TraceCpu::toCoreCycles(Cycles eng) const
+{
+    return eng * core_.engineClockDivider;
+}
+
+SimResult
+TraceCpu::run(const Trace &trace)
+{
+    SimResult result;
+    if (trace.empty())
+        return result;
+
+    CacheModel cache(core_.cache);
+    engine::PipelineModel engine(engine_config_, core_.outputForwarding);
+
+    ResourcePool alus(core_.numAlus);
+    ResourcePool lsu(core_.numLsuPorts);
+    ResourcePool vectors(core_.numVectorFus);
+
+    // Per-op retire times (for ROB occupancy and in-order retirement).
+    std::vector<Cycles> retire(trace.size(), 0);
+    std::vector<Cycles> dispatch(trace.size(), 0);
+
+    // Sliding completion window of line-fill load-buffer entries.
+    std::vector<Cycles> load_buffer;
+    load_buffer.reserve(4096);
+
+    std::unordered_map<u32, RegInfo> rename;
+    std::unordered_map<u32, Cycles> vector_chains;
+    // Store-to-load memory dependence at cache-line granularity: a
+    // load of a line must wait for the youngest older store to it.
+    std::unordered_map<u64, Cycles> store_line_ready;
+
+    u64 effectual_macs = 0;
+
+    auto lb_constraint = [&]() -> Cycles {
+        // A new line fill needs a free load-buffer entry: wait for the
+        // entry allocated loadBufferEntries fills ago to complete.
+        if (load_buffer.size() < core_.loadBufferEntries)
+            return 0;
+        return load_buffer[load_buffer.size() - core_.loadBufferEntries];
+    };
+
+    auto issue_line_accesses = [&](Cycles earliest, Addr addr,
+                                   u32 lines) -> Cycles {
+        Cycles complete = earliest;
+        for (u32 l = 0; l < lines; ++l) {
+            const Addr line_addr = addr + l * 64ull;
+            Cycles line_earliest = std::max(earliest, lb_constraint());
+            auto st = store_line_ready.find(line_addr / 64);
+            if (st != store_line_ready.end())
+                line_earliest = std::max(line_earliest, st->second);
+            const Cycles port = lsu.acquire(line_earliest);
+            const Cycles latency = cache.accessLine(line_addr);
+            const Cycles line_done = port + latency;
+            load_buffer.push_back(line_done);
+            complete = std::max(complete, line_done);
+        }
+        return complete;
+    };
+
+    auto record_store_lines = [&](Cycles data_ready, Addr addr,
+                                  u32 lines) {
+        for (u32 l = 0; l < lines; ++l)
+            store_line_ready[(addr + l * 64ull) / 64] = data_ready;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceOp &op = trace[i];
+        ++result.kindCounts[op.kind];
+
+        // Dispatch: fetch width, program order, ROB space.
+        Cycles d = core_.frontEndDepth;
+        if (i > 0)
+            d = std::max(d, dispatch[i - 1]);
+        if (i >= core_.fetchWidth)
+            d = std::max(d, dispatch[i - core_.fetchWidth] + 1);
+        if (i >= core_.robEntries)
+            d = std::max(d, retire[i - core_.robEntries]);
+        dispatch[i] = d;
+
+        Cycles complete = d;
+        switch (op.kind) {
+          case UopKind::Alu:
+          case UopKind::Branch: {
+            complete = alus.acquire(d) + 1;
+            break;
+          }
+          case UopKind::Load: {
+            const u32 lines = std::max<u32>(1, (op.bytes + 63) / 64);
+            complete = issue_line_accesses(d, op.addr, lines);
+            break;
+          }
+          case UopKind::Store: {
+            // Stores retire from the store queue post-commit; occupy a
+            // port for address generation only.
+            complete = lsu.acquire(d) + 1;
+            record_store_lines(complete,
+                               op.addr, std::max<u32>(1, (op.bytes + 63) / 64));
+            break;
+          }
+          case UopKind::VectorFma: {
+            Cycles ready = d;
+            if (op.chain != 0) {
+                auto it = vector_chains.find(op.chain);
+                if (it != vector_chains.end())
+                    ready = std::max(ready, it->second);
+            }
+            complete = vectors.acquire(ready) + core_.vectorFmaLatency;
+            if (op.chain != 0)
+                vector_chains[op.chain] = complete;
+            break;
+          }
+          case UopKind::TileLoad: {
+            const u32 bytes =
+                op.tile.op == isa::Opcode::TileLoadM
+                    ? isa::kMregBytes + isa::kMregDescBytes
+                    : isa::regClassBytes(op.tile.dst.cls);
+            const u32 lines = (bytes + 63) / 64;
+            complete = issue_line_accesses(d, op.tile.addr, lines);
+            for (u32 reg : op.tile.writeRegs()) {
+                rename[reg] = {complete, false};
+                engine.invalidateReg(reg);
+            }
+            break;
+          }
+          case UopKind::TileStore: {
+            Cycles ready = d;
+            for (u32 reg : op.tile.readRegs()) {
+                auto it = rename.find(reg);
+                if (it == rename.end())
+                    continue;
+                Cycles reg_ready = it->second.ready;
+                if (it->second.engineProduced)
+                    reg_ready = std::max(
+                        reg_ready,
+                        toCoreCycles(engine.regReadyFull(reg)));
+                ready = std::max(ready, reg_ready);
+            }
+            const u32 lines = (isa::kTregBytes + 63) / 64;
+            complete = issue_line_accesses(ready, op.tile.addr, lines);
+            record_store_lines(complete, op.tile.addr, lines);
+            break;
+          }
+          case UopKind::TileCompute: {
+            // Non-engine (load-produced) operand readiness; engine-
+            // produced operands are sequenced inside PipelineModel,
+            // including output forwarding on the accumulator.
+            Cycles ready = d;
+            for (u32 reg : op.tile.readRegs()) {
+                auto it = rename.find(reg);
+                if (it != rename.end() && !it->second.engineProduced)
+                    ready = std::max(ready, it->second.ready);
+            }
+            const engine::ScheduledOp sched =
+                engine.issue(op.tile, toEngineCycles(ready));
+            complete = toCoreCycles(sched.finish);
+            for (u32 reg : op.tile.writeRegs())
+                rename[reg] = {complete, true};
+            ++result.engineInstructions;
+            result.engineLastFinish =
+                std::max(result.engineLastFinish, complete);
+            effectual_macs += isa::effectualMacs(op.tile.op);
+            break;
+          }
+        }
+
+        // In-order retirement, retireWidth per cycle.
+        Cycles r = complete;
+        if (i > 0)
+            r = std::max(r, retire[i - 1]);
+        if (i >= core_.retireWidth)
+            r = std::max(r, retire[i - core_.retireWidth] + 1);
+        retire[i] = r;
+    }
+
+    result.totalCycles = retire.back();
+    result.retiredOps = trace.size();
+    result.cacheHits = cache.hits();
+    result.cacheMisses = cache.misses();
+
+    if (result.totalCycles > 0) {
+        const double engine_cycles =
+            static_cast<double>(result.totalCycles) /
+            core_.engineClockDivider;
+        result.macUtilization =
+            static_cast<double>(effectual_macs) /
+            (engine_cycles * engine::kTotalMacs);
+    }
+    return result;
+}
+
+} // namespace vegeta::cpu

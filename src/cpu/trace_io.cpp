@@ -1,0 +1,106 @@
+#include "cpu/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hpp"
+#include "isa/encoding.hpp"
+
+namespace vegeta::cpu {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'G', 'T', 'R'};
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+readRaw(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagic, 4);
+    writeRaw(os, kTraceFormatVersion);
+    writeRaw(os, static_cast<u64>(trace.size()));
+    for (const auto &op : trace) {
+        writeRaw(os, static_cast<u8>(op.kind));
+        writeRaw(os, op.chain);
+        writeRaw(os, op.addr);
+        writeRaw(os, op.bytes);
+        const isa::EncodedInstruction enc = isa::encode(op.tile);
+        writeRaw(os, enc.word);
+        writeRaw(os, enc.addr);
+    }
+}
+
+bool
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    writeTrace(os, trace);
+    return static_cast<bool>(os);
+}
+
+std::optional<Trace>
+readTrace(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, 4);
+    if (!is || std::memcmp(magic, kMagic, 4) != 0)
+        return std::nullopt;
+    u32 version;
+    if (!readRaw(is, version) || version != kTraceFormatVersion)
+        return std::nullopt;
+    u64 count;
+    if (!readRaw(is, count))
+        return std::nullopt;
+
+    Trace trace;
+    trace.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        TraceOp op;
+        u8 kind;
+        isa::EncodedInstruction enc;
+        if (!readRaw(is, kind) || !readRaw(is, op.chain) ||
+            !readRaw(is, op.addr) || !readRaw(is, op.bytes) ||
+            !readRaw(is, enc.word) || !readRaw(is, enc.addr))
+            return std::nullopt;
+        if (kind > static_cast<u8>(UopKind::TileCompute))
+            return std::nullopt;
+        op.kind = static_cast<UopKind>(kind);
+        auto tile = isa::decode(enc);
+        if (!tile)
+            return std::nullopt;
+        op.tile = *tile;
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+std::optional<Trace>
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    return readTrace(is);
+}
+
+} // namespace vegeta::cpu

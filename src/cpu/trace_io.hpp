@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * The paper's flow generates traces with a Pintool and replays them in
+ * MacSim; this module provides the equivalent on-disk format so traces
+ * can be generated once and replayed across engine configurations (or
+ * inspected offline).
+ *
+ * Binary format (little-endian):
+ *   magic   "VGTR"             4 B
+ *   version u32                4 B
+ *   count   u64                8 B
+ *   per op:
+ *     kind  u8
+ *     chain u32
+ *     addr  u64
+ *     bytes u32
+ *     tile  EncodedInstruction (2 x u64)
+ */
+
+#ifndef VEGETA_CPU_TRACE_IO_HPP
+#define VEGETA_CPU_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "cpu/uop.hpp"
+
+namespace vegeta::cpu {
+
+inline constexpr u32 kTraceFormatVersion = 1;
+
+/** Serialize a trace to a stream / file. */
+void writeTrace(std::ostream &os, const Trace &trace);
+bool writeTraceFile(const std::string &path, const Trace &trace);
+
+/**
+ * Deserialize; returns nullopt on bad magic/version/truncation or a
+ * malformed embedded tile instruction.
+ */
+std::optional<Trace> readTrace(std::istream &is);
+std::optional<Trace> readTraceFile(const std::string &path);
+
+} // namespace vegeta::cpu
+
+#endif // VEGETA_CPU_TRACE_IO_HPP

@@ -1,0 +1,39 @@
+#include "cpu/uop.hpp"
+
+namespace vegeta::cpu {
+
+const char *
+uopKindName(UopKind kind)
+{
+    switch (kind) {
+      case UopKind::Alu:
+        return "alu";
+      case UopKind::Branch:
+        return "branch";
+      case UopKind::Load:
+        return "load";
+      case UopKind::Store:
+        return "store";
+      case UopKind::VectorFma:
+        return "vector_fma";
+      case UopKind::TileLoad:
+        return "tile_load";
+      case UopKind::TileStore:
+        return "tile_store";
+      case UopKind::TileCompute:
+        return "tile_compute";
+    }
+    return "?";
+}
+
+u64
+countKind(const Trace &trace, UopKind kind)
+{
+    u64 count = 0;
+    for (const auto &op : trace)
+        if (op.kind == kind)
+            ++count;
+    return count;
+}
+
+} // namespace vegeta::cpu

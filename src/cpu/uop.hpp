@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Trace micro-operations consumed by the cycle-level CPU model.
+ *
+ * Kernels run on the functional emulator and record one TraceOp per
+ * executed instruction -- the same role the Pin-generated traces play
+ * for MacSim in the paper (Section VI-A).  Scalar loop/address ops are
+ * recorded without explicit register dependencies (they are
+ * off-critical-path bookkeeping on the 4-wide core); tile and vector
+ * ops carry their full architectural operand information.
+ */
+
+#ifndef VEGETA_CPU_UOP_HPP
+#define VEGETA_CPU_UOP_HPP
+
+#include <vector>
+
+#include "isa/instructions.hpp"
+
+namespace vegeta::cpu {
+
+enum class UopKind : u8
+{
+    Alu,         ///< scalar ALU / address computation
+    Branch,      ///< (predicted) branch
+    Load,        ///< scalar/vector 64 B load
+    Store,       ///< scalar/vector 64 B store
+    VectorFma,   ///< vector FMA (AVX-512-BF16-style, Figure 4 study)
+    TileLoad,    ///< TILE_LOAD_T/U/V/M (split into cache-line accesses)
+    TileStore,   ///< TILE_STORE_T
+    TileCompute, ///< TILE_GEMM / TILE_SPMM_*
+};
+
+const char *uopKindName(UopKind kind);
+
+/** One trace entry. */
+struct TraceOp
+{
+    UopKind kind = UopKind::Alu;
+    isa::Instruction tile; ///< valid for Tile* kinds
+    Addr addr = 0;         ///< valid for Load/Store
+    u32 bytes = 0;         ///< valid for Load/Store
+    /**
+     * Accumulator dependency chain for VectorFma (0 = independent).
+     * Consecutive FMAs on the same chain serialize at full FMA
+     * latency, modeling a single accumulator register per output
+     * strip in the vector kernel.
+     */
+    u32 chain = 0;
+
+    static TraceOp
+    alu()
+    {
+        return TraceOp{UopKind::Alu, {}, 0, 0, 0};
+    }
+
+    static TraceOp
+    branch()
+    {
+        return TraceOp{UopKind::Branch, {}, 0, 0, 0};
+    }
+
+    static TraceOp
+    load(Addr addr, u32 bytes)
+    {
+        return TraceOp{UopKind::Load, {}, addr, bytes, 0};
+    }
+
+    static TraceOp
+    store(Addr addr, u32 bytes)
+    {
+        return TraceOp{UopKind::Store, {}, addr, bytes, 0};
+    }
+
+    static TraceOp
+    vectorFma(u32 chain = 0)
+    {
+        return TraceOp{UopKind::VectorFma, {}, 0, 0, chain};
+    }
+
+    static TraceOp
+    fromTileInstruction(const isa::Instruction &instr)
+    {
+        TraceOp op;
+        if (isa::isTileCompute(instr.op))
+            op.kind = UopKind::TileCompute;
+        else if (isa::isTileLoad(instr.op))
+            op.kind = UopKind::TileLoad;
+        else
+            op.kind = UopKind::TileStore;
+        op.tile = instr;
+        op.addr = instr.addr;
+        return op;
+    }
+};
+
+using Trace = std::vector<TraceOp>;
+
+/** Count ops of one kind. */
+u64 countKind(const Trace &trace, UopKind kind);
+
+} // namespace vegeta::cpu
+
+#endif // VEGETA_CPU_UOP_HPP

@@ -1,0 +1,113 @@
+#include "engine/area_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vegeta::engine {
+
+namespace {
+
+// Component constants, in units of one MAC datapath's area/power.
+// Calibrated against the Figure 14 / Section VI-D targets quoted in
+// the header comment; see tests/test_area_model.cpp for the asserted
+// calibration envelope.
+constexpr double kMacArea = 1.0;
+constexpr double kPeOverheadArea = 0.12;    // per PE
+constexpr double kInputRegArea = 0.018;     // per 16-bit input element
+constexpr double kMuxArea = 0.05;           // per-MAC 4:1 mux
+constexpr double kMetadataArea = 0.01;      // per-MAC 2-bit entry
+constexpr double kReductionAdderArea = 0.30;
+constexpr double kInputSelectorArea = 0.15; // per row
+
+constexpr double kMacPower = 1.0;
+constexpr double kPePowerOverhead = 0.10;
+constexpr double kInputRegPower = 0.033;
+constexpr double kSparseExtrasPower = 70.0; // muxes+metadata+selectors
+
+// Frequency: base limited by the MAC critical path; the broadcast to
+// alpha PUs lengthens wires (Section V-A), and the sparse mux adds a
+// level of logic.
+constexpr double kBaseFrequencyGhz = 1.6;
+constexpr double kBroadcastSlowdownPerLog2Alpha = 0.15;
+constexpr double kSparseMuxSlowdown = 0.07;
+
+} // namespace
+
+PhysicalEstimate
+estimatePhysical(const EngineConfig &cfg, u32 block_size)
+{
+    VEGETA_ASSERT(block_size >= 4 && block_size <= 16 &&
+                      (block_size & (block_size - 1)) == 0,
+                  "block size must be 4, 8, or 16");
+    const double macs = kTotalMacs;
+    const double pes = static_cast<double>(cfg.nRows()) * cfg.nCols();
+    // Sparse PEs buffer beta whole blocks of M elements each.
+    const double inputs_per_pe =
+        cfg.sparse ? static_cast<double>(cfg.beta) * block_size
+                   : static_cast<double>(cfg.beta);
+    const double input_regs = pes * inputs_per_pe;
+    const double reduction_adders =
+        static_cast<double>(cfg.nCols()) * cfg.alpha * (cfg.beta - 1);
+
+    // M:1 mux cost scales with (M - 1) 2:1 stages; metadata with
+    // log2(M) bits per value.  Constants are normalized to M = 4.
+    const double mux_scale = (block_size - 1) / 3.0;
+    const double metadata_scale =
+        std::log2(static_cast<double>(block_size)) / 2.0;
+
+    PhysicalEstimate est;
+    est.macArea = macs * kMacArea;
+    est.peOverheadArea = pes * kPeOverheadArea;
+    est.inputBufferArea = input_regs * kInputRegArea;
+    est.sparseExtrasArea = reduction_adders * kReductionAdderArea;
+    if (cfg.sparse) {
+        est.sparseExtrasArea +=
+            macs * (kMuxArea * mux_scale + kMetadataArea * metadata_scale);
+        est.sparseExtrasArea += cfg.nRows() * kInputSelectorArea;
+    }
+    est.areaUnits = est.macArea + est.peOverheadArea +
+                    est.inputBufferArea + est.sparseExtrasArea;
+
+    est.powerUnits = macs * kMacPower + pes * kPePowerOverhead +
+                     input_regs * kInputRegPower;
+    if (cfg.sparse)
+        est.powerUnits +=
+            kSparseExtrasPower * 0.5 * (mux_scale + metadata_scale);
+
+    double log2_alpha = std::log2(static_cast<double>(cfg.alpha));
+    double freq = kBaseFrequencyGhz /
+                  (1.0 + kBroadcastSlowdownPerLog2Alpha * log2_alpha);
+    if (cfg.sparse) {
+        // One extra mux level per doubling of M lengthens the input
+        // selection path (kSparseMuxSlowdown is the M = 4 value).
+        const double mux_levels =
+            std::log2(static_cast<double>(block_size));
+        freq *= (1.0 - kSparseMuxSlowdown * mux_levels / 2.0);
+    }
+    est.maxFrequencyGhz = freq;
+    return est;
+}
+
+std::vector<NormalizedPhysical>
+figure14Series(const std::vector<EngineConfig> &configs)
+{
+    const PhysicalEstimate baseline = estimatePhysical(vegetaD11());
+    VEGETA_ASSERT(baseline.areaUnits > 0 && baseline.powerUnits > 0,
+                  "degenerate baseline physical estimate");
+
+    std::vector<NormalizedPhysical> out;
+    out.reserve(configs.size());
+    for (const auto &cfg : configs) {
+        const PhysicalEstimate est = estimatePhysical(cfg);
+        NormalizedPhysical row;
+        row.name = cfg.name;
+        row.normalizedArea = est.areaUnits / baseline.areaUnits;
+        row.normalizedPower = est.powerUnits / baseline.powerUnits;
+        row.maxFrequencyGhz = est.maxFrequencyGhz;
+        out.push_back(row);
+    }
+    return out;
+}
+
+} // namespace vegeta::engine

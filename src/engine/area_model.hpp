@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytical area / power / frequency model of VEGETA engines
+ * (paper Section VI-D, Figure 14).
+ *
+ * The paper synthesizes RTL (Synopsys DC, Nangate 15nm) for each
+ * design; offline we model the same first-order effects with a
+ * component-count model:
+ *
+ *  - MAC datapath (BF16 multiplier, FP32 adder, weight + psum
+ *    registers): 512 instances in every design -- the constant bulk.
+ *  - Per-PE overhead (horizontal pipeline latching, control): shrinks
+ *    as alpha grows because PUs share a PE (Nrows x Ncols instances);
+ *    this is the "amortized and compensated" effect of Section VI-D.
+ *  - Input pipeline registers: Nrows x Ncols x inputsPerPe 16-bit
+ *    elements (sparse PEs buffer whole blocks).
+ *  - Sparse extras: one M:1 mux + 2-bit metadata entry per MAC,
+ *    bottom reduction adders (Ncols x alpha x (beta-1)), and one input
+ *    selector per row.
+ *
+ * Constants are calibrated to the figures the paper reports:
+ * VEGETA-S-1-2 is the worst case at ~6% area overhead over RASA-SM;
+ * S-8-2 / S-16-2 are *smaller* than RASA-SM; power overheads for
+ * S-alpha-2 are ~17/8/4/3/1% for alpha = 1/2/4/8/16; maximum frequency
+ * decreases with alpha (broadcast wire length) and every design meets
+ * the 0.5 GHz evaluation clock.
+ */
+
+#ifndef VEGETA_ENGINE_AREA_MODEL_HPP
+#define VEGETA_ENGINE_AREA_MODEL_HPP
+
+#include "engine/config.hpp"
+
+namespace vegeta::engine {
+
+/** Raw (unnormalized) model outputs for one engine design. */
+struct PhysicalEstimate
+{
+    double areaUnits = 0.0;   ///< arbitrary component-area units
+    double powerUnits = 0.0;  ///< arbitrary component-power units
+    double maxFrequencyGhz = 0.0;
+
+    /** Component breakdown (areaUnits = sum of these). */
+    double macArea = 0.0;
+    double peOverheadArea = 0.0;
+    double inputBufferArea = 0.0;
+    double sparseExtrasArea = 0.0;
+};
+
+/**
+ * Evaluate the physical model for one design.
+ *
+ * @param block_size sparsity block size M (Sections IV-C / V-D): a
+ *     larger M widens the per-MAC input mux to M:1, grows the
+ *     metadata to log2(M) bits per value, widens the sparse input
+ *     vectors to beta * M elements, and deepens the mux critical
+ *     path.  The shipped design uses M = 4.
+ */
+PhysicalEstimate estimatePhysical(const EngineConfig &config,
+                                  u32 block_size = 4);
+
+/** Figure 14 row: area/power normalized to RASA-SM + frequency. */
+struct NormalizedPhysical
+{
+    std::string name;
+    double normalizedArea = 0.0;
+    double normalizedPower = 0.0;
+    double maxFrequencyGhz = 0.0;
+};
+
+/**
+ * Normalize each design against the RASA-SM baseline (VEGETA-D-1-1),
+ * reproducing Figure 14.
+ */
+std::vector<NormalizedPhysical>
+figure14Series(const std::vector<EngineConfig> &configs);
+
+/** The 0.5 GHz clock all evaluated designs meet (Section VI-C). */
+inline constexpr double kEvaluationFrequencyGhz = 0.5;
+
+} // namespace vegeta::engine
+
+#endif // VEGETA_ENGINE_AREA_MODEL_HPP

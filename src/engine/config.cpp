@@ -1,0 +1,166 @@
+#include "engine/config.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "sparsity/nm_pattern.hpp"
+
+namespace vegeta::engine {
+
+u32
+EngineConfig::reductionDepth() const
+{
+    u32 depth = 0;
+    u32 b = beta;
+    while (b > 1) {
+        b >>= 1;
+        ++depth;
+    }
+    return depth;
+}
+
+Cycles
+EngineConfig::drainLatency() const
+{
+    const Cycles reduction_min = reductionDepth() + 1;
+    const Cycles traversal = nCols();
+    return std::max<Cycles>(traversal, reduction_min);
+}
+
+u32
+EngineConfig::effectiveN(u32 requested_n) const
+{
+    VEGETA_ASSERT(requested_n >= 1 && requested_n <= kBlockSize,
+                  "requested N out of range: ", requested_n);
+    return std::max(requested_n, minSupportedN);
+}
+
+bool
+EngineConfig::supportsOpcode(isa::Opcode op) const
+{
+    switch (op) {
+      case isa::Opcode::TileGemm:
+        return true;
+      case isa::Opcode::TileSpmmU:
+        return sparse && minSupportedN <= 2;
+      case isa::Opcode::TileSpmmV:
+        return sparse && minSupportedN <= 1;
+      case isa::Opcode::TileSpmmR:
+        // Row-wise needs the full flexible-N:M SPE datapath.
+        return sparse && minSupportedN <= 1;
+      default:
+        return false;
+    }
+}
+
+std::string
+EngineConfig::toString() const
+{
+    std::ostringstream os;
+    os << name << " (" << nRows() << "x" << nCols() << " PEs, alpha="
+       << alpha << ", beta=" << beta << ", "
+       << (sparse ? "sparse" : "dense") << ")";
+    return os.str();
+}
+
+namespace {
+
+EngineConfig
+make(const std::string &name, bool sparse, u32 alpha, u32 beta,
+     u32 min_supported_n, const std::string &label)
+{
+    EngineConfig cfg;
+    cfg.name = name;
+    cfg.sparse = sparse;
+    cfg.alpha = alpha;
+    cfg.beta = beta;
+    cfg.minSupportedN = min_supported_n;
+    cfg.priorWorkLabel = label;
+    VEGETA_ASSERT(cfg.nRows() * cfg.nCols() * cfg.macsPerPe() == kTotalMacs,
+                  "inconsistent geometry for ", name);
+    return cfg;
+}
+
+} // namespace
+
+EngineConfig
+vegetaD11()
+{
+    return make("VEGETA-D-1-1", false, 1, 1, 4,
+                "Conventional SA, RASA-SM");
+}
+
+EngineConfig
+vegetaD12()
+{
+    return make("VEGETA-D-1-2", false, 1, 2, 4, "RASA-DM");
+}
+
+EngineConfig
+vegetaD161()
+{
+    return make("VEGETA-D-16-1", false, 16, 1, 4,
+                "Intel TMUL-inspired unit");
+}
+
+EngineConfig
+vegetaS12()
+{
+    return make("VEGETA-S-1-2", true, 1, 2, 1, "New design");
+}
+
+EngineConfig
+vegetaS22()
+{
+    return make("VEGETA-S-2-2", true, 2, 2, 1, "New design");
+}
+
+EngineConfig
+vegetaS42()
+{
+    return make("VEGETA-S-4-2", true, 4, 2, 1, "New design");
+}
+
+EngineConfig
+vegetaS82()
+{
+    return make("VEGETA-S-8-2", true, 8, 2, 1, "New design");
+}
+
+EngineConfig
+vegetaS162()
+{
+    return make("VEGETA-S-16-2", true, 16, 2, 1, "New design");
+}
+
+EngineConfig
+stcLike()
+{
+    return make("STC-like", true, 1, 2, 2, "NVIDIA STC config");
+}
+
+std::vector<EngineConfig>
+allTableIIIConfigs()
+{
+    return {vegetaD11(), vegetaD12(), vegetaD161(), vegetaS12(),
+            vegetaS22(), vegetaS42(), vegetaS82(), vegetaS162()};
+}
+
+std::vector<EngineConfig>
+allEvaluatedConfigs()
+{
+    auto configs = allTableIIIConfigs();
+    configs.insert(configs.begin() + 3, stcLike());
+    return configs;
+}
+
+std::optional<EngineConfig>
+configByName(const std::string &name)
+{
+    for (const auto &cfg : allEvaluatedConfigs())
+        if (cfg.name == name)
+            return cfg;
+    return std::nullopt;
+}
+
+} // namespace vegeta::engine

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * VEGETA engine design points (paper Table III).
+ *
+ * An engine is an Nrows x Ncols grid of PEs; each PE holds alpha PUs
+ * (broadcast factor) of beta MAC units each (reduction factor).  All
+ * designs keep the same total MAC count (512, matching the 32x16
+ * baseline inspired by RASA and Intel TMUL):
+ *
+ *   Nrows = effectualMacsPerOutput / beta          (32 / beta)
+ *   Ncols = totalMacs / (Nrows * alpha * beta)
+ *
+ * Sparse designs (VEGETA-S) add per-MAC M:1 input muxes, metadata
+ * buffers, and bottom reduction adders; they fix beta = M/2 = 2 so that
+ * input elements need only be fed into a single row (Section V-A).
+ */
+
+#ifndef VEGETA_ENGINE_CONFIG_HPP
+#define VEGETA_ENGINE_CONFIG_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instructions.hpp"
+
+namespace vegeta::engine {
+
+/** Total MAC units in every evaluated engine (32 x 16 baseline). */
+inline constexpr u32 kTotalMacs = 512;
+
+/** Effectual MAC operations per output element for tile instructions. */
+inline constexpr u32 kMacsPerOutput = 32;
+
+/** Output-tile column count (Tn) of the VEGETA tile instructions. */
+inline constexpr u32 kTileN = 16;
+
+/** One engine design point. */
+struct EngineConfig
+{
+    std::string name;     ///< e.g. "VEGETA-S-2-2"
+    bool sparse = false;  ///< SPE-based (supports N:M skipping)?
+    u32 alpha = 1;        ///< PUs per PE (broadcast factor)
+    u32 beta = 1;         ///< MACs per PU (reduction factor)
+
+    /**
+     * Smallest supported N for N:4 weight tiles.  1 for full VEGETA-S,
+     * 2 for the NVIDIA-STC-like restricted config, 4 for dense engines.
+     * A layer with sparser weights executes at this N (extra zeros are
+     * not skippable, Section VI-C).
+     */
+    u32 minSupportedN = 4;
+
+    /** Prior-work label from Table III ("RASA-SM", "Intel TMUL", ...). */
+    std::string priorWorkLabel;
+
+    // --- Derived geometry ---------------------------------------------
+
+    u32 nRows() const { return kMacsPerOutput / beta; }
+    u32 nCols() const { return kTotalMacs / (nRows() * alpha * beta); }
+    u32 macsPerPe() const { return alpha * beta; }
+
+    /**
+     * Input elements fed to one PE each cycle.  Dense PEs receive beta
+     * elements (one per lane); sparse PEs receive beta whole blocks of
+     * M elements for the muxes to choose from (Table III).
+     */
+    u32 inputsPerPe() const { return sparse ? beta * 4 : beta; }
+
+    /** ceil(log2(beta)): reduction-tree depth below the array. */
+    u32 reductionDepth() const;
+
+    /**
+     * Drain-stage latency: the horizontal traversal of Ncols PE
+     * columns, but never less than the reduction pipeline needs
+     * (log2(beta) + 1).  Reproduces every Table III entry.
+     */
+    Cycles drainLatency() const;
+
+    /** Effective N the engine executes for a requested N:4 pattern. */
+    u32 effectiveN(u32 requested_n) const;
+
+    /** Can the engine execute this tile-compute opcode at all? */
+    bool supportsOpcode(isa::Opcode op) const;
+
+    std::string toString() const;
+};
+
+/** Named design points of Table III. */
+EngineConfig vegetaD11();  ///< conventional SA / RASA-SM
+EngineConfig vegetaD12();  ///< RASA-DM (SOTA dense baseline)
+EngineConfig vegetaD161(); ///< Intel TMUL-inspired unit
+EngineConfig vegetaS12();  ///< new sparse design, alpha=1
+EngineConfig vegetaS22();
+EngineConfig vegetaS42();
+EngineConfig vegetaS82();
+EngineConfig vegetaS162();
+/** VEGETA-S-1-2 restricted to 2:4 (NVIDIA STC-like config). */
+EngineConfig stcLike();
+
+/** All Table III rows, in table order. */
+std::vector<EngineConfig> allTableIIIConfigs();
+
+/** Table III rows plus the STC-like config (Figure 13 engine set). */
+std::vector<EngineConfig> allEvaluatedConfigs();
+
+/** Look up a config by name (nullopt if unknown). */
+std::optional<EngineConfig> configByName(const std::string &name);
+
+} // namespace vegeta::engine
+
+#endif // VEGETA_ENGINE_CONFIG_HPP

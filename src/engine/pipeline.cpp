@@ -1,0 +1,171 @@
+#include "engine/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta::engine {
+
+PipelineModel::PipelineModel(EngineConfig config, bool output_forwarding)
+    : config_(std::move(config)), output_forwarding_(output_forwarding)
+{
+}
+
+StageLatencies
+PipelineModel::stages(const isa::Instruction &instr) const
+{
+    VEGETA_ASSERT(isa::isTileCompute(instr.op), "engine executes only ",
+                  "tile-compute instructions, got ",
+                  isa::opcodeName(instr.op));
+    VEGETA_ASSERT(config_.supportsOpcode(instr.op), config_.name,
+                  " cannot execute ", isa::opcodeName(instr.op));
+
+    StageLatencies lat;
+    lat.wl = config_.nRows();
+    lat.ff = kTileN;
+    lat.fs = config_.nRows() - 1;
+    lat.dr = config_.drainLatency();
+    return lat;
+}
+
+ScheduledOp
+PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
+{
+    const StageLatencies lat = stages(instr);
+    const std::array<Cycles, 4> len = {lat.wl, lat.ff, lat.fs, lat.dr};
+
+    Cycles start = earliest_start;
+
+    // Stage occupancy: instruction i's entry into stage s must wait for
+    // instruction i-1 to leave stage s.  Stage s of this instruction
+    // begins at start + offset(s).
+    if (any_issued_) {
+        Cycles offset = 0;
+        for (u32 s = 0; s < 4; ++s) {
+            if (last_stage_exit_[s] > offset)
+                start = std::max(start, last_stage_exit_[s] - offset);
+            offset += len[s];
+        }
+    }
+
+    // Register dependencies.
+    const auto accumulate = instr.accumulateRegs();
+    auto is_accumulate = [&](u32 reg) {
+        return std::find(accumulate.begin(), accumulate.end(), reg) !=
+               accumulate.end();
+    };
+
+    for (u32 reg : instr.readRegs()) {
+        auto full = reg_full_ready_.find(reg);
+        if (full == reg_full_ready_.end())
+            continue;
+        if (is_accumulate(reg)) {
+            // The C operand is not needed until the FF stage begins
+            // (Figure 10c: the dependent instruction's WL overlaps the
+            // producer's tail even without OF).
+            Cycles ff_earliest = full->second;
+            if (output_forwarding_) {
+                // OF: C may be read once the producer has begun
+                // writing it back, Nrows + log2(beta) cycles after the
+                // producer's FF begin, element by element in the same
+                // order (Figure 10d).
+                auto of = reg_of_producer_ff_.find(reg);
+                if (of != reg_of_producer_ff_.end()) {
+                    const Cycles of_delay =
+                        config_.nRows() + config_.reductionDepth();
+                    ff_earliest = of->second + of_delay;
+                }
+            }
+            if (ff_earliest > lat.ffOffset())
+                start = std::max(start, ff_earliest - lat.ffOffset());
+        } else {
+            // A/B operands are stationary weights / west inputs needed
+            // from WL onward: wait for the full write-back.
+            start = std::max(start, full->second);
+        }
+    }
+
+    // WAW on outputs: never reorder write-back of the same register.
+    for (u32 reg : instr.writeRegs()) {
+        auto full = reg_full_ready_.find(reg);
+        if (full != reg_full_ready_.end() && !is_accumulate(reg))
+            start = std::max(start, full->second);
+    }
+
+    ScheduledOp op;
+    op.instr = instr;
+    op.start = start;
+    op.ffStart = start + lat.ffOffset();
+    op.finish = start + lat.total();
+
+    // Update stage exits.
+    Cycles offset = 0;
+    for (u32 s = 0; s < 4; ++s) {
+        last_stage_exit_[s] = start + offset + len[s];
+        offset += len[s];
+    }
+    any_issued_ = true;
+
+    for (u32 reg : instr.writeRegs()) {
+        reg_full_ready_[reg] = op.finish;
+        if (is_accumulate(reg))
+            reg_of_producer_ff_[reg] = op.ffStart;
+        else
+            reg_of_producer_ff_.erase(reg);
+    }
+
+    busy_until_ = std::max(busy_until_, op.finish);
+    return op;
+}
+
+Cycles
+PipelineModel::regReadyFull(u32 reg) const
+{
+    auto it = reg_full_ready_.find(reg);
+    return it == reg_full_ready_.end() ? 0 : it->second;
+}
+
+void
+PipelineModel::invalidateReg(u32 reg)
+{
+    reg_full_ready_.erase(reg);
+    reg_of_producer_ff_.erase(reg);
+}
+
+void
+PipelineModel::reset()
+{
+    last_stage_exit_.fill(0);
+    any_issued_ = false;
+    reg_full_ready_.clear();
+    reg_of_producer_ff_.clear();
+    busy_until_ = 0;
+}
+
+std::vector<ScheduledOp>
+PipelineModel::scheduleAll(const std::vector<isa::Instruction> &instrs)
+{
+    std::vector<ScheduledOp> out;
+    out.reserve(instrs.size());
+    for (const auto &instr : instrs)
+        out.push_back(issue(instr, 0));
+    return out;
+}
+
+Cycles
+initiationInterval(const EngineConfig &config)
+{
+    const StageLatencies lat = {config.nRows(), kTileN,
+                                config.nRows() - 1,
+                                config.drainLatency()};
+    return std::max({lat.wl, lat.ff, lat.fs, lat.dr});
+}
+
+Cycles
+isolatedLatency(const EngineConfig &config, const isa::Instruction &instr)
+{
+    PipelineModel model(config);
+    return model.issue(instr, 0).finish;
+}
+
+} // namespace vegeta::engine

@@ -1,0 +1,72 @@
+#include "engine/rowwise_mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace vegeta::engine {
+
+RowWiseMapping
+analyzeRowWiseMapping(const std::vector<u32> &row_n)
+{
+    RowWiseMapping map;
+    map.rows = static_cast<u32>(row_n.size());
+
+    u32 n44 = 0, n24 = 0, n14 = 0;
+    for (u32 n : row_n) {
+        switch (n) {
+          case 4:
+            ++n44;
+            break;
+          case 2:
+            ++n24;
+            break;
+          case 1:
+            ++n14;
+            break;
+          default:
+            VEGETA_PANIC("illegal row N=", n);
+        }
+    }
+    map.sumN = 4 * n44 + 2 * n24 + n14;
+    map.engineCols = n44 + n24 / 2.0 + n14 / 4.0;
+    map.fullyUtilized = (map.sumN == kRowWiseNBudget);
+
+    // Without reordering, equal-N rows must appear in complete runs:
+    // 2:4 rows in pairs and 1:4 rows in quads, each starting at a
+    // group boundary.
+    map.groupsAligned = true;
+    u32 r = 0;
+    while (r < row_n.size()) {
+        const u32 n = row_n[r];
+        const u32 group = (n == 4) ? 1 : (n == 2 ? 2 : 4);
+        if (r + group > row_n.size()) {
+            map.groupsAligned = false;
+            break;
+        }
+        for (u32 i = 0; i < group; ++i) {
+            if (row_n[r + i] != n) {
+                map.groupsAligned = false;
+                break;
+            }
+        }
+        if (!map.groupsAligned)
+            break;
+        r += group;
+    }
+    return map;
+}
+
+std::vector<u32>
+dmaReorderPermutation(const std::vector<u32> &row_n)
+{
+    std::vector<u32> perm(row_n.size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::stable_sort(perm.begin(), perm.end(), [&](u32 x, u32 y) {
+        return row_n[x] > row_n[y];
+    });
+    return perm;
+}
+
+} // namespace vegeta::engine

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mapping of row-wise N:M sparse tiles onto a VEGETA-S engine
+ * (paper Section V-E, Figure 11).
+ *
+ * A row with 4:4 occupies an SPE-1-4-like column slice (4 SPU-column
+ * slots), 2:4 a pair slot, and 1:4 a single slot; with all columns
+ * fully utilized, the engine column budget is 16 slots per tile
+ * (sum over rows of N_r = 32 maps onto 16 SPU columns x 2 lanes).
+ * Rows of equal N must form aligned groups ("pseudo row-wise");
+ * a DMA reordering relaxes this to arbitrary row mixes.
+ */
+
+#ifndef VEGETA_ENGINE_ROWWISE_MAPPING_HPP
+#define VEGETA_ENGINE_ROWWISE_MAPPING_HPP
+
+#include <vector>
+
+#include "engine/config.hpp"
+
+namespace vegeta::engine {
+
+/** Result of mapping one row-wise tile onto the engine. */
+struct RowWiseMapping
+{
+    u32 rows = 0;           ///< HA, the tile's effective row count
+    u32 sumN = 0;           ///< total N over rows (32 for a full treg)
+    double engineCols = 0;  ///< Ncols = N44 + N24/2 + N14/4
+    bool fullyUtilized = false; ///< every MAC column occupied
+    bool groupsAligned = false; ///< legal without DMA reordering
+};
+
+/**
+ * Analyze the mapping of a tile with the given per-row N values
+ * (each 1, 2, or 4, in tile row order).
+ */
+RowWiseMapping analyzeRowWiseMapping(const std::vector<u32> &row_n);
+
+/**
+ * Reorder rows (descending N) so equal-N rows group together, the
+ * "simple reordering in input/output DMA engines" of Section V-E.
+ * Returns the permutation old-index order for the new layout.
+ */
+std::vector<u32> dmaReorderPermutation(const std::vector<u32> &row_n);
+
+/** HA bounds of a full tile: 8 (all 4:4) to 32 (all 1:4). */
+inline constexpr u32 kRowWiseMinRows = 8;
+inline constexpr u32 kRowWiseMaxRows = 32;
+/** Column budget: sum of N over rows of a full tile. */
+inline constexpr u32 kRowWiseNBudget = 32;
+
+} // namespace vegeta::engine
+
+#endif // VEGETA_ENGINE_ROWWISE_MAPPING_HPP

@@ -1,0 +1,478 @@
+#include "engine/systolic.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace vegeta::engine {
+
+namespace {
+
+constexpr u32 kSpuCols = 16;     ///< weight rows -> SPU columns
+constexpr u32 kStoredPerRow = 32; ///< stored weight values per row
+constexpr u32 kMaxVecElems = 8;  ///< max input elements per PE row
+
+} // namespace
+
+/**
+ * Instruction-specific mapping: stationary weights, per-value input mux
+ * selects, and the effective-B column carried by each input vector
+ * element of each PE row.
+ */
+struct SystolicSimulator::Mapping
+{
+    MatrixBF16 weights;        ///< 16 x 32 stored values
+    std::vector<u8> sel;       ///< (i * 32 + v) -> vector element index
+    u32 elemsPerVector = 1;    ///< input vector width per PE row
+    std::vector<u32> inputCol; ///< (p * elems + e) -> column k of B
+    u32 effectiveK = 32;       ///< effective inner dimension
+};
+
+SystolicSimulator::SystolicSimulator(EngineConfig config)
+    : config_(std::move(config))
+{
+}
+
+SystolicResult
+SystolicSimulator::runGemm(const MatrixBF16 &a, const MatrixBF16 &bt,
+                           const MatrixF &c_init) const
+{
+    VEGETA_ASSERT(a.rows() == kSpuCols && a.cols() == kStoredPerRow,
+                  "TILE_GEMM A must be 16x32");
+    VEGETA_ASSERT(bt.rows() == kTileN && bt.cols() == kStoredPerRow,
+                  "TILE_GEMM Bt must be 16x32");
+
+    Mapping map;
+    map.weights = a;
+    map.effectiveK = kStoredPerRow;
+    map.elemsPerVector = config_.beta;
+    map.sel.resize(kSpuCols * kStoredPerRow);
+    for (u32 i = 0; i < kSpuCols; ++i)
+        for (u32 v = 0; v < kStoredPerRow; ++v)
+            map.sel[i * kStoredPerRow + v] =
+                static_cast<u8>(v % config_.beta);
+    map.inputCol.resize(config_.nRows() * map.elemsPerVector);
+    for (u32 p = 0; p < config_.nRows(); ++p)
+        for (u32 e = 0; e < map.elemsPerVector; ++e)
+            map.inputCol[p * map.elemsPerVector + e] =
+                p * config_.beta + e;
+    return run(map, bt, c_init);
+}
+
+SystolicResult
+SystolicSimulator::runSpmm(const CompressedTile &a, const MatrixBF16 &bt,
+                           const MatrixF &c_init) const
+{
+    VEGETA_ASSERT(config_.sparse, config_.name,
+                  " is a dense engine; cannot run TILE_SPMM");
+    const u32 n = a.pattern().n;
+    VEGETA_ASSERT(n == 1 || n == 2, "TILE_SPMM expects a 1:4 or 2:4 tile");
+    VEGETA_ASSERT(config_.minSupportedN <= n, config_.name,
+                  " does not support ", a.pattern().toString());
+    VEGETA_ASSERT(config_.beta == 2, "SPE designs fix beta = M/2 = 2");
+    VEGETA_ASSERT(a.rows() == kSpuCols &&
+                      a.valuesPerRow() == kStoredPerRow,
+                  "compressed tile must store 16x32 values");
+    VEGETA_ASSERT(bt.rows() == kTileN &&
+                      bt.cols() == a.effectiveCols(),
+                  "Bt shape mismatch: ", bt.cols(), " vs effective ",
+                  a.effectiveCols());
+
+    Mapping map;
+    map.weights = a.values();
+    map.effectiveK = a.effectiveCols();
+    map.sel.resize(kSpuCols * kStoredPerRow);
+
+    if (n == 2) {
+        // 2:4 -- one block of 4 per PE row; both lanes mux within it.
+        map.elemsPerVector = 4;
+        for (u32 i = 0; i < kSpuCols; ++i)
+            for (u32 v = 0; v < kStoredPerRow; ++v)
+                map.sel[i * kStoredPerRow + v] =
+                    static_cast<u8>(a.index(i, v));
+        map.inputCol.resize(config_.nRows() * 4);
+        for (u32 p = 0; p < config_.nRows(); ++p)
+            for (u32 e = 0; e < 4; ++e)
+                map.inputCol[p * 4 + e] = p * 4 + e;
+    } else {
+        // 1:4 -- two blocks of 4 per PE row; lane l muxes in block l.
+        map.elemsPerVector = 8;
+        for (u32 i = 0; i < kSpuCols; ++i) {
+            for (u32 v = 0; v < kStoredPerRow; ++v) {
+                const u32 lane = v % 2;
+                map.sel[i * kStoredPerRow + v] =
+                    static_cast<u8>(4 * lane + a.index(i, v));
+            }
+        }
+        map.inputCol.resize(config_.nRows() * 8);
+        for (u32 p = 0; p < config_.nRows(); ++p)
+            for (u32 e = 0; e < 8; ++e)
+                map.inputCol[p * 8 + e] = p * 8 + e;
+    }
+    return run(map, bt, c_init);
+}
+
+SystolicResult
+SystolicSimulator::runSpmmRowWise(const RowWiseCompressedTile &a,
+                                  const MatrixBF16 &bt,
+                                  const MatrixF &c_init) const
+{
+    VEGETA_ASSERT(config_.sparse && config_.minSupportedN == 1,
+                  config_.name, " cannot execute TILE_SPMM_R");
+    VEGETA_ASSERT(config_.beta == 2, "SPE designs fix beta = 2");
+    VEGETA_ASSERT(a.effectiveCols() == 64,
+                  "row-wise tiles are R x 64 effective");
+    VEGETA_ASSERT(bt.rows() == kTileN && bt.cols() == 64,
+                  "Bt must be 16x64");
+    const u32 rows = a.rows();
+    VEGETA_ASSERT(c_init.rows() == rows && c_init.cols() == kTileN,
+                  "C must be R x 16");
+
+    const u32 nrows = config_.nRows(); // 16 = blocks per row
+    const u32 ncols = config_.nCols();
+    const u32 lanes_total = ncols * config_.alpha * config_.beta; // 32
+    const u32 lanes_per_spe = config_.alpha * config_.beta;
+
+    // Figure 11 mapping: row r occupies N_r consecutive lane-columns;
+    // its stored value v = p * N_r + l sits at PE row p (= block p),
+    // lane slot l.
+    u32 sum_n = 0;
+    for (u32 r = 0; r < rows; ++r)
+        sum_n += a.rowN(r);
+    VEGETA_ASSERT(sum_n <= lanes_total, "tile N budget ", sum_n,
+                  " exceeds the ", lanes_total, " MAC lane-columns");
+
+    struct Lane
+    {
+        bool used = false;
+        u32 row = 0;  ///< weight/C row this lane contributes to
+        std::array<BF16, 16> weight{};
+        std::array<u8, 16> sel{};
+    };
+    std::vector<Lane> lanes(lanes_total);
+
+    u32 slot = 0;
+    for (u32 r = 0; r < rows; ++r) {
+        const u32 n = a.rowN(r);
+        const u32 base = a.rowOffset(r);
+        for (u32 l = 0; l < n; ++l) {
+            Lane &lane = lanes[slot + l];
+            lane.used = true;
+            lane.row = r;
+            for (u32 p = 0; p < nrows; ++p) {
+                // Stream is packed per block: block p's l-th value.
+                const u32 linear = base + p * n + l;
+                lane.weight[p] = a.value(linear);
+                lane.sel[p] = static_cast<u8>(a.index(linear));
+            }
+        }
+        slot += n;
+    }
+
+    struct InVec
+    {
+        bool valid = false;
+        u32 j = 0;
+        std::array<BF16, 4> elems{};
+    };
+    std::vector<InVec> in(std::size_t{nrows} * ncols);
+    auto in_at = [&](u32 p, u32 c) -> InVec & {
+        return in[std::size_t{p} * ncols + c];
+    };
+
+    struct Psum
+    {
+        bool valid = false;
+        u32 j = 0;
+        float value = 0.0f;
+    };
+    std::vector<Psum> psum(std::size_t{nrows} * lanes_total);
+    auto psum_at = [&](u32 p, u32 lc) -> Psum & {
+        return psum[std::size_t{p} * lanes_total + lc];
+    };
+
+    // Per-(row, j) reduction collection at the bottom adder row.
+    struct Pending
+    {
+        Cycles ready;
+        u32 row, j;
+        float value;
+    };
+    std::deque<Pending> writebacks;
+    // Partial collection: lanes of one (row, j) may emerge from
+    // different SPE columns on different cycles.
+    std::vector<u32> lanes_seen(std::size_t{rows} * kTileN, 0);
+    std::vector<float> lane_sum(std::size_t{rows} * kTileN, 0.0f);
+    std::vector<Cycles> last_emerge(std::size_t{rows} * kTileN, 0);
+
+    auto reduction_depth = [](u32 n) {
+        u32 d = 0;
+        while ((1u << d) < n)
+            ++d;
+        return d;
+    };
+
+    SystolicResult result;
+    result.c = c_init;
+    u32 outputs_written = 0;
+    const u32 outputs_total = rows * kTileN;
+    Cycles last_writeback = 0;
+    const Cycles ff_start = nrows;
+    const Cycles cycle_cap =
+        ff_start + kTileN + nrows + ncols + 8 + 16;
+
+    for (Cycles t = 0; t < cycle_cap && outputs_written < outputs_total;
+         ++t) {
+        while (!writebacks.empty() && writebacks.front().ready <= t) {
+            const Pending &p = writebacks.front();
+            result.c.at(p.row, p.j) = p.value;
+            last_writeback = std::max(last_writeback, p.ready);
+            ++outputs_written;
+            writebacks.pop_front();
+        }
+        if (t < ff_start)
+            continue;
+
+        for (u32 p = 0; p < nrows; ++p) {
+            for (u32 c = ncols; c-- > 1;)
+                in_at(p, c) = in_at(p, c - 1);
+            InVec fresh;
+            const i64 j = static_cast<i64>(t) -
+                          static_cast<i64>(ff_start) - p;
+            if (j >= 0 && j < kTileN) {
+                fresh.valid = true;
+                fresh.j = static_cast<u32>(j);
+                for (u32 e = 0; e < 4; ++e)
+                    fresh.elems[e] =
+                        bt.at(static_cast<u32>(j), p * 4 + e);
+            }
+            in_at(p, 0) = fresh;
+        }
+
+        bool any_active = false;
+        for (u32 p = nrows; p-- > 0;) {
+            for (u32 lc = 0; lc < lanes_total; ++lc) {
+                const Lane &lane = lanes[lc];
+                const u32 c = lc / lanes_per_spe;
+                const InVec &vec = in_at(p, c);
+                Psum out;
+                if (lane.used && vec.valid) {
+                    float upstream;
+                    if (p == 0) {
+                        // The first lane of a row carries the C
+                        // accumulator injected from the north.
+                        const bool first =
+                            lc == 0 || lanes[lc - 1].row != lane.row ||
+                            !lanes[lc - 1].used;
+                        upstream = first
+                                       ? result.c.at(lane.row, vec.j)
+                                       : 0.0f;
+                    } else {
+                        const Psum &up = psum_at(p - 1, lc);
+                        VEGETA_ASSERT(up.valid && up.j == vec.j,
+                                      "row-wise wavefront misaligned");
+                        upstream = up.value;
+                    }
+                    out.valid = true;
+                    out.j = vec.j;
+                    out.value = macBF16(upstream, lane.weight[p],
+                                        vec.elems[lane.sel[p]]);
+                    ++result.macFirings;
+                    any_active = true;
+
+                    if (p == nrows - 1) {
+                        const std::size_t key =
+                            std::size_t{lane.row} * kTileN + out.j;
+                        lane_sum[key] += out.value;
+                        last_emerge[key] = std::max(last_emerge[key], t);
+                        if (++lanes_seen[key] == a.rowN(lane.row)) {
+                            const Cycles ready =
+                                last_emerge[key] +
+                                reduction_depth(a.rowN(lane.row)) + 1;
+                            writebacks.push_back({ready, lane.row,
+                                                  out.j,
+                                                  lane_sum[key]});
+                        }
+                    }
+                }
+                psum_at(p, lc) = out;
+            }
+        }
+        if (any_active)
+            ++result.activeCycles;
+    }
+
+    while (!writebacks.empty()) {
+        const Pending &p = writebacks.front();
+        result.c.at(p.row, p.j) = p.value;
+        last_writeback = std::max(last_writeback, p.ready);
+        ++outputs_written;
+        writebacks.pop_front();
+    }
+    VEGETA_ASSERT(outputs_written == outputs_total,
+                  "row-wise systolic run incomplete: ", outputs_written,
+                  " of ", outputs_total);
+    result.totalCycles = last_writeback;
+    return result;
+}
+
+SystolicResult
+SystolicSimulator::run(const Mapping &map, const MatrixBF16 &bt,
+                       const MatrixF &c_init) const
+{
+    const u32 nrows = config_.nRows();
+    const u32 ncols = config_.nCols();
+    const u32 alpha = config_.alpha;
+    const u32 beta = config_.beta;
+    const u32 red_depth = config_.reductionDepth();
+    const Cycles ff_start = nrows; // WL occupies cycles [0, nrows)
+
+    VEGETA_ASSERT(c_init.rows() == kSpuCols && c_init.cols() == kTileN,
+                  "C tile must be 16x16");
+
+    struct InVec
+    {
+        bool valid = false;
+        u32 j = 0;
+        std::array<BF16, kMaxVecElems> elems{};
+    };
+    struct Psum
+    {
+        bool valid = false;
+        u32 j = 0;
+        std::array<float, kMaxVecElems> lane{};
+    };
+
+    // Input pipeline registers per (PE row, SPE column).
+    std::vector<InVec> in(std::size_t{nrows} * ncols);
+    auto in_at = [&](u32 p, u32 c) -> InVec & {
+        return in[std::size_t{p} * ncols + c];
+    };
+    // Lane partial sums leaving each PE row, per SPU column.
+    std::vector<Psum> psum(std::size_t{nrows} * kSpuCols);
+    auto psum_at = [&](u32 p, u32 i) -> Psum & {
+        return psum[std::size_t{p} * kSpuCols + i];
+    };
+
+    // Pipelined bottom reduction: entries become architectural
+    // (written back) at readyCycle.
+    struct Pending
+    {
+        Cycles ready;
+        u32 i, j;
+        float value;
+    };
+    std::deque<Pending> reduction;
+
+    SystolicResult result;
+    result.c = c_init;
+    u32 outputs_written = 0;
+    Cycles last_writeback = 0;
+    const u32 outputs_total = kSpuCols * kTileN;
+
+    const Cycles cycle_cap = ff_start + kTileN + nrows + ncols +
+                             red_depth + 16;
+    Cycles t = 0;
+    for (; t < cycle_cap && outputs_written < outputs_total; ++t) {
+        // Retire finished reductions.
+        while (!reduction.empty() && reduction.front().ready <= t) {
+            const Pending &p = reduction.front();
+            result.c.at(p.i, p.j) = p.value;
+            last_writeback = std::max(last_writeback, p.ready);
+            ++outputs_written;
+            reduction.pop_front();
+        }
+
+        if (t < ff_start)
+            continue; // weight-load stage
+
+        // Shift input registers east; feed the west edge.
+        for (u32 p = 0; p < nrows; ++p) {
+            for (u32 c = ncols; c-- > 1;)
+                in_at(p, c) = in_at(p, c - 1);
+            InVec fresh;
+            const i64 j = static_cast<i64>(t) - static_cast<i64>(ff_start) -
+                          p;
+            if (j >= 0 && j < kTileN) {
+                fresh.valid = true;
+                fresh.j = static_cast<u32>(j);
+                for (u32 e = 0; e < map.elemsPerVector; ++e) {
+                    const u32 k = map.inputCol[p * map.elemsPerVector + e];
+                    fresh.elems[e] = bt.at(static_cast<u32>(j), k);
+                }
+            }
+            in_at(p, 0) = fresh;
+        }
+
+        // Compute bottom-up so each row reads the previous cycle's
+        // psum of the row above before that row overwrites it.
+        bool any_active = false;
+        for (u32 p = nrows; p-- > 0;) {
+            for (u32 c = 0; c < ncols; ++c) {
+                const InVec &vec = in_at(p, c);
+                for (u32 s = 0; s < alpha; ++s) {
+                    const u32 i = c * alpha + s;
+                    Psum out;
+                    if (vec.valid) {
+                        Psum upstream;
+                        if (p == 0) {
+                            upstream.valid = true;
+                            upstream.j = vec.j;
+                            upstream.lane.fill(0.0f);
+                            upstream.lane[0] = result.c.at(i, vec.j);
+                        } else {
+                            upstream = psum_at(p - 1, i);
+                            VEGETA_ASSERT(upstream.valid &&
+                                              upstream.j == vec.j,
+                                          "psum/input wavefront "
+                                          "misaligned at row ",
+                                          p, " col ", i);
+                        }
+                        out.valid = true;
+                        out.j = vec.j;
+                        for (u32 l = 0; l < beta; ++l) {
+                            const u32 v = p * beta + l;
+                            const BF16 w = map.weights.at(i, v);
+                            const u32 e = map.sel[i * kStoredPerRow + v];
+                            const BF16 x = vec.elems[e];
+                            out.lane[l] =
+                                macBF16(upstream.lane[l], w, x);
+                            ++result.macFirings;
+                        }
+                        any_active = true;
+                    }
+                    psum_at(p, i) = out;
+
+                    // Bottom of the array: reduce lanes and schedule
+                    // the write-back.
+                    if (p == nrows - 1 && out.valid) {
+                        float total = out.lane[0];
+                        for (u32 l = 1; l < beta; ++l)
+                            total += out.lane[l];
+                        reduction.push_back(
+                            {t + red_depth + 1, i, out.j, total});
+                    }
+                }
+            }
+        }
+        if (any_active)
+            ++result.activeCycles;
+    }
+
+    // Drain any reductions that are still pending.
+    while (!reduction.empty()) {
+        const Pending &p = reduction.front();
+        result.c.at(p.i, p.j) = p.value;
+        last_writeback = std::max(last_writeback, p.ready);
+        ++outputs_written;
+        reduction.pop_front();
+    }
+    VEGETA_ASSERT(outputs_written == outputs_total,
+                  "systolic run incomplete: ", outputs_written, " of ",
+                  outputs_total, " outputs");
+    result.totalCycles = last_writeback;
+    return result;
+}
+
+} // namespace vegeta::engine

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cycle-by-cycle systolic dataflow simulation of a VEGETA engine
+ * executing one tile GEMM/SPMM instruction (paper Figures 8 and 9).
+ *
+ * This is the microarchitectural ground truth of the repo: weights are
+ * held stationary per MAC lane, input vectors stream west to east
+ * through per-SPE pipeline registers, partial sums trickle south with
+ * per-lane datapaths, bottom adder trees reduce the beta lanes, and the
+ * sparse input selection happens through real M:1 muxes driven by the
+ * 2-bit metadata.  Tests assert the computed C matches the functional
+ * emulator exactly and the cycle counts match the pipeline timing
+ * model.
+ *
+ * Mapping (Section V-B): the 32 stored values of weight row i map to
+ * SPU column i (value v = p * beta + lane sits at PE row p); the input
+ * vector entering PE row p for output column j carries
+ *   - TILE_GEMM:   B(beta*p + lane, j) per lane (half block),
+ *   - TILE_SPMM_U: block p of B(:, j) (4 elements, muxed per lane),
+ *   - TILE_SPMM_V: blocks 2p and 2p+1 (8 elements, block per lane).
+ */
+
+#ifndef VEGETA_ENGINE_SYSTOLIC_HPP
+#define VEGETA_ENGINE_SYSTOLIC_HPP
+
+#include <optional>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "numerics/matrix.hpp"
+#include "sparsity/compressed_tile.hpp"
+
+namespace vegeta::engine {
+
+/** Result of simulating one instruction through the array. */
+struct SystolicResult
+{
+    MatrixF c;            ///< accumulated 16x16 output
+    Cycles totalCycles;   ///< first WL cycle .. last write-back
+    u64 macFirings = 0;   ///< MAC activations (incl. stored zeros)
+    u64 activeCycles = 0; ///< cycles with at least one active MAC
+    double
+    utilization() const
+    {
+        if (activeCycles == 0)
+            return 0.0;
+        return static_cast<double>(macFirings) /
+               (static_cast<double>(activeCycles) * kTotalMacs);
+    }
+};
+
+/** Cycle-level simulator of one engine instance. */
+class SystolicSimulator
+{
+  public:
+    explicit SystolicSimulator(EngineConfig config);
+
+    const EngineConfig &config() const { return config_; }
+
+    /**
+     * TILE_GEMM: C (16x16) += A (16x32 dense) x B, with B provided
+     * transposed (bt is 16x32, bt(j,k) = B(k,j)).
+     */
+    SystolicResult runGemm(const MatrixBF16 &a, const MatrixBF16 &bt,
+                           const MatrixF &c_init) const;
+
+    /**
+     * TILE_SPMM_U / TILE_SPMM_V: C += A x B for a 2:4 or 1:4
+     * compressed A (16 rows x 32 stored values) and transposed B
+     * (16x64 for 2:4, 16x128 for 1:4).  Engine must be sparse and
+     * support the tile's N.
+     */
+    SystolicResult runSpmm(const CompressedTile &a, const MatrixBF16 &bt,
+                           const MatrixF &c_init) const;
+
+    /**
+     * TILE_SPMM_R: C (R x 16) += A (row-wise N:4, R x 64 effective)
+     * x B (64 x 16, transposed).  Implements the Figure 11 mapping:
+     * row r occupies N_r of the 32 MAC lane-columns (a 4:4 row spans
+     * an SPE-1-4-like slice, a 1:4 row a single lane), every PE row p
+     * receives block p of B, and a bottom adder row reduces each
+     * weight row's lanes.  Requires a full flexible-N:M design
+     * (minSupportedN == 1) and a tile whose N budget fits
+     * (sum of N_r <= 32).
+     */
+    SystolicResult runSpmmRowWise(const RowWiseCompressedTile &a,
+                                  const MatrixBF16 &bt,
+                                  const MatrixF &c_init) const;
+
+  private:
+    struct Mapping;
+
+    SystolicResult run(const Mapping &mapping, const MatrixBF16 &bt,
+                       const MatrixF &c_init) const;
+
+    EngineConfig config_;
+};
+
+} // namespace vegeta::engine
+
+#endif // VEGETA_ENGINE_SYSTOLIC_HPP

@@ -1,0 +1,250 @@
+#include "isa/emulator.hpp"
+
+namespace vegeta::isa {
+
+void
+Emulator::execute(const Instruction &in)
+{
+    ++counts_[static_cast<std::size_t>(in.op)];
+    switch (in.op) {
+      case Opcode::TileLoadT:
+      case Opcode::TileLoadU:
+      case Opcode::TileLoadV:
+        execLoad(in);
+        break;
+      case Opcode::TileLoadM:
+        execLoadMetadata(in);
+        break;
+      case Opcode::TileStoreT:
+        execStore(in);
+        break;
+      case Opcode::TileGemm:
+        execGemm(in);
+        break;
+      case Opcode::TileSpmmU:
+        execSpmmU(in);
+        break;
+      case Opcode::TileSpmmV:
+        execSpmmV(in);
+        break;
+      case Opcode::TileSpmmR:
+        execSpmmR(in);
+        break;
+    }
+}
+
+u64
+Emulator::executed(Opcode op) const
+{
+    return counts_[static_cast<std::size_t>(op)];
+}
+
+u64
+Emulator::totalExecuted() const
+{
+    u64 total = 0;
+    for (u64 c : counts_)
+        total += c;
+    return total;
+}
+
+void
+Emulator::execLoad(const Instruction &in)
+{
+    const u32 row_bytes = regClassRowBytes(in.dst.cls);
+    for (u32 r = 0; r < kTregRows; ++r)
+        for (u32 b = 0; b < row_bytes; ++b)
+            tiles_.writeByte(in.dst, r, b,
+                             mem_.readByte(in.addr +
+                                           std::size_t{r} * in.stride + b));
+}
+
+void
+Emulator::execLoadMetadata(const Instruction &in)
+{
+    MetadataReg &m = metadata_.reg(in.mreg);
+    for (u32 b = 0; b < kMregBytes; ++b)
+        m.body[b] = mem_.readByte(in.addr + b);
+    for (u32 b = 0; b < kMregDescBytes; ++b)
+        m.rowDesc[b] = mem_.readByte(in.addr + kMregBytes + b);
+}
+
+void
+Emulator::execStore(const Instruction &in)
+{
+    for (u32 r = 0; r < kTregRows; ++r)
+        for (u32 b = 0; b < kTregRowBytes; ++b)
+            mem_.writeByte(in.addr + std::size_t{r} * in.stride + b,
+                           tiles_.readByte(in.dst, r, b));
+}
+
+void
+Emulator::execGemm(const Instruction &in)
+{
+    // C (16x16, FP32) += A (16x32, BF16) x B (32x16, BF16); B is held
+    // transposed in the register, so Bt(j, k) = B(k, j).
+    for (u32 i = 0; i < 16; ++i) {
+        for (u32 j = 0; j < 16; ++j) {
+            float acc = tiles_.readF32(in.dst, i, j);
+            for (u32 k = 0; k < 32; ++k)
+                acc = macBF16(acc, tiles_.readBF16(in.srcA, i, k),
+                              tiles_.readBF16(in.srcB, j, k));
+            tiles_.writeF32(in.dst, i, j, acc);
+        }
+    }
+}
+
+void
+Emulator::execSpmmU(const Instruction &in)
+{
+    // C (16x16) += A (16x64 effective, 2:4 compressed in a treg) x
+    // B (64x16, transposed in a ureg).  Stored value v of row i lives
+    // in block v/2; its in-block position comes from the paired mreg.
+    const MetadataReg &md = metadata_.reg(in.mreg);
+    for (u32 i = 0; i < 16; ++i) {
+        for (u32 j = 0; j < 16; ++j) {
+            float acc = tiles_.readF32(in.dst, i, j);
+            for (u32 v = 0; v < 32; ++v) {
+                const u32 block = v / 2;
+                const u32 pos = md.code(i * 32 + v);
+                const u32 k = block * kBlockSize + pos;
+                acc = macBF16(acc, tiles_.readBF16(in.srcA, i, v),
+                              tiles_.readBF16(in.srcB, j, k));
+            }
+            tiles_.writeF32(in.dst, i, j, acc);
+        }
+    }
+}
+
+void
+Emulator::execSpmmV(const Instruction &in)
+{
+    // C (16x16) += A (16x128 effective, 1:4 compressed) x B (128x16,
+    // transposed in a vreg).  Stored value v is the only non-zero of
+    // block v.
+    const MetadataReg &md = metadata_.reg(in.mreg);
+    for (u32 i = 0; i < 16; ++i) {
+        for (u32 j = 0; j < 16; ++j) {
+            float acc = tiles_.readF32(in.dst, i, j);
+            for (u32 v = 0; v < 32; ++v) {
+                const u32 pos = md.code(i * 32 + v);
+                const u32 k = v * kBlockSize + pos;
+                acc = macBF16(acc, tiles_.readBF16(in.srcA, i, v),
+                              tiles_.readBF16(in.srcB, j, k));
+            }
+            tiles_.writeF32(in.dst, i, j, acc);
+        }
+    }
+}
+
+void
+Emulator::execSpmmR(const Instruction &in)
+{
+    // C (R x 16, FP32, linear in a ureg) += A (R x 64 effective,
+    // row-wise N:4 compressed, values packed linearly in a treg) x
+    // B (64x16, transposed in a ureg).  Per-row N comes from the mreg
+    // row-descriptor extension; in-block positions from the mreg body
+    // read as a linear 2-bit stream.
+    const MetadataReg &md = metadata_.reg(in.mreg);
+    const u32 blocks = 64 / kBlockSize; // 16 blocks per effective row
+
+    u32 cursor = 0; // linear index into values and metadata codes
+    for (u32 r = 0; r < in.rows; ++r) {
+        const u32 n = RowWiseCompressedTile::decodeRowN(md.rowDescCode(r));
+        const u32 row_values = n * blocks;
+        VEGETA_ASSERT(cursor + row_values <= kTregBytes / 2,
+                      "TILE_SPMM_R stream overflows the A treg at row ",
+                      r);
+        for (u32 j = 0; j < 16; ++j) {
+            float acc = tiles_.readF32Linear(in.dst, r * 16 + j);
+            for (u32 b = 0; b < blocks; ++b) {
+                for (u32 v = 0; v < n; ++v) {
+                    const u32 linear = cursor + b * n + v;
+                    const u32 pos = md.code(linear);
+                    const u32 k = b * kBlockSize + pos;
+                    const BF16 a = tiles_.readBF16(in.srcA, linear / 32,
+                                                   linear % 32);
+                    acc = macBF16(acc, a, tiles_.readBF16(in.srcB, j, k));
+                }
+            }
+            tiles_.writeF32Linear(in.dst, r * 16 + j, acc);
+        }
+        cursor += row_values;
+    }
+}
+
+void
+Emulator::writeTileBF16(TileReg reg, const MatrixBF16 &mat)
+{
+    VEGETA_ASSERT(mat.rows() <= kTregRows &&
+                      mat.cols() * 2 <= regClassRowBytes(reg.cls),
+                  "matrix ", mat.rows(), "x", mat.cols(),
+                  " does not fit in ", reg.toString());
+    for (u32 r = 0; r < mat.rows(); ++r)
+        for (u32 c = 0; c < mat.cols(); ++c)
+            tiles_.writeBF16(reg, r, c, mat.at(r, c));
+}
+
+MatrixBF16
+Emulator::readTileBF16(TileReg reg, u32 rows, u32 cols) const
+{
+    MatrixBF16 mat(rows, cols);
+    for (u32 r = 0; r < rows; ++r)
+        for (u32 c = 0; c < cols; ++c)
+            mat.at(r, c) = tiles_.readBF16(reg, r, c);
+    return mat;
+}
+
+void
+Emulator::writeTileF32(TileReg reg, const MatrixF &mat)
+{
+    VEGETA_ASSERT(mat.rows() <= kTregRows &&
+                      mat.cols() * 4 <= regClassRowBytes(reg.cls),
+                  "matrix does not fit in ", reg.toString());
+    for (u32 r = 0; r < mat.rows(); ++r)
+        for (u32 c = 0; c < mat.cols(); ++c)
+            tiles_.writeF32(reg, r, c, mat.at(r, c));
+}
+
+MatrixF
+Emulator::readTileF32(TileReg reg, u32 rows, u32 cols) const
+{
+    MatrixF mat(rows, cols);
+    for (u32 r = 0; r < rows; ++r)
+        for (u32 c = 0; c < cols; ++c)
+            mat.at(r, c) = tiles_.readF32(reg, r, c);
+    return mat;
+}
+
+MatrixF
+Emulator::readTileF32Linear(TileReg reg, u32 rows, u32 cols) const
+{
+    MatrixF mat(rows, cols);
+    for (u32 r = 0; r < rows; ++r)
+        for (u32 c = 0; c < cols; ++c)
+            mat.at(r, c) = tiles_.readF32Linear(reg, r * cols + c);
+    return mat;
+}
+
+void
+Emulator::writeTileF32Linear(TileReg reg, const MatrixF &mat)
+{
+    for (u32 r = 0; r < mat.rows(); ++r)
+        for (u32 c = 0; c < mat.cols(); ++c)
+            tiles_.writeF32Linear(reg, r * mat.cols() + c, mat.at(r, c));
+}
+
+void
+Emulator::setMetadata(u32 mreg_index, const std::vector<u8> &body,
+                      const std::vector<u8> &row_desc)
+{
+    MetadataReg &m = metadata_.reg(mreg_index);
+    m = MetadataReg{};
+    VEGETA_ASSERT(body.size() <= kMregBytes, "metadata body too large");
+    VEGETA_ASSERT(row_desc.size() <= kMregDescBytes,
+                  "row descriptors too large");
+    std::copy(body.begin(), body.end(), m.body.begin());
+    std::copy(row_desc.begin(), row_desc.end(), m.rowDesc.begin());
+}
+
+} // namespace vegeta::isa

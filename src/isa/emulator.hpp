@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional emulator for the VEGETA ISA.
+ *
+ * Plays the role of the paper's Pin-based instrumentation tool
+ * (Section VI-A): it executes each VEGETA instruction architecturally
+ * (bit-exact BF16 inputs, FP32 accumulation in ascending-k order) over
+ * a register file and flat memory, and counts executed instructions.
+ * Kernels run on the emulator both to verify numerics and to generate
+ * dynamic traces for the cycle-level CPU model.
+ */
+
+#ifndef VEGETA_ISA_EMULATOR_HPP
+#define VEGETA_ISA_EMULATOR_HPP
+
+#include <array>
+
+#include "isa/instructions.hpp"
+#include "isa/memory.hpp"
+#include "isa/registers.hpp"
+#include "numerics/matrix.hpp"
+
+namespace vegeta::isa {
+
+/** Architectural state + instruction semantics. */
+class Emulator
+{
+  public:
+    explicit Emulator(FlatMemory &memory) : mem_(memory) {}
+
+    /** Execute one instruction architecturally. */
+    void execute(const Instruction &in);
+
+    TileRegisterFile &tiles() { return tiles_; }
+    const TileRegisterFile &tiles() const { return tiles_; }
+    MetadataRegisterFile &metadata() { return metadata_; }
+    const MetadataRegisterFile &metadata() const { return metadata_; }
+    FlatMemory &memory() { return mem_; }
+
+    /** Executed-instruction count per opcode. */
+    u64 executed(Opcode op) const;
+    u64 totalExecuted() const;
+    void resetCounts() { counts_.fill(0); }
+
+    // --- Test / driver conveniences -----------------------------------
+
+    /** Write a BF16 matrix into a tile register (row-major elements). */
+    void writeTileBF16(TileReg reg, const MatrixBF16 &mat);
+    /** Read a rows x cols BF16 matrix from a tile register. */
+    MatrixBF16 readTileBF16(TileReg reg, u32 rows, u32 cols) const;
+
+    /** Write / read an FP32 matrix (C tiles). */
+    void writeTileF32(TileReg reg, const MatrixF &mat);
+    MatrixF readTileF32(TileReg reg, u32 rows, u32 cols) const;
+
+    /** Read an R x 16 FP32 tile laid out linearly (TILE_SPMM_R's C). */
+    MatrixF readTileF32Linear(TileReg reg, u32 rows, u32 cols) const;
+    void writeTileF32Linear(TileReg reg, const MatrixF &mat);
+
+    /** Load an mreg directly from packed metadata bytes. */
+    void setMetadata(u32 mreg_index, const std::vector<u8> &body,
+                     const std::vector<u8> &row_desc = {});
+
+  private:
+    void execLoad(const Instruction &in);
+    void execLoadMetadata(const Instruction &in);
+    void execStore(const Instruction &in);
+    void execGemm(const Instruction &in);
+    void execSpmmU(const Instruction &in);
+    void execSpmmV(const Instruction &in);
+    void execSpmmR(const Instruction &in);
+
+    FlatMemory &mem_;
+    TileRegisterFile tiles_;
+    MetadataRegisterFile metadata_;
+    std::array<u64, 9> counts_{};
+};
+
+} // namespace vegeta::isa
+
+#endif // VEGETA_ISA_EMULATOR_HPP

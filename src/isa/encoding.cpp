@@ -1,0 +1,158 @@
+#include "isa/encoding.hpp"
+
+#include "common/logging.hpp"
+
+namespace vegeta::isa {
+
+namespace {
+
+constexpr u32 kOpcodeShift = 0;
+constexpr u32 kDstIdxShift = 4;
+constexpr u32 kDstClsShift = 7;
+constexpr u32 kSrcAIdxShift = 9;
+constexpr u32 kSrcAClsShift = 12;
+constexpr u32 kSrcBIdxShift = 14;
+constexpr u32 kSrcBClsShift = 17;
+constexpr u32 kMregShift = 19;
+constexpr u32 kRowsShift = 22;
+constexpr u32 kStrideShift = 28;
+constexpr u64 kStrideMask = (1ull << 24) - 1;
+constexpr u32 kOpcodeCount = 9;
+
+u64
+packReg(TileReg reg, u32 idx_shift, u32 cls_shift)
+{
+    return (static_cast<u64>(reg.index) << idx_shift) |
+           (static_cast<u64>(reg.cls) << cls_shift);
+}
+
+std::optional<TileReg>
+unpackReg(u64 word, u32 idx_shift, u32 cls_shift)
+{
+    const u32 cls_bits = static_cast<u32>((word >> cls_shift) & 0x3);
+    if (cls_bits > 2)
+        return std::nullopt;
+    TileReg reg;
+    reg.cls = static_cast<RegClass>(cls_bits);
+    reg.index = static_cast<u8>((word >> idx_shift) & 0x7);
+    if (reg.index >= regClassCount(reg.cls))
+        return std::nullopt;
+    return reg;
+}
+
+} // namespace
+
+EncodedInstruction
+encode(const Instruction &instr)
+{
+    VEGETA_ASSERT(instr.stride <= kStrideMask, "stride too large: ",
+                  instr.stride);
+    EncodedInstruction enc;
+    enc.word = static_cast<u64>(instr.op) << kOpcodeShift;
+    enc.word |= packReg(instr.dst, kDstIdxShift, kDstClsShift);
+    enc.word |= packReg(instr.srcA, kSrcAIdxShift, kSrcAClsShift);
+    enc.word |= packReg(instr.srcB, kSrcBIdxShift, kSrcBClsShift);
+    enc.word |= static_cast<u64>(instr.mreg & 0x7) << kMregShift;
+    enc.word |= static_cast<u64>(instr.rows & 0x3f) << kRowsShift;
+    enc.word |= (static_cast<u64>(instr.stride) & kStrideMask)
+                << kStrideShift;
+    enc.addr = instr.addr;
+    return enc;
+}
+
+std::optional<Instruction>
+decode(const EncodedInstruction &enc)
+{
+    const u32 op_bits = static_cast<u32>((enc.word >> kOpcodeShift) & 0xf);
+    if (op_bits >= kOpcodeCount)
+        return std::nullopt;
+    if (enc.word >> 52)
+        return std::nullopt; // reserved bits set
+
+    Instruction instr;
+    instr.op = static_cast<Opcode>(op_bits);
+    auto dst = unpackReg(enc.word, kDstIdxShift, kDstClsShift);
+    auto src_a = unpackReg(enc.word, kSrcAIdxShift, kSrcAClsShift);
+    auto src_b = unpackReg(enc.word, kSrcBIdxShift, kSrcBClsShift);
+    if (!dst || !src_a || !src_b)
+        return std::nullopt;
+    instr.dst = *dst;
+    instr.srcA = *src_a;
+    instr.srcB = *src_b;
+    instr.mreg = static_cast<u8>((enc.word >> kMregShift) & 0x7);
+    instr.rows = static_cast<u8>((enc.word >> kRowsShift) & 0x3f);
+    instr.stride =
+        static_cast<u32>((enc.word >> kStrideShift) & kStrideMask);
+    instr.addr = enc.addr;
+
+    // Class constraints per opcode (Table II).
+    auto require = [&](bool ok) { return ok; };
+    bool ok = true;
+    switch (instr.op) {
+      case Opcode::TileLoadT:
+        ok = require(instr.dst.cls == RegClass::Treg);
+        break;
+      case Opcode::TileLoadU:
+        ok = require(instr.dst.cls == RegClass::Ureg);
+        break;
+      case Opcode::TileLoadV:
+        ok = require(instr.dst.cls == RegClass::Vreg);
+        break;
+      case Opcode::TileLoadM:
+        ok = true;
+        break;
+      case Opcode::TileStoreT:
+        ok = require(instr.dst.cls == RegClass::Treg);
+        break;
+      case Opcode::TileGemm:
+        ok = require(instr.dst.cls == RegClass::Treg &&
+                     instr.srcA.cls == RegClass::Treg &&
+                     instr.srcB.cls == RegClass::Treg);
+        break;
+      case Opcode::TileSpmmU:
+        ok = require(instr.dst.cls == RegClass::Treg &&
+                     instr.srcA.cls == RegClass::Treg &&
+                     instr.srcB.cls == RegClass::Ureg);
+        break;
+      case Opcode::TileSpmmV:
+        ok = require(instr.dst.cls == RegClass::Treg &&
+                     instr.srcA.cls == RegClass::Treg &&
+                     instr.srcB.cls == RegClass::Vreg);
+        break;
+      case Opcode::TileSpmmR:
+        ok = require(instr.dst.cls == RegClass::Ureg &&
+                     instr.srcA.cls == RegClass::Treg &&
+                     instr.srcB.cls == RegClass::Ureg &&
+                     instr.rows >= 1 && instr.rows <= 32);
+        break;
+    }
+    if (!ok)
+        return std::nullopt;
+    return instr;
+}
+
+std::vector<EncodedInstruction>
+encodeStream(const std::vector<Instruction> &instrs)
+{
+    std::vector<EncodedInstruction> out;
+    out.reserve(instrs.size());
+    for (const auto &instr : instrs)
+        out.push_back(encode(instr));
+    return out;
+}
+
+std::optional<std::vector<Instruction>>
+decodeStream(const std::vector<EncodedInstruction> &words)
+{
+    std::vector<Instruction> out;
+    out.reserve(words.size());
+    for (const auto &enc : words) {
+        auto instr = decode(enc);
+        if (!instr)
+            return std::nullopt;
+        out.push_back(*instr);
+    }
+    return out;
+}
+
+} // namespace vegeta::isa

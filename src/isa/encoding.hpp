@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binary encoding of VEGETA instructions.
+ *
+ * A fixed 128-bit format (one control word + one address word), the
+ * sort of encoding the LLVM extension of Section VI-A would emit and
+ * the Pintool would decode.  Layout of the control word:
+ *
+ *   bits  0-3   opcode
+ *   bits  4-6   dst register index
+ *   bits  7-8   dst register class (treg/ureg/vreg)
+ *   bits  9-11  srcA register index
+ *   bits 12-13  srcA register class
+ *   bits 14-16  srcB register index
+ *   bits 17-18  srcB register class
+ *   bits 19-21  metadata register index
+ *   bits 22-27  rows operand (TILE_SPMM_R, 0-32)
+ *   bits 28-51  row stride in bytes (loads/stores, up to 16 MB)
+ *   bits 52-63  reserved (must be zero)
+ *
+ * The second word is the byte address for loads/stores (zero
+ * otherwise).  decode() validates class/range constraints and rejects
+ * malformed words.
+ */
+
+#ifndef VEGETA_ISA_ENCODING_HPP
+#define VEGETA_ISA_ENCODING_HPP
+
+#include <optional>
+#include <vector>
+
+#include "isa/instructions.hpp"
+
+namespace vegeta::isa {
+
+/** One encoded instruction: control word + address word. */
+struct EncodedInstruction
+{
+    u64 word = 0;
+    u64 addr = 0;
+
+    bool operator==(const EncodedInstruction &) const = default;
+};
+
+/** Encode an instruction (panics on malformed operands). */
+EncodedInstruction encode(const Instruction &instr);
+
+/**
+ * Decode an encoded instruction.  Returns nullopt for malformed
+ * encodings (bad opcode, register class/index out of range, reserved
+ * bits set, operand classes inconsistent with the opcode).
+ */
+std::optional<Instruction> decode(const EncodedInstruction &enc);
+
+/** Encode a whole instruction stream. */
+std::vector<EncodedInstruction>
+encodeStream(const std::vector<Instruction> &instrs);
+
+/** Decode a stream; returns nullopt if any element is malformed. */
+std::optional<std::vector<Instruction>>
+decodeStream(const std::vector<EncodedInstruction> &words);
+
+} // namespace vegeta::isa
+
+#endif // VEGETA_ISA_ENCODING_HPP

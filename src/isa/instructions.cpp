@@ -1,0 +1,319 @@
+#include "isa/instructions.hpp"
+
+#include <sstream>
+
+namespace vegeta::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::TileLoadT:
+        return "TILE_LOAD_T";
+      case Opcode::TileLoadU:
+        return "TILE_LOAD_U";
+      case Opcode::TileLoadV:
+        return "TILE_LOAD_V";
+      case Opcode::TileLoadM:
+        return "TILE_LOAD_M";
+      case Opcode::TileStoreT:
+        return "TILE_STORE_T";
+      case Opcode::TileGemm:
+        return "TILE_GEMM";
+      case Opcode::TileSpmmU:
+        return "TILE_SPMM_U";
+      case Opcode::TileSpmmV:
+        return "TILE_SPMM_V";
+      case Opcode::TileSpmmR:
+        return "TILE_SPMM_R";
+    }
+    return "?";
+}
+
+bool
+isTileCompute(Opcode op)
+{
+    return op == Opcode::TileGemm || op == Opcode::TileSpmmU ||
+           op == Opcode::TileSpmmV || op == Opcode::TileSpmmR;
+}
+
+bool
+isTileLoad(Opcode op)
+{
+    return op == Opcode::TileLoadT || op == Opcode::TileLoadU ||
+           op == Opcode::TileLoadV || op == Opcode::TileLoadM;
+}
+
+bool
+isTileStore(Opcode op)
+{
+    return op == Opcode::TileStoreT;
+}
+
+ComputeShape
+computeShape(Opcode op)
+{
+    switch (op) {
+      case Opcode::TileGemm:
+        return {16, 16, 32};
+      case Opcode::TileSpmmU:
+        return {16, 16, 64};
+      case Opcode::TileSpmmV:
+        return {16, 16, 128};
+      case Opcode::TileSpmmR:
+        // R varies per instance (8..32); k = 64.  m reported as the max.
+        return {32, 16, 64};
+      default:
+        VEGETA_PANIC("computeShape of non-compute opcode ",
+                     opcodeName(op));
+    }
+}
+
+u64
+effectualMacs(Opcode op)
+{
+    switch (op) {
+      case Opcode::TileGemm:
+      case Opcode::TileSpmmU:
+      case Opcode::TileSpmmV:
+        // 16x16 outputs x 32 effectual MACs per output (Section IV-B).
+        return 16ull * 16 * 32;
+      case Opcode::TileSpmmR:
+        // R x 16 outputs, 512 stored values x 16 B columns total.
+        return 512ull * 16;
+      default:
+        return 0;
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op) << " ";
+    switch (op) {
+      case Opcode::TileLoadT:
+      case Opcode::TileLoadU:
+      case Opcode::TileLoadV:
+        os << dst.toString() << ", [0x" << std::hex << addr << std::dec
+           << " +" << stride << "]";
+        break;
+      case Opcode::TileLoadM:
+        os << "mreg" << static_cast<int>(mreg) << ", [0x" << std::hex
+           << addr << std::dec << "]";
+        break;
+      case Opcode::TileStoreT:
+        os << "[0x" << std::hex << addr << std::dec << " +" << stride
+           << "], " << dst.toString();
+        break;
+      case Opcode::TileGemm:
+      case Opcode::TileSpmmU:
+      case Opcode::TileSpmmV:
+        os << dst.toString() << ", " << srcA.toString() << ", "
+           << srcB.toString();
+        break;
+      case Opcode::TileSpmmR:
+        os << dst.toString() << ", " << srcA.toString() << ", "
+           << srcB.toString() << ", rows=" << static_cast<int>(rows);
+        break;
+    }
+    return os.str();
+}
+
+namespace {
+
+void
+appendTileRegs(std::vector<u32> &out, TileReg reg)
+{
+    for (u32 i = 0; i < reg.numTregs(); ++i)
+        out.push_back(reg.firstTreg() + i);
+}
+
+} // namespace
+
+std::vector<u32>
+Instruction::readRegs() const
+{
+    std::vector<u32> regs;
+    switch (op) {
+      case Opcode::TileLoadT:
+      case Opcode::TileLoadU:
+      case Opcode::TileLoadV:
+      case Opcode::TileLoadM:
+        break;
+      case Opcode::TileStoreT:
+        appendTileRegs(regs, dst);
+        break;
+      case Opcode::TileGemm:
+        appendTileRegs(regs, dst); // accumulate: C is read too
+        appendTileRegs(regs, srcA);
+        appendTileRegs(regs, srcB);
+        break;
+      case Opcode::TileSpmmU:
+      case Opcode::TileSpmmV:
+      case Opcode::TileSpmmR:
+        appendTileRegs(regs, dst);
+        appendTileRegs(regs, srcA);
+        appendTileRegs(regs, srcB);
+        regs.push_back(mregDepId(srcA.firstTreg()));
+        break;
+    }
+    return regs;
+}
+
+std::vector<u32>
+Instruction::writeRegs() const
+{
+    std::vector<u32> regs;
+    switch (op) {
+      case Opcode::TileLoadT:
+      case Opcode::TileLoadU:
+      case Opcode::TileLoadV:
+        appendTileRegs(regs, dst);
+        break;
+      case Opcode::TileLoadM:
+        regs.push_back(mregDepId(mreg));
+        break;
+      case Opcode::TileStoreT:
+        break;
+      case Opcode::TileGemm:
+      case Opcode::TileSpmmU:
+      case Opcode::TileSpmmV:
+      case Opcode::TileSpmmR:
+        appendTileRegs(regs, dst);
+        break;
+    }
+    return regs;
+}
+
+std::vector<u32>
+Instruction::accumulateRegs() const
+{
+    std::vector<u32> regs;
+    if (isTileCompute(op))
+        appendTileRegs(regs, dst);
+    return regs;
+}
+
+Instruction
+makeTileLoadT(TileReg dst, Addr addr, u32 stride)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Treg, "TILE_LOAD_T needs a treg");
+    Instruction in;
+    in.op = Opcode::TileLoadT;
+    in.dst = dst;
+    in.addr = addr;
+    in.stride = stride;
+    return in;
+}
+
+Instruction
+makeTileLoadU(TileReg dst, Addr addr, u32 stride)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Ureg, "TILE_LOAD_U needs a ureg");
+    Instruction in;
+    in.op = Opcode::TileLoadU;
+    in.dst = dst;
+    in.addr = addr;
+    in.stride = stride;
+    return in;
+}
+
+Instruction
+makeTileLoadV(TileReg dst, Addr addr, u32 stride)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Vreg, "TILE_LOAD_V needs a vreg");
+    Instruction in;
+    in.op = Opcode::TileLoadV;
+    in.dst = dst;
+    in.addr = addr;
+    in.stride = stride;
+    return in;
+}
+
+Instruction
+makeTileLoadM(u8 mreg, Addr addr)
+{
+    VEGETA_ASSERT(mreg < kNumMregs, "mreg index out of range");
+    Instruction in;
+    in.op = Opcode::TileLoadM;
+    in.mreg = mreg;
+    in.addr = addr;
+    in.stride = kMregBytes + kMregDescBytes;
+    return in;
+}
+
+Instruction
+makeTileStoreT(Addr addr, u32 stride, TileReg src)
+{
+    VEGETA_ASSERT(src.cls == RegClass::Treg, "TILE_STORE_T needs a treg");
+    Instruction in;
+    in.op = Opcode::TileStoreT;
+    in.dst = src;
+    in.addr = addr;
+    in.stride = stride;
+    return in;
+}
+
+Instruction
+makeTileGemm(TileReg dst, TileReg a, TileReg b)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Treg && a.cls == RegClass::Treg &&
+                      b.cls == RegClass::Treg,
+                  "TILE_GEMM operands must all be tregs");
+    Instruction in;
+    in.op = Opcode::TileGemm;
+    in.dst = dst;
+    in.srcA = a;
+    in.srcB = b;
+    return in;
+}
+
+Instruction
+makeTileSpmmU(TileReg dst, TileReg a, TileReg b)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Treg && a.cls == RegClass::Treg &&
+                      b.cls == RegClass::Ureg,
+                  "TILE_SPMM_U operands must be treg, treg, ureg");
+    Instruction in;
+    in.op = Opcode::TileSpmmU;
+    in.dst = dst;
+    in.srcA = a;
+    in.srcB = b;
+    in.mreg = a.index;
+    return in;
+}
+
+Instruction
+makeTileSpmmV(TileReg dst, TileReg a, TileReg b)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Treg && a.cls == RegClass::Treg &&
+                      b.cls == RegClass::Vreg,
+                  "TILE_SPMM_V operands must be treg, treg, vreg");
+    Instruction in;
+    in.op = Opcode::TileSpmmV;
+    in.dst = dst;
+    in.srcA = a;
+    in.srcB = b;
+    in.mreg = a.index;
+    return in;
+}
+
+Instruction
+makeTileSpmmR(TileReg dst, TileReg a, TileReg b, u8 rows)
+{
+    VEGETA_ASSERT(dst.cls == RegClass::Ureg && a.cls == RegClass::Treg &&
+                      b.cls == RegClass::Ureg,
+                  "TILE_SPMM_R operands must be ureg, treg, ureg");
+    VEGETA_ASSERT(rows >= 1 && rows <= 32, "TILE_SPMM_R rows must be 1..32");
+    Instruction in;
+    in.op = Opcode::TileSpmmR;
+    in.dst = dst;
+    in.srcA = a;
+    in.srcB = b;
+    in.mreg = a.index;
+    in.rows = rows;
+    return in;
+}
+
+} // namespace vegeta::isa

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * VEGETA instruction definitions (paper Table II).
+ *
+ * TILE_LOAD_T/U/V  - load 1/2/4 KB tile (strided rows) into treg/ureg/vreg
+ * TILE_LOAD_M      - load 128 B (+ 8 B row descriptors) into an mreg
+ * TILE_STORE_T     - store a 1 KB tile from a treg
+ * TILE_GEMM        - C (treg) += A (dense treg) x B (treg, transposed)
+ * TILE_SPMM_U      - C (treg) += A (2:4 treg + mreg) x B (ureg, transposed)
+ * TILE_SPMM_V      - C (treg) += A (1:4 treg + mreg) x B (vreg, transposed)
+ * TILE_SPMM_R      - C (ureg) += A (row-wise N:4 treg + mreg) x B (ureg)
+ *
+ * The metadata register of a sparse A operand is implicitly the mreg
+ * with the same index as the A treg (mreg_i pairs treg_i), matching the
+ * three-operand encodings of Table II.
+ */
+
+#ifndef VEGETA_ISA_INSTRUCTIONS_HPP
+#define VEGETA_ISA_INSTRUCTIONS_HPP
+
+#include <string>
+#include <vector>
+
+#include "isa/registers.hpp"
+
+namespace vegeta::isa {
+
+enum class Opcode : u8
+{
+    TileLoadT,
+    TileLoadU,
+    TileLoadV,
+    TileLoadM,
+    TileStoreT,
+    TileGemm,
+    TileSpmmU,
+    TileSpmmV,
+    TileSpmmR,
+};
+
+const char *opcodeName(Opcode op);
+
+/** True for TILE_GEMM / TILE_SPMM_* (instructions the engine executes). */
+bool isTileCompute(Opcode op);
+/** True for the tile load instructions (including metadata loads). */
+bool isTileLoad(Opcode op);
+bool isTileStore(Opcode op);
+
+/** Dimensions of a tile-compute instruction (effective A, B, C shapes). */
+struct ComputeShape
+{
+    u32 m = 0; ///< C rows (= effective A rows)
+    u32 n = 0; ///< C cols (= B cols)
+    u32 k = 0; ///< effective inner dimension
+};
+
+/** Effective shape of each compute opcode (Section IV-B). */
+ComputeShape computeShape(Opcode op);
+
+/** Useful MACs per instruction (8192 for GEMM/SPMM_U/SPMM_V). */
+u64 effectualMacs(Opcode op);
+
+/** One VEGETA instruction instance. */
+struct Instruction
+{
+    Opcode op = Opcode::TileGemm;
+
+    TileReg dst;  ///< loads: destination reg; compute: C; store: source
+    TileReg srcA; ///< compute: A operand (treg / ureg)
+    TileReg srcB; ///< compute: B operand (treg / ureg / vreg)
+    u8 mreg = 0;  ///< TILE_LOAD_M destination mreg index
+
+    Addr addr = 0;   ///< loads/stores: base address
+    u32 stride = 0;  ///< loads/stores: row stride in bytes
+    u8 rows = 0;     ///< TILE_SPMM_R: R, the effective A row count
+
+    std::string toString() const;
+
+    /**
+     * Physical registers read / written, with ureg/vreg aliases
+     * expanded to backing treg ids.  Id space: tregs 0-7, mregs 8-15.
+     * Compute instructions read their destination too (accumulation).
+     */
+    std::vector<u32> readRegs() const;
+    std::vector<u32> writeRegs() const;
+
+    /**
+     * Destination registers written by accumulation (the C operand of
+     * compute instructions) -- the registers eligible for the output
+     * forwarding optimization of Section V-C.
+     */
+    std::vector<u32> accumulateRegs() const;
+};
+
+/** Physical dependency-tracking id of an mreg. */
+constexpr u32
+mregDepId(u32 mreg_index)
+{
+    return kNumTregs + mreg_index;
+}
+
+/** Instruction builders (argument order follows Table II). */
+Instruction makeTileLoadT(TileReg dst, Addr addr, u32 stride);
+Instruction makeTileLoadU(TileReg dst, Addr addr, u32 stride);
+Instruction makeTileLoadV(TileReg dst, Addr addr, u32 stride);
+Instruction makeTileLoadM(u8 mreg, Addr addr);
+Instruction makeTileStoreT(Addr addr, u32 stride, TileReg src);
+Instruction makeTileGemm(TileReg dst, TileReg a, TileReg b);
+Instruction makeTileSpmmU(TileReg dst, TileReg a, TileReg b);
+Instruction makeTileSpmmV(TileReg dst, TileReg a, TileReg b);
+Instruction makeTileSpmmR(TileReg dst, TileReg a, TileReg b, u8 rows);
+
+} // namespace vegeta::isa
+
+#endif // VEGETA_ISA_INSTRUCTIONS_HPP

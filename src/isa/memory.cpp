@@ -1,0 +1,145 @@
+#include "isa/memory.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace vegeta::isa {
+
+u8
+FlatMemory::readByte(Addr addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    if (it == pages_.end())
+        return 0;
+    return it->second[addr % kPageBytes];
+}
+
+void
+FlatMemory::writeByte(Addr addr, u8 value)
+{
+    auto &page = pages_[addr / kPageBytes];
+    page[addr % kPageBytes] = value;
+}
+
+void
+FlatMemory::readBytes(Addr addr, u8 *out, std::size_t count) const
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = readByte(addr + i);
+}
+
+void
+FlatMemory::writeBytes(Addr addr, const u8 *in, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        writeByte(addr + i, in[i]);
+}
+
+std::vector<u8>
+FlatMemory::read(Addr addr, std::size_t count) const
+{
+    std::vector<u8> out(count);
+    readBytes(addr, out.data(), count);
+    return out;
+}
+
+void
+FlatMemory::write(Addr addr, const std::vector<u8> &bytes)
+{
+    writeBytes(addr, bytes.data(), bytes.size());
+}
+
+std::size_t
+storeMatrixBF16(FlatMemory &mem, Addr addr, const MatrixBF16 &mat,
+                u32 stride_bytes)
+{
+    VEGETA_ASSERT(stride_bytes >= mat.cols() * 2,
+                  "stride smaller than row bytes");
+    for (u32 r = 0; r < mat.rows(); ++r) {
+        for (u32 c = 0; c < mat.cols(); ++c) {
+            u16 bits = mat.at(r, c).bits();
+            mem.writeByte(addr + std::size_t{r} * stride_bytes + c * 2,
+                          static_cast<u8>(bits & 0xff));
+            mem.writeByte(addr + std::size_t{r} * stride_bytes + c * 2 + 1,
+                          static_cast<u8>(bits >> 8));
+        }
+    }
+    return std::size_t{mat.rows()} * stride_bytes;
+}
+
+MatrixBF16
+loadMatrixBF16(const FlatMemory &mem, Addr addr, u32 rows, u32 cols,
+               u32 stride_bytes)
+{
+    MatrixBF16 mat(rows, cols);
+    for (u32 r = 0; r < rows; ++r) {
+        for (u32 c = 0; c < cols; ++c) {
+            u16 bits =
+                mem.readByte(addr + std::size_t{r} * stride_bytes + c * 2);
+            bits |= static_cast<u16>(mem.readByte(
+                        addr + std::size_t{r} * stride_bytes + c * 2 + 1))
+                    << 8;
+            mat.at(r, c) = BF16::fromBits(bits);
+        }
+    }
+    return mat;
+}
+
+std::size_t
+storeMatrixF32(FlatMemory &mem, Addr addr, const MatrixF &mat,
+               u32 stride_bytes)
+{
+    VEGETA_ASSERT(stride_bytes >= mat.cols() * 4,
+                  "stride smaller than row bytes");
+    for (u32 r = 0; r < mat.rows(); ++r) {
+        for (u32 c = 0; c < mat.cols(); ++c) {
+            u32 bits;
+            float f = mat.at(r, c);
+            std::memcpy(&bits, &f, sizeof(bits));
+            for (u32 b = 0; b < 4; ++b)
+                mem.writeByte(addr + std::size_t{r} * stride_bytes + c * 4 +
+                                  b,
+                              static_cast<u8>((bits >> (8 * b)) & 0xff));
+        }
+    }
+    return std::size_t{mat.rows()} * stride_bytes;
+}
+
+MatrixF
+loadMatrixF32(const FlatMemory &mem, Addr addr, u32 rows, u32 cols,
+              u32 stride_bytes)
+{
+    MatrixF mat(rows, cols);
+    for (u32 r = 0; r < rows; ++r) {
+        for (u32 c = 0; c < cols; ++c) {
+            u32 bits = 0;
+            for (u32 b = 0; b < 4; ++b)
+                bits |= static_cast<u32>(mem.readByte(
+                            addr + std::size_t{r} * stride_bytes + c * 4 +
+                            b))
+                        << (8 * b);
+            float f;
+            std::memcpy(&f, &bits, sizeof(f));
+            mat.at(r, c) = f;
+        }
+    }
+    return mat;
+}
+
+void
+storeMetadata(FlatMemory &mem, Addr addr, const std::vector<u8> &body,
+              const std::vector<u8> &row_desc)
+{
+    VEGETA_ASSERT(body.size() <= kMregBytes, "metadata body too large: ",
+                  body.size());
+    VEGETA_ASSERT(row_desc.size() <= kMregDescBytes,
+                  "row descriptor too large: ", row_desc.size());
+    std::vector<u8> image(kMregBytes + kMregDescBytes, 0);
+    std::copy(body.begin(), body.end(), image.begin());
+    std::copy(row_desc.begin(), row_desc.end(),
+              image.begin() + kMregBytes);
+    mem.write(addr, image);
+}
+
+} // namespace vegeta::isa

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Flat byte-addressable memory backing the functional emulator.
+ *
+ * A sparse page map keeps the footprint proportional to the touched
+ * data.  Helper store/load routines lay matrices and compressed tiles
+ * out in memory the way the VEGETA kernels expect (row-major with a
+ * configurable stride; B tiles stored transposed per Listing 1).
+ */
+
+#ifndef VEGETA_ISA_MEMORY_HPP
+#define VEGETA_ISA_MEMORY_HPP
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/registers.hpp"
+#include "numerics/matrix.hpp"
+#include "sparsity/compressed_tile.hpp"
+
+namespace vegeta::isa {
+
+/** Sparse flat memory. */
+class FlatMemory
+{
+  public:
+    static constexpr u32 kPageBytes = 4096;
+
+    u8 readByte(Addr addr) const;
+    void writeByte(Addr addr, u8 value);
+
+    void readBytes(Addr addr, u8 *out, std::size_t count) const;
+    void writeBytes(Addr addr, const u8 *in, std::size_t count);
+
+    std::vector<u8> read(Addr addr, std::size_t count) const;
+    void write(Addr addr, const std::vector<u8> &bytes);
+
+    /** Number of resident pages (for footprint checks in tests). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<u8, kPageBytes>;
+    std::unordered_map<u64, Page> pages_;
+};
+
+/**
+ * Store a BF16 matrix row-major at addr with the given row stride in
+ * bytes (stride >= cols * 2).  Returns the byte footprint.
+ */
+std::size_t storeMatrixBF16(FlatMemory &mem, Addr addr,
+                            const MatrixBF16 &mat, u32 stride_bytes);
+
+/** Load a rows x cols BF16 matrix stored with a row stride. */
+MatrixBF16 loadMatrixBF16(const FlatMemory &mem, Addr addr, u32 rows,
+                          u32 cols, u32 stride_bytes);
+
+/** Store / load an FP32 matrix (C tiles). */
+std::size_t storeMatrixF32(FlatMemory &mem, Addr addr, const MatrixF &mat,
+                           u32 stride_bytes);
+MatrixF loadMatrixF32(const FlatMemory &mem, Addr addr, u32 rows, u32 cols,
+                      u32 stride_bytes);
+
+/**
+ * Store a compressed tile's metadata image (128 B body, zero padded)
+ * followed by the 8 B row-descriptor extension at addr, the layout
+ * TILE_LOAD_M expects.
+ */
+void storeMetadata(FlatMemory &mem, Addr addr, const std::vector<u8> &body,
+                   const std::vector<u8> &row_desc = {});
+
+} // namespace vegeta::isa
+
+#endif // VEGETA_ISA_MEMORY_HPP

@@ -1,0 +1,163 @@
+#include "isa/registers.hpp"
+
+#include <cstring>
+
+namespace vegeta::isa {
+
+const char *
+regClassName(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::Treg:
+        return "treg";
+      case RegClass::Ureg:
+        return "ureg";
+      case RegClass::Vreg:
+        return "vreg";
+    }
+    return "?";
+}
+
+std::string
+TileReg::toString() const
+{
+    return std::string(regClassName(cls)) + std::to_string(index);
+}
+
+std::size_t
+TileRegisterFile::flatten(TileReg reg, u32 row, u32 byte_in_row) const
+{
+    VEGETA_ASSERT(reg.index < regClassCount(reg.cls), "register index ",
+                  static_cast<int>(reg.index), " out of range for ",
+                  regClassName(reg.cls));
+    VEGETA_ASSERT(row < kTregRows, "row ", row, " out of range");
+    VEGETA_ASSERT(byte_in_row < regClassRowBytes(reg.cls), "byte ",
+                  byte_in_row, " out of row range for ",
+                  regClassName(reg.cls));
+    // Logical row bytes interleave across backing tregs in 64 B chunks.
+    const u32 treg_id = reg.firstTreg() + byte_in_row / kTregRowBytes;
+    const u32 byte_in_treg_row = byte_in_row % kTregRowBytes;
+    return std::size_t{treg_id} * kTregBytes +
+           std::size_t{row} * kTregRowBytes + byte_in_treg_row;
+}
+
+u8
+TileRegisterFile::readByte(TileReg reg, u32 row, u32 byte_in_row) const
+{
+    return backing_[flatten(reg, row, byte_in_row)];
+}
+
+void
+TileRegisterFile::writeByte(TileReg reg, u32 row, u32 byte_in_row, u8 value)
+{
+    backing_[flatten(reg, row, byte_in_row)] = value;
+}
+
+u8
+TileRegisterFile::readLinearByte(TileReg reg, u32 offset) const
+{
+    const u32 row_bytes = regClassRowBytes(reg.cls);
+    VEGETA_ASSERT(offset < regClassBytes(reg.cls), "offset out of range");
+    return readByte(reg, offset / row_bytes, offset % row_bytes);
+}
+
+void
+TileRegisterFile::writeLinearByte(TileReg reg, u32 offset, u8 value)
+{
+    const u32 row_bytes = regClassRowBytes(reg.cls);
+    VEGETA_ASSERT(offset < regClassBytes(reg.cls), "offset out of range");
+    writeByte(reg, offset / row_bytes, offset % row_bytes, value);
+}
+
+BF16
+TileRegisterFile::readBF16(TileReg reg, u32 row, u32 col) const
+{
+    u16 bits = readByte(reg, row, col * 2);
+    bits |= static_cast<u16>(readByte(reg, row, col * 2 + 1)) << 8;
+    return BF16::fromBits(bits);
+}
+
+void
+TileRegisterFile::writeBF16(TileReg reg, u32 row, u32 col, BF16 value)
+{
+    writeByte(reg, row, col * 2, static_cast<u8>(value.bits() & 0xff));
+    writeByte(reg, row, col * 2 + 1, static_cast<u8>(value.bits() >> 8));
+}
+
+float
+TileRegisterFile::readF32(TileReg reg, u32 row, u32 col) const
+{
+    u32 bits = 0;
+    for (u32 b = 0; b < 4; ++b)
+        bits |= static_cast<u32>(readByte(reg, row, col * 4 + b)) << (8 * b);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+void
+TileRegisterFile::writeF32(TileReg reg, u32 row, u32 col, float value)
+{
+    u32 bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (u32 b = 0; b < 4; ++b)
+        writeByte(reg, row, col * 4 + b,
+                  static_cast<u8>((bits >> (8 * b)) & 0xff));
+}
+
+float
+TileRegisterFile::readF32Linear(TileReg reg, u32 element) const
+{
+    u32 bits = 0;
+    for (u32 b = 0; b < 4; ++b)
+        bits |= static_cast<u32>(readLinearByte(reg, element * 4 + b))
+                << (8 * b);
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+void
+TileRegisterFile::writeF32Linear(TileReg reg, u32 element, float value)
+{
+    u32 bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (u32 b = 0; b < 4; ++b)
+        writeLinearByte(reg, element * 4 + b,
+                        static_cast<u8>((bits >> (8 * b)) & 0xff));
+}
+
+std::vector<u8>
+TileRegisterFile::readAll(TileReg reg) const
+{
+    std::vector<u8> bytes(regClassBytes(reg.cls));
+    for (u32 i = 0; i < bytes.size(); ++i)
+        bytes[i] = readLinearByte(reg, i);
+    return bytes;
+}
+
+void
+TileRegisterFile::writeAll(TileReg reg, const std::vector<u8> &bytes)
+{
+    VEGETA_ASSERT(bytes.size() == regClassBytes(reg.cls),
+                  "byte image size mismatch: ", bytes.size(), " vs ",
+                  regClassBytes(reg.cls));
+    for (u32 i = 0; i < bytes.size(); ++i)
+        writeLinearByte(reg, i, bytes[i]);
+}
+
+MetadataReg &
+MetadataRegisterFile::reg(u32 i)
+{
+    VEGETA_ASSERT(i < kNumMregs, "mreg index out of range: ", i);
+    return mregs_[i];
+}
+
+const MetadataReg &
+MetadataRegisterFile::reg(u32 i) const
+{
+    VEGETA_ASSERT(i < kNumMregs, "mreg index out of range: ", i);
+    return mregs_[i];
+}
+
+} // namespace vegeta::isa

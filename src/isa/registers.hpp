@@ -1,0 +1,216 @@
+/**
+ * @file
+ * VEGETA architectural register file (paper Section IV-A, Figure 6).
+ *
+ * Eight 1 KB tile registers treg0-7, each 16 rows x 64 B.  Aliased on
+ * top of them: four 2 KB utile registers (ureg k = treg 2k ++ treg 2k+1,
+ * row-wise) and two 4 KB vtile registers (vreg k = treg 4k .. treg 4k+3).
+ * Eight 128 B metadata registers mreg0-7 hold 2-bit non-zero position
+ * indices (16 rows x 64 bits) plus an 8 B row-descriptor extension used
+ * by TILE_SPMM_R (per-row N codes, "32x2 bits, or 8 B, at most").
+ */
+
+#ifndef VEGETA_ISA_REGISTERS_HPP
+#define VEGETA_ISA_REGISTERS_HPP
+
+#include <array>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+#include "numerics/bf16.hpp"
+
+namespace vegeta::isa {
+
+inline constexpr u32 kNumTregs = 8;
+inline constexpr u32 kNumUregs = 4;
+inline constexpr u32 kNumVregs = 2;
+inline constexpr u32 kNumMregs = 8;
+
+inline constexpr u32 kTregRows = 16;
+inline constexpr u32 kTregRowBytes = 64;
+inline constexpr u32 kTregBytes = kTregRows * kTregRowBytes; // 1 KB
+inline constexpr u32 kUregBytes = 2 * kTregBytes;            // 2 KB
+inline constexpr u32 kVregBytes = 4 * kTregBytes;            // 4 KB
+
+inline constexpr u32 kMregBytes = 128;    // 16 rows x 64 bits
+inline constexpr u32 kMregDescBytes = 8;  // row-descriptor extension
+
+/** Register class of a tile operand. */
+enum class RegClass : u8
+{
+    Treg, ///< 1 KB, 16 x 64 B rows
+    Ureg, ///< 2 KB, 16 x 128 B rows (two consecutive tregs)
+    Vreg, ///< 4 KB, 16 x 256 B rows (four consecutive tregs)
+};
+
+/** Number of tregs backing one register of the class. */
+constexpr u32
+regClassTregs(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::Treg:
+        return 1;
+      case RegClass::Ureg:
+        return 2;
+      case RegClass::Vreg:
+        return 4;
+    }
+    return 1;
+}
+
+/** Architectural register count of the class. */
+constexpr u32
+regClassCount(RegClass cls)
+{
+    return kNumTregs / regClassTregs(cls);
+}
+
+/** Bytes per logical row of the class (64 / 128 / 256). */
+constexpr u32
+regClassRowBytes(RegClass cls)
+{
+    return kTregRowBytes * regClassTregs(cls);
+}
+
+/** Total bytes of one register of the class. */
+constexpr u32
+regClassBytes(RegClass cls)
+{
+    return kTregBytes * regClassTregs(cls);
+}
+
+const char *regClassName(RegClass cls);
+
+/** A (class, index) tile-register operand. */
+struct TileReg
+{
+    RegClass cls = RegClass::Treg;
+    u8 index = 0;
+
+    bool operator==(const TileReg &) const = default;
+
+    /** First backing treg. */
+    u32 firstTreg() const { return index * regClassTregs(cls); }
+    /** Backing treg ids [first, first + count). */
+    u32 numTregs() const { return regClassTregs(cls); }
+
+    std::string toString() const;
+};
+
+inline TileReg
+treg(u8 i)
+{
+    return {RegClass::Treg, i};
+}
+
+inline TileReg
+ureg(u8 i)
+{
+    return {RegClass::Ureg, i};
+}
+
+inline TileReg
+vreg(u8 i)
+{
+    return {RegClass::Vreg, i};
+}
+
+/**
+ * The tile register file: one 8 KB backing store with aliased views.
+ *
+ * Logical row r of ureg k is the concatenation of row r of treg 2k and
+ * row r of treg 2k+1 (and likewise 4-wide for vregs), so a ureg is
+ * naturally a 16 x 64 BF16 tile and a vreg a 16 x 128 BF16 tile.
+ */
+class TileRegisterFile
+{
+  public:
+    TileRegisterFile() { backing_.fill(0); }
+
+    /** Raw byte of a logical (row, byte-in-row) position. */
+    u8 readByte(TileReg reg, u32 row, u32 byte_in_row) const;
+    void writeByte(TileReg reg, u32 row, u32 byte_in_row, u8 value);
+
+    /** Linear byte offset within the register (row-major logical rows). */
+    u8 readLinearByte(TileReg reg, u32 offset) const;
+    void writeLinearByte(TileReg reg, u32 offset, u8 value);
+
+    /** BF16 element (row, col) with col < rowBytes/2. */
+    BF16 readBF16(TileReg reg, u32 row, u32 col) const;
+    void writeBF16(TileReg reg, u32 row, u32 col, BF16 value);
+
+    /** FP32 element (row, col) with col < rowBytes/4. */
+    float readF32(TileReg reg, u32 row, u32 col) const;
+    void writeF32(TileReg reg, u32 row, u32 col, float value);
+
+    /** FP32 element at a linear element index (for R x 16 ureg tiles). */
+    float readF32Linear(TileReg reg, u32 element) const;
+    void writeF32Linear(TileReg reg, u32 element, float value);
+
+    /** Whole-register byte image (logical row order). */
+    std::vector<u8> readAll(TileReg reg) const;
+    void writeAll(TileReg reg, const std::vector<u8> &bytes);
+
+    void clear() { backing_.fill(0); }
+
+  private:
+    /** Map a logical (reg, row, byte) to an offset in the backing. */
+    std::size_t flatten(TileReg reg, u32 row, u32 byte_in_row) const;
+
+    std::array<u8, kNumTregs * kTregBytes> backing_;
+};
+
+/** One metadata register: 128 B body + 8 B row-descriptor extension. */
+struct MetadataReg
+{
+    std::array<u8, kMregBytes> body{};
+    std::array<u8, kMregDescBytes> rowDesc{};
+
+    /** 2-bit index code i of the register body. */
+    u32
+    code(u32 i) const
+    {
+        VEGETA_ASSERT(i < kMregBytes * 4, "metadata code out of range");
+        return (body[i / 4] >> (2 * (i % 4))) & 0x3u;
+    }
+
+    void
+    setCode(u32 i, u32 value)
+    {
+        VEGETA_ASSERT(i < kMregBytes * 4 && value < 4, "bad metadata code");
+        u8 &byte = body[i / 4];
+        byte = static_cast<u8>((byte & ~(0x3u << (2 * (i % 4)))) |
+                               (value << (2 * (i % 4))));
+    }
+
+    /** 2-bit row-descriptor code for row r (TILE_SPMM_R). */
+    u32
+    rowDescCode(u32 r) const
+    {
+        VEGETA_ASSERT(r < kMregDescBytes * 4, "row descriptor out of range");
+        return (rowDesc[r / 4] >> (2 * (r % 4))) & 0x3u;
+    }
+};
+
+/** The eight metadata registers. */
+class MetadataRegisterFile
+{
+  public:
+    MetadataReg &reg(u32 i);
+    const MetadataReg &reg(u32 i) const;
+
+    void
+    clear()
+    {
+        for (auto &m : mregs_)
+            m = MetadataReg{};
+    }
+
+  private:
+    std::array<MetadataReg, kNumMregs> mregs_{};
+};
+
+} // namespace vegeta::isa
+
+#endif // VEGETA_ISA_REGISTERS_HPP

@@ -1,0 +1,79 @@
+#include "kernels/driver.hpp"
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace vegeta::kernels {
+
+Measurement
+simulateLayer(const Workload &workload, u32 layer_n,
+              const engine::EngineConfig &engine, bool output_forwarding,
+              const cpu::CoreConfig &core)
+{
+    const u32 executed_n = engine.effectiveN(layer_n);
+
+    KernelOptions opts;
+    opts.traceOnly = true;
+    const KernelRun run = runSpmmKernel(workload.gemm, executed_n, opts);
+
+    cpu::CoreConfig core_cfg = core;
+    core_cfg.outputForwarding = output_forwarding;
+    cpu::TraceCpu cpu_model(core_cfg, engine);
+    const cpu::SimResult sim = cpu_model.run(run.trace);
+
+    Measurement m;
+    m.workload = workload.name;
+    m.engineName = engine.name;
+    m.layerN = layer_n;
+    m.executedN = executed_n;
+    m.outputForwarding = output_forwarding;
+    m.coreCycles = sim.totalCycles;
+    m.instructions = sim.retiredOps;
+    m.tileComputes = run.tileComputes;
+    m.macUtilization = sim.macUtilization;
+    return m;
+}
+
+std::vector<Measurement>
+figure13Sweep(const std::vector<Workload> &workloads,
+              const std::vector<engine::EngineConfig> &engines,
+              const std::vector<u32> &layer_ns)
+{
+    std::vector<Measurement> out;
+    for (const auto &workload : workloads) {
+        for (u32 layer_n : layer_ns) {
+            for (const auto &engine : engines) {
+                out.push_back(simulateLayer(workload, layer_n, engine,
+                                            /*output_forwarding=*/false));
+                if (engine.sparse)
+                    out.push_back(
+                        simulateLayer(workload, layer_n, engine,
+                                      /*output_forwarding=*/true));
+            }
+        }
+    }
+    return out;
+}
+
+double
+geomeanSpeedupVsDenseBaseline(const std::vector<Workload> &workloads,
+                              u32 layer_n,
+                              const engine::EngineConfig &engine,
+                              bool output_forwarding)
+{
+    const engine::EngineConfig baseline = engine::vegetaD12();
+    std::vector<double> speedups;
+    speedups.reserve(workloads.size());
+    for (const auto &workload : workloads) {
+        const Measurement base =
+            simulateLayer(workload, layer_n, baseline, false);
+        const Measurement test =
+            simulateLayer(workload, layer_n, engine, output_forwarding);
+        VEGETA_ASSERT(test.coreCycles > 0, "zero-cycle simulation");
+        speedups.push_back(static_cast<double>(base.coreCycles) /
+                           static_cast<double>(test.coreCycles));
+    }
+    return geomean(speedups);
+}
+
+} // namespace vegeta::kernels

@@ -1,0 +1,83 @@
+#include "kernels/im2col.hpp"
+
+#include "common/logging.hpp"
+
+namespace vegeta::kernels {
+
+namespace {
+
+/** Input element (c, iy, ix) with zero padding outside the image. */
+BF16
+tapValue(const MatrixBF16 &input, const ConvDims &conv, u32 c, i64 iy,
+         i64 ix)
+{
+    if (iy < 0 || iy >= static_cast<i64>(conv.y) || ix < 0 ||
+        ix >= static_cast<i64>(conv.x))
+        return BF16(0.0f);
+    return input.at(c, static_cast<u32>(iy) * conv.x +
+                           static_cast<u32>(ix));
+}
+
+} // namespace
+
+MatrixBF16
+im2colPatches(const MatrixBF16 &input, const ConvDims &conv)
+{
+    VEGETA_ASSERT(input.rows() == conv.c &&
+                      input.cols() == conv.y * conv.x,
+                  "input must be C x (Y*X)");
+    MatrixBF16 patches(conv.c * conv.r * conv.s, conv.y * conv.x);
+    const i64 pad_y = static_cast<i64>(conv.r) / 2;
+    const i64 pad_x = static_cast<i64>(conv.s) / 2;
+    for (u32 c = 0; c < conv.c; ++c) {
+        for (u32 r = 0; r < conv.r; ++r) {
+            for (u32 s = 0; s < conv.s; ++s) {
+                const u32 row = (c * conv.r + r) * conv.s + s;
+                for (u32 y = 0; y < conv.y; ++y) {
+                    for (u32 x = 0; x < conv.x; ++x) {
+                        const i64 iy = static_cast<i64>(y) + r - pad_y;
+                        const i64 ix = static_cast<i64>(x) + s - pad_x;
+                        patches.at(row, y * conv.x + x) =
+                            tapValue(input, conv, c, iy, ix);
+                    }
+                }
+            }
+        }
+    }
+    return patches;
+}
+
+MatrixF
+directConv(const MatrixBF16 &weights, const MatrixBF16 &input,
+           const ConvDims &conv)
+{
+    VEGETA_ASSERT(weights.rows() == conv.k &&
+                      weights.cols() == conv.c * conv.r * conv.s,
+                  "weights must be K x (C*R*S)");
+    MatrixF out(conv.k, conv.y * conv.x);
+    const i64 pad_y = static_cast<i64>(conv.r) / 2;
+    const i64 pad_x = static_cast<i64>(conv.s) / 2;
+    for (u32 k = 0; k < conv.k; ++k) {
+        for (u32 y = 0; y < conv.y; ++y) {
+            for (u32 x = 0; x < conv.x; ++x) {
+                float acc = 0.0f;
+                for (u32 c = 0; c < conv.c; ++c) {
+                    for (u32 r = 0; r < conv.r; ++r) {
+                        for (u32 s = 0; s < conv.s; ++s) {
+                            const u32 tap = (c * conv.r + r) * conv.s + s;
+                            const i64 iy = static_cast<i64>(y) + r - pad_y;
+                            const i64 ix = static_cast<i64>(x) + s - pad_x;
+                            acc = macBF16(acc, weights.at(k, tap),
+                                          tapValue(input, conv, c, iy,
+                                                   ix));
+                        }
+                    }
+                }
+                out.at(k, y * conv.x + x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vegeta::kernels

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Functional im2col and a direct convolution reference.
+ *
+ * The evaluation converts convolutional layers to GEMMs via im2col
+ * (Section VI-B).  Input activations are held channel-major
+ * (C x (H*W)); the patch matrix has one row per (c, r, s) filter tap
+ * and one column per output pixel, with stride-1 "same" zero padding
+ * so the output is Y x X = H x W.
+ */
+
+#ifndef VEGETA_KERNELS_IM2COL_HPP
+#define VEGETA_KERNELS_IM2COL_HPP
+
+#include "kernels/workloads.hpp"
+#include "numerics/matrix.hpp"
+
+namespace vegeta::kernels {
+
+/**
+ * Build the (C*R*S) x (Y*X) patch matrix from a C x (Y*X) input.
+ * Out-of-bounds taps read zero (same padding, stride 1).
+ */
+MatrixBF16 im2colPatches(const MatrixBF16 &input, const ConvDims &conv);
+
+/**
+ * Direct convolution reference: weights are K x (C*R*S) (a filter per
+ * row, taps in (c, r, s) order); returns K x (Y*X) outputs in FP32.
+ * Matches referenceGemm(weights, im2colPatches(input)) exactly
+ * (same accumulation order).
+ */
+MatrixF directConv(const MatrixBF16 &weights, const MatrixBF16 &input,
+                   const ConvDims &conv);
+
+} // namespace vegeta::kernels
+
+#endif // VEGETA_KERNELS_IM2COL_HPP

@@ -1,0 +1,89 @@
+#include "kernels/network.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta::kernels {
+
+u64
+Network::totalMacs() const
+{
+    u64 total = 0;
+    for (const auto &layer : layers)
+        total += layer.workload.gemm.macs();
+    return total;
+}
+
+NetworkMeasurement
+simulateNetwork(const Network &network,
+                const engine::EngineConfig &engine, NetworkPolicy policy,
+                bool output_forwarding)
+{
+    VEGETA_ASSERT(!network.layers.empty(), "network has no layers");
+
+    // Network-wise hardware runs everything at the densest pattern any
+    // layer needs (the max N over layers).
+    u32 network_n = 1;
+    for (const auto &layer : network.layers)
+        network_n = std::max(network_n, layer.layerN);
+
+    NetworkMeasurement out;
+    out.network = network.name;
+    out.engineName = engine.name;
+    out.policy = policy;
+    for (const auto &layer : network.layers) {
+        const u32 n = policy == NetworkPolicy::LayerWise ? layer.layerN
+                                                         : network_n;
+        const Measurement m = simulateLayer(
+            layer.workload, n, engine,
+            output_forwarding && engine.sparse);
+        out.totalCycles += m.coreCycles;
+        out.perLayer.push_back(m);
+    }
+    return out;
+}
+
+namespace {
+
+NetworkLayer
+layer(const std::string &name, u32 n)
+{
+    for (const auto &w : tableIVWorkloads())
+        if (w.name == name)
+            return {w, n};
+    VEGETA_PANIC("unknown Table IV layer: ", name);
+}
+
+} // namespace
+
+Network
+resnetFrontNetwork()
+{
+    // A DominoSearch-style mix: early layers stay denser (accuracy
+    // sensitive), deeper layers prune harder.
+    Network net;
+    net.name = "ResNet50-front";
+    net.layers = {
+        layer("ResNet50-L1", 4), layer("ResNet50-L2", 2),
+        layer("ResNet50-L3", 2), layer("ResNet50-L4", 2),
+        layer("ResNet50-L5", 1), layer("ResNet50-L6", 1),
+    };
+    return net;
+}
+
+Network
+bertEncoderNetwork()
+{
+    // One encoder block: QKV + attention-out + FFN layers with the
+    // FFN pruned harder than the attention projections.
+    Network net;
+    net.name = "BERT-encoder";
+    net.layers = {
+        layer("BERT-L1", 2), layer("BERT-L2", 2), layer("BERT-L3", 2),
+        layer("BERT-L1", 1), layer("BERT-L3", 1),
+    };
+    return net;
+}
+
+} // namespace vegeta::kernels

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Network-level sparsity studies.
+ *
+ * VEGETA's design is motivated by layer-wise N:M sparsity: "adopting
+ * layer-wise N:M sparsity shows better accuracy compared to
+ * network-wise" (Section III-B, citing DominoSearch).  Hardware that
+ * only supports one network-wide pattern (e.g. an STC-like 2:4 engine)
+ * must run every layer at the densest pattern any layer needs; VEGETA
+ * executes each layer at its own N.
+ *
+ * This module models a network as a sequence of layers with per-layer
+ * patterns, simulates end-to-end inference on an engine, and compares
+ * the layer-wise and network-wise execution policies.
+ */
+
+#ifndef VEGETA_KERNELS_NETWORK_HPP
+#define VEGETA_KERNELS_NETWORK_HPP
+
+#include "kernels/driver.hpp"
+
+namespace vegeta::kernels {
+
+/** One layer of a sparse network. */
+struct NetworkLayer
+{
+    Workload workload;
+    u32 layerN = 4; ///< the pattern this layer is pruned to (1/2/4)
+};
+
+/** A named network: an ordered list of sparse layers. */
+struct Network
+{
+    std::string name;
+    std::vector<NetworkLayer> layers;
+
+    u64 totalMacs() const;
+};
+
+/** Execution policy for a network on N:M hardware. */
+enum class NetworkPolicy
+{
+    /** Each layer runs at its own N (VEGETA, layer-wise HW). */
+    LayerWise,
+    /**
+     * Every layer runs at the densest N any layer needs
+     * (network-wise HW, e.g. a single-pattern engine).
+     */
+    NetworkWise,
+};
+
+/** End-to-end network measurement. */
+struct NetworkMeasurement
+{
+    std::string network;
+    std::string engineName;
+    NetworkPolicy policy = NetworkPolicy::LayerWise;
+    Cycles totalCycles = 0;
+    std::vector<Measurement> perLayer;
+};
+
+/** Simulate a network on one engine under a policy. */
+NetworkMeasurement simulateNetwork(const Network &network,
+                                   const engine::EngineConfig &engine,
+                                   NetworkPolicy policy,
+                                   bool output_forwarding = true);
+
+/**
+ * Reference networks built from Table IV layers with the mixed
+ * per-layer patterns a DominoSearch-style pruner would produce.
+ */
+Network resnetFrontNetwork();
+Network bertEncoderNetwork();
+
+} // namespace vegeta::kernels
+
+#endif // VEGETA_KERNELS_NETWORK_HPP

@@ -1,0 +1,82 @@
+#include "kernels/workloads.hpp"
+
+#include "common/logging.hpp"
+
+namespace vegeta::kernels {
+
+GemmDims
+im2colGemm(const ConvDims &conv)
+{
+    GemmDims dims;
+    dims.m = conv.k;
+    dims.k = conv.c * conv.r * conv.s;
+    dims.n = conv.y * conv.x;
+    return dims;
+}
+
+namespace {
+
+Workload
+convWorkload(const std::string &name, ConvDims conv)
+{
+    Workload w;
+    w.name = name;
+    w.gemm = im2colGemm(conv);
+    w.paperMacs = conv.macs();
+    VEGETA_ASSERT(w.gemm.macs() == w.paperMacs,
+                  "im2col MAC mismatch for ", name);
+    return w;
+}
+
+Workload
+gemmWorkload(const std::string &name, GemmDims dims)
+{
+    Workload w;
+    w.name = name;
+    w.gemm = dims;
+    w.paperMacs = dims.macs();
+    return w;
+}
+
+} // namespace
+
+std::vector<Workload>
+tableIVWorkloads()
+{
+    return {
+        convWorkload("ResNet50-L1", {64, 256, 56, 56, 1, 1}),
+        convWorkload("ResNet50-L2", {64, 64, 56, 56, 3, 3}),
+        convWorkload("ResNet50-L3", {256, 64, 56, 56, 1, 1}),
+        convWorkload("ResNet50-L4", {128, 128, 28, 28, 3, 3}),
+        convWorkload("ResNet50-L5", {512, 128, 28, 28, 1, 1}),
+        convWorkload("ResNet50-L6", {256, 256, 14, 14, 3, 3}),
+        gemmWorkload("BERT-L1", {512, 768, 768}),
+        gemmWorkload("BERT-L2", {512, 512, 768}),
+        gemmWorkload("BERT-L3", {512, 768, 512}),
+        gemmWorkload("GPT-L1", {256, 256, 2048}),
+        gemmWorkload("GPT-L2", {512, 512, 2048}),
+        gemmWorkload("GPT-L3", {256, 256, 12288}),
+    };
+}
+
+std::vector<Workload>
+workloadsByPrefix(const std::string &prefix)
+{
+    std::vector<Workload> out;
+    for (const auto &w : tableIVWorkloads())
+        if (w.name.rfind(prefix, 0) == 0)
+            out.push_back(w);
+    return out;
+}
+
+std::vector<Workload>
+quickWorkloads()
+{
+    return {
+        gemmWorkload("quick-small", {32, 32, 128}),
+        gemmWorkload("quick-square", {64, 64, 256}),
+        gemmWorkload("quick-deep", {32, 32, 512}),
+    };
+}
+
+} // namespace vegeta::kernels

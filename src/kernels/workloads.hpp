@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Evaluation workloads (paper Table IV): representative DNN layers
+ * from ResNet50, BERT, and GPT-3, expressed as GEMM problems.
+ * Convolutional layers are converted with the im2col mapping
+ * (M = K_out, K = C*R*S, N = Y*X for stride-1 same-padding layers).
+ */
+
+#ifndef VEGETA_KERNELS_WORKLOADS_HPP
+#define VEGETA_KERNELS_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vegeta::kernels {
+
+/** Convolution layer dimensions (Table IV naming). */
+struct ConvDims
+{
+    u32 k = 1; ///< output channels
+    u32 c = 1; ///< input channels
+    u32 y = 1; ///< output height
+    u32 x = 1; ///< output width
+    u32 r = 1; ///< filter height
+    u32 s = 1; ///< filter width
+
+    u64
+    macs() const
+    {
+        return u64{k} * c * y * x * r * s;
+    }
+};
+
+/** GEMM problem dimensions: C (m x n) = A (m x k) x B (k x n). */
+struct GemmDims
+{
+    u32 m = 1;
+    u32 n = 1;
+    u32 k = 1;
+
+    u64
+    macs() const
+    {
+        return u64{m} * n * k;
+    }
+};
+
+/** im2col: a convolution as a GEMM over the patch matrix. */
+GemmDims im2colGemm(const ConvDims &conv);
+
+/** One named evaluation layer. */
+struct Workload
+{
+    std::string name;
+    GemmDims gemm;
+    u64 paperMacs = 0; ///< "# of MACs" column of Table IV
+};
+
+/** All twelve Table IV layers. */
+std::vector<Workload> tableIVWorkloads();
+
+/** Subset by prefix ("ResNet50", "BERT", "GPT"). */
+std::vector<Workload> workloadsByPrefix(const std::string &prefix);
+
+/**
+ * Reduced-size variants (dims scaled down, tile-aligned) for fast
+ * regression tests and --quick benchmark runs.
+ */
+std::vector<Workload> quickWorkloads();
+
+} // namespace vegeta::kernels
+
+#endif // VEGETA_KERNELS_WORKLOADS_HPP

@@ -1,0 +1,121 @@
+#include "model/dynamic_sparsity.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vegeta::model {
+
+double
+analyticMergeProbability(u32 lanes, double density)
+{
+    VEGETA_ASSERT(density >= 0.0 && density <= 1.0,
+                  "density out of range: ", density);
+    return std::pow(1.0 - density * density,
+                    static_cast<double>(lanes));
+}
+
+namespace {
+
+/** Random lane-occupancy mask as packed 64-bit words. */
+std::vector<u64>
+randomMask(u32 lanes, double density, Rng &rng)
+{
+    std::vector<u64> words((lanes + 63) / 64, 0);
+    for (u32 l = 0; l < lanes; ++l)
+        if (rng.nextBool(density))
+            words[l / 64] |= 1ull << (l % 64);
+    return words;
+}
+
+bool
+conflictFree(const std::vector<u64> &a, const std::vector<u64> &b)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i] & b[i])
+            return false;
+    return true;
+}
+
+void
+mergeInto(std::vector<u64> &a, const std::vector<u64> &b)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] |= b[i];
+}
+
+} // namespace
+
+double
+monteCarloMergeProbability(u32 lanes, double density, u32 trials,
+                           Rng &rng)
+{
+    VEGETA_ASSERT(trials > 0, "need at least one trial");
+    u32 successes = 0;
+    for (u32 t = 0; t < trials; ++t) {
+        const auto a = randomMask(lanes, density, rng);
+        const auto b = randomMask(lanes, density, rng);
+        if (conflictFree(a, b))
+            ++successes;
+    }
+    return static_cast<double>(successes) / trials;
+}
+
+double
+greedyCompactionFactor(u32 lanes, double density, u32 registers,
+                       Rng &rng)
+{
+    VEGETA_ASSERT(registers > 0, "need at least one register");
+    // Greedy first-fit: each incoming register merges into the first
+    // open slot it does not conflict with (a SAVE-like issue-slot
+    // combiner with a small window).
+    constexpr u32 kWindow = 4;
+    std::vector<std::vector<u64>> open;
+    u32 slots = 0;
+    for (u32 r = 0; r < registers; ++r) {
+        const auto mask = randomMask(lanes, density, rng);
+        bool merged = false;
+        for (auto &slot : open) {
+            if (conflictFree(slot, mask)) {
+                mergeInto(slot, mask);
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) {
+            ++slots;
+            open.push_back(mask);
+            if (open.size() > kWindow)
+                open.erase(open.begin());
+        }
+    }
+    return static_cast<double>(registers) / slots;
+}
+
+std::vector<CompactionPoint>
+compactionStudy(const std::vector<double> &densities, u32 registers,
+                u32 trials, u64 seed)
+{
+    std::vector<double> xs = densities;
+    if (xs.empty())
+        xs = {0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50};
+
+    std::vector<CompactionPoint> out;
+    out.reserve(xs.size());
+    for (double d : xs) {
+        Rng rng(seed + static_cast<u64>(d * 10000));
+        CompactionPoint p;
+        p.density = d;
+        p.vectorMergeProb = analyticMergeProbability(kVectorLanes, d);
+        p.tileMergeProb = analyticMergeProbability(kTileLanes, d);
+        p.vectorCompaction =
+            greedyCompactionFactor(kVectorLanes, d, registers, rng);
+        p.tileCompaction =
+            greedyCompactionFactor(kTileLanes, d, registers, rng);
+        (void)trials;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace vegeta::model

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dynamic-sparsity register-compaction study (paper Section VII,
+ * "Handling dynamic sparsity").
+ *
+ * SAVE-style vector engines exploit dynamic (input) sparsity by
+ * merging sparse vector registers: two registers can share one issue
+ * slot if no lane holds a non-zero in both.  The paper argues this is
+ * "not practical for a matrix engine due to the high probability of
+ * conflicts across different tiles since the number of operands in a
+ * vector register is 32 while that of a tile register is 512".
+ *
+ * This model quantifies that argument: with i.i.d. non-zero
+ * probability d per operand, two registers of L lanes merge
+ * conflict-free with probability (1 - d^2)^L -- which collapses far
+ * faster for L = 512 than for L = 32.  A Monte-Carlo estimator over
+ * real random masks cross-checks the closed form (and is what the
+ * tests compare against).
+ */
+
+#ifndef VEGETA_MODEL_DYNAMIC_SPARSITY_HPP
+#define VEGETA_MODEL_DYNAMIC_SPARSITY_HPP
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace vegeta::model {
+
+/** Operand lanes per register (Section VII numbers). */
+inline constexpr u32 kVectorLanes = 32;
+inline constexpr u32 kTileLanes = 512; // 16 x 32 BF16
+
+/** Closed-form P(two L-lane registers merge without conflict). */
+double analyticMergeProbability(u32 lanes, double density);
+
+/**
+ * Monte-Carlo estimate of the same probability from random masks.
+ * Deterministic given the rng state.
+ */
+double monteCarloMergeProbability(u32 lanes, double density, u32 trials,
+                                  Rng &rng);
+
+/**
+ * Expected compaction factor from greedily merging a stream of sparse
+ * registers pairwise (1.0 = nothing merges, 2.0 = everything pairs).
+ * Monte-Carlo over a stream of `registers` masks.
+ */
+double greedyCompactionFactor(u32 lanes, double density, u32 registers,
+                              Rng &rng);
+
+/** One density point of the study. */
+struct CompactionPoint
+{
+    double density = 0.0;
+    double vectorMergeProb = 0.0;
+    double tileMergeProb = 0.0;
+    double vectorCompaction = 1.0;
+    double tileCompaction = 1.0;
+};
+
+/** Sweep densities (default 1%..50%). */
+std::vector<CompactionPoint>
+compactionStudy(const std::vector<double> &densities = {},
+                u32 registers = 256, u32 trials = 2000,
+                u64 seed = 0xd15c0);
+
+} // namespace vegeta::model
+
+#endif // VEGETA_MODEL_DYNAMIC_SPARSITY_HPP

@@ -1,0 +1,80 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta::model {
+
+namespace {
+
+/** Bytes moved for the layer at a given weight density. */
+double
+layerBytes(const kernels::ConvDims &layer, double density,
+           bool sparse_format, const RooflineParams &params)
+{
+    const double weight_elems =
+        static_cast<double>(layer.k) * layer.c * layer.r * layer.s;
+    const double input_bytes =
+        2.0 * static_cast<double>(layer.c) * layer.y * layer.x;
+    const double output_bytes =
+        4.0 * static_cast<double>(layer.k) * layer.y * layer.x;
+    double weight_bytes = 2.0 * weight_elems;
+    if (sparse_format)
+        weight_bytes *= density * (1.0 + params.sparseMetadataOverhead);
+    return weight_bytes + input_bytes + output_bytes;
+}
+
+} // namespace
+
+double
+effectiveTflops(const kernels::ConvDims &layer, double density,
+                double peak_gflops, bool sparse_engine,
+                const RooflineParams &params)
+{
+    VEGETA_ASSERT(density > 0.0 && density <= 1.0,
+                  "density out of (0,1]: ", density);
+    const double total_flops = 2.0 * static_cast<double>(layer.macs());
+    const double useful_flops = total_flops * density;
+
+    double seconds;
+    if (sparse_engine) {
+        const double bytes = layerBytes(layer, density, true, params);
+        seconds = std::max(useful_flops / (peak_gflops * 1e9),
+                           bytes / (params.memoryGBs * 1e9));
+    } else {
+        const double bytes = layerBytes(layer, density, false, params);
+        seconds = std::max(total_flops / (peak_gflops * 1e9),
+                           bytes / (params.memoryGBs * 1e9));
+    }
+    return useful_flops / seconds / 1e12;
+}
+
+std::vector<RooflinePoint>
+figure3Series(const RooflineParams &params, const kernels::ConvDims &layer,
+              const std::vector<double> &densities)
+{
+    std::vector<double> xs = densities;
+    if (xs.empty())
+        for (int pct = 1; pct <= 100; ++pct)
+            xs.push_back(pct / 100.0);
+
+    std::vector<RooflinePoint> out;
+    out.reserve(xs.size());
+    for (double d : xs) {
+        RooflinePoint p;
+        p.density = d;
+        p.denseVectorTflops =
+            effectiveTflops(layer, d, params.vectorGflops, false, params);
+        p.sparseVectorTflops =
+            effectiveTflops(layer, d, params.vectorGflops, true, params);
+        p.denseMatrixTflops =
+            effectiveTflops(layer, d, params.matrixGflops, false, params);
+        p.sparseMatrixTflops =
+            effectiveTflops(layer, d, params.matrixGflops, true, params);
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace vegeta::model

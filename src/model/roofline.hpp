@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Roofline model of dense/sparse vector/matrix engines
+ * (paper Section III-A, Figure 3).
+ *
+ * Parameters follow the paper: 64 GFLOPS vector peak, 512 GFLOPS
+ * matrix peak, 94 GB/s memory bandwidth, evaluated on a convolutional
+ * layer across weight densities.  "Effective" throughput counts only
+ * useful (non-zero) FLOPs:
+ *
+ *  - a dense engine executes every MAC, so its effective throughput is
+ *    density * min(peak, AI_dense * BW);
+ *  - a sparse engine skips zeros, so its time is
+ *    max(useful_flops / peak, sparse_bytes / BW).
+ *
+ * At 100% density all engines of a class coincide; at very low density
+ * everything converges to the memory roof.
+ */
+
+#ifndef VEGETA_MODEL_ROOFLINE_HPP
+#define VEGETA_MODEL_ROOFLINE_HPP
+
+#include <vector>
+
+#include "kernels/workloads.hpp"
+
+namespace vegeta::model {
+
+/** Machine parameters (paper Section III-A values). */
+struct RooflineParams
+{
+    double vectorGflops = 64.0;
+    double matrixGflops = 512.0;
+    double memoryGBs = 94.0;
+    /** Metadata overhead of compressed weights (2 bits per BF16). */
+    double sparseMetadataOverhead = 0.125;
+};
+
+/** One density point of Figure 3. */
+struct RooflinePoint
+{
+    double density = 1.0; ///< fraction of non-zero weights
+    double denseVectorTflops = 0.0;
+    double sparseVectorTflops = 0.0;
+    double denseMatrixTflops = 0.0;
+    double sparseMatrixTflops = 0.0;
+};
+
+/** Effective-throughput model for one engine at one density. */
+double effectiveTflops(const kernels::ConvDims &layer, double density,
+                       double peak_gflops, bool sparse_engine,
+                       const RooflineParams &params);
+
+/**
+ * Figure 3 series over densities (default 1%..100%) for a
+ * convolutional layer (default: a ResNet50 3x3 mid-network layer).
+ */
+std::vector<RooflinePoint>
+figure3Series(const RooflineParams &params = {},
+              const kernels::ConvDims &layer = {64, 64, 56, 56, 3, 3},
+              const std::vector<double> &densities = {});
+
+} // namespace vegeta::model
+
+#endif // VEGETA_MODEL_ROOFLINE_HPP

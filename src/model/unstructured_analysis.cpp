@@ -1,0 +1,73 @@
+#include "model/unstructured_analysis.hpp"
+
+#include "common/logging.hpp"
+#include "sparsity/pruning.hpp"
+
+namespace vegeta::model {
+
+namespace {
+
+/**
+ * Cap weight-matrix size for the statistical study: speed-ups depend
+ * only on block-occupancy statistics, which converge quickly, so big
+ * layers are sampled through a dimension-preserving crop.
+ */
+constexpr u32 kMaxRows = 256;
+constexpr u32 kMaxCols = 2048;
+
+} // namespace
+
+std::vector<UnstructuredPoint>
+figure15Series(const std::vector<kernels::Workload> &workloads,
+               const std::vector<double> &degrees, u64 seed)
+{
+    VEGETA_ASSERT(!workloads.empty(), "no workloads given");
+    std::vector<double> xs = degrees;
+    if (xs.empty())
+        for (int pct = 60; pct <= 95; pct += 5)
+            xs.push_back(pct / 100.0);
+
+    std::vector<UnstructuredPoint> out;
+    out.reserve(xs.size());
+
+    for (double degree : xs) {
+        UnstructuredPoint point;
+        point.degree = degree;
+        double sum_layer = 0, sum_tile = 0, sum_pseudo = 0, sum_row = 0;
+
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const auto &gemm = workloads[w].gemm;
+            const u32 rows = std::min(gemm.m, kMaxRows);
+            const u32 cols =
+                std::min((gemm.k + 63) / 64 * 64, kMaxCols);
+
+            Rng rng(seed + w * 1000 +
+                    static_cast<u64>(degree * 100.0));
+            MatrixBF16 a = randomMatrixBF16(rows, cols, rng);
+            a = maskUnstructuredBernoulli(a, degree, rng);
+
+            sum_layer += granularitySpeedup(
+                a, SparsityGranularity::LayerWise);
+            sum_tile += granularitySpeedup(
+                a, SparsityGranularity::TileWise);
+            sum_pseudo += granularitySpeedup(
+                a, SparsityGranularity::PseudoRowWise);
+            sum_row += granularitySpeedup(
+                a, SparsityGranularity::RowWise);
+        }
+
+        const double n = static_cast<double>(workloads.size());
+        point.dense = 1.0;
+        point.layerWise = sum_layer / n;
+        point.tileWise = sum_tile / n;
+        point.pseudoRowWise = sum_pseudo / n;
+        point.rowWise = sum_row / n;
+        // Ideal unstructured skipping, normalized by the area cost of
+        // the flexible interconnect / sparse controller.
+        point.sigmaLike = (1.0 / (1.0 - degree)) / kSigmaAreaFactor;
+        out.push_back(point);
+    }
+    return out;
+}
+
+} // namespace vegeta::model

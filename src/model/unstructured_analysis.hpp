@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unstructured-sparsity granularity study (paper Section VI-E,
+ * Figure 15): average speed-up over a dense engine when unstructured
+ * sparse layers are executed through N:M hardware at different
+ * granularities, plus an area-normalized SIGMA-like unstructured
+ * accelerator comparison.
+ *
+ * For each workload the weight matrix receives Bernoulli unstructured
+ * sparsity of the target degree; each granularity then picks covering
+ * N values with the real transformation code (sparsity/
+ * rowwise_transform), and the speed-up is the ratio of dense to
+ * structured work on a compute-bound engine.  The SIGMA-like engine
+ * skips every zero (speed-up 1/density) but pays a fixed area factor;
+ * the factor is calibrated so its crossover with row-wise N:M lands at
+ * ~95% sparsity as the paper reports.
+ */
+
+#ifndef VEGETA_MODEL_UNSTRUCTURED_ANALYSIS_HPP
+#define VEGETA_MODEL_UNSTRUCTURED_ANALYSIS_HPP
+
+#include <vector>
+
+#include "kernels/workloads.hpp"
+#include "sparsity/rowwise_transform.hpp"
+
+namespace vegeta::model {
+
+/** Area factor of the SIGMA-like unstructured engine (Section VI-E). */
+inline constexpr double kSigmaAreaFactor = 6.0;
+
+/** One sparsity-degree point of Figure 15 (averaged over workloads). */
+struct UnstructuredPoint
+{
+    double degree = 0.0; ///< fraction of zero weights
+    double dense = 1.0;
+    double layerWise = 1.0;
+    double tileWise = 1.0;
+    double pseudoRowWise = 1.0;
+    double rowWise = 1.0;
+    double sigmaLike = 1.0;
+};
+
+/**
+ * Figure 15 series.  degrees defaults to 60%..95% in 5% steps; the
+ * speed-ups are arithmetic means over the workloads.
+ */
+std::vector<UnstructuredPoint>
+figure15Series(const std::vector<kernels::Workload> &workloads,
+               const std::vector<double> &degrees = {},
+               u64 seed = 0xf15f15);
+
+} // namespace vegeta::model
+
+#endif // VEGETA_MODEL_UNSTRUCTURED_ANALYSIS_HPP

@@ -1,0 +1,43 @@
+#include "model/vector_vs_matrix.hpp"
+
+#include "cpu/trace_cpu.hpp"
+#include "kernels/gemm_kernels.hpp"
+#include "kernels/vector_kernels.hpp"
+
+namespace vegeta::model {
+
+std::vector<VectorMatrixPoint>
+figure4Series(const std::vector<u32> &dims)
+{
+    std::vector<VectorMatrixPoint> out;
+    out.reserve(dims.size());
+
+    cpu::CoreConfig core;
+    core.engineClockDivider = 1; // engines clocked with the core here
+
+    for (u32 dim : dims) {
+        const kernels::GemmDims gemm{dim, dim, dim};
+
+        kernels::KernelOptions matrix_opts;
+        matrix_opts.traceOnly = true;
+        const kernels::KernelRun matrix_run =
+            kernels::runSpmmKernel(gemm, 4, matrix_opts);
+
+        const cpu::Trace vector_trace =
+            kernels::generateVectorGemmTrace(gemm);
+
+        cpu::TraceCpu matrix_cpu(core, engine::vegetaD12());
+        cpu::TraceCpu vector_cpu(core, engine::vegetaD12());
+
+        VectorMatrixPoint p;
+        p.dim = dim;
+        p.matrixInstructions = matrix_run.trace.size();
+        p.vectorInstructions = vector_trace.size();
+        p.matrixCycles = matrix_cpu.run(matrix_run.trace).totalCycles;
+        p.vectorCycles = vector_cpu.run(vector_trace).totalCycles;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace vegeta::model

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Vector-vs-matrix engine comparison (paper Section III-A, Figure 4):
+ * executed-instruction-count ratio and runtime ratio for square GEMMs
+ * of dimension 32 / 64 / 128, simulated on the same trace-driven core.
+ *
+ * The matrix side runs the optimized tiled TILE_GEMM kernel on the
+ * RASA-DM engine; the vector side runs the compiler-style AVX-512-BF16
+ * kernel.  Both engines are clocked with the core for this motivation
+ * study (no 4x engine divider): the comparison isolates instruction
+ * granularity, not clock choices.
+ */
+
+#ifndef VEGETA_MODEL_VECTOR_VS_MATRIX_HPP
+#define VEGETA_MODEL_VECTOR_VS_MATRIX_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vegeta::model {
+
+struct VectorMatrixPoint
+{
+    u32 dim = 0;
+    u64 vectorInstructions = 0;
+    u64 matrixInstructions = 0;
+    Cycles vectorCycles = 0;
+    Cycles matrixCycles = 0;
+
+    double
+    instructionRatio() const
+    {
+        return static_cast<double>(vectorInstructions) /
+               static_cast<double>(matrixInstructions);
+    }
+
+    double
+    runtimeRatio() const
+    {
+        return static_cast<double>(vectorCycles) /
+               static_cast<double>(matrixCycles);
+    }
+};
+
+/** Figure 4 series (default dims 32, 64, 128). */
+std::vector<VectorMatrixPoint>
+figure4Series(const std::vector<u32> &dims = {32, 64, 128});
+
+} // namespace vegeta::model
+
+#endif // VEGETA_MODEL_VECTOR_VS_MATRIX_HPP

@@ -1,0 +1,24 @@
+#include "numerics/bf16.hpp"
+
+#include <cmath>
+
+namespace vegeta {
+
+u16
+BF16::fromFloatBits(float value)
+{
+    u32 bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+
+    // NaN: preserve a quiet NaN with payload bit set so the narrowed
+    // value is still a NaN after truncation.
+    if (std::isnan(value))
+        return static_cast<u16>((bits >> 16) | 0x0040u);
+
+    // Round to nearest even on the 16 discarded bits.
+    const u32 rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
+    bits += rounding_bias;
+    return static_cast<u16>(bits >> 16);
+}
+
+} // namespace vegeta

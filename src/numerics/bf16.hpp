@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Software bfloat16 (BF16), the input precision of VEGETA tiles.
+ *
+ * VEGETA targets mixed precision: A and B tiles are BF16, accumulation
+ * and C tiles are FP32 (Section III-E of the paper).  BF16 is the top 16
+ * bits of an IEEE-754 binary32; conversion from float rounds to nearest
+ * even, matching the behaviour of Intel AVX512-BF16 / AMX hardware.
+ */
+
+#ifndef VEGETA_NUMERICS_BF16_HPP
+#define VEGETA_NUMERICS_BF16_HPP
+
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace vegeta {
+
+/** A bfloat16 value stored as its 16 raw bits. */
+class BF16
+{
+  public:
+    BF16() = default;
+
+    /** Construct from a float with round-to-nearest-even. */
+    explicit BF16(float value) : bits_(fromFloatBits(value)) {}
+
+    /** Reinterpret raw bits as a BF16 (no rounding). */
+    static BF16
+    fromBits(u16 bits)
+    {
+        BF16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    u16 bits() const { return bits_; }
+
+    /** Widen to float; exact (BF16 is a prefix of binary32). */
+    float
+    toFloat() const
+    {
+        u32 wide = static_cast<u32>(bits_) << 16;
+        float f;
+        std::memcpy(&f, &wide, sizeof(f));
+        return f;
+    }
+
+    bool isZero() const { return (bits_ & 0x7fffu) == 0; }
+
+    bool operator==(const BF16 &other) const = default;
+
+  private:
+    static u16 fromFloatBits(float value);
+
+    u16 bits_ = 0;
+};
+
+static_assert(sizeof(BF16) == 2, "BF16 must be 2 bytes");
+
+/**
+ * One mixed-precision MAC as performed by a VEGETA PE:
+ * acc (FP32) += a (BF16) * b (BF16), with the product computed exactly
+ * in FP32 (BF16 x BF16 is exactly representable in binary32's 24-bit
+ * significand) and a single FP32 rounding at the accumulate.
+ */
+inline float
+macBF16(float acc, BF16 a, BF16 b)
+{
+    return acc + a.toFloat() * b.toFloat();
+}
+
+} // namespace vegeta
+
+#endif // VEGETA_NUMERICS_BF16_HPP

@@ -1,0 +1,114 @@
+#include "numerics/matrix.hpp"
+
+#include <cmath>
+
+namespace vegeta {
+
+u64
+countNonZeros(const MatrixBF16 &m)
+{
+    u64 nnz = 0;
+    for (u32 r = 0; r < m.rows(); ++r)
+        for (u32 c = 0; c < m.cols(); ++c)
+            if (!m.at(r, c).isZero())
+                ++nnz;
+    return nnz;
+}
+
+u64
+countNonZeros(const MatrixF &m)
+{
+    u64 nnz = 0;
+    for (u32 r = 0; r < m.rows(); ++r)
+        for (u32 c = 0; c < m.cols(); ++c)
+            if (m.at(r, c) != 0.0f)
+                ++nnz;
+    return nnz;
+}
+
+double
+sparsityDegree(const MatrixBF16 &m)
+{
+    if (m.size() == 0)
+        return 0.0;
+    const u64 nnz = countNonZeros(m);
+    return 1.0 - static_cast<double>(nnz) / static_cast<double>(m.size());
+}
+
+MatrixBF16
+randomMatrixBF16(u32 rows, u32 cols, Rng &rng)
+{
+    MatrixBF16 m(rows, cols);
+    for (u32 r = 0; r < rows; ++r) {
+        for (u32 c = 0; c < cols; ++c) {
+            // Avoid exact zeros so that sparsity is controlled solely by
+            // the pruning / masking utilities.
+            float v = 0.0f;
+            while (v == 0.0f)
+                v = rng.nextFloat(-1.0f, 1.0f);
+            m.at(r, c) = BF16(v);
+        }
+    }
+    return m;
+}
+
+MatrixF
+randomMatrixF(u32 rows, u32 cols, Rng &rng)
+{
+    MatrixF m(rows, cols);
+    for (u32 r = 0; r < rows; ++r)
+        for (u32 c = 0; c < cols; ++c)
+            m.at(r, c) = rng.nextFloat(-1.0f, 1.0f);
+    return m;
+}
+
+MatrixF
+widen(const MatrixBF16 &m)
+{
+    MatrixF f(m.rows(), m.cols());
+    for (u32 r = 0; r < m.rows(); ++r)
+        for (u32 c = 0; c < m.cols(); ++c)
+            f.at(r, c) = m.at(r, c).toFloat();
+    return f;
+}
+
+MatrixBF16
+narrow(const MatrixF &m)
+{
+    MatrixBF16 b(m.rows(), m.cols());
+    for (u32 r = 0; r < m.rows(); ++r)
+        for (u32 c = 0; c < m.cols(); ++c)
+            b.at(r, c) = BF16(m.at(r, c));
+    return b;
+}
+
+void
+referenceGemm(const MatrixBF16 &a, const MatrixBF16 &b, MatrixF &c)
+{
+    VEGETA_ASSERT(a.cols() == b.rows(), "GEMM inner dims mismatch: ",
+                  a.cols(), " vs ", b.rows());
+    VEGETA_ASSERT(c.rows() == a.rows() && c.cols() == b.cols(),
+                  "GEMM output dims mismatch");
+    for (u32 i = 0; i < a.rows(); ++i) {
+        for (u32 j = 0; j < b.cols(); ++j) {
+            float acc = c.at(i, j);
+            for (u32 k = 0; k < a.cols(); ++k)
+                acc = macBF16(acc, a.at(i, k), b.at(k, j));
+            c.at(i, j) = acc;
+        }
+    }
+}
+
+float
+maxAbsDiff(const MatrixF &x, const MatrixF &y)
+{
+    VEGETA_ASSERT(x.rows() == y.rows() && x.cols() == y.cols(),
+                  "maxAbsDiff dims mismatch");
+    float worst = 0.0f;
+    for (u32 r = 0; r < x.rows(); ++r)
+        for (u32 c = 0; c < x.cols(); ++c)
+            worst = std::max(worst, std::fabs(x.at(r, c) - y.at(r, c)));
+    return worst;
+}
+
+} // namespace vegeta

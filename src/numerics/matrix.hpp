@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Row-major dense matrix container plus reference GEMM.
+ *
+ * Matrix<T> is the host-side representation used by the sparsity tools,
+ * the functional emulator's test oracles, and the kernel drivers.  It is
+ * deliberately simple (no expression templates) -- correctness oracle
+ * first.
+ */
+
+#ifndef VEGETA_NUMERICS_MATRIX_HPP
+#define VEGETA_NUMERICS_MATRIX_HPP
+
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "numerics/bf16.hpp"
+
+namespace vegeta {
+
+/** Dense row-major matrix. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(u32 rows, u32 cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(std::size_t{rows} * cols, fill)
+    {}
+
+    u32 rows() const { return rows_; }
+    u32 cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    T &
+    at(u32 r, u32 c)
+    {
+        VEGETA_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+                      ") out of range (", rows_, ",", cols_, ")");
+        return data_[std::size_t{r} * cols_ + c];
+    }
+
+    const T &
+    at(u32 r, u32 c) const
+    {
+        VEGETA_ASSERT(r < rows_ && c < cols_, "matrix index (", r, ",", c,
+                      ") out of range (", rows_, ",", cols_, ")");
+        return data_[std::size_t{r} * cols_ + c];
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    T *rowPtr(u32 r) { return &at(r, 0); }
+    const T *rowPtr(u32 r) const { return &at(r, 0); }
+
+    bool operator==(const Matrix &other) const = default;
+
+    /** Transpose into a new matrix. */
+    Matrix
+    transposed() const
+    {
+        Matrix t(cols_, rows_);
+        for (u32 r = 0; r < rows_; ++r)
+            for (u32 c = 0; c < cols_; ++c)
+                t.at(c, r) = at(r, c);
+        return t;
+    }
+
+    /** Copy the [r0, r0+h) x [c0, c0+w) sub-block. */
+    Matrix
+    block(u32 r0, u32 c0, u32 h, u32 w) const
+    {
+        VEGETA_ASSERT(r0 + h <= rows_ && c0 + w <= cols_,
+                      "block out of range");
+        Matrix b(h, w);
+        for (u32 r = 0; r < h; ++r)
+            for (u32 c = 0; c < w; ++c)
+                b.at(r, c) = at(r0 + r, c0 + c);
+        return b;
+    }
+
+    /** Paste a block at (r0, c0). */
+    void
+    setBlock(u32 r0, u32 c0, const Matrix &b)
+    {
+        VEGETA_ASSERT(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+                      "setBlock out of range");
+        for (u32 r = 0; r < b.rows(); ++r)
+            for (u32 c = 0; c < b.cols(); ++c)
+                at(r0 + r, c0 + c) = b.at(r, c);
+    }
+
+  private:
+    u32 rows_ = 0;
+    u32 cols_ = 0;
+    std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixBF16 = Matrix<BF16>;
+
+/** Count of non-zero entries. */
+u64 countNonZeros(const MatrixBF16 &m);
+u64 countNonZeros(const MatrixF &m);
+
+/** Fraction of zero entries in [0, 1]. */
+double sparsityDegree(const MatrixBF16 &m);
+
+/** Random dense matrix with entries drawn uniform in [-1, 1). */
+MatrixBF16 randomMatrixBF16(u32 rows, u32 cols, Rng &rng);
+MatrixF randomMatrixF(u32 rows, u32 cols, Rng &rng);
+
+/** Widen / narrow between BF16 and float matrices. */
+MatrixF widen(const MatrixBF16 &m);
+MatrixBF16 narrow(const MatrixF &m);
+
+/**
+ * Reference GEMM oracle: C += A x B with BF16 inputs and FP32
+ * accumulation in k-order, matching the PE-level MAC ordering used by
+ * the functional emulator (so comparisons can be exact, not epsilon).
+ */
+void referenceGemm(const MatrixBF16 &a, const MatrixBF16 &b, MatrixF &c);
+
+/** Max absolute elementwise difference. */
+float maxAbsDiff(const MatrixF &x, const MatrixF &y);
+
+} // namespace vegeta
+
+#endif // VEGETA_NUMERICS_MATRIX_HPP

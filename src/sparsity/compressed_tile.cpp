@@ -1,0 +1,380 @@
+#include "sparsity/compressed_tile.hpp"
+
+#include <numeric>
+
+namespace vegeta {
+
+namespace {
+
+/**
+ * Collect the stored (value, in-block position) pairs for one block:
+ * the block's non-zeros in position order, padded with zeros at the
+ * remaining positions (ascending) up to exactly n entries.
+ */
+void
+compressBlock(const MatrixBF16 &mat, u32 r, u32 b, u32 n, u32 m,
+              std::vector<BF16> &values, std::vector<u8> &indices)
+{
+    std::vector<u8> taken;
+    for (u32 e = 0; e < m; ++e) {
+        if (!mat.at(r, b * m + e).isZero()) {
+            values.push_back(mat.at(r, b * m + e));
+            indices.push_back(static_cast<u8>(e));
+            taken.push_back(static_cast<u8>(e));
+        }
+    }
+    VEGETA_ASSERT(taken.size() <= n, "block (", r, ",", b, ") has ",
+                  taken.size(), " non-zeros > N=", n);
+    // Pad with explicit zeros at unused positions (ascending).
+    u32 needed = n - static_cast<u32>(taken.size());
+    for (u32 e = 0; e < m && needed > 0; ++e) {
+        bool used = false;
+        for (u8 t : taken)
+            if (t == e)
+                used = true;
+        if (!used) {
+            values.push_back(BF16(0.0f));
+            indices.push_back(static_cast<u8>(e));
+            --needed;
+        }
+    }
+    VEGETA_ASSERT(needed == 0, "could not pad block to N entries");
+}
+
+} // namespace
+
+std::vector<u8>
+packCodes(const std::vector<u8> &codes, u32 bits)
+{
+    VEGETA_ASSERT(bits >= 1 && bits <= 8, "unsupported code width: ",
+                  bits);
+    const u32 mask = (1u << bits) - 1;
+    std::vector<u8> bytes((codes.size() * bits + 7) / 8, 0);
+    std::size_t bit_cursor = 0;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        VEGETA_ASSERT((codes[i] & ~mask) == 0, "code out of range: ",
+                      static_cast<int>(codes[i]), " for width ", bits);
+        // Little-endian bit order, codes may straddle byte boundaries
+        // (e.g. 3-bit indices for M = 8).
+        u32 value = codes[i];
+        u32 remaining = bits;
+        while (remaining > 0) {
+            const std::size_t byte = bit_cursor / 8;
+            const u32 offset = bit_cursor % 8;
+            const u32 take = std::min(remaining, 8 - offset);
+            bytes[byte] |= static_cast<u8>(
+                (value & ((1u << take) - 1)) << offset);
+            value >>= take;
+            remaining -= take;
+            bit_cursor += take;
+        }
+    }
+    return bytes;
+}
+
+std::vector<u8>
+unpackCodes(const std::vector<u8> &bytes, std::size_t count, u32 bits)
+{
+    VEGETA_ASSERT(bits >= 1 && bits <= 8, "unsupported code width: ",
+                  bits);
+    VEGETA_ASSERT(bytes.size() * 8 >= count * bits,
+                  "metadata too short: ", bytes.size(), " bytes for ",
+                  count, " codes of ", bits, " bits");
+    std::vector<u8> codes(count);
+    std::size_t bit_cursor = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        u32 value = 0;
+        u32 got = 0;
+        while (got < bits) {
+            const std::size_t byte = bit_cursor / 8;
+            const u32 offset = bit_cursor % 8;
+            const u32 take = std::min(bits - got, 8 - offset);
+            value |= ((bytes[byte] >> offset) & ((1u << take) - 1))
+                     << got;
+            got += take;
+            bit_cursor += take;
+        }
+        codes[i] = static_cast<u8>(value);
+    }
+    return codes;
+}
+
+u32
+indexBitsForBlockSize(u32 m)
+{
+    VEGETA_ASSERT(m >= 2 && m <= 16 && (m & (m - 1)) == 0,
+                  "block size must be a power of two in [2, 16], got ",
+                  m);
+    u32 bits = 0;
+    while ((1u << bits) < m)
+        ++bits;
+    return bits;
+}
+
+std::vector<u8>
+pack2Bit(const std::vector<u8> &codes)
+{
+    return packCodes(codes, 2);
+}
+
+std::vector<u8>
+unpack2Bit(const std::vector<u8> &bytes, std::size_t count)
+{
+    return unpackCodes(bytes, count, 2);
+}
+
+// ---------------------------------------------------------------------
+// CompressedTile
+// ---------------------------------------------------------------------
+
+CompressedTile
+CompressedTile::compress(const MatrixBF16 &effective, NMPattern pattern)
+{
+    // Any power-of-two M up to 16 (Section IV-C generalization); the
+    // shipped ISA configuration uses M = 4.
+    (void)indexBitsForBlockSize(pattern.m);
+    VEGETA_ASSERT(effective.cols() % pattern.m == 0,
+                  "effective width not a multiple of M");
+    VEGETA_ASSERT(satisfiesNM(effective, pattern), "tile violates ",
+                  pattern.toString(), " sparsity");
+
+    CompressedTile tile;
+    tile.pattern_ = pattern;
+    tile.rows_ = effective.rows();
+    tile.blocks_per_row_ = effective.cols() / pattern.m;
+
+    std::vector<BF16> values;
+    std::vector<u8> indices;
+    values.reserve(std::size_t{tile.rows_} * tile.valuesPerRow());
+    for (u32 r = 0; r < tile.rows_; ++r)
+        for (u32 b = 0; b < tile.blocks_per_row_; ++b)
+            compressBlock(effective, r, b, pattern.n, pattern.m, values,
+                          indices);
+
+    tile.values_ = MatrixBF16(tile.rows_, tile.valuesPerRow());
+    for (u32 r = 0; r < tile.rows_; ++r)
+        for (u32 v = 0; v < tile.valuesPerRow(); ++v)
+            tile.values_.at(r, v) =
+                values[std::size_t{r} * tile.valuesPerRow() + v];
+    tile.indices_ = std::move(indices);
+    return tile;
+}
+
+MatrixBF16
+CompressedTile::decompress() const
+{
+    MatrixBF16 dense(rows_, effectiveCols());
+    for (u32 r = 0; r < rows_; ++r) {
+        for (u32 v = 0; v < valuesPerRow(); ++v) {
+            u32 block = v / pattern_.n;
+            u32 pos = index(r, v);
+            dense.at(r, block * pattern_.m + pos) = value(r, v);
+        }
+    }
+    return dense;
+}
+
+BF16
+CompressedTile::value(u32 r, u32 v) const
+{
+    return values_.at(r, v);
+}
+
+u32
+CompressedTile::index(u32 r, u32 v) const
+{
+    VEGETA_ASSERT(r < rows_ && v < valuesPerRow(), "index out of range");
+    return indices_[std::size_t{r} * valuesPerRow() + v];
+}
+
+std::vector<u8>
+CompressedTile::packMetadata() const
+{
+    return packCodes(indices_, indexBitsForBlockSize(pattern_.m));
+}
+
+CompressedTile
+CompressedTile::fromRaw(const MatrixBF16 &values,
+                        const std::vector<u8> &metadata, NMPattern pattern)
+{
+    CompressedTile tile;
+    tile.pattern_ = pattern;
+    tile.rows_ = values.rows();
+    VEGETA_ASSERT(values.cols() % pattern.n == 0,
+                  "stored width not a multiple of N");
+    tile.blocks_per_row_ = values.cols() / pattern.n;
+    tile.values_ = values;
+    tile.indices_ =
+        unpackCodes(metadata, std::size_t{tile.rows_} * values.cols(),
+                    indexBitsForBlockSize(pattern.m));
+    return tile;
+}
+
+// ---------------------------------------------------------------------
+// RowWiseCompressedTile
+// ---------------------------------------------------------------------
+
+RowWiseCompressedTile
+RowWiseCompressedTile::compress(const MatrixBF16 &effective,
+                                const std::vector<u32> &row_n)
+{
+    VEGETA_ASSERT(effective.cols() % kBlockSize == 0,
+                  "effective width not a multiple of M=4");
+    VEGETA_ASSERT(row_n.size() == effective.rows(),
+                  "row N profile size mismatch");
+
+    RowWiseCompressedTile tile;
+    tile.effective_cols_ = effective.cols();
+    tile.row_n_ = row_n;
+
+    const u32 blocks = effective.cols() / kBlockSize;
+    for (u32 r = 0; r < effective.rows(); ++r) {
+        const u32 n = row_n[r];
+        VEGETA_ASSERT(n == 1 || n == 2 || n == 4,
+                      "illegal row N=", n, " (must be 1, 2, or 4)");
+        VEGETA_ASSERT(minimalRowN(effective, r) <= n ||
+                          minimalRowN(effective, r) == 0,
+                      "row ", r, " does not satisfy ", n, ":4");
+        for (u32 b = 0; b < blocks; ++b)
+            compressBlock(effective, r, b, n, kBlockSize, tile.values_,
+                          tile.indices_);
+    }
+    return tile;
+}
+
+RowWiseCompressedTile
+RowWiseCompressedTile::compressAuto(const MatrixBF16 &effective)
+{
+    std::vector<u32> row_n(effective.rows());
+    for (u32 r = 0; r < effective.rows(); ++r) {
+        u32 n = minimalRowN(effective, r);
+        row_n[r] = n == 0 ? 1 : n; // fully-zero rows stored as 1:4
+    }
+    return compress(effective, row_n);
+}
+
+MatrixBF16
+RowWiseCompressedTile::decompress() const
+{
+    MatrixBF16 dense(rows(), effective_cols_);
+    const u32 blocks = effective_cols_ / kBlockSize;
+    u32 cursor = 0;
+    for (u32 r = 0; r < rows(); ++r) {
+        const u32 n = row_n_[r];
+        for (u32 b = 0; b < blocks; ++b) {
+            for (u32 v = 0; v < n; ++v) {
+                u32 pos = indices_[cursor];
+                dense.at(r, b * kBlockSize + pos) = values_[cursor];
+                ++cursor;
+            }
+        }
+    }
+    return dense;
+}
+
+u32
+RowWiseCompressedTile::valuesInRow(u32 r) const
+{
+    return row_n_.at(r) * (effective_cols_ / kBlockSize);
+}
+
+u32
+RowWiseCompressedTile::rowOffset(u32 r) const
+{
+    VEGETA_ASSERT(r < rows(), "row out of range");
+    u32 offset = 0;
+    for (u32 i = 0; i < r; ++i)
+        offset += valuesInRow(i);
+    return offset;
+}
+
+u32
+RowWiseCompressedTile::totalValues() const
+{
+    return static_cast<u32>(values_.size());
+}
+
+BF16
+RowWiseCompressedTile::value(u32 linear) const
+{
+    VEGETA_ASSERT(linear < values_.size(), "value index out of range");
+    return values_[linear];
+}
+
+u32
+RowWiseCompressedTile::index(u32 linear) const
+{
+    VEGETA_ASSERT(linear < indices_.size(), "index out of range");
+    return indices_[linear];
+}
+
+std::vector<u8>
+RowWiseCompressedTile::packMetadata() const
+{
+    return pack2Bit(indices_);
+}
+
+u32
+RowWiseCompressedTile::encodeRowN(u32 n)
+{
+    switch (n) {
+      case 1:
+        return 0;
+      case 2:
+        return 1;
+      case 4:
+        return 2;
+      default:
+        VEGETA_PANIC("illegal row N=", n);
+    }
+}
+
+u32
+RowWiseCompressedTile::decodeRowN(u32 code)
+{
+    switch (code) {
+      case 0:
+        return 1;
+      case 1:
+        return 2;
+      case 2:
+        return 4;
+      default:
+        VEGETA_PANIC("illegal row-N code=", code);
+    }
+}
+
+std::vector<u8>
+RowWiseCompressedTile::packRowDescriptors() const
+{
+    std::vector<u8> codes;
+    codes.reserve(row_n_.size());
+    for (u32 n : row_n_)
+        codes.push_back(static_cast<u8>(encodeRowN(n)));
+    return pack2Bit(codes);
+}
+
+RowWiseCompressedTile
+RowWiseCompressedTile::fromRaw(const std::vector<BF16> &values,
+                               const std::vector<u8> &metadata,
+                               const std::vector<u8> &row_desc, u32 rows,
+                               u32 effective_cols)
+{
+    RowWiseCompressedTile tile;
+    tile.effective_cols_ = effective_cols;
+    auto codes = unpack2Bit(row_desc, rows);
+    tile.row_n_.reserve(rows);
+    for (u8 code : codes)
+        tile.row_n_.push_back(decodeRowN(code));
+
+    u32 total = 0;
+    for (u32 r = 0; r < rows; ++r)
+        total += tile.valuesInRow(r);
+    VEGETA_ASSERT(values.size() >= total, "value stream too short: ",
+                  values.size(), " < ", total);
+    tile.values_.assign(values.begin(), values.begin() + total);
+    tile.indices_ = unpack2Bit(metadata, total);
+    return tile;
+}
+
+} // namespace vegeta

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Compressed representations of N:M sparse tiles (paper Figure 2).
+ *
+ * A compressed tile stores, per row, exactly N non-zero values per block
+ * of M, plus a 2-bit (log2 M-bit) index per stored value giving its
+ * position inside its block.  Blocks with fewer than N non-zeros are
+ * padded with explicit zero values at unused positions so the layout is
+ * fixed-size -- exactly what the mreg / treg pairing of the VEGETA ISA
+ * requires (Section IV-A).
+ *
+ * Two layouts are provided:
+ *  - CompressedTile: uniform N:M over the whole tile (TILE_SPMM_U/V).
+ *  - RowWiseCompressedTile: per-row N in {1, 2, 4} with linear packing
+ *    (TILE_SPMM_R, Section V-E).
+ */
+
+#ifndef VEGETA_SPARSITY_COMPRESSED_TILE_HPP
+#define VEGETA_SPARSITY_COMPRESSED_TILE_HPP
+
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "sparsity/nm_pattern.hpp"
+
+namespace vegeta {
+
+/**
+ * A tile compressed with uniform N:M structured sparsity.
+ *
+ * The detailed VEGETA design fixes M = 4 (2-bit indices fitting the
+ * 128 B mreg); the library supports any power-of-two M up to 16 so the
+ * Section IV-C / V-D block-size generalization can be studied -- the
+ * packed metadata simply grows to log2(M) bits per value, which for a
+ * full treg tile at M = 16 needs a 256 B metadata register.
+ */
+class CompressedTile
+{
+  public:
+    /**
+     * Compress a dense effective tile that satisfies pattern N:M.
+     * @param effective rows x (blocks * M) dense matrix
+     * @param pattern the N:M pattern the tile satisfies
+     */
+    static CompressedTile compress(const MatrixBF16 &effective,
+                                   NMPattern pattern);
+
+    /** Reconstruct the dense effective tile. */
+    MatrixBF16 decompress() const;
+
+    NMPattern pattern() const { return pattern_; }
+    u32 rows() const { return rows_; }
+    u32 blocksPerRow() const { return blocks_per_row_; }
+    u32 effectiveCols() const { return blocks_per_row_ * pattern_.m; }
+    /** Stored (compressed) values per row: blocksPerRow * N. */
+    u32 valuesPerRow() const { return blocks_per_row_ * pattern_.n; }
+
+    /** Stored value v of row r. */
+    BF16 value(u32 r, u32 v) const;
+    /** In-block position (0..M-1) of stored value v of row r. */
+    u32 index(u32 r, u32 v) const;
+
+    /** Values as a rows x valuesPerRow matrix (what goes in the treg). */
+    const MatrixBF16 &values() const { return values_; }
+
+    /**
+     * Metadata packed log2(M) bits per value, row-major, little-endian
+     * within each byte -- the byte image loaded into an mreg by
+     * TILE_LOAD_M (128 B for a 16x32 treg tile at M = 4).
+     */
+    std::vector<u8> packMetadata() const;
+
+    /** Rebuild a tile from treg values + packed metadata. */
+    static CompressedTile fromRaw(const MatrixBF16 &values,
+                                  const std::vector<u8> &metadata,
+                                  NMPattern pattern);
+
+  private:
+    NMPattern pattern_;
+    u32 rows_ = 0;
+    u32 blocks_per_row_ = 0;
+    MatrixBF16 values_;          // rows x valuesPerRow
+    std::vector<u8> indices_;    // rows * valuesPerRow in-block positions
+};
+
+/**
+ * A tile compressed with row-wise N:M sparsity: each row r has its own
+ * N_r in {1, 2, 4} (M = 4).  Values and 2-bit indices are packed
+ * linearly row after row; an additional per-row descriptor (2 bits per
+ * row, the "extra metadata, 32x2 bits, or 8 B, at most" of Sec. IV-B)
+ * records each row's N.
+ */
+class RowWiseCompressedTile
+{
+  public:
+    /**
+     * Compress a dense effective tile of shape rows x 64 where row r
+     * satisfies rowN[r]:4 sparsity (rowN values must be legal: 1, 2, 4).
+     */
+    static RowWiseCompressedTile compress(const MatrixBF16 &effective,
+                                          const std::vector<u32> &row_n);
+
+    /**
+     * Analyze + compress in one step: pick the minimal legal N per row
+     * (fully-zero rows are stored as 1:4).
+     */
+    static RowWiseCompressedTile compressAuto(const MatrixBF16 &effective);
+
+    MatrixBF16 decompress() const;
+
+    u32 rows() const { return static_cast<u32>(row_n_.size()); }
+    u32 effectiveCols() const { return effective_cols_; }
+    u32 rowN(u32 r) const { return row_n_.at(r); }
+    const std::vector<u32> &rowNs() const { return row_n_; }
+
+    /** Stored values for row r: rowN(r) * blocksPerRow values. */
+    u32 valuesInRow(u32 r) const;
+    /** Offset of row r's first value in the linear stream. */
+    u32 rowOffset(u32 r) const;
+    /** Total stored values (512 for a full treg). */
+    u32 totalValues() const;
+
+    BF16 value(u32 linear) const;
+    u32 index(u32 linear) const;
+
+    /** Linear value stream (what goes in the treg, row-packed). */
+    const std::vector<BF16> &valueStream() const { return values_; }
+
+    /** Packed 2-bit in-block indices (mreg body). */
+    std::vector<u8> packMetadata() const;
+    /** Packed 2-bit per-row N descriptors (mreg row-descriptor ext.). */
+    std::vector<u8> packRowDescriptors() const;
+
+    /** Decode a 2-bit row descriptor code back to N (0->1, 1->2, 2->4). */
+    static u32 decodeRowN(u32 code);
+    static u32 encodeRowN(u32 n);
+
+    static RowWiseCompressedTile fromRaw(const std::vector<BF16> &values,
+                                         const std::vector<u8> &metadata,
+                                         const std::vector<u8> &row_desc,
+                                         u32 rows, u32 effective_cols);
+
+  private:
+    u32 effective_cols_ = 0;
+    std::vector<u32> row_n_;
+    std::vector<BF16> values_;
+    std::vector<u8> indices_;
+};
+
+/** Pack a stream of 2-bit codes into bytes (little-endian in each byte). */
+std::vector<u8> pack2Bit(const std::vector<u8> &codes);
+/** Unpack count 2-bit codes from bytes. */
+std::vector<u8> unpack2Bit(const std::vector<u8> &bytes, std::size_t count);
+
+/**
+ * General fixed-width code packing (1/2/4/8 bits per code,
+ * little-endian within each byte) -- used by block sizes M > 4, whose
+ * in-block positions need log2(M) bits each (Section IV-C).
+ */
+std::vector<u8> packCodes(const std::vector<u8> &codes, u32 bits);
+std::vector<u8> unpackCodes(const std::vector<u8> &bytes,
+                            std::size_t count, u32 bits);
+
+/** Metadata bits per stored value for block size m (log2(m)). */
+u32 indexBitsForBlockSize(u32 m);
+
+} // namespace vegeta
+
+#endif // VEGETA_SPARSITY_COMPRESSED_TILE_HPP

@@ -1,0 +1,106 @@
+#include "sparsity/nm_pattern.hpp"
+
+#include <algorithm>
+
+namespace vegeta {
+
+std::string
+NMPattern::toString() const
+{
+    return std::to_string(n) + ":" + std::to_string(m);
+}
+
+NMPattern
+pattern44()
+{
+    return {4, 4};
+}
+
+NMPattern
+pattern24()
+{
+    return {2, 4};
+}
+
+NMPattern
+pattern14()
+{
+    return {1, 4};
+}
+
+std::vector<u32>
+legalRowN(u32 m)
+{
+    VEGETA_ASSERT(m >= 1 && (m & (m - 1)) == 0,
+                  "block size must be a power of two, got ", m);
+    std::vector<u32> out;
+    for (u32 n = 1; n <= m; n <<= 1)
+        out.push_back(n);
+    return out;
+}
+
+u32
+roundUpToLegalN(u32 n, u32 m)
+{
+    VEGETA_ASSERT(n <= m, "cannot cover ", n, " non-zeros with block size ",
+                  m);
+    if (n == 0)
+        return 0;
+    u32 legal = 1;
+    while (legal < n)
+        legal <<= 1;
+    return legal;
+}
+
+u32
+blockNonZeros(const MatrixBF16 &mat, u32 r, u32 b, u32 m)
+{
+    u32 nnz = 0;
+    for (u32 e = 0; e < m; ++e)
+        if (!mat.at(r, b * m + e).isZero())
+            ++nnz;
+    return nnz;
+}
+
+u32
+minimalRowN(const MatrixBF16 &mat, u32 r, u32 m)
+{
+    VEGETA_ASSERT(mat.cols() % m == 0, "matrix width ", mat.cols(),
+                  " not a multiple of block size ", m);
+    u32 worst = 0;
+    for (u32 b = 0; b < mat.cols() / m; ++b)
+        worst = std::max(worst, blockNonZeros(mat, r, b, m));
+    return roundUpToLegalN(worst, m);
+}
+
+bool
+satisfiesNM(const MatrixBF16 &mat, NMPattern pattern)
+{
+    if (mat.cols() % pattern.m != 0)
+        return false;
+    for (u32 r = 0; r < mat.rows(); ++r)
+        for (u32 b = 0; b < mat.cols() / pattern.m; ++b)
+            if (blockNonZeros(mat, r, b, pattern.m) > pattern.n)
+                return false;
+    return true;
+}
+
+u32
+minimalMatrixN(const MatrixBF16 &mat, u32 m)
+{
+    u32 worst = 0;
+    for (u32 r = 0; r < mat.rows(); ++r)
+        worst = std::max(worst, minimalRowN(mat, r, m));
+    return worst;
+}
+
+std::vector<u32>
+rowNProfile(const MatrixBF16 &mat, u32 m)
+{
+    std::vector<u32> profile(mat.rows());
+    for (u32 r = 0; r < mat.rows(); ++r)
+        profile[r] = minimalRowN(mat, r, m);
+    return profile;
+}
+
+} // namespace vegeta

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * N:M structured-sparsity patterns and pattern analysis.
+ *
+ * An N:M pattern means every aligned block of M consecutive elements
+ * (along a row) holds at most N non-zeros (Section II-C of the paper).
+ * VEGETA's detailed design uses M = 4 with N in {1, 2, 4}; the analysis
+ * here is written for general power-of-two N <= M so the "Flexibility in
+ * the Block Size M" discussion (Sections IV-C / V-D) is covered too.
+ */
+
+#ifndef VEGETA_SPARSITY_NM_PATTERN_HPP
+#define VEGETA_SPARSITY_NM_PATTERN_HPP
+
+#include <string>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace vegeta {
+
+/** An N:M structured sparsity pattern. */
+struct NMPattern
+{
+    u32 n = 4; ///< max non-zeros per block
+    u32 m = 4; ///< block size
+
+    bool operator==(const NMPattern &) const = default;
+
+    /** Fraction of elements guaranteed zero (1 - N/M). */
+    double guaranteedSparsity() const { return 1.0 - double(n) / m; }
+
+    /** Density upper bound N/M. */
+    double density() const { return double(n) / m; }
+
+    std::string toString() const;
+};
+
+/** The three patterns of VEGETA's detailed M=4 design. */
+inline constexpr u32 kBlockSize = 4;
+
+NMPattern pattern44();
+NMPattern pattern24();
+NMPattern pattern14();
+
+/**
+ * Legal per-row N values for block size m: powers of two up to m
+ * (1, 2, 4 for m = 4).  These are the patterns the SPE muxing can map
+ * (Figure 11 shows 4:4 -> SPE-1-4 column, 2:4 -> SPE-2-2, 1:4 -> SPE-4-1).
+ */
+std::vector<u32> legalRowN(u32 m = kBlockSize);
+
+/** Round n up to the next legal per-row N for block size m. */
+u32 roundUpToLegalN(u32 n, u32 m = kBlockSize);
+
+/** Number of non-zeros in block b (size m) of row r. */
+u32 blockNonZeros(const MatrixBF16 &mat, u32 r, u32 b, u32 m = kBlockSize);
+
+/**
+ * Minimal legal N such that row r satisfies N:m, i.e. the max block
+ * non-zero count rounded up to a legal N.  A fully-zero row reports 0;
+ * callers decide whether 0 is usable (skipped row) or must be promoted.
+ */
+u32 minimalRowN(const MatrixBF16 &mat, u32 r, u32 m = kBlockSize);
+
+/** True iff every block of every row has at most pattern.n non-zeros. */
+bool satisfiesNM(const MatrixBF16 &mat, NMPattern pattern);
+
+/** Minimal legal N covering all rows of the matrix ("layer-wise" N). */
+u32 minimalMatrixN(const MatrixBF16 &mat, u32 m = kBlockSize);
+
+/** Per-row minimal legal N for all rows. */
+std::vector<u32> rowNProfile(const MatrixBF16 &mat, u32 m = kBlockSize);
+
+} // namespace vegeta
+
+#endif // VEGETA_SPARSITY_NM_PATTERN_HPP

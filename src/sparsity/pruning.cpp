@@ -1,0 +1,85 @@
+#include "sparsity/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vegeta {
+
+MatrixBF16
+magnitudePruneNM(const MatrixBF16 &dense, NMPattern pattern)
+{
+    VEGETA_ASSERT(dense.cols() % pattern.m == 0,
+                  "width not a multiple of M");
+    MatrixBF16 pruned(dense.rows(), dense.cols());
+    const u32 blocks = dense.cols() / pattern.m;
+    std::vector<u32> order(pattern.m);
+    for (u32 r = 0; r < dense.rows(); ++r) {
+        for (u32 b = 0; b < blocks; ++b) {
+            for (u32 e = 0; e < pattern.m; ++e)
+                order[e] = e;
+            std::stable_sort(order.begin(), order.end(),
+                             [&](u32 x, u32 y) {
+                                 float ax = std::fabs(
+                                     dense.at(r, b * pattern.m + x)
+                                         .toFloat());
+                                 float ay = std::fabs(
+                                     dense.at(r, b * pattern.m + y)
+                                         .toFloat());
+                                 return ax > ay;
+                             });
+            for (u32 k = 0; k < pattern.n; ++k) {
+                u32 e = order[k];
+                pruned.at(r, b * pattern.m + e) =
+                    dense.at(r, b * pattern.m + e);
+            }
+        }
+    }
+    return pruned;
+}
+
+MatrixBF16
+maskUnstructuredExact(const MatrixBF16 &dense, double degree, Rng &rng)
+{
+    VEGETA_ASSERT(degree >= 0.0 && degree <= 1.0, "degree out of [0,1]: ",
+                  degree);
+    const u32 total = dense.rows() * dense.cols();
+    const u32 zeros = static_cast<u32>(
+        std::llround(degree * static_cast<double>(total)));
+    auto positions = rng.choose(total, zeros);
+
+    MatrixBF16 masked = dense;
+    for (u32 p : positions) {
+        u32 r = p / dense.cols();
+        u32 c = p % dense.cols();
+        masked.at(r, c) = BF16(0.0f);
+    }
+    return masked;
+}
+
+MatrixBF16
+maskUnstructuredBernoulli(const MatrixBF16 &dense, double degree, Rng &rng)
+{
+    VEGETA_ASSERT(degree >= 0.0 && degree <= 1.0, "degree out of [0,1]: ",
+                  degree);
+    MatrixBF16 masked = dense;
+    for (u32 r = 0; r < dense.rows(); ++r)
+        for (u32 c = 0; c < dense.cols(); ++c)
+            if (rng.nextBool(degree))
+                masked.at(r, c) = BF16(0.0f);
+    return masked;
+}
+
+MatrixBF16
+randomNMMatrix(u32 rows, u32 cols, NMPattern pattern, Rng &rng)
+{
+    return magnitudePruneNM(randomMatrixBF16(rows, cols, rng), pattern);
+}
+
+MatrixBF16
+randomUnstructuredMatrix(u32 rows, u32 cols, double degree, Rng &rng)
+{
+    return maskUnstructuredExact(randomMatrixBF16(rows, cols, rng), degree,
+                                 rng);
+}
+
+} // namespace vegeta

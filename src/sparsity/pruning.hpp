@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Weight pruning and synthetic sparsity generation.
+ *
+ * The paper evaluates DNN layers pruned to 1:4 / 2:4 / 4:4 structured
+ * sparsity (Section VI-B) and layers with "random and unstructured
+ * sparsity of varying degrees" (Section VI-E).  magnitudePruneNM
+ * implements the standard magnitude-based N:M pruning used by N:M
+ * sparsity work [52], [55]; maskUnstructured produces Bernoulli or
+ * exact-count random masks.
+ */
+
+#ifndef VEGETA_SPARSITY_PRUNING_HPP
+#define VEGETA_SPARSITY_PRUNING_HPP
+
+#include "numerics/matrix.hpp"
+#include "sparsity/nm_pattern.hpp"
+
+namespace vegeta {
+
+/**
+ * Magnitude-prune each aligned block of M to keep its N largest-|v|
+ * elements (ties broken toward lower position, deterministically).
+ * The result satisfies pattern N:M by construction.
+ */
+MatrixBF16 magnitudePruneNM(const MatrixBF16 &dense, NMPattern pattern);
+
+/**
+ * Zero out a uniformly random subset so that exactly
+ * round(degree * size) entries become zero.  Deterministic given rng.
+ */
+MatrixBF16 maskUnstructuredExact(const MatrixBF16 &dense, double degree,
+                                 Rng &rng);
+
+/** Zero each entry independently with probability degree (Bernoulli). */
+MatrixBF16 maskUnstructuredBernoulli(const MatrixBF16 &dense, double degree,
+                                     Rng &rng);
+
+/** Random matrix already pruned to N:M (generate + prune convenience). */
+MatrixBF16 randomNMMatrix(u32 rows, u32 cols, NMPattern pattern, Rng &rng);
+
+/** Random matrix with exact unstructured sparsity degree. */
+MatrixBF16 randomUnstructuredMatrix(u32 rows, u32 cols, double degree,
+                                    Rng &rng);
+
+} // namespace vegeta
+
+#endif // VEGETA_SPARSITY_PRUNING_HPP

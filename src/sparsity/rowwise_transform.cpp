@@ -1,0 +1,295 @@
+#include "sparsity/rowwise_transform.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace vegeta {
+
+namespace {
+
+/**
+ * Minimal covering N of row r restricted to columns
+ * [c0, c0 + width) (0 means the chunk row is entirely zero).
+ */
+u32
+chunkRowN(const MatrixBF16 &mat, u32 r, u32 c0, u32 width)
+{
+    u32 worst = 0;
+    for (u32 b = 0; b < width / kBlockSize; ++b) {
+        u32 nnz = 0;
+        for (u32 e = 0; e < kBlockSize; ++e)
+            if (!mat.at(r, c0 + b * kBlockSize + e).isZero())
+                ++nnz;
+        worst = std::max(worst, nnz);
+    }
+    return roundUpToLegalN(worst, kBlockSize);
+}
+
+/**
+ * Group rows (already in processing order) into equal-N runs subject to
+ * the alignment rule of Section V-E: a 1:4 group needs 4 consecutive
+ * rows that are all 1:4-coverable, a 2:4 group needs 2 consecutive rows
+ * that are 2:4-coverable; anything else is promoted to 4:4.  Greedy,
+ * most-sparse-first at each position.
+ */
+void
+applyGroupingInPlace(std::vector<u32> &n)
+{
+    const u32 rows = static_cast<u32>(n.size());
+    u32 r = 0;
+    while (r < rows) {
+        bool quad_ok = r + 4 <= rows;
+        for (u32 i = 0; quad_ok && i < 4; ++i)
+            quad_ok = n[r + i] <= 1;
+        if (quad_ok) {
+            for (u32 i = 0; i < 4; ++i)
+                n[r + i] = 1;
+            r += 4;
+            continue;
+        }
+        bool pair_ok = r + 2 <= rows && n[r] <= 2 && n[r + 1] <= 2;
+        if (pair_ok) {
+            n[r] = n[r + 1] = 2;
+            r += 2;
+            continue;
+        }
+        n[r] = 4;
+        r += 1;
+    }
+}
+
+} // namespace
+
+const char *
+granularityName(SparsityGranularity g)
+{
+    switch (g) {
+      case SparsityGranularity::Dense:
+        return "dense";
+      case SparsityGranularity::LayerWise:
+        return "layer-wise";
+      case SparsityGranularity::TileWise:
+        return "tile-wise";
+      case SparsityGranularity::PseudoRowWise:
+        return "pseudo-row-wise";
+      case SparsityGranularity::RowWise:
+        return "row-wise";
+    }
+    VEGETA_PANIC("unknown granularity");
+}
+
+std::vector<std::vector<u32>>
+assignCoveringN(const MatrixBF16 &mat, SparsityGranularity g,
+                TileGeometry geom, bool allow_empty_skip)
+{
+    VEGETA_ASSERT(geom.colTile % kBlockSize == 0,
+                  "column tile must be a multiple of M");
+    VEGETA_ASSERT(mat.cols() % geom.colTile == 0, "matrix width ",
+                  mat.cols(), " not a multiple of column tile ",
+                  geom.colTile);
+    const u32 col_tiles = mat.cols() / geom.colTile;
+    const u32 rows = mat.rows();
+
+    // Raw minimal per-(column tile, row) covering N.
+    std::vector<std::vector<u32>> minimal(col_tiles,
+                                          std::vector<u32>(rows, 0));
+    for (u32 t = 0; t < col_tiles; ++t)
+        for (u32 r = 0; r < rows; ++r)
+            minimal[t][r] = chunkRowN(mat, r, t * geom.colTile,
+                                      geom.colTile);
+
+    std::vector<std::vector<u32>> assigned = minimal;
+
+    auto promote_empty = [&](u32 value) {
+        for (auto &per_tile : assigned)
+            for (auto &x : per_tile)
+                if (x == 0)
+                    x = value;
+    };
+
+    switch (g) {
+      case SparsityGranularity::Dense: {
+        for (auto &per_tile : assigned)
+            std::fill(per_tile.begin(), per_tile.end(), kBlockSize);
+        break;
+      }
+      case SparsityGranularity::LayerWise: {
+        u32 layer_n = 0;
+        for (const auto &per_tile : minimal)
+            for (u32 x : per_tile)
+                layer_n = std::max(layer_n, x);
+        if (layer_n == 0)
+            layer_n = 1;
+        for (auto &per_tile : assigned)
+            std::fill(per_tile.begin(), per_tile.end(), layer_n);
+        break;
+      }
+      case SparsityGranularity::TileWise: {
+        for (u32 t = 0; t < col_tiles; ++t) {
+            for (u32 r0 = 0; r0 < rows; r0 += geom.rowTile) {
+                const u32 r1 = std::min(rows, r0 + geom.rowTile);
+                u32 tile_n = 0;
+                for (u32 r = r0; r < r1; ++r)
+                    tile_n = std::max(tile_n, minimal[t][r]);
+                if (tile_n == 0 && !allow_empty_skip)
+                    tile_n = 1;
+                for (u32 r = r0; r < r1; ++r)
+                    assigned[t][r] = tile_n;
+            }
+        }
+        break;
+      }
+      case SparsityGranularity::PseudoRowWise: {
+        if (!allow_empty_skip)
+            promote_empty(1);
+        for (auto &per_tile : assigned)
+            applyGroupingInPlace(per_tile);
+        break;
+      }
+      case SparsityGranularity::RowWise: {
+        if (!allow_empty_skip)
+            promote_empty(1);
+        // Reordering: grouping applied to the sorted row order.  Since
+        // the rows can be permuted arbitrarily, sorting by N and then
+        // grouping yields the minimal promotions; we then map the
+        // grouped Ns back to the original rows (cost is order
+        // independent).
+        for (auto &per_tile : assigned) {
+            std::vector<u32> order(per_tile.size());
+            for (u32 i = 0; i < order.size(); ++i)
+                order[i] = i;
+            std::stable_sort(order.begin(), order.end(),
+                             [&](u32 x, u32 y) {
+                                 return per_tile[x] < per_tile[y];
+                             });
+            std::vector<u32> sorted(per_tile.size());
+            for (u32 i = 0; i < order.size(); ++i)
+                sorted[i] = per_tile[order[i]];
+            applyGroupingInPlace(sorted);
+            for (u32 i = 0; i < order.size(); ++i)
+                per_tile[order[i]] = sorted[i];
+        }
+        break;
+      }
+    }
+
+    // Losslessness invariant: assigned N always covers the minimum.
+    for (u32 t = 0; t < col_tiles; ++t)
+        for (u32 r = 0; r < rows; ++r)
+            VEGETA_ASSERT(assigned[t][r] >= minimal[t][r],
+                          "assignment lost coverage at tile ", t, " row ",
+                          r);
+    return assigned;
+}
+
+u64
+assignmentWork(const std::vector<std::vector<u32>> &assignment)
+{
+    u64 work = 0;
+    for (const auto &per_tile : assignment)
+        for (u32 n : per_tile)
+            work += n;
+    return work;
+}
+
+u64
+denseWork(const MatrixBF16 &mat, TileGeometry geom)
+{
+    const u64 col_tiles = mat.cols() / geom.colTile;
+    return col_tiles * mat.rows() * kBlockSize;
+}
+
+double
+granularitySpeedup(const MatrixBF16 &mat, SparsityGranularity g,
+                   TileGeometry geom, bool allow_empty_skip)
+{
+    auto assignment = assignCoveringN(mat, g, geom, allow_empty_skip);
+    const u64 work = assignmentWork(assignment);
+    const u64 dense = denseWork(mat, geom);
+    VEGETA_ASSERT(work > 0, "assignment has zero work");
+    return static_cast<double>(dense) / static_cast<double>(work);
+}
+
+RowWiseCompressedTile
+transformChunkToRowWise(const MatrixBF16 &chunk)
+{
+    return RowWiseCompressedTile::compressAuto(chunk);
+}
+
+std::vector<std::pair<u32, u32>>
+partitionRowsByNBudget(const std::vector<u32> &row_n, u32 n_budget)
+{
+    std::vector<std::pair<u32, u32>> ranges;
+    u32 begin = 0;
+    u32 sum = 0;
+    for (u32 r = 0; r < row_n.size(); ++r) {
+        VEGETA_ASSERT(row_n[r] >= 1 && row_n[r] <= n_budget,
+                      "row N out of range: ", row_n[r]);
+        if (sum + row_n[r] > n_budget) {
+            ranges.emplace_back(begin, r);
+            begin = r;
+            sum = 0;
+        }
+        sum += row_n[r];
+    }
+    if (begin < row_n.size())
+        ranges.emplace_back(begin, static_cast<u32>(row_n.size()));
+    return ranges;
+}
+
+double
+rowWiseSpeedupForBlockSize(const MatrixBF16 &mat, u32 m)
+{
+    // N is assigned per engine-tile-wide column chunk (WA = M * Nrows
+    // = 16 * M effective columns, Section V-E), matching what one
+    // TILE_SPMM_R instruction covers.
+    const u32 chunk_cols = m * 16;
+    VEGETA_ASSERT(mat.cols() % chunk_cols == 0, "matrix width ",
+                  mat.cols(), " not a multiple of the engine tile "
+                  "width ", chunk_cols);
+    u64 covered = 0;
+    for (u32 t = 0; t < mat.cols() / chunk_cols; ++t) {
+        for (u32 r = 0; r < mat.rows(); ++r) {
+            u32 worst = 0;
+            for (u32 b = 0; b < 16; ++b) {
+                u32 nnz = 0;
+                for (u32 e = 0; e < m; ++e)
+                    if (!mat.at(r, t * chunk_cols + b * m + e).isZero())
+                        ++nnz;
+                worst = std::max(worst, nnz);
+            }
+            u32 n = roundUpToLegalN(worst, m);
+            if (n == 0)
+                n = 1; // empty chunk rows still occupy a minimal slot
+            covered += n;
+        }
+    }
+    const u64 dense =
+        static_cast<u64>(mat.rows()) * (mat.cols() / chunk_cols) * m;
+    VEGETA_ASSERT(covered > 0, "degenerate coverage");
+    return static_cast<double>(dense) / static_cast<double>(covered);
+}
+
+double
+rowWiseEngineCols(const std::vector<u32> &row_n)
+{
+    std::array<u32, 3> counts = {0, 0, 0}; // N = 4, 2, 1
+    for (u32 n : row_n) {
+        switch (n) {
+          case 4:
+            ++counts[0];
+            break;
+          case 2:
+            ++counts[1];
+            break;
+          case 1:
+            ++counts[2];
+            break;
+          default:
+            VEGETA_PANIC("illegal row N=", n);
+        }
+    }
+    return counts[0] + counts[1] / 2.0 + counts[2] / 4.0;
+}
+
+} // namespace vegeta

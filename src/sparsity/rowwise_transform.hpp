@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Transforming unstructured sparsity into structured N:M sparsity at
+ * different granularities (paper Sections III-D, V-E, VI-E).
+ *
+ * Given an unstructured sparse matrix, each supported granularity picks
+ * a legal N (per row / per tile / per layer) that *covers* every
+ * non-zero, making the transformation lossless.  Smaller granularity
+ * finds tighter N and therefore more skipped work:
+ *
+ *  - LayerWise:      one N for the whole matrix (S2TA-like).
+ *  - TileWise:       one N per (rowTile x colTile) tile (enhanced S2TA).
+ *  - PseudoRowWise:  per-row N, but rows keep their natural order and
+ *                    must form aligned groups of equal N (2 rows for
+ *                    2:4, 4 rows for 1:4) -- VEGETA-S without the DMA
+ *                    reordering of Section V-E.
+ *  - RowWise:        per-row N with reordering: rows may be permuted so
+ *                    that equal-N rows group together; only leftover
+ *                    rows that cannot fill a group are promoted.
+ */
+
+#ifndef VEGETA_SPARSITY_ROWWISE_TRANSFORM_HPP
+#define VEGETA_SPARSITY_ROWWISE_TRANSFORM_HPP
+
+#include <vector>
+
+#include "sparsity/compressed_tile.hpp"
+#include "sparsity/nm_pattern.hpp"
+
+namespace vegeta {
+
+/** Sparsity granularity options compared in Figure 15. */
+enum class SparsityGranularity
+{
+    Dense,         ///< no sparsity exploitation (RASA-like)
+    LayerWise,     ///< single N:M for the whole layer (S2TA-like)
+    TileWise,      ///< N:M per tile (enhanced S2TA)
+    PseudoRowWise, ///< row-wise N:M, natural order, aligned groups
+    RowWise,       ///< row-wise N:M with row reordering
+};
+
+const char *granularityName(SparsityGranularity g);
+
+/** Geometry of the engine-facing tiles used for the assignment. */
+struct TileGeometry
+{
+    u32 rowTile = 16; ///< rows per tile (a treg holds 16 rows)
+    u32 colTile = 64; ///< effective columns per tile (M x Nrows = 64)
+};
+
+/**
+ * Per-row covering N for every (row, column-tile) of the matrix under a
+ * granularity.  result[t][r] is the N assigned to row r within column
+ * tile t.  All assignments are lossless: N >= the row's minimal
+ * covering N inside that column tile.  Rows whose chunk is entirely
+ * zero get N = 0 only if allow_empty_skip; otherwise they are assigned
+ * like 1:4 rows.
+ */
+std::vector<std::vector<u32>> assignCoveringN(const MatrixBF16 &mat,
+                                              SparsityGranularity g,
+                                              TileGeometry geom = {},
+                                              bool allow_empty_skip = false);
+
+/**
+ * Structured "work" of an assignment: the number of occupied SPU column
+ * slots, sum over rows and column tiles of N.  Engine execution time is
+ * proportional to work / (M * Ncols-equivalents); speed-ups are ratios
+ * of work (Section V-E: Ncols = N44 + N24/2 + N14/4 per engine tile).
+ */
+u64 assignmentWork(const std::vector<std::vector<u32>> &assignment);
+
+/** Dense work of the same matrix (every row costs M per column tile). */
+u64 denseWork(const MatrixBF16 &mat, TileGeometry geom = {});
+
+/**
+ * Speed-up of a granularity over dense execution of the same matrix:
+ * denseWork / assignmentWork (compute-bound engine model of Sec. VI-E).
+ */
+double granularitySpeedup(const MatrixBF16 &mat, SparsityGranularity g,
+                          TileGeometry geom = {},
+                          bool allow_empty_skip = false);
+
+/**
+ * The lossless unstructured -> row-wise N:4 transform of Section III-D
+ * applied to one effective chunk (rows x 64): returns the row-wise
+ * compressed tile covering every non-zero.  decompress() of the result
+ * equals the input with sub-N zeros stored explicitly, i.e. no non-zero
+ * is lost.
+ */
+RowWiseCompressedTile transformChunkToRowWise(const MatrixBF16 &chunk);
+
+/**
+ * Partition a row-wise-assigned chunk of R rows into engine tiles, each
+ * holding rows whose total N sums to at most budget (32 for a 512-value
+ * treg: sum of 16*N_r <= 512).  Rows are taken in the given order
+ * (callers sort by N first to model the reordered mapping).
+ * Returns the list of [begin, end) row ranges.
+ */
+std::vector<std::pair<u32, u32>>
+partitionRowsByNBudget(const std::vector<u32> &row_n, u32 n_budget = 32);
+
+/**
+ * Engine-tile column count for a group of row-wise rows
+ * (Ncols = N44 + N24/2 + N14/4, Section V-E).
+ */
+double rowWiseEngineCols(const std::vector<u32> &row_n);
+
+/**
+ * Row-wise covering speed-up for a generalized block size M = 2^m
+ * (Sections IV-C / V-D): each row is covered by its minimal legal N
+ * (powers of two up to M) and the compute-bound speed-up is
+ * sum(M) / sum(N_r).  Larger M offers finer N choices and therefore
+ * covers unstructured sparsity more tightly.
+ */
+double rowWiseSpeedupForBlockSize(const MatrixBF16 &mat, u32 m);
+
+} // namespace vegeta
+
+#endif // VEGETA_SPARSITY_ROWWISE_TRANSFORM_HPP

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Area/power/frequency model tests against the Section VI-D /
+ * Figure 14 calibration targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/area_model.hpp"
+
+namespace vegeta::engine {
+namespace {
+
+std::vector<NormalizedPhysical>
+series()
+{
+    return figure14Series(allTableIIIConfigs());
+}
+
+const NormalizedPhysical &
+row(const std::vector<NormalizedPhysical> &s, const std::string &name)
+{
+    for (const auto &r : s)
+        if (r.name == name)
+            return r;
+    ADD_FAILURE() << "missing " << name;
+    static NormalizedPhysical dummy;
+    return dummy;
+}
+
+TEST(AreaModel, BaselineNormalizesToOne)
+{
+    auto s = series();
+    EXPECT_DOUBLE_EQ(row(s, "VEGETA-D-1-1").normalizedArea, 1.0);
+    EXPECT_DOUBLE_EQ(row(s, "VEGETA-D-1-1").normalizedPower, 1.0);
+}
+
+TEST(AreaModel, WorstSparseOverheadIsAboutSixPercent)
+{
+    // "The VEGETA-S design with the largest area overhead compared
+    // with RASA-SM only causes 6% area overhead" (S-1-2).
+    auto s = series();
+    double worst = 0.0;
+    for (const auto &r : s)
+        worst = std::max(worst, r.normalizedArea);
+    EXPECT_EQ(row(s, "VEGETA-S-1-2").normalizedArea, worst);
+    EXPECT_NEAR(worst, 1.06, 0.02);
+}
+
+TEST(AreaModel, LargeAlphaSparseDesignsAreSmallerThanBaseline)
+{
+    // "VEGETA-S-8-2 and VEGETA-S-16-2 show lower area compared to
+    // RASA-SM or ... RASA-DM."
+    auto s = series();
+    const double rasa_dm = row(s, "VEGETA-D-1-2").normalizedArea;
+    EXPECT_LT(row(s, "VEGETA-S-8-2").normalizedArea, 1.0);
+    EXPECT_LT(row(s, "VEGETA-S-16-2").normalizedArea, 1.0);
+    EXPECT_LT(row(s, "VEGETA-S-16-2").normalizedArea, rasa_dm);
+}
+
+TEST(AreaModel, AreaDecreasesWithAlpha)
+{
+    auto s = series();
+    const char *order[] = {"VEGETA-S-1-2", "VEGETA-S-2-2", "VEGETA-S-4-2",
+                           "VEGETA-S-8-2", "VEGETA-S-16-2"};
+    for (int i = 1; i < 5; ++i)
+        EXPECT_LT(row(s, order[i]).normalizedArea,
+                  row(s, order[i - 1]).normalizedArea)
+            << order[i];
+}
+
+TEST(AreaModel, PowerOverheadsMatchPaperSequence)
+{
+    // Section VI-D: power overhead for VEGETA-S-alpha-2 is 17%, 8%,
+    // 4%, 3%, 1% for alpha = 1, 2, 4, 8, 16 (vs RASA-SM).  The
+    // component model reproduces the sequence within ~3 points.
+    auto s = series();
+    const struct
+    {
+        const char *name;
+        double target;
+    } expect[] = {
+        {"VEGETA-S-1-2", 1.17}, {"VEGETA-S-2-2", 1.08},
+        {"VEGETA-S-4-2", 1.04}, {"VEGETA-S-8-2", 1.03},
+        {"VEGETA-S-16-2", 1.01},
+    };
+    for (const auto &e : expect)
+        EXPECT_NEAR(row(s, e.name).normalizedPower, e.target, 0.03)
+            << e.name;
+}
+
+TEST(AreaModel, PowerDecreasesWithAlpha)
+{
+    auto s = series();
+    const char *order[] = {"VEGETA-S-1-2", "VEGETA-S-2-2", "VEGETA-S-4-2",
+                           "VEGETA-S-8-2", "VEGETA-S-16-2"};
+    for (int i = 1; i < 5; ++i)
+        EXPECT_LT(row(s, order[i]).normalizedPower,
+                  row(s, order[i - 1]).normalizedPower);
+}
+
+TEST(AreaModel, FrequencyDecreasesWithAlpha)
+{
+    // "Higher alpha limits maximum frequency due to the increased
+    // wire length for broadcasting across PUs."
+    auto s = series();
+    EXPECT_GT(row(s, "VEGETA-S-1-2").maxFrequencyGhz,
+              row(s, "VEGETA-S-2-2").maxFrequencyGhz);
+    EXPECT_GT(row(s, "VEGETA-S-2-2").maxFrequencyGhz,
+              row(s, "VEGETA-S-4-2").maxFrequencyGhz);
+    EXPECT_GT(row(s, "VEGETA-S-8-2").maxFrequencyGhz,
+              row(s, "VEGETA-S-16-2").maxFrequencyGhz);
+    EXPECT_GT(row(s, "VEGETA-D-1-1").maxFrequencyGhz,
+              row(s, "VEGETA-D-16-1").maxFrequencyGhz);
+}
+
+TEST(AreaModel, EveryDesignMeetsEvaluationClock)
+{
+    // Section VI-C: 0.5 GHz "met the timing for all matrix designs".
+    for (const auto &r : series())
+        EXPECT_GE(r.maxFrequencyGhz, kEvaluationFrequencyGhz) << r.name;
+}
+
+TEST(AreaModel, SparseMuxCostsFrequency)
+{
+    const auto dense = estimatePhysical(vegetaD12());
+    const auto sparse = estimatePhysical(vegetaS12());
+    EXPECT_GT(dense.maxFrequencyGhz, sparse.maxFrequencyGhz);
+}
+
+TEST(AreaModel, ComponentBreakdownSumsToTotal)
+{
+    for (const auto &cfg : allTableIIIConfigs()) {
+        const auto est = estimatePhysical(cfg);
+        EXPECT_NEAR(est.areaUnits,
+                    est.macArea + est.peOverheadArea +
+                        est.inputBufferArea + est.sparseExtrasArea,
+                    1e-9)
+            << cfg.name;
+        EXPECT_GT(est.macArea, 0.0);
+    }
+}
+
+TEST(AreaModel, DenseDesignsHaveNoSparseExtrasExceptReduction)
+{
+    const auto d11 = estimatePhysical(vegetaD11());
+    EXPECT_DOUBLE_EQ(d11.sparseExtrasArea, 0.0);
+    // D-1-2 has reduction adders (beta = 2) but no muxes/metadata.
+    const auto d12 = estimatePhysical(vegetaD12());
+    EXPECT_GT(d12.sparseExtrasArea, 0.0);
+    const auto s12 = estimatePhysical(vegetaS12());
+    EXPECT_GT(s12.sparseExtrasArea, d12.sparseExtrasArea);
+}
+
+} // namespace
+} // namespace vegeta::engine

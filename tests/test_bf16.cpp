@@ -1,0 +1,129 @@
+/**
+ * @file
+ * BF16 numerics tests: conversion, rounding, MAC semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "numerics/bf16.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(BF16, ExactValuesRoundTrip)
+{
+    // Values whose significand fits 8 bits survive the round trip.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 256.0f,
+                    0.15625f, -40.0f}) {
+        EXPECT_EQ(BF16(v).toFloat(), v) << v;
+    }
+}
+
+TEST(BF16, ZeroDetection)
+{
+    EXPECT_TRUE(BF16(0.0f).isZero());
+    EXPECT_TRUE(BF16(-0.0f).isZero());
+    EXPECT_FALSE(BF16(1.0f).isZero());
+    EXPECT_FALSE(BF16(1e-30f).isZero());
+}
+
+TEST(BF16, RoundToNearestEven)
+{
+    // BF16 has an 8-bit significand, so ulp(1.0) = 2^-7.
+    // 1.0 + 2^-8 is exactly between bf16(1.0) and the next value;
+    // ties go to even (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(BF16(halfway).toFloat(), 1.0f);
+
+    // Just above the halfway point rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -8) +
+                        std::ldexp(1.0f, -12);
+    EXPECT_EQ(BF16(above).toFloat(), 1.0f + std::ldexp(1.0f, -7));
+
+    // Odd significand at halfway rounds up to even.
+    const float odd = 1.0f + std::ldexp(1.0f, -7); // lsb set
+    const float odd_halfway = odd + std::ldexp(1.0f, -8);
+    EXPECT_EQ(BF16(odd_halfway).toFloat(),
+              1.0f + std::ldexp(1.0f, -6));
+}
+
+TEST(BF16, RoundingErrorBounded)
+{
+    Rng rng(1234);
+    for (int i = 0; i < 20000; ++i) {
+        const float v = rng.nextFloat(-100.0f, 100.0f);
+        const float back = BF16(v).toFloat();
+        // Relative error bounded by 2^-8 (half ulp of an 8-bit
+        // significand) for normal values.
+        if (std::fabs(v) > 1e-30f)
+            EXPECT_LE(std::fabs(back - v) / std::fabs(v),
+                      std::ldexp(1.0f, -8))
+                << v;
+    }
+}
+
+TEST(BF16, InfinityPreserved)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(BF16(inf).toFloat(), inf);
+    EXPECT_EQ(BF16(-inf).toFloat(), -inf);
+}
+
+TEST(BF16, NaNPreserved)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(BF16(nan).toFloat()));
+}
+
+TEST(BF16, LargeValuesSaturateToInfinity)
+{
+    // Rounding can push the max float over the exponent range.
+    const float huge = std::numeric_limits<float>::max();
+    const float converted = BF16(huge).toFloat();
+    EXPECT_TRUE(std::isinf(converted) || converted > 3e38f);
+}
+
+TEST(BF16, BitsAccessors)
+{
+    const BF16 one(1.0f);
+    EXPECT_EQ(one.bits(), 0x3f80);
+    EXPECT_EQ(BF16::fromBits(0x3f80), one);
+}
+
+TEST(BF16, NegativePreservesSign)
+{
+    Rng rng(77);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.nextFloat(0.001f, 50.0f);
+        EXPECT_EQ(BF16(-v).toFloat(), -BF16(v).toFloat());
+    }
+}
+
+TEST(Mac, ExactWidening)
+{
+    // BF16 x BF16 products are exact in FP32: 8-bit x 8-bit
+    // significands fit in 24 bits.
+    const BF16 a(1.5f), b(2.5f);
+    EXPECT_EQ(macBF16(0.0f, a, b), 3.75f);
+}
+
+TEST(Mac, AccumulatesInFp32)
+{
+    float acc = 0.0f;
+    for (int i = 0; i < 256; ++i)
+        acc = macBF16(acc, BF16(1.0f), BF16(1.0f));
+    EXPECT_EQ(acc, 256.0f);
+}
+
+TEST(Mac, ZeroOperandIsIdentity)
+{
+    const float acc = 41.5f;
+    EXPECT_EQ(macBF16(acc, BF16(0.0f), BF16(123.0f)), acc);
+    EXPECT_EQ(macBF16(acc, BF16(123.0f), BF16(0.0f)), acc);
+}
+
+} // namespace
+} // namespace vegeta

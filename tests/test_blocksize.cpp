@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Generalized block-size tests (paper Sections IV-C / V-D): the
+ * library supports M = 2^m up to 16 for compression, coverage
+ * analysis, and the physical model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "engine/area_model.hpp"
+#include "sparsity/compressed_tile.hpp"
+#include "sparsity/pruning.hpp"
+#include "sparsity/rowwise_transform.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(PackCodes, RoundTripAllWidths)
+{
+    for (u32 bits : {1u, 2u, 3u, 4u, 5u, 8u}) {
+        std::vector<u8> codes;
+        Rng rng(bits);
+        for (int i = 0; i < 100; ++i)
+            codes.push_back(static_cast<u8>(
+                rng.nextBelow(1ull << bits)));
+        auto bytes = packCodes(codes, bits);
+        EXPECT_EQ(bytes.size(), (codes.size() * bits + 7) / 8);
+        EXPECT_EQ(unpackCodes(bytes, codes.size(), bits), codes);
+    }
+}
+
+TEST(PackCodes, RejectsOutOfRange)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(packCodes({4}, 2), std::logic_error);
+    EXPECT_THROW(packCodes({16}, 4), std::logic_error);
+    EXPECT_THROW(packCodes({0}, 0), std::logic_error);
+    EXPECT_THROW(packCodes({0}, 9), std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(IndexBits, Log2OfBlockSize)
+{
+    EXPECT_EQ(indexBitsForBlockSize(2), 1u);
+    EXPECT_EQ(indexBitsForBlockSize(4), 2u);
+    EXPECT_EQ(indexBitsForBlockSize(8), 3u);
+    EXPECT_EQ(indexBitsForBlockSize(16), 4u);
+    setLoggingThrows(true);
+    EXPECT_THROW(indexBitsForBlockSize(6), std::logic_error);
+    EXPECT_THROW(indexBitsForBlockSize(32), std::logic_error);
+    setLoggingThrows(false);
+}
+
+/** Compression round trip for larger blocks. */
+class WideBlockRoundTrip
+    : public ::testing::TestWithParam<std::tuple<u32, u32, u64>>
+{
+};
+
+TEST_P(WideBlockRoundTrip, DecompressInvertsCompress)
+{
+    const auto [m, n, seed] = GetParam();
+    if (n > m)
+        GTEST_SKIP() << "N>M is not a pattern (combinatorial sweep)";
+    Rng rng(seed);
+    const NMPattern pattern{n, m};
+    MatrixBF16 tile = magnitudePruneNM(
+        randomMatrixBF16(16, m * 8, rng), pattern);
+    auto ct = CompressedTile::compress(tile, pattern);
+    EXPECT_EQ(ct.decompress(), tile);
+    // Metadata footprint: log2(M) bits per stored value.
+    const std::size_t stored = std::size_t{16} * 8 * n;
+    EXPECT_EQ(ct.packMetadata().size(),
+              (stored * indexBitsForBlockSize(m) + 7) / 8);
+    // fromRaw inverts the packing.
+    auto rebuilt = CompressedTile::fromRaw(ct.values(),
+                                           ct.packMetadata(), pattern);
+    EXPECT_EQ(rebuilt.decompress(), tile);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WideBlockRoundTrip,
+    ::testing::Combine(::testing::Values(8u, 16u),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u),
+                       ::testing::Values(1u, 2u)));
+
+TEST(BlockSizeCoverage, LargerMCoversTighter)
+{
+    // Section IV-C: larger M gives finer legal-N choices, so at a
+    // fixed unstructured degree the covering speed-up grows with M.
+    double means[3] = {0, 0, 0};
+    const u32 ms[3] = {4, 8, 16};
+    const int trials = 3;
+    for (int t = 0; t < trials; ++t) {
+        Rng rng(77 + t);
+        auto mat = maskUnstructuredBernoulli(
+            randomMatrixBF16(64, 1024, rng), 0.9, rng);
+        for (int i = 0; i < 3; ++i)
+            means[i] += rowWiseSpeedupForBlockSize(mat, ms[i]);
+    }
+    EXPECT_GT(means[1], means[0]);
+    EXPECT_GT(means[2], means[1]);
+}
+
+TEST(BlockSizeCoverage, MatchesGranularityAnalysisAtM4)
+{
+    // The M = 4 chunk-wise coverage equals the RowWise granularity
+    // assignment's work ratio (same 64-wide chunks, same legal N).
+    Rng rng(123);
+    auto mat = maskUnstructuredBernoulli(
+        randomMatrixBF16(64, 512, rng), 0.9, rng);
+    const double via_blocksize = rowWiseSpeedupForBlockSize(mat, 4);
+    const double via_granularity = granularitySpeedup(
+        mat, SparsityGranularity::RowWise);
+    // RowWise granularity adds grouping promotions; coverage alone is
+    // an upper bound and close to it.
+    EXPECT_GE(via_blocksize, via_granularity - 1e-9);
+    EXPECT_NEAR(via_blocksize, via_granularity,
+                0.15 * via_blocksize);
+}
+
+TEST(BlockSizePhysical, HardwareCostGrowsWithM)
+{
+    const auto cfg = engine::vegetaS22();
+    const auto m4 = engine::estimatePhysical(cfg, 4);
+    const auto m8 = engine::estimatePhysical(cfg, 8);
+    const auto m16 = engine::estimatePhysical(cfg, 16);
+    EXPECT_LT(m4.areaUnits, m8.areaUnits);
+    EXPECT_LT(m8.areaUnits, m16.areaUnits);
+    EXPECT_LT(m4.powerUnits, m8.powerUnits);
+    EXPECT_LT(m8.powerUnits, m16.powerUnits);
+    EXPECT_GT(m4.maxFrequencyGhz, m8.maxFrequencyGhz);
+    EXPECT_GT(m8.maxFrequencyGhz, m16.maxFrequencyGhz);
+}
+
+TEST(BlockSizePhysical, DenseEnginesUnaffectedByM)
+{
+    const auto cfg = engine::vegetaD12();
+    const auto m4 = engine::estimatePhysical(cfg, 4);
+    const auto m16 = engine::estimatePhysical(cfg, 16);
+    EXPECT_DOUBLE_EQ(m4.areaUnits, m16.areaUnits);
+    EXPECT_DOUBLE_EQ(m4.maxFrequencyGhz, m16.maxFrequencyGhz);
+}
+
+TEST(BlockSizePhysical, DefaultMatchesM4)
+{
+    const auto cfg = engine::vegetaS162();
+    const auto def = engine::estimatePhysical(cfg);
+    const auto m4 = engine::estimatePhysical(cfg, 4);
+    EXPECT_DOUBLE_EQ(def.areaUnits, m4.areaUnits);
+    EXPECT_DOUBLE_EQ(def.powerUnits, m4.powerUnits);
+    EXPECT_DOUBLE_EQ(def.maxFrequencyGhz, m4.maxFrequencyGhz);
+}
+
+TEST(MinimalRowN, GeneralBlockSizes)
+{
+    MatrixBF16 m(1, 16);
+    // 3 non-zeros in one 8-block -> N rounds to 4 for M = 8.
+    m.at(0, 0) = BF16(1.0f);
+    m.at(0, 3) = BF16(1.0f);
+    m.at(0, 6) = BF16(1.0f);
+    EXPECT_EQ(minimalRowN(m, 0, 8), 4u);
+    EXPECT_EQ(minimalRowN(m, 0, 16), 4u);
+    // For M = 4 the first block holds 2 -> N = 2.
+    EXPECT_EQ(minimalRowN(m, 0, 4), 2u);
+}
+
+} // namespace
+} // namespace vegeta

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cache latency-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cache.hpp"
+
+namespace vegeta::cpu {
+namespace {
+
+TEST(Cache, FirstTouchPaysL2)
+{
+    CacheModel cache;
+    EXPECT_EQ(cache.accessLine(0x1000), cache.config().l2Latency);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, ReReferenceHitsL1)
+{
+    CacheModel cache;
+    cache.accessLine(0x1000);
+    EXPECT_EQ(cache.accessLine(0x1000), cache.config().l1Latency);
+    EXPECT_EQ(cache.accessLine(0x1010), cache.config().l1Latency)
+        << "same 64 B line";
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately)
+{
+    CacheModel cache;
+    cache.accessLine(0);
+    cache.accessLine(64);
+    cache.accessLine(128);
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    CacheConfig cfg;
+    cfg.l1Sets = 1;
+    cfg.l1Ways = 2;
+    CacheModel cache(cfg);
+    cache.accessLine(0);        // miss, {0}
+    cache.accessLine(64);       // miss, {64, 0}
+    cache.accessLine(0);        // hit,  {0, 64}
+    cache.accessLine(128);      // miss, evicts 64
+    EXPECT_EQ(cache.accessLine(0), cfg.l1Latency);
+    EXPECT_EQ(cache.accessLine(64), cfg.l2Latency) << "was evicted";
+}
+
+TEST(Cache, RangeAccessTouchesEveryLine)
+{
+    CacheModel cache;
+    auto lat = cache.accessRange(0x2000, 1024);
+    EXPECT_EQ(lat.size(), 16u); // a 1 KB tile = 16 cache lines
+    for (Cycles l : lat)
+        EXPECT_EQ(l, cache.config().l2Latency);
+    // Unaligned range straddles one extra line.
+    auto lat2 = cache.accessRange(0x5020, 128);
+    EXPECT_EQ(lat2.size(), 3u);
+}
+
+TEST(Cache, ResetClearsState)
+{
+    CacheModel cache;
+    cache.accessLine(0);
+    cache.reset();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.accessLine(0), cache.config().l2Latency);
+}
+
+TEST(Cache, WorkingSetLargerThanL1Thrashes)
+{
+    CacheConfig cfg;
+    CacheModel cache(cfg);
+    const u32 lines = cfg.l1Sets * cfg.l1Ways * 2;
+    for (u32 pass = 0; pass < 2; ++pass)
+        for (u32 l = 0; l < lines; ++l)
+            cache.accessLine(static_cast<Addr>(l) * cfg.lineBytes);
+    // Sequential sweep over 2x capacity with LRU never hits.
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 2ull * lines);
+}
+
+} // namespace
+} // namespace vegeta::cpu

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the common substrate: RNG determinism, statistics, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(7);
+    std::vector<int> seen(7, 0);
+    for (int i = 0; i < 7000; ++i)
+        ++seen[rng.nextBelow(7)];
+    for (int count : seen)
+        EXPECT_GT(count, 700);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(11);
+    int trues = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        if (rng.nextBool(0.3))
+            ++trues;
+    EXPECT_NEAR(static_cast<double>(trues) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ChooseReturnsSortedDistinct)
+{
+    Rng rng(5);
+    auto picks = rng.choose(100, 30);
+    ASSERT_EQ(picks.size(), 30u);
+    for (std::size_t i = 1; i < picks.size(); ++i)
+        EXPECT_LT(picks[i - 1], picks[i]);
+    for (u32 p : picks)
+        EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, ChooseAllAndNone)
+{
+    Rng rng(5);
+    EXPECT_EQ(rng.choose(10, 10).size(), 10u);
+    EXPECT_TRUE(rng.choose(10, 0).empty());
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(9);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(ScalarStat, TracksMoments)
+{
+    ScalarStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(StatGroup, DumpAlphabetized)
+{
+    StatGroup g("core");
+    g.stat("zeta").increment();
+    g.stat("alpha").increment(2.0);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_LT(text.find("core.alpha"), text.find("core.zeta"));
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 2);
+    t.row().cell("b").cell(12LL);
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.50"), std::string::npos);
+    EXPECT_NE(text.find("12"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell("y");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Logging, AssertThrowsWhenConfigured)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(
+        { VEGETA_ASSERT(false, "intentional test failure"); },
+        std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(Logging, FormatConcatenatesArguments)
+{
+    EXPECT_EQ(detail::format("a=", 1, " b=", 2.5), "a=1 b=2.5");
+}
+
+} // namespace
+} // namespace vegeta

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Compression round-trip tests (paper Figure 2 format).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sparsity/compressed_tile.hpp"
+#include "sparsity/pruning.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(Pack2Bit, RoundTrip)
+{
+    std::vector<u8> codes{0, 1, 2, 3, 3, 2, 1, 0, 1};
+    auto bytes = pack2Bit(codes);
+    EXPECT_EQ(bytes.size(), 3u);
+    EXPECT_EQ(unpack2Bit(bytes, codes.size()), codes);
+}
+
+TEST(Pack2Bit, LittleEndianWithinByte)
+{
+    // codes 1,2,3,0 -> byte 0b00'11'10'01 = 0x39.
+    auto bytes = pack2Bit({1, 2, 3, 0});
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0x39);
+}
+
+TEST(CompressedTile, PaperFigure2Example)
+{
+    // The 8x8 2:4 example of Figure 2: values 1..32 at positions that
+    // mirror the figure's indexes.
+    MatrixBF16 tile(8, 8);
+    const u32 positions[8][4] = {
+        // per row: in-block positions of the two nz per block
+        {0, 3, 0, 2}, {1, 2, 0, 1}, {2, 3, 0, 1}, {2, 3, 0, 3},
+        {0, 2, 0, 3}, {0, 3, 0, 2}, {0, 3, 1, 2}, {0, 3, 2, 3},
+    };
+    float next = 1.0f;
+    for (u32 r = 0; r < 8; ++r) {
+        tile.at(r, positions[r][0]) = BF16(next++);
+        tile.at(r, positions[r][1]) = BF16(next++);
+        tile.at(r, 4 + positions[r][2]) = BF16(next++);
+        tile.at(r, 4 + positions[r][3]) = BF16(next++);
+    }
+
+    auto ct = CompressedTile::compress(tile, pattern24());
+    EXPECT_EQ(ct.rows(), 8u);
+    EXPECT_EQ(ct.blocksPerRow(), 2u);
+    EXPECT_EQ(ct.valuesPerRow(), 4u);
+    // Non-zero values appear in order 1..32.
+    float expect = 1.0f;
+    for (u32 r = 0; r < 8; ++r)
+        for (u32 v = 0; v < 4; ++v)
+            EXPECT_EQ(ct.value(r, v).toFloat(), expect++);
+    // Round trip.
+    EXPECT_EQ(ct.decompress(), tile);
+}
+
+TEST(CompressedTile, PadsSparseBlocksWithZeros)
+{
+    MatrixBF16 tile(1, 4);
+    tile.at(0, 2) = BF16(5.0f); // one nz, compressed as 2:4
+    auto ct = CompressedTile::compress(tile, pattern24());
+    EXPECT_EQ(ct.valuesPerRow(), 2u);
+    EXPECT_EQ(ct.value(0, 0).toFloat(), 5.0f);
+    EXPECT_TRUE(ct.value(0, 1).isZero());
+    EXPECT_EQ(ct.decompress(), tile);
+}
+
+TEST(CompressedTile, MetadataImageSizeForTregTile)
+{
+    Rng rng(1);
+    // A 16x64 effective 2:4 tile -> 16x32 stored values, 128 B meta.
+    MatrixBF16 tile = randomNMMatrix(16, 64, pattern24(), rng);
+    auto ct = CompressedTile::compress(tile, pattern24());
+    EXPECT_EQ(ct.values().rows(), 16u);
+    EXPECT_EQ(ct.values().cols(), 32u);
+    EXPECT_EQ(ct.packMetadata().size(), 128u);
+}
+
+TEST(CompressedTile, FromRawInvertsPackMetadata)
+{
+    Rng rng(2);
+    MatrixBF16 tile = randomNMMatrix(16, 128, pattern14(), rng);
+    auto ct = CompressedTile::compress(tile, pattern14());
+    auto rebuilt = CompressedTile::fromRaw(ct.values(),
+                                           ct.packMetadata(),
+                                           pattern14());
+    EXPECT_EQ(rebuilt.decompress(), tile);
+}
+
+TEST(CompressedTile, RejectsViolatingTile)
+{
+    setLoggingThrows(true);
+    Rng rng(3);
+    MatrixBF16 dense = randomMatrixBF16(4, 8, rng);
+    EXPECT_THROW(CompressedTile::compress(dense, pattern24()),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+/** Round-trip property over patterns and seeds. */
+class CompressRoundTrip
+    : public ::testing::TestWithParam<std::tuple<u32, u64>>
+{
+};
+
+TEST_P(CompressRoundTrip, DecompressInvertsCompress)
+{
+    const auto [n, seed] = GetParam();
+    Rng rng(seed);
+    const NMPattern pattern{n, 4};
+    const u32 effective_cols = 32 * 4 / n;
+    MatrixBF16 tile = randomNMMatrix(16, effective_cols, pattern, rng);
+    auto ct = CompressedTile::compress(tile, pattern);
+    EXPECT_EQ(ct.decompress(), tile);
+    // Stored footprint is always one treg worth of values.
+    EXPECT_EQ(ct.values().cols() * ct.rows(), 512u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u),
+                       ::testing::Values(10u, 11u, 12u, 13u, 14u, 15u,
+                                         16u, 17u)));
+
+TEST(RowWiseCompressedTile, AutoPicksMinimalN)
+{
+    MatrixBF16 tile(3, 64);
+    tile.at(0, 0) = BF16(1.0f);                      // 1:4 row
+    tile.at(1, 0) = BF16(1.0f);
+    tile.at(1, 1) = BF16(2.0f);                      // 2:4 row
+    for (u32 c = 0; c < 4; ++c)
+        tile.at(2, c) = BF16(static_cast<float>(c)); // wait: c=0 is 0.0
+    tile.at(2, 0) = BF16(9.0f);                      // make it 4 nz
+    auto rwt = RowWiseCompressedTile::compressAuto(tile);
+    EXPECT_EQ(rwt.rowN(0), 1u);
+    EXPECT_EQ(rwt.rowN(1), 2u);
+    EXPECT_EQ(rwt.rowN(2), 4u);
+    EXPECT_EQ(rwt.decompress(), tile);
+}
+
+TEST(RowWiseCompressedTile, ZeroRowStoredAsOneFour)
+{
+    MatrixBF16 tile(2, 64);
+    tile.at(1, 5) = BF16(2.0f);
+    auto rwt = RowWiseCompressedTile::compressAuto(tile);
+    EXPECT_EQ(rwt.rowN(0), 1u);
+    EXPECT_EQ(rwt.valuesInRow(0), 16u);
+    EXPECT_EQ(rwt.decompress(), tile);
+}
+
+TEST(RowWiseCompressedTile, RowOffsetsAndTotals)
+{
+    MatrixBF16 tile(3, 64);
+    tile.at(0, 0) = BF16(1.0f);
+    tile.at(1, 0) = BF16(1.0f);
+    tile.at(1, 1) = BF16(1.0f);
+    tile.at(2, 0) = BF16(1.0f);
+    auto rwt = RowWiseCompressedTile::compress(tile, {1, 2, 4});
+    EXPECT_EQ(rwt.rowOffset(0), 0u);
+    EXPECT_EQ(rwt.rowOffset(1), 16u);
+    EXPECT_EQ(rwt.rowOffset(2), 48u);
+    EXPECT_EQ(rwt.totalValues(), 16u + 32u + 64u);
+}
+
+TEST(RowWiseCompressedTile, RowDescriptorCodes)
+{
+    EXPECT_EQ(RowWiseCompressedTile::encodeRowN(1), 0u);
+    EXPECT_EQ(RowWiseCompressedTile::encodeRowN(2), 1u);
+    EXPECT_EQ(RowWiseCompressedTile::encodeRowN(4), 2u);
+    for (u32 n : {1u, 2u, 4u})
+        EXPECT_EQ(RowWiseCompressedTile::decodeRowN(
+                      RowWiseCompressedTile::encodeRowN(n)),
+                  n);
+}
+
+TEST(RowWiseCompressedTile, FromRawRoundTrip)
+{
+    Rng rng(20);
+    // Build a full-treg tile: 8 rows of 4:4 -> 512 values.
+    MatrixBF16 tile = randomMatrixBF16(8, 64, rng);
+    auto rwt = RowWiseCompressedTile::compressAuto(tile);
+    ASSERT_EQ(rwt.totalValues(), 512u);
+    auto rebuilt = RowWiseCompressedTile::fromRaw(
+        rwt.valueStream(), rwt.packMetadata(), rwt.packRowDescriptors(),
+        rwt.rows(), rwt.effectiveCols());
+    EXPECT_EQ(rebuilt.decompress(), tile);
+}
+
+/** Row-wise round trip on random unstructured chunks. */
+class RowWiseRoundTrip : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(RowWiseRoundTrip, LosslessOnUnstructured)
+{
+    Rng rng(GetParam());
+    MatrixBF16 chunk = randomUnstructuredMatrix(24, 64, 0.9, rng);
+    auto rwt = RowWiseCompressedTile::compressAuto(chunk);
+    MatrixBF16 back = rwt.decompress();
+    // Every non-zero of the original survives (lossless transform,
+    // Section III-D).
+    EXPECT_EQ(back, chunk);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RowWiseRoundTrip,
+                         ::testing::Range<u64>(100, 112));
+
+} // namespace
+} // namespace vegeta

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dynamic-sparsity compaction model tests (paper Section VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/dynamic_sparsity.hpp"
+
+namespace vegeta::model {
+namespace {
+
+TEST(MergeProbability, ClosedFormBoundaries)
+{
+    EXPECT_DOUBLE_EQ(analyticMergeProbability(32, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(analyticMergeProbability(32, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(analyticMergeProbability(512, 0.0), 1.0);
+}
+
+TEST(MergeProbability, MoreLanesMeansMoreConflicts)
+{
+    for (double d : {0.05, 0.1, 0.2, 0.3})
+        EXPECT_LT(analyticMergeProbability(kTileLanes, d),
+                  analyticMergeProbability(kVectorLanes, d))
+            << d;
+}
+
+TEST(MergeProbability, MonotoneInDensity)
+{
+    double prev = 1.0;
+    for (double d : {0.01, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+        const double p = analyticMergeProbability(64, d);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(MergeProbability, MonteCarloMatchesClosedForm)
+{
+    Rng rng(1);
+    for (double d : {0.05, 0.10, 0.20}) {
+        const double analytic =
+            analyticMergeProbability(kVectorLanes, d);
+        const double mc =
+            monteCarloMergeProbability(kVectorLanes, d, 20000, rng);
+        EXPECT_NEAR(mc, analytic, 0.02) << d;
+    }
+}
+
+TEST(MergeProbability, TileMergesEssentiallyNever)
+{
+    // Section VII: "high probability of conflicts across different
+    // tiles" -- at 10% dynamic density the tile merge probability is
+    // below 1%.
+    EXPECT_LT(analyticMergeProbability(kTileLanes, 0.10), 0.01);
+    Rng rng(2);
+    EXPECT_LT(monteCarloMergeProbability(kTileLanes, 0.10, 5000, rng),
+              0.02);
+}
+
+TEST(Compaction, VectorBeatsTile)
+{
+    Rng rng(3);
+    for (double d : {0.05, 0.10, 0.20}) {
+        Rng rng_v(10 + static_cast<u64>(d * 100));
+        Rng rng_t(20 + static_cast<u64>(d * 100));
+        const double vec =
+            greedyCompactionFactor(kVectorLanes, d, 512, rng_v);
+        const double tile =
+            greedyCompactionFactor(kTileLanes, d, 512, rng_t);
+        EXPECT_GT(vec, tile) << d;
+        EXPECT_GE(tile, 1.0);
+    }
+    (void)rng;
+}
+
+TEST(Compaction, DenseStreamDoesNotCompact)
+{
+    Rng rng(4);
+    EXPECT_NEAR(greedyCompactionFactor(kTileLanes, 0.9, 128, rng), 1.0,
+                0.05);
+}
+
+TEST(CompactionStudy, DefaultSweepShape)
+{
+    const auto series = compactionStudy();
+    ASSERT_FALSE(series.empty());
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        EXPECT_LE(series[i].vectorMergeProb,
+                  series[i - 1].vectorMergeProb);
+        EXPECT_LE(series[i].tileMergeProb,
+                  series[i - 1].tileMergeProb);
+    }
+    for (const auto &p : series)
+        EXPECT_GE(p.vectorCompaction, p.tileCompaction * 0.99);
+}
+
+TEST(CompactionStudy, Deterministic)
+{
+    const auto a = compactionStudy({0.1}, 128, 1000, 42);
+    const auto b = compactionStudy({0.1}, 128, 1000, 42);
+    EXPECT_DOUBLE_EQ(a[0].vectorCompaction, b[0].vectorCompaction);
+    EXPECT_DOUBLE_EQ(a[0].tileCompaction, b[0].tileCompaction);
+}
+
+} // namespace
+} // namespace vegeta::model

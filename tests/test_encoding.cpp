@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Binary instruction encoding tests: round trips for every opcode and
+ * rejection of malformed words.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hpp"
+
+namespace vegeta::isa {
+namespace {
+
+std::vector<Instruction>
+oneOfEach()
+{
+    return {
+        makeTileLoadT(treg(3), 0x1000, 64),
+        makeTileLoadU(ureg(1), 0x2000, 128),
+        makeTileLoadV(vreg(1), 0x3000, 256),
+        makeTileLoadM(6, 0x4000),
+        makeTileStoreT(0x5000, 64, treg(7)),
+        makeTileGemm(treg(5), treg(4), treg(0)),
+        makeTileSpmmU(treg(5), treg(4), ureg(0)),
+        makeTileSpmmV(treg(5), treg(4), vreg(0)),
+        makeTileSpmmR(ureg(1), treg(4), ureg(0), 18),
+    };
+}
+
+TEST(Encoding, RoundTripEveryOpcode)
+{
+    for (const auto &instr : oneOfEach()) {
+        const auto enc = encode(instr);
+        const auto back = decode(enc);
+        ASSERT_TRUE(back.has_value()) << instr.toString();
+        EXPECT_EQ(back->toString(), instr.toString());
+        EXPECT_EQ(back->op, instr.op);
+        EXPECT_EQ(back->dst, instr.dst);
+        EXPECT_EQ(back->srcA, instr.srcA);
+        EXPECT_EQ(back->srcB, instr.srcB);
+        EXPECT_EQ(back->mreg, instr.mreg);
+        EXPECT_EQ(back->rows, instr.rows);
+        EXPECT_EQ(back->addr, instr.addr);
+        EXPECT_EQ(back->stride, instr.stride);
+    }
+}
+
+TEST(Encoding, StreamRoundTrip)
+{
+    const auto instrs = oneOfEach();
+    const auto words = encodeStream(instrs);
+    const auto back = decodeStream(words);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), instrs.size());
+    for (std::size_t i = 0; i < instrs.size(); ++i)
+        EXPECT_EQ((*back)[i].toString(), instrs[i].toString());
+}
+
+TEST(Encoding, RejectsBadOpcode)
+{
+    EncodedInstruction enc;
+    enc.word = 0xf; // opcode 15
+    EXPECT_FALSE(decode(enc).has_value());
+}
+
+TEST(Encoding, RejectsReservedBits)
+{
+    auto enc = encode(makeTileGemm(treg(5), treg(4), treg(0)));
+    enc.word |= 1ull << 60;
+    EXPECT_FALSE(decode(enc).has_value());
+}
+
+TEST(Encoding, RejectsBadRegisterClassCombination)
+{
+    // TILE_GEMM with a ureg B operand is illegal.
+    auto enc = encode(makeTileGemm(treg(5), treg(4), treg(0)));
+    // Flip srcB class bits (17-18) from Treg (0) to Ureg (1).
+    enc.word |= 1ull << 17;
+    EXPECT_FALSE(decode(enc).has_value());
+}
+
+TEST(Encoding, RejectsOutOfRangeRegisterIndex)
+{
+    // ureg index 5 does not exist (only 0-3).
+    auto enc = encode(makeTileSpmmU(treg(5), treg(4), ureg(0)));
+    enc.word |= 5ull << 14; // srcB index bits
+    EXPECT_FALSE(decode(enc).has_value());
+}
+
+TEST(Encoding, RejectsBadSpmmRRows)
+{
+    auto enc = encode(makeTileSpmmR(ureg(1), treg(4), ureg(0), 8));
+    enc.word &= ~(0x3full << 22); // rows := 0
+    EXPECT_FALSE(decode(enc).has_value());
+    enc.word |= 40ull << 22; // rows := 40 > 32
+    EXPECT_FALSE(decode(enc).has_value());
+}
+
+TEST(Encoding, StreamRejectsOneBadElement)
+{
+    auto words = encodeStream(oneOfEach());
+    words[3].word = 0xf;
+    EXPECT_FALSE(decodeStream(words).has_value());
+}
+
+TEST(Encoding, AddressPreservedExactly)
+{
+    auto instr = makeTileLoadT(treg(0), 0xdeadbeefcafeull, 4096);
+    auto back = decode(encode(instr));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->addr, 0xdeadbeefcafeull);
+    EXPECT_EQ(back->stride, 4096u);
+}
+
+} // namespace
+} // namespace vegeta::isa

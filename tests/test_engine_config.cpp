@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Engine design-point tests: every Table III row must reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/config.hpp"
+
+namespace vegeta::engine {
+namespace {
+
+struct TableIIIRow
+{
+    const char *name;
+    u32 nrows, ncols, macs_per_pe, inputs_per_pe, alpha;
+    Cycles drain;
+    bool sparse;
+};
+
+// Table III of the paper, verbatim.
+const TableIIIRow kTable[] = {
+    {"VEGETA-D-1-1", 32, 16, 1, 1, 1, 16, false},
+    {"VEGETA-D-1-2", 16, 16, 2, 2, 1, 16, false},
+    {"VEGETA-D-16-1", 32, 1, 16, 1, 16, 1, false},
+    {"VEGETA-S-1-2", 16, 16, 2, 8, 1, 16, true},
+    {"VEGETA-S-2-2", 16, 8, 4, 8, 2, 8, true},
+    {"VEGETA-S-4-2", 16, 4, 8, 8, 4, 4, true},
+    {"VEGETA-S-8-2", 16, 2, 16, 8, 8, 2, true},
+    {"VEGETA-S-16-2", 16, 1, 32, 8, 16, 2, true},
+};
+
+TEST(EngineConfig, TableIIIReproducesExactly)
+{
+    const auto configs = allTableIIIConfigs();
+    ASSERT_EQ(configs.size(), std::size(kTable));
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto &cfg = configs[i];
+        const auto &row = kTable[i];
+        EXPECT_EQ(cfg.name, row.name);
+        EXPECT_EQ(cfg.nRows(), row.nrows) << row.name;
+        EXPECT_EQ(cfg.nCols(), row.ncols) << row.name;
+        EXPECT_EQ(cfg.macsPerPe(), row.macs_per_pe) << row.name;
+        EXPECT_EQ(cfg.inputsPerPe(), row.inputs_per_pe) << row.name;
+        EXPECT_EQ(cfg.alpha, row.alpha) << row.name;
+        EXPECT_EQ(cfg.drainLatency(), row.drain) << row.name;
+        EXPECT_EQ(cfg.sparse, row.sparse) << row.name;
+    }
+}
+
+TEST(EngineConfig, AllDesignsKeepTotalMacs)
+{
+    for (const auto &cfg : allEvaluatedConfigs())
+        EXPECT_EQ(cfg.nRows() * cfg.nCols() * cfg.macsPerPe(), kTotalMacs)
+            << cfg.name;
+}
+
+TEST(EngineConfig, SparseDesignsFixBetaTwo)
+{
+    // Section V-A: beta = M/2 so inputs feed a single row.
+    for (const auto &cfg : allTableIIIConfigs())
+        if (cfg.sparse)
+            EXPECT_EQ(cfg.beta, 2u) << cfg.name;
+}
+
+TEST(EngineConfig, EffectiveNClampsToSupport)
+{
+    const auto dense = vegetaD12();
+    EXPECT_EQ(dense.effectiveN(1), 4u);
+    EXPECT_EQ(dense.effectiveN(2), 4u);
+    EXPECT_EQ(dense.effectiveN(4), 4u);
+
+    const auto stc = stcLike();
+    EXPECT_EQ(stc.effectiveN(1), 2u); // 1:4 runs as 2:4 (Section VI-C)
+    EXPECT_EQ(stc.effectiveN(2), 2u);
+    EXPECT_EQ(stc.effectiveN(4), 4u);
+
+    const auto full = vegetaS162();
+    EXPECT_EQ(full.effectiveN(1), 1u);
+    EXPECT_EQ(full.effectiveN(2), 2u);
+}
+
+TEST(EngineConfig, OpcodeSupport)
+{
+    using isa::Opcode;
+    const auto dense = vegetaD11();
+    EXPECT_TRUE(dense.supportsOpcode(Opcode::TileGemm));
+    EXPECT_FALSE(dense.supportsOpcode(Opcode::TileSpmmU));
+    EXPECT_FALSE(dense.supportsOpcode(Opcode::TileSpmmV));
+
+    const auto stc = stcLike();
+    EXPECT_TRUE(stc.supportsOpcode(Opcode::TileSpmmU));
+    EXPECT_FALSE(stc.supportsOpcode(Opcode::TileSpmmV));
+    EXPECT_FALSE(stc.supportsOpcode(Opcode::TileSpmmR));
+
+    const auto full = vegetaS22();
+    EXPECT_TRUE(full.supportsOpcode(Opcode::TileSpmmU));
+    EXPECT_TRUE(full.supportsOpcode(Opcode::TileSpmmV));
+    EXPECT_TRUE(full.supportsOpcode(Opcode::TileSpmmR));
+}
+
+TEST(EngineConfig, EvaluatedSetIncludesStcLike)
+{
+    const auto configs = allEvaluatedConfigs();
+    EXPECT_EQ(configs.size(), 9u);
+    bool found = false;
+    for (const auto &cfg : configs)
+        if (cfg.name == "STC-like")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(EngineConfig, LookupByName)
+{
+    auto cfg = configByName("VEGETA-S-4-2");
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->alpha, 4u);
+    EXPECT_FALSE(configByName("VEGETA-X-9-9").has_value());
+}
+
+TEST(EngineConfig, ReductionDepth)
+{
+    EXPECT_EQ(vegetaD11().reductionDepth(), 0u);
+    EXPECT_EQ(vegetaD12().reductionDepth(), 1u);
+    EXPECT_EQ(vegetaS162().reductionDepth(), 1u);
+}
+
+TEST(EngineConfig, PriorWorkLabels)
+{
+    EXPECT_NE(vegetaD11().priorWorkLabel.find("RASA-SM"),
+              std::string::npos);
+    EXPECT_NE(vegetaD12().priorWorkLabel.find("RASA-DM"),
+              std::string::npos);
+    EXPECT_NE(vegetaD161().priorWorkLabel.find("TMUL"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace vegeta::engine

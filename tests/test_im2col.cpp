@@ -1,0 +1,93 @@
+/**
+ * @file
+ * im2col correctness: GEMM over patches equals direct convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "kernels/im2col.hpp"
+
+namespace vegeta::kernels {
+namespace {
+
+TEST(Im2col, PatchDims)
+{
+    Rng rng(1);
+    const ConvDims conv{4, 3, 8, 8, 3, 3};
+    const MatrixBF16 input = randomMatrixBF16(3, 64, rng);
+    const MatrixBF16 patches = im2colPatches(input, conv);
+    EXPECT_EQ(patches.rows(), 3u * 9);
+    EXPECT_EQ(patches.cols(), 64u);
+}
+
+TEST(Im2col, OneByOneConvIsIdentityLayout)
+{
+    Rng rng(2);
+    const ConvDims conv{2, 5, 6, 6, 1, 1};
+    const MatrixBF16 input = randomMatrixBF16(5, 36, rng);
+    EXPECT_EQ(im2colPatches(input, conv), input);
+}
+
+TEST(Im2col, CenterTapMatchesInput)
+{
+    Rng rng(3);
+    const ConvDims conv{1, 1, 4, 4, 3, 3};
+    const MatrixBF16 input = randomMatrixBF16(1, 16, rng);
+    const MatrixBF16 patches = im2colPatches(input, conv);
+    // Tap (r=1, s=1) is the center: equals the unshifted input.
+    for (u32 p = 0; p < 16; ++p)
+        EXPECT_EQ(patches.at(4, p), input.at(0, p));
+}
+
+TEST(Im2col, PaddingReadsZero)
+{
+    const ConvDims conv{1, 1, 3, 3, 3, 3};
+    MatrixBF16 input(1, 9);
+    for (u32 i = 0; i < 9; ++i)
+        input.at(0, i) = BF16(static_cast<float>(i + 1));
+    const MatrixBF16 patches = im2colPatches(input, conv);
+    // Tap (0,0) for output pixel (0,0) reads input (-1,-1): zero.
+    EXPECT_TRUE(patches.at(0, 0).isZero());
+    // Tap (2,2) for output pixel (2,2) reads input (3,3): zero.
+    EXPECT_TRUE(patches.at(8, 8).isZero());
+}
+
+class Im2colGemmEquivalence : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(Im2colGemmEquivalence, GemmOverPatchesEqualsDirectConv)
+{
+    Rng rng(GetParam());
+    const ConvDims conv{8, 4, 6, 7, 3, 3};
+    const MatrixBF16 weights =
+        randomMatrixBF16(conv.k, conv.c * conv.r * conv.s, rng);
+    const MatrixBF16 input =
+        randomMatrixBF16(conv.c, conv.y * conv.x, rng);
+
+    const MatrixBF16 patches = im2colPatches(input, conv);
+    MatrixF via_gemm(conv.k, conv.y * conv.x);
+    referenceGemm(weights, patches, via_gemm);
+
+    const MatrixF direct = directConv(weights, input, conv);
+    EXPECT_EQ(maxAbsDiff(via_gemm, direct), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Im2colGemmEquivalence,
+                         ::testing::Values(10u, 11u, 12u, 13u));
+
+TEST(Im2col, EvenFilterUsesFloorPadding)
+{
+    Rng rng(20);
+    const ConvDims conv{1, 2, 5, 5, 1, 3};
+    const MatrixBF16 weights = randomMatrixBF16(1, 6, rng);
+    const MatrixBF16 input = randomMatrixBF16(2, 25, rng);
+    MatrixF via_gemm(1, 25);
+    referenceGemm(weights, im2colPatches(input, conv), via_gemm);
+    EXPECT_EQ(maxAbsDiff(via_gemm, directConv(weights, input, conv)),
+              0.0f);
+}
+
+} // namespace
+} // namespace vegeta::kernels

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Instruction definition tests (paper Table II semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/instructions.hpp"
+
+namespace vegeta::isa {
+namespace {
+
+bool
+contains(const std::vector<u32> &v, u32 x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isTileCompute(Opcode::TileGemm));
+    EXPECT_TRUE(isTileCompute(Opcode::TileSpmmU));
+    EXPECT_TRUE(isTileCompute(Opcode::TileSpmmV));
+    EXPECT_TRUE(isTileCompute(Opcode::TileSpmmR));
+    EXPECT_FALSE(isTileCompute(Opcode::TileLoadT));
+    EXPECT_TRUE(isTileLoad(Opcode::TileLoadM));
+    EXPECT_TRUE(isTileLoad(Opcode::TileLoadV));
+    EXPECT_TRUE(isTileStore(Opcode::TileStoreT));
+    EXPECT_FALSE(isTileStore(Opcode::TileLoadT));
+}
+
+TEST(Opcode, ComputeShapes)
+{
+    // Section IV-B: GEMM 16x16x32, SPMM_U 16x16x64, SPMM_V 16x16x128.
+    auto g = computeShape(Opcode::TileGemm);
+    EXPECT_EQ(g.m, 16u);
+    EXPECT_EQ(g.n, 16u);
+    EXPECT_EQ(g.k, 32u);
+    EXPECT_EQ(computeShape(Opcode::TileSpmmU).k, 64u);
+    EXPECT_EQ(computeShape(Opcode::TileSpmmV).k, 128u);
+}
+
+TEST(Opcode, EffectualMacsAreEqual)
+{
+    // "The number of useful MAC operations ... is the same (8192)".
+    EXPECT_EQ(effectualMacs(Opcode::TileGemm), 8192u);
+    EXPECT_EQ(effectualMacs(Opcode::TileSpmmU), 8192u);
+    EXPECT_EQ(effectualMacs(Opcode::TileSpmmV), 8192u);
+    EXPECT_EQ(effectualMacs(Opcode::TileSpmmR), 8192u);
+}
+
+TEST(Builders, ValidateOperandClasses)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(makeTileLoadT(ureg(0), 0, 64), std::logic_error);
+    EXPECT_THROW(makeTileLoadU(treg(0), 0, 128), std::logic_error);
+    EXPECT_THROW(makeTileGemm(treg(0), ureg(0), treg(1)),
+                 std::logic_error);
+    EXPECT_THROW(makeTileSpmmU(treg(0), treg(1), treg(2)),
+                 std::logic_error);
+    EXPECT_THROW(makeTileSpmmV(treg(0), treg(1), ureg(1)),
+                 std::logic_error);
+    EXPECT_THROW(makeTileSpmmR(treg(0), treg(1), ureg(1), 8),
+                 std::logic_error);
+    EXPECT_THROW(makeTileSpmmR(ureg(1), treg(1), ureg(0), 33),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(Instruction, GemmRegisterSets)
+{
+    auto in = makeTileGemm(treg(5), treg(4), treg(0));
+    auto reads = in.readRegs();
+    // C is read (accumulation) as well as A and B.
+    EXPECT_TRUE(contains(reads, 5));
+    EXPECT_TRUE(contains(reads, 4));
+    EXPECT_TRUE(contains(reads, 0));
+    auto writes = in.writeRegs();
+    EXPECT_EQ(writes, std::vector<u32>{5});
+    EXPECT_EQ(in.accumulateRegs(), std::vector<u32>{5});
+}
+
+TEST(Instruction, SpmmUExpandsUregAlias)
+{
+    auto in = makeTileSpmmU(treg(5), treg(4), ureg(0));
+    auto reads = in.readRegs();
+    // ureg0 = tregs 0 and 1.
+    EXPECT_TRUE(contains(reads, 0));
+    EXPECT_TRUE(contains(reads, 1));
+    // Paired metadata register of the A treg.
+    EXPECT_TRUE(contains(reads, mregDepId(4)));
+    EXPECT_EQ(in.mreg, 4);
+}
+
+TEST(Instruction, SpmmVExpandsVregAlias)
+{
+    auto in = makeTileSpmmV(treg(5), treg(4), vreg(0));
+    auto reads = in.readRegs();
+    for (u32 t = 0; t < 4; ++t)
+        EXPECT_TRUE(contains(reads, t)) << t;
+}
+
+TEST(Instruction, SpmmRWritesUregPair)
+{
+    auto in = makeTileSpmmR(ureg(1), treg(4), ureg(0), 16);
+    auto writes = in.writeRegs();
+    EXPECT_TRUE(contains(writes, 2));
+    EXPECT_TRUE(contains(writes, 3));
+    EXPECT_EQ(in.rows, 16);
+}
+
+TEST(Instruction, LoadsWriteOnly)
+{
+    auto in = makeTileLoadV(vreg(1), 0x1000, 256);
+    EXPECT_TRUE(in.readRegs().empty());
+    auto writes = in.writeRegs();
+    for (u32 t = 4; t < 8; ++t)
+        EXPECT_TRUE(contains(writes, t));
+    EXPECT_TRUE(in.accumulateRegs().empty());
+}
+
+TEST(Instruction, LoadMWritesMreg)
+{
+    auto in = makeTileLoadM(3, 0x2000);
+    EXPECT_EQ(in.writeRegs(), std::vector<u32>{mregDepId(3)});
+}
+
+TEST(Instruction, StoreReadsOnly)
+{
+    auto in = makeTileStoreT(0x3000, 64, treg(2));
+    EXPECT_EQ(in.readRegs(), std::vector<u32>{2});
+    EXPECT_TRUE(in.writeRegs().empty());
+}
+
+TEST(Instruction, Disassembly)
+{
+    EXPECT_EQ(makeTileGemm(treg(5), treg(4), treg(0)).toString(),
+              "TILE_GEMM treg5, treg4, treg0");
+    EXPECT_EQ(makeTileSpmmU(treg(5), treg(4), ureg(0)).toString(),
+              "TILE_SPMM_U treg5, treg4, ureg0");
+    auto load = makeTileLoadT(treg(1), 0x100, 64);
+    EXPECT_NE(load.toString().find("TILE_LOAD_T treg1"),
+              std::string::npos);
+    auto spmmr = makeTileSpmmR(ureg(1), treg(4), ureg(0), 12);
+    EXPECT_NE(spmmr.toString().find("rows=12"), std::string::npos);
+}
+
+TEST(Instruction, OpcodeNamesMatchPaper)
+{
+    EXPECT_STREQ(opcodeName(Opcode::TileLoadT), "TILE_LOAD_T");
+    EXPECT_STREQ(opcodeName(Opcode::TileSpmmV), "TILE_SPMM_V");
+    EXPECT_STREQ(opcodeName(Opcode::TileSpmmR), "TILE_SPMM_R");
+    EXPECT_STREQ(opcodeName(Opcode::TileStoreT), "TILE_STORE_T");
+}
+
+} // namespace
+} // namespace vegeta::isa

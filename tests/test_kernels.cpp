@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tiled GEMM/SPMM kernel tests: functional results against the
+ * reference oracle, naive (Listing 1) vs optimized equivalence, and
+ * instruction-count accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "kernels/gemm_kernels.hpp"
+#include "sparsity/pruning.hpp"
+
+namespace vegeta::kernels {
+namespace {
+
+KernelOptions
+functionalOpts(bool optimized = true)
+{
+    KernelOptions opts;
+    opts.optimized = optimized;
+    opts.traceOnly = false;
+    return opts;
+}
+
+TEST(KTile, MatchesSectionIVB)
+{
+    EXPECT_EQ(kTileForN(4), 32u);
+    EXPECT_EQ(kTileForN(2), 64u);
+    EXPECT_EQ(kTileForN(1), 128u);
+}
+
+TEST(PadProblem, RoundsUpToTiles)
+{
+    const GemmDims dims{30, 33, 100};
+    const GemmDims p4 = padProblem(dims, 4);
+    EXPECT_EQ(p4.m, 32u);
+    EXPECT_EQ(p4.n, 48u);
+    EXPECT_EQ(p4.k, 128u);
+    const GemmDims p1 = padProblem(dims, 1);
+    EXPECT_EQ(p1.k, 128u);
+    const GemmDims p2 = padProblem({64, 64, 576}, 1);
+    EXPECT_EQ(p2.k, 640u); // ResNet50-L2's k=576 padded for 1:4
+}
+
+TEST(DenseKernel, MatchesReference)
+{
+    Rng rng(1);
+    const GemmDims dims{32, 32, 64};
+    const MatrixBF16 a = randomMatrixBF16(dims.m, dims.k, rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto run = runSpmmKernel(dims, 4, functionalOpts(), &a, &b);
+
+    MatrixF want(dims.m, dims.n);
+    referenceGemm(a, b, want);
+    EXPECT_EQ(maxAbsDiff(run.c, want), 0.0f);
+    EXPECT_EQ(run.tileComputes, 2u * 2 * 2);
+}
+
+TEST(DenseKernel, HandlesUnalignedDims)
+{
+    Rng rng(2);
+    const GemmDims dims{20, 25, 50};
+    const MatrixBF16 a = randomMatrixBF16(dims.m, dims.k, rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto run = runSpmmKernel(dims, 4, functionalOpts(), &a, &b);
+    MatrixF want(dims.m, dims.n);
+    referenceGemm(a, b, want);
+    EXPECT_EQ(maxAbsDiff(run.c, want), 0.0f);
+    EXPECT_EQ(run.c.rows(), dims.m);
+    EXPECT_EQ(run.c.cols(), dims.n);
+}
+
+TEST(SparseKernel, TwoFourMatchesReference)
+{
+    Rng rng(3);
+    const GemmDims dims{32, 32, 128};
+    const MatrixBF16 a =
+        randomNMMatrix(dims.m, dims.k, pattern24(), rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto run = runSpmmKernel(dims, 2, functionalOpts(), &a, &b);
+    MatrixF want(dims.m, dims.n);
+    referenceGemm(a, b, want);
+    EXPECT_EQ(maxAbsDiff(run.c, want), 0.0f);
+    // Half the k-tiles of the dense execution.
+    EXPECT_EQ(run.tileComputes, 2u * 2 * 2);
+}
+
+TEST(SparseKernel, OneFourMatchesReference)
+{
+    Rng rng(4);
+    const GemmDims dims{16, 16, 256};
+    const MatrixBF16 a =
+        randomNMMatrix(dims.m, dims.k, pattern14(), rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto run = runSpmmKernel(dims, 1, functionalOpts(), &a, &b);
+    MatrixF want(dims.m, dims.n);
+    referenceGemm(a, b, want);
+    EXPECT_EQ(maxAbsDiff(run.c, want), 0.0f);
+    EXPECT_EQ(run.tileComputes, 2u);
+}
+
+TEST(SparseKernel, OneFourTileRunsAsTwoFour)
+{
+    // Section VI-C: an STC-like engine executes 1:4 layers with 2:4
+    // instructions -- the kernel must produce identical results.
+    Rng rng(5);
+    const GemmDims dims{16, 16, 128};
+    const MatrixBF16 a =
+        randomNMMatrix(dims.m, dims.k, pattern14(), rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto as24 = runSpmmKernel(dims, 2, functionalOpts(), &a, &b);
+    const auto as14 = runSpmmKernel(dims, 1, functionalOpts(), &a, &b);
+    EXPECT_EQ(maxAbsDiff(as24.c, as14.c), 0.0f);
+    EXPECT_EQ(as24.tileComputes, 2u * as14.tileComputes);
+}
+
+TEST(SparseKernel, DenseMatrixFailsSparsePattern)
+{
+    setLoggingThrows(true);
+    Rng rng(6);
+    const GemmDims dims{16, 16, 64};
+    const MatrixBF16 a = randomMatrixBF16(dims.m, dims.k, rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    EXPECT_THROW(runSpmmKernel(dims, 2, functionalOpts(), &a, &b),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(Kernel, NaiveAndOptimizedProduceSameResult)
+{
+    Rng rng(7);
+    const GemmDims dims{32, 16, 128};
+    const MatrixBF16 a =
+        randomNMMatrix(dims.m, dims.k, pattern24(), rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto opt = runSpmmKernel(dims, 2, functionalOpts(true), &a, &b);
+    const auto naive =
+        runSpmmKernel(dims, 2, functionalOpts(false), &a, &b);
+    EXPECT_EQ(maxAbsDiff(opt.c, naive.c), 0.0f);
+    // Listing 1 re-loads and re-stores C every k iteration.
+    EXPECT_GT(naive.tileLoads, opt.tileLoads);
+    EXPECT_GT(naive.tileStores, opt.tileStores);
+    EXPECT_EQ(naive.tileComputes, opt.tileComputes);
+}
+
+TEST(Kernel, TraceOnlyMatchesFunctionalTraceShape)
+{
+    Rng rng(8);
+    const GemmDims dims{32, 32, 128};
+    const MatrixBF16 a =
+        randomNMMatrix(dims.m, dims.k, pattern24(), rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+
+    const auto functional =
+        runSpmmKernel(dims, 2, functionalOpts(), &a, &b);
+    KernelOptions trace_opts;
+    trace_opts.traceOnly = true;
+    const auto trace_only = runSpmmKernel(dims, 2, trace_opts);
+
+    ASSERT_EQ(trace_only.trace.size(), functional.trace.size());
+    for (std::size_t i = 0; i < trace_only.trace.size(); ++i)
+        EXPECT_EQ(trace_only.trace[i].kind, functional.trace[i].kind)
+            << i;
+    EXPECT_TRUE(trace_only.c.size() == 0);
+}
+
+TEST(Kernel, InstructionMixPerInnerIteration)
+{
+    // Optimized 2:4 kernel inner iteration: B load + A load + M load +
+    // SPMM (+ scalar overhead); C load/store once per (i, j).
+    KernelOptions opts;
+    opts.traceOnly = true;
+    const GemmDims dims{16, 16, 256}; // 1 output tile, 4 k-tiles
+    const auto run = runSpmmKernel(dims, 2, opts);
+    EXPECT_EQ(run.tileComputes, 4u);
+    // 4 x (B + A + M) + 1 C load.
+    EXPECT_EQ(run.tileLoads, 4u * 3 + 1);
+    EXPECT_EQ(run.tileStores, 1u);
+    EXPECT_EQ(static_cast<u64>(cpu::countKind(run.trace,
+                                              cpu::UopKind::TileCompute)),
+              run.tileComputes);
+}
+
+TEST(Kernel, DenseKernelEmitsNoMetadataLoads)
+{
+    KernelOptions opts;
+    opts.traceOnly = true;
+    const auto run = runSpmmKernel({32, 32, 64}, 4, opts);
+    for (const auto &op : run.trace)
+        if (op.kind == cpu::UopKind::TileLoad)
+            EXPECT_NE(op.tile.op, isa::Opcode::TileLoadM);
+}
+
+TEST(Kernel, TraceInstructionCountScalesWithProblem)
+{
+    KernelOptions opts;
+    opts.traceOnly = true;
+    const auto small = runSpmmKernel({32, 32, 128}, 4, opts);
+    const auto big = runSpmmKernel({64, 64, 128}, 4, opts);
+    // 4x the output tiles -> ~4x the instructions (the fixed
+    // prologue/epilogue and uneven j-unroll groups shave the ratio).
+    const double ratio = static_cast<double>(big.trace.size()) /
+                         static_cast<double>(small.trace.size());
+    EXPECT_GT(ratio, 2.5);
+    EXPECT_LT(ratio, 4.5);
+}
+
+/** Oracle sweep across executed patterns and seeds. */
+class KernelOracle
+    : public ::testing::TestWithParam<std::tuple<u32, u64>>
+{
+};
+
+TEST_P(KernelOracle, MatchesReference)
+{
+    const auto [n, seed] = GetParam();
+    Rng rng(seed);
+    const GemmDims dims{32, 48, 128};
+    const MatrixBF16 a = randomNMMatrix(dims.m, dims.k, {n, 4}, rng);
+    const MatrixBF16 b = randomMatrixBF16(dims.k, dims.n, rng);
+    const auto run = runSpmmKernel(dims, n, functionalOpts(), &a, &b);
+    MatrixF want(dims.m, dims.n);
+    referenceGemm(a, b, want);
+    EXPECT_EQ(maxAbsDiff(run.c, want), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelOracle,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(30u, 31u, 32u)));
+
+} // namespace
+} // namespace vegeta::kernels

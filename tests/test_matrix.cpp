@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Matrix container and reference-GEMM tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "numerics/matrix.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    MatrixF m(3, 4, 1.5f);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_EQ(m.at(2, 3), 1.5f);
+    m.at(1, 2) = 7.0f;
+    EXPECT_EQ(m.at(1, 2), 7.0f);
+}
+
+TEST(Matrix, RowMajorLayout)
+{
+    MatrixF m(2, 3);
+    for (u32 r = 0; r < 2; ++r)
+        for (u32 c = 0; c < 3; ++c)
+            m.at(r, c) = static_cast<float>(r * 3 + c);
+    for (u32 i = 0; i < 6; ++i)
+        EXPECT_EQ(m.data()[i], static_cast<float>(i));
+}
+
+TEST(Matrix, Transpose)
+{
+    Rng rng(1);
+    MatrixF m = randomMatrixF(5, 7, rng);
+    MatrixF t = m.transposed();
+    ASSERT_EQ(t.rows(), 7u);
+    ASSERT_EQ(t.cols(), 5u);
+    for (u32 r = 0; r < 5; ++r)
+        for (u32 c = 0; c < 7; ++c)
+            EXPECT_EQ(m.at(r, c), t.at(c, r));
+    EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, BlockExtractAndPaste)
+{
+    Rng rng(2);
+    MatrixF m = randomMatrixF(8, 8, rng);
+    MatrixF b = m.block(2, 3, 4, 5);
+    ASSERT_EQ(b.rows(), 4u);
+    ASSERT_EQ(b.cols(), 5u);
+    for (u32 r = 0; r < 4; ++r)
+        for (u32 c = 0; c < 5; ++c)
+            EXPECT_EQ(b.at(r, c), m.at(2 + r, 3 + c));
+
+    MatrixF target(8, 8);
+    target.setBlock(2, 3, b);
+    for (u32 r = 0; r < 4; ++r)
+        for (u32 c = 0; c < 5; ++c)
+            EXPECT_EQ(target.at(2 + r, 3 + c), m.at(2 + r, 3 + c));
+    EXPECT_EQ(target.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, CountNonZerosAndSparsity)
+{
+    MatrixBF16 m(4, 4);
+    m.at(0, 0) = BF16(1.0f);
+    m.at(3, 3) = BF16(-2.0f);
+    EXPECT_EQ(countNonZeros(m), 2u);
+    EXPECT_DOUBLE_EQ(sparsityDegree(m), 1.0 - 2.0 / 16.0);
+}
+
+TEST(Matrix, RandomHasNoZeros)
+{
+    Rng rng(3);
+    MatrixBF16 m = randomMatrixBF16(16, 32, rng);
+    EXPECT_EQ(countNonZeros(m), m.size());
+}
+
+TEST(Matrix, WidenNarrowRoundTrip)
+{
+    Rng rng(4);
+    MatrixBF16 m = randomMatrixBF16(6, 6, rng);
+    EXPECT_EQ(narrow(widen(m)), m);
+}
+
+TEST(ReferenceGemm, IdentityTimesMatrix)
+{
+    const u32 n = 8;
+    MatrixBF16 eye(n, n), b(n, n);
+    Rng rng(5);
+    b = randomMatrixBF16(n, n, rng);
+    for (u32 i = 0; i < n; ++i)
+        eye.at(i, i) = BF16(1.0f);
+    MatrixF c(n, n);
+    referenceGemm(eye, b, c);
+    EXPECT_EQ(maxAbsDiff(c, widen(b)), 0.0f);
+}
+
+TEST(ReferenceGemm, HandComputed2x2)
+{
+    MatrixBF16 a(2, 2), b(2, 2);
+    a.at(0, 0) = BF16(1.0f);
+    a.at(0, 1) = BF16(2.0f);
+    a.at(1, 0) = BF16(3.0f);
+    a.at(1, 1) = BF16(4.0f);
+    b.at(0, 0) = BF16(5.0f);
+    b.at(0, 1) = BF16(6.0f);
+    b.at(1, 0) = BF16(7.0f);
+    b.at(1, 1) = BF16(8.0f);
+    MatrixF c(2, 2);
+    referenceGemm(a, b, c);
+    EXPECT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(ReferenceGemm, AccumulatesIntoC)
+{
+    MatrixBF16 a(2, 2), b(2, 2);
+    a.at(0, 0) = BF16(1.0f);
+    b.at(0, 0) = BF16(1.0f);
+    MatrixF c(2, 2, 10.0f);
+    referenceGemm(a, b, c);
+    EXPECT_EQ(c.at(0, 0), 11.0f);
+    EXPECT_EQ(c.at(1, 1), 10.0f);
+}
+
+TEST(ReferenceGemm, ZeroATimesAnything)
+{
+    Rng rng(6);
+    MatrixBF16 a(4, 8); // all zeros
+    MatrixBF16 b = randomMatrixBF16(8, 4, rng);
+    MatrixF c(4, 4);
+    referenceGemm(a, b, c);
+    EXPECT_EQ(maxAbsDiff(c, MatrixF(4, 4)), 0.0f);
+}
+
+TEST(MaxAbsDiff, DetectsDifference)
+{
+    MatrixF x(2, 2), y(2, 2);
+    y.at(1, 0) = 0.25f;
+    EXPECT_EQ(maxAbsDiff(x, y), 0.25f);
+    EXPECT_EQ(maxAbsDiff(x, x), 0.0f);
+}
+
+} // namespace
+} // namespace vegeta

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Flat memory and matrix staging tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "isa/memory.hpp"
+
+namespace vegeta::isa {
+namespace {
+
+TEST(FlatMemory, DefaultZero)
+{
+    FlatMemory mem;
+    EXPECT_EQ(mem.readByte(0), 0);
+    EXPECT_EQ(mem.readByte(0xdeadbeef), 0);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(FlatMemory, ByteReadWrite)
+{
+    FlatMemory mem;
+    mem.writeByte(1234, 0x5a);
+    EXPECT_EQ(mem.readByte(1234), 0x5a);
+    EXPECT_EQ(mem.readByte(1235), 0x00);
+    EXPECT_EQ(mem.residentPages(), 1u);
+}
+
+TEST(FlatMemory, CrossPageRange)
+{
+    FlatMemory mem;
+    std::vector<u8> data(8192);
+    Rng rng(1);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.next());
+    const Addr base = FlatMemory::kPageBytes - 100;
+    mem.write(base, data);
+    EXPECT_EQ(mem.read(base, data.size()), data);
+    EXPECT_GE(mem.residentPages(), 3u);
+}
+
+TEST(FlatMemory, SparsePagesStaySparse)
+{
+    FlatMemory mem;
+    mem.writeByte(0, 1);
+    mem.writeByte(1ull << 40, 1);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+TEST(MatrixStaging, BF16RoundTrip)
+{
+    FlatMemory mem;
+    Rng rng(2);
+    MatrixBF16 m = randomMatrixBF16(16, 32, rng);
+    storeMatrixBF16(mem, 0x1000, m, 64);
+    EXPECT_EQ(loadMatrixBF16(mem, 0x1000, 16, 32, 64), m);
+}
+
+TEST(MatrixStaging, StrideSkipsGaps)
+{
+    FlatMemory mem;
+    Rng rng(3);
+    MatrixBF16 m = randomMatrixBF16(4, 4, rng);
+    storeMatrixBF16(mem, 0x2000, m, 256);
+    EXPECT_EQ(loadMatrixBF16(mem, 0x2000, 4, 4, 256), m);
+    // The gap bytes stay zero.
+    EXPECT_EQ(mem.readByte(0x2000 + 8), 0);
+}
+
+TEST(MatrixStaging, F32RoundTrip)
+{
+    FlatMemory mem;
+    Rng rng(4);
+    MatrixF m = randomMatrixF(16, 16, rng);
+    storeMatrixF32(mem, 0x3000, m, 64);
+    MatrixF back = loadMatrixF32(mem, 0x3000, 16, 16, 64);
+    EXPECT_EQ(maxAbsDiff(m, back), 0.0f);
+}
+
+TEST(MatrixStaging, StrideTooSmallPanics)
+{
+    setLoggingThrows(true);
+    FlatMemory mem;
+    MatrixBF16 m(2, 32);
+    EXPECT_THROW(storeMatrixBF16(mem, 0, m, 32), std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(MetadataStaging, BodyAndDescriptors)
+{
+    FlatMemory mem;
+    std::vector<u8> body(128);
+    for (u32 i = 0; i < 128; ++i)
+        body[i] = static_cast<u8>(i);
+    std::vector<u8> desc{0xaa, 0xbb};
+    storeMetadata(mem, 0x4000, body, desc);
+    EXPECT_EQ(mem.readByte(0x4000 + 5), 5);
+    EXPECT_EQ(mem.readByte(0x4000 + 128), 0xaa);
+    EXPECT_EQ(mem.readByte(0x4000 + 129), 0xbb);
+    EXPECT_EQ(mem.readByte(0x4000 + 130), 0x00);
+}
+
+TEST(MetadataStaging, ShortBodyZeroPadded)
+{
+    FlatMemory mem;
+    // Pre-fill with garbage to check zero padding.
+    for (u32 i = 0; i < 136; ++i)
+        mem.writeByte(0x5000 + i, 0xff);
+    storeMetadata(mem, 0x5000, {0x01});
+    EXPECT_EQ(mem.readByte(0x5000), 0x01);
+    EXPECT_EQ(mem.readByte(0x5000 + 1), 0x00);
+    EXPECT_EQ(mem.readByte(0x5000 + 135), 0x00);
+}
+
+} // namespace
+} // namespace vegeta::isa

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Network-level simulation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/network.hpp"
+
+namespace vegeta::kernels {
+namespace {
+
+Network
+tinyNetwork()
+{
+    Workload a;
+    a.name = "tiny-a";
+    a.gemm = {32, 32, 256};
+    Workload b;
+    b.name = "tiny-b";
+    b.gemm = {32, 32, 512};
+    Network net;
+    net.name = "tiny";
+    net.layers = {{a, 2}, {b, 1}};
+    return net;
+}
+
+TEST(Network, TotalMacsSumsLayers)
+{
+    const auto net = tinyNetwork();
+    EXPECT_EQ(net.totalMacs(),
+              32ull * 32 * 256 + 32ull * 32 * 512);
+}
+
+TEST(Network, CyclesSumPerLayerMeasurements)
+{
+    const auto net = tinyNetwork();
+    const auto m = simulateNetwork(net, engine::vegetaS162(),
+                                   NetworkPolicy::LayerWise);
+    ASSERT_EQ(m.perLayer.size(), 2u);
+    EXPECT_EQ(m.totalCycles,
+              m.perLayer[0].coreCycles + m.perLayer[1].coreCycles);
+}
+
+TEST(Network, LayerWiseBeatsNetworkWiseOnFlexibleHw)
+{
+    const auto net = tinyNetwork(); // patterns 2:4 and 1:4
+    const auto lw = simulateNetwork(net, engine::vegetaS162(),
+                                    NetworkPolicy::LayerWise);
+    const auto nw = simulateNetwork(net, engine::vegetaS162(),
+                                    NetworkPolicy::NetworkWise);
+    // Network-wise must run the 1:4 layer at 2:4 (the densest layer).
+    EXPECT_LT(lw.totalCycles, nw.totalCycles);
+    EXPECT_EQ(nw.perLayer[1].executedN, 2u);
+    EXPECT_EQ(lw.perLayer[1].executedN, 1u);
+}
+
+TEST(Network, PoliciesEqualWhenPatternsUniform)
+{
+    Network net = tinyNetwork();
+    net.layers[1].layerN = 2; // both layers 2:4
+    const auto lw = simulateNetwork(net, engine::vegetaS162(),
+                                    NetworkPolicy::LayerWise);
+    const auto nw = simulateNetwork(net, engine::vegetaS162(),
+                                    NetworkPolicy::NetworkWise);
+    EXPECT_EQ(lw.totalCycles, nw.totalCycles);
+}
+
+TEST(Network, DenseEngineIndifferentToPolicy)
+{
+    const auto net = tinyNetwork();
+    const auto lw = simulateNetwork(net, engine::vegetaD12(),
+                                    NetworkPolicy::LayerWise);
+    const auto nw = simulateNetwork(net, engine::vegetaD12(),
+                                    NetworkPolicy::NetworkWise);
+    EXPECT_EQ(lw.totalCycles, nw.totalCycles);
+}
+
+TEST(Network, ReferenceNetworksBuild)
+{
+    const auto resnet = resnetFrontNetwork();
+    EXPECT_EQ(resnet.layers.size(), 6u);
+    const auto bert = bertEncoderNetwork();
+    EXPECT_EQ(bert.layers.size(), 5u);
+    for (const auto &l : bert.layers)
+        EXPECT_TRUE(l.layerN == 1 || l.layerN == 2 || l.layerN == 4);
+}
+
+TEST(Network, EmptyNetworkRejected)
+{
+    setLoggingThrows(true);
+    Network net;
+    net.name = "empty";
+    EXPECT_THROW(simulateNetwork(net, engine::vegetaS162(),
+                                 NetworkPolicy::LayerWise),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace vegeta::kernels

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * N:M pattern analysis tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sparsity/nm_pattern.hpp"
+#include "sparsity/pruning.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(NMPattern, BasicProperties)
+{
+    EXPECT_DOUBLE_EQ(pattern24().guaranteedSparsity(), 0.5);
+    EXPECT_DOUBLE_EQ(pattern14().guaranteedSparsity(), 0.75);
+    EXPECT_DOUBLE_EQ(pattern44().guaranteedSparsity(), 0.0);
+    EXPECT_EQ(pattern24().toString(), "2:4");
+}
+
+TEST(NMPattern, LegalRowN)
+{
+    EXPECT_EQ(legalRowN(4), (std::vector<u32>{1, 2, 4}));
+    EXPECT_EQ(legalRowN(16), (std::vector<u32>{1, 2, 4, 8, 16}));
+}
+
+TEST(NMPattern, RoundUpToLegalN)
+{
+    EXPECT_EQ(roundUpToLegalN(0, 4), 0u);
+    EXPECT_EQ(roundUpToLegalN(1, 4), 1u);
+    EXPECT_EQ(roundUpToLegalN(2, 4), 2u);
+    EXPECT_EQ(roundUpToLegalN(3, 4), 4u);
+    EXPECT_EQ(roundUpToLegalN(4, 4), 4u);
+    EXPECT_EQ(roundUpToLegalN(5, 16), 8u);
+}
+
+TEST(NMPattern, BlockNonZeros)
+{
+    MatrixBF16 m(1, 8);
+    m.at(0, 0) = BF16(1.0f);
+    m.at(0, 2) = BF16(1.0f);
+    m.at(0, 5) = BF16(1.0f);
+    EXPECT_EQ(blockNonZeros(m, 0, 0), 2u);
+    EXPECT_EQ(blockNonZeros(m, 0, 1), 1u);
+}
+
+TEST(NMPattern, MinimalRowN)
+{
+    MatrixBF16 m(3, 8);
+    // Row 0: empty -> 0.
+    // Row 1: one nz per block -> 1.
+    m.at(1, 1) = BF16(1.0f);
+    m.at(1, 6) = BF16(1.0f);
+    // Row 2: three nz in one block -> rounds to 4.
+    m.at(2, 0) = BF16(1.0f);
+    m.at(2, 1) = BF16(1.0f);
+    m.at(2, 2) = BF16(1.0f);
+    EXPECT_EQ(minimalRowN(m, 0), 0u);
+    EXPECT_EQ(minimalRowN(m, 1), 1u);
+    EXPECT_EQ(minimalRowN(m, 2), 4u);
+}
+
+TEST(NMPattern, SatisfiesNM)
+{
+    Rng rng(10);
+    MatrixBF16 pruned = randomNMMatrix(16, 64, pattern24(), rng);
+    EXPECT_TRUE(satisfiesNM(pruned, pattern24()));
+    EXPECT_TRUE(satisfiesNM(pruned, pattern44()));
+    EXPECT_FALSE(satisfiesNM(randomMatrixBF16(16, 64, rng), pattern24()));
+}
+
+TEST(NMPattern, OneFourImpliesTwoFour)
+{
+    Rng rng(11);
+    MatrixBF16 pruned = randomNMMatrix(16, 64, pattern14(), rng);
+    EXPECT_TRUE(satisfiesNM(pruned, pattern14()));
+    EXPECT_TRUE(satisfiesNM(pruned, pattern24()));
+}
+
+TEST(NMPattern, MinimalMatrixNIsMaxOfRows)
+{
+    MatrixBF16 m(2, 8);
+    m.at(0, 0) = BF16(1.0f); // row 0 is 1:4
+    m.at(1, 0) = BF16(1.0f);
+    m.at(1, 1) = BF16(1.0f); // row 1 is 2:4
+    EXPECT_EQ(minimalMatrixN(m), 2u);
+    auto profile = rowNProfile(m);
+    EXPECT_EQ(profile, (std::vector<u32>{1, 2}));
+}
+
+TEST(NMPattern, WidthMustBeBlockMultiple)
+{
+    MatrixBF16 m(1, 6);
+    EXPECT_FALSE(satisfiesNM(m, pattern24()));
+}
+
+/** Property sweep: pruned matrices always satisfy their pattern. */
+class PrunedPatternTest
+    : public ::testing::TestWithParam<std::tuple<u32, u64>>
+{
+};
+
+TEST_P(PrunedPatternTest, PrunedMatrixSatisfiesPattern)
+{
+    const auto [n, seed] = GetParam();
+    Rng rng(seed);
+    const NMPattern pattern{n, 4};
+    MatrixBF16 pruned = randomNMMatrix(32, 128, pattern, rng);
+    EXPECT_TRUE(satisfiesNM(pruned, pattern));
+    EXPECT_LE(minimalMatrixN(pruned), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrunedPatternTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+} // namespace
+} // namespace vegeta

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Pipeline timing-model tests: stage latencies, initiation intervals,
+ * and the output-forwarding behaviour of Figure 10.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/pipeline.hpp"
+
+namespace vegeta::engine {
+namespace {
+
+isa::Instruction
+gemm(u8 c = 5, u8 a = 4, u8 b = 0)
+{
+    return isa::makeTileGemm(isa::treg(c), isa::treg(a), isa::treg(b));
+}
+
+isa::Instruction
+spmmU(u8 c = 5, u8 a = 4, u8 b = 0)
+{
+    return isa::makeTileSpmmU(isa::treg(c), isa::treg(a), isa::ureg(b));
+}
+
+TEST(StageLatencies, FollowSectionVC)
+{
+    // WL = Nrows, FF = Tn = 16, FS = Nrows - 1, DR = Table III drain.
+    PipelineModel d11(vegetaD11());
+    auto lat = d11.stages(gemm());
+    EXPECT_EQ(lat.wl, 32u);
+    EXPECT_EQ(lat.ff, 16u);
+    EXPECT_EQ(lat.fs, 31u);
+    EXPECT_EQ(lat.dr, 16u);
+
+    PipelineModel s162(vegetaS162());
+    lat = s162.stages(gemm());
+    EXPECT_EQ(lat.wl, 16u);
+    EXPECT_EQ(lat.ff, 16u);
+    EXPECT_EQ(lat.fs, 15u);
+    EXPECT_EQ(lat.dr, 2u);
+}
+
+TEST(InitiationInterval, SixteenForBalancedDesigns)
+{
+    // Figure 10: the next instruction can start after 16 cycles for
+    // both VEGETA-D-1-2 and VEGETA-S-16-2 (MAC-throughput bound).
+    EXPECT_EQ(initiationInterval(vegetaD12()), 16u);
+    EXPECT_EQ(initiationInterval(vegetaS162()), 16u);
+    EXPECT_EQ(initiationInterval(vegetaS22()), 16u);
+    // RASA-SM is stage-imbalanced: WL = 32 dominates.
+    EXPECT_EQ(initiationInterval(vegetaD11()), 32u);
+}
+
+TEST(IsolatedLatency, SumOfStages)
+{
+    EXPECT_EQ(isolatedLatency(vegetaD11(), gemm()), 32u + 16 + 31 + 16);
+    EXPECT_EQ(isolatedLatency(vegetaS162(), gemm()), 16u + 16 + 15 + 2);
+    // Smaller arrays have lower single-instruction latency
+    // (Section V-C: "the latency of each instruction for
+    // VEGETA-S-16-2 is shorter than that of VEGETA-D-1-2").
+    EXPECT_LT(isolatedLatency(vegetaS162(), gemm()),
+              isolatedLatency(vegetaD12(), gemm()));
+}
+
+TEST(Pipelining, IndependentInstructionsOverlapAtII)
+{
+    PipelineModel model(vegetaS162());
+    // Independent instructions: cycle over four C registers so no
+    // accumulate dependency constrains the stream (isolated latency 49
+    // < 4 x II = 64).
+    const u8 dsts[4] = {1, 2, 3, 5};
+    std::vector<isa::Instruction> stream;
+    for (int i = 0; i < 8; ++i)
+        stream.push_back(gemm(dsts[i % 4]));
+    auto ops = model.scheduleAll(stream);
+    for (std::size_t i = 1; i < ops.size(); ++i)
+        EXPECT_EQ(ops[i].start - ops[i - 1].start, 16u) << i;
+}
+
+TEST(Pipelining, NoTwoInstructionsShareAStage)
+{
+    PipelineModel model(vegetaS22());
+    auto l = model.stages(gemm());
+    std::vector<isa::Instruction> stream;
+    for (int i = 0; i < 6; ++i)
+        stream.push_back(gemm(static_cast<u8>(i % 2 == 0 ? 5 : 6)));
+    auto ops = model.scheduleAll(stream);
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+        // Entry into each stage must be at or after the previous
+        // instruction's exit from that stage.
+        Cycles off = 0;
+        const Cycles lens[4] = {l.wl, l.ff, l.fs, l.dr};
+        for (int s = 0; s < 4; ++s) {
+            const Cycles prev_exit = ops[i - 1].start + off + lens[s];
+            const Cycles cur_entry = ops[i].start + off;
+            EXPECT_GE(cur_entry, prev_exit) << "stage " << s;
+            off += lens[s];
+        }
+    }
+}
+
+TEST(Dependencies, SameDestinationStallsWithoutOF)
+{
+    PipelineModel model(vegetaS162(), /*output_forwarding=*/false);
+    auto first = model.issue(gemm(5), 0);
+    auto second = model.issue(gemm(5), 0);
+    // Without OF the dependent instruction cannot read C until the
+    // producer has fully written it back; FF (C read) starts at
+    // start + WL.
+    EXPECT_GE(second.ffStart, first.finish);
+}
+
+TEST(Dependencies, OutputForwardingShortensStall)
+{
+    PipelineModel no_of(vegetaS162(), false);
+    auto base_first = no_of.issue(gemm(5), 0);
+    auto base_second = no_of.issue(gemm(5), 0);
+
+    PipelineModel with_of(vegetaS162(), true);
+    auto of_first = with_of.issue(gemm(5), 0);
+    auto of_second = with_of.issue(gemm(5), 0);
+
+    EXPECT_EQ(base_first.start, of_first.start);
+    EXPECT_LT(of_second.finish, base_second.finish);
+    // OF rule: dependent FF >= producer FF + Nrows + log2(beta).
+    const Cycles of_delay = vegetaS162().nRows() + 1;
+    EXPECT_GE(of_second.ffStart, of_first.ffStart + of_delay);
+}
+
+TEST(Dependencies, OFChainThroughputMatchesFigure10)
+{
+    // Figure 10(d): with OF, a chain of dependent instructions issues
+    // at a steady interval of Nrows + log2(beta) once pipelined.
+    PipelineModel model(vegetaS162(), true);
+    std::vector<ScheduledOp> ops;
+    for (int i = 0; i < 6; ++i)
+        ops.push_back(model.issue(gemm(5), 0));
+    const Cycles of_delay = vegetaS162().nRows() + 1; // 17
+    for (std::size_t i = 2; i < ops.size(); ++i)
+        EXPECT_EQ(ops[i].ffStart - ops[i - 1].ffStart, of_delay);
+}
+
+TEST(Dependencies, DifferentDestinationsDoNotStall)
+{
+    PipelineModel model(vegetaS162(), false);
+    auto first = model.issue(gemm(5), 0);
+    auto second = model.issue(gemm(6), 0);
+    EXPECT_EQ(second.start - first.start, 16u);
+}
+
+TEST(Dependencies, ReadAfterWriteOnSources)
+{
+    PipelineModel model(vegetaS162(), false);
+    // First writes treg5; second uses treg5 as its A operand.
+    auto first = model.issue(gemm(5, 4, 0), 0);
+    auto second = model.issue(gemm(6, 5, 0), 0);
+    EXPECT_GE(second.start, first.finish);
+}
+
+TEST(Dependencies, InvalidateRegClearsStaleDependency)
+{
+    PipelineModel model(vegetaS162(), false);
+    auto first = model.issue(gemm(5), 0);
+    // A tile load renames treg5 (handled by the CPU model); the
+    // engine must then not stall the next user on the old write.
+    model.invalidateReg(5);
+    auto second = model.issue(gemm(5), 0);
+    EXPECT_EQ(second.start - first.start, 16u);
+}
+
+TEST(Dependencies, EarliestStartHonored)
+{
+    PipelineModel model(vegetaS162(), false);
+    auto op = model.issue(gemm(5), 1000);
+    EXPECT_EQ(op.start, 1000u);
+    EXPECT_EQ(model.busyUntil(), op.finish);
+}
+
+TEST(Dependencies, MetadataDependencyTracked)
+{
+    PipelineModel model(vegetaS162(), false);
+    auto op = model.issue(spmmU(), 0);
+    auto reads = op.instr.readRegs();
+    EXPECT_NE(std::find(reads.begin(), reads.end(), isa::mregDepId(4)),
+              reads.end());
+}
+
+TEST(Dependencies, UnsupportedOpcodePanics)
+{
+    setLoggingThrows(true);
+    PipelineModel model(vegetaD12());
+    EXPECT_THROW(model.issue(spmmU(), 0), std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(Reset, ClearsAllState)
+{
+    PipelineModel model(vegetaS162(), false);
+    model.issue(gemm(5), 0);
+    model.reset();
+    auto op = model.issue(gemm(5), 0);
+    EXPECT_EQ(op.start, 0u);
+}
+
+/** Property: pipelined N-instruction stream beats serial execution. */
+class ThroughputTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ThroughputTest, PipeliningBeatsSerialExecution)
+{
+    auto cfg = configByName(GetParam());
+    ASSERT_TRUE(cfg.has_value());
+    PipelineModel model(*cfg);
+    const int count = 16;
+    std::vector<isa::Instruction> stream;
+    for (int i = 0; i < count; ++i)
+        stream.push_back(gemm(static_cast<u8>(5 + i % 2)));
+    auto ops = model.scheduleAll(stream);
+    const Cycles pipelined = ops.back().finish;
+    const Cycles serial = count * isolatedLatency(*cfg, gemm());
+    EXPECT_LT(pipelined, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThroughputTest,
+                         ::testing::Values("VEGETA-D-1-1", "VEGETA-D-1-2",
+                                           "VEGETA-D-16-1",
+                                           "VEGETA-S-1-2", "VEGETA-S-2-2",
+                                           "VEGETA-S-4-2", "VEGETA-S-8-2",
+                                           "VEGETA-S-16-2"));
+
+} // namespace
+} // namespace vegeta::engine

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Pruning and synthetic sparsity tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "sparsity/pruning.hpp"
+
+namespace vegeta {
+namespace {
+
+TEST(MagnitudePrune, KeepsLargestPerBlock)
+{
+    MatrixBF16 m(1, 4);
+    m.at(0, 0) = BF16(0.5f);
+    m.at(0, 1) = BF16(-3.0f);
+    m.at(0, 2) = BF16(1.0f);
+    m.at(0, 3) = BF16(0.25f);
+    auto pruned = magnitudePruneNM(m, pattern24());
+    EXPECT_TRUE(pruned.at(0, 0).isZero());
+    EXPECT_EQ(pruned.at(0, 1).toFloat(), -3.0f);
+    EXPECT_EQ(pruned.at(0, 2).toFloat(), 1.0f);
+    EXPECT_TRUE(pruned.at(0, 3).isZero());
+}
+
+TEST(MagnitudePrune, OneFourKeepsSingleMax)
+{
+    MatrixBF16 m(1, 4);
+    m.at(0, 0) = BF16(0.5f);
+    m.at(0, 1) = BF16(-3.0f);
+    m.at(0, 2) = BF16(1.0f);
+    m.at(0, 3) = BF16(0.25f);
+    auto pruned = magnitudePruneNM(m, pattern14());
+    EXPECT_EQ(countNonZeros(pruned), 1u);
+    EXPECT_EQ(pruned.at(0, 1).toFloat(), -3.0f);
+}
+
+TEST(MagnitudePrune, DensePatternIsIdentity)
+{
+    Rng rng(1);
+    MatrixBF16 m = randomMatrixBF16(8, 16, rng);
+    EXPECT_EQ(magnitudePruneNM(m, pattern44()), m);
+}
+
+TEST(MagnitudePrune, ResultSatisfiesPattern)
+{
+    Rng rng(2);
+    for (u32 n : {1u, 2u}) {
+        MatrixBF16 m = randomMatrixBF16(16, 64, rng);
+        auto pruned = magnitudePruneNM(m, {n, 4});
+        EXPECT_TRUE(satisfiesNM(pruned, {n, 4}));
+        EXPECT_EQ(countNonZeros(pruned), 16u * 16 * n);
+    }
+}
+
+TEST(MagnitudePrune, SparsityDegreeMatchesPattern)
+{
+    Rng rng(3);
+    MatrixBF16 m = randomMatrixBF16(32, 64, rng);
+    EXPECT_DOUBLE_EQ(sparsityDegree(magnitudePruneNM(m, pattern24())),
+                     0.5);
+    EXPECT_DOUBLE_EQ(sparsityDegree(magnitudePruneNM(m, pattern14())),
+                     0.75);
+}
+
+TEST(MaskUnstructuredExact, ExactDegree)
+{
+    Rng rng(4);
+    MatrixBF16 m = randomMatrixBF16(40, 40, rng);
+    for (double degree : {0.0, 0.25, 0.5, 0.9, 0.95, 1.0}) {
+        auto masked = maskUnstructuredExact(m, degree, rng);
+        const u64 zeros = masked.size() - countNonZeros(masked);
+        EXPECT_EQ(zeros,
+                  static_cast<u64>(std::llround(degree * m.size())))
+            << degree;
+    }
+}
+
+TEST(MaskUnstructuredExact, Deterministic)
+{
+    Rng rng_a(7), rng_b(7);
+    MatrixBF16 m = randomMatrixBF16(16, 16, rng_a);
+    Rng rng_c(7);
+    MatrixBF16 m2 = randomMatrixBF16(16, 16, rng_c);
+    EXPECT_EQ(maskUnstructuredExact(m, 0.5, rng_a),
+              maskUnstructuredExact(m2, 0.5, rng_c));
+    (void)rng_b;
+}
+
+TEST(MaskUnstructuredBernoulli, DegreeWithinTolerance)
+{
+    Rng rng(8);
+    MatrixBF16 m = randomMatrixBF16(128, 128, rng);
+    auto masked = maskUnstructuredBernoulli(m, 0.8, rng);
+    EXPECT_NEAR(sparsityDegree(masked), 0.8, 0.02);
+}
+
+TEST(RandomUnstructuredMatrix, DegreeAndDims)
+{
+    Rng rng(9);
+    auto m = randomUnstructuredMatrix(64, 64, 0.95, rng);
+    EXPECT_EQ(m.rows(), 64u);
+    EXPECT_EQ(m.cols(), 64u);
+    // Exactly round(0.95 * 4096) zeros.
+    const u64 zeros = m.size() - countNonZeros(m);
+    EXPECT_EQ(zeros, static_cast<u64>(std::llround(0.95 * m.size())));
+}
+
+TEST(MagnitudePrune, PreservedValuesUnchanged)
+{
+    Rng rng(10);
+    MatrixBF16 m = randomMatrixBF16(16, 32, rng);
+    auto pruned = magnitudePruneNM(m, pattern24());
+    for (u32 r = 0; r < m.rows(); ++r)
+        for (u32 c = 0; c < m.cols(); ++c)
+            if (!pruned.at(r, c).isZero())
+                EXPECT_EQ(pruned.at(r, c), m.at(r, c));
+}
+
+} // namespace
+} // namespace vegeta

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tile/metadata register file tests, especially the treg/ureg/vreg
+ * aliasing of Figure 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "isa/registers.hpp"
+
+namespace vegeta::isa {
+namespace {
+
+TEST(RegClass, Geometry)
+{
+    EXPECT_EQ(regClassRowBytes(RegClass::Treg), 64u);
+    EXPECT_EQ(regClassRowBytes(RegClass::Ureg), 128u);
+    EXPECT_EQ(regClassRowBytes(RegClass::Vreg), 256u);
+    EXPECT_EQ(regClassBytes(RegClass::Treg), 1024u);
+    EXPECT_EQ(regClassBytes(RegClass::Ureg), 2048u);
+    EXPECT_EQ(regClassBytes(RegClass::Vreg), 4096u);
+    EXPECT_EQ(regClassCount(RegClass::Treg), 8u);
+    EXPECT_EQ(regClassCount(RegClass::Ureg), 4u);
+    EXPECT_EQ(regClassCount(RegClass::Vreg), 2u);
+}
+
+TEST(TileReg, BackingTregs)
+{
+    EXPECT_EQ(ureg(1).firstTreg(), 2u);
+    EXPECT_EQ(ureg(1).numTregs(), 2u);
+    EXPECT_EQ(vreg(1).firstTreg(), 4u);
+    EXPECT_EQ(vreg(1).numTregs(), 4u);
+    EXPECT_EQ(treg(5).firstTreg(), 5u);
+    EXPECT_EQ(treg(5).toString(), "treg5");
+    EXPECT_EQ(vreg(0).toString(), "vreg0");
+}
+
+TEST(TileRegisterFile, ByteReadWrite)
+{
+    TileRegisterFile rf;
+    rf.writeByte(treg(3), 5, 17, 0xab);
+    EXPECT_EQ(rf.readByte(treg(3), 5, 17), 0xab);
+    EXPECT_EQ(rf.readByte(treg(3), 5, 18), 0x00);
+}
+
+TEST(TileRegisterFile, UregAliasesTwoTregs)
+{
+    TileRegisterFile rf;
+    // ureg0 row r = treg0 row r (bytes 0-63) ++ treg1 row r (64-127).
+    rf.writeByte(treg(0), 2, 10, 0x11);
+    rf.writeByte(treg(1), 2, 10, 0x22);
+    EXPECT_EQ(rf.readByte(ureg(0), 2, 10), 0x11);
+    EXPECT_EQ(rf.readByte(ureg(0), 2, 64 + 10), 0x22);
+
+    rf.writeByte(ureg(0), 7, 100, 0x33);
+    EXPECT_EQ(rf.readByte(treg(1), 7, 36), 0x33);
+}
+
+TEST(TileRegisterFile, VregAliasesFourTregs)
+{
+    TileRegisterFile rf;
+    rf.writeByte(treg(4), 0, 0, 0xa1);
+    rf.writeByte(treg(5), 0, 0, 0xa2);
+    rf.writeByte(treg(6), 0, 0, 0xa3);
+    rf.writeByte(treg(7), 0, 0, 0xa4);
+    EXPECT_EQ(rf.readByte(vreg(1), 0, 0), 0xa1);
+    EXPECT_EQ(rf.readByte(vreg(1), 0, 64), 0xa2);
+    EXPECT_EQ(rf.readByte(vreg(1), 0, 128), 0xa3);
+    EXPECT_EQ(rf.readByte(vreg(1), 0, 192), 0xa4);
+}
+
+TEST(TileRegisterFile, BF16Elements)
+{
+    TileRegisterFile rf;
+    rf.writeBF16(treg(2), 3, 17, BF16(1.5f));
+    EXPECT_EQ(rf.readBF16(treg(2), 3, 17).toFloat(), 1.5f);
+    // A treg row holds 32 BF16, a ureg row 64, a vreg row 128.
+    rf.writeBF16(ureg(1), 0, 63, BF16(-2.0f));
+    EXPECT_EQ(rf.readBF16(ureg(1), 0, 63).toFloat(), -2.0f);
+    rf.writeBF16(vreg(0), 15, 127, BF16(3.0f));
+    EXPECT_EQ(rf.readBF16(vreg(0), 15, 127).toFloat(), 3.0f);
+}
+
+TEST(TileRegisterFile, F32Elements)
+{
+    TileRegisterFile rf;
+    rf.writeF32(treg(0), 1, 15, 3.14159f);
+    EXPECT_EQ(rf.readF32(treg(0), 1, 15), 3.14159f);
+}
+
+TEST(TileRegisterFile, F32LinearSpansBackingTregs)
+{
+    TileRegisterFile rf;
+    // Element 300 of a ureg: byte offset 1200 -> logical row 9,
+    // byte 48 -> within treg 2k (first half of the row).
+    rf.writeF32Linear(ureg(1), 300, 42.0f);
+    EXPECT_EQ(rf.readF32Linear(ureg(1), 300), 42.0f);
+    EXPECT_EQ(rf.readF32(treg(2), 9, 12), 42.0f);
+
+    // Element 500: byte offset 2000 -> row 15, byte 80 -> second treg.
+    rf.writeF32Linear(ureg(1), 500, -7.0f);
+    EXPECT_EQ(rf.readF32(treg(3), 15, (2000 % 128 - 64) / 4), -7.0f);
+}
+
+TEST(TileRegisterFile, ReadWriteAllRoundTrip)
+{
+    TileRegisterFile rf;
+    Rng rng(1);
+    std::vector<u8> image(2048);
+    for (auto &b : image)
+        b = static_cast<u8>(rng.next());
+    rf.writeAll(ureg(2), image);
+    EXPECT_EQ(rf.readAll(ureg(2)), image);
+    // And the aliased tregs see the interleaved halves.
+    auto t4 = rf.readAll(treg(4));
+    EXPECT_EQ(t4[0], image[0]);
+    auto t5 = rf.readAll(treg(5));
+    EXPECT_EQ(t5[0], image[64]);
+}
+
+TEST(TileRegisterFile, OutOfRangePanics)
+{
+    setLoggingThrows(true);
+    TileRegisterFile rf;
+    EXPECT_THROW(rf.readByte(treg(8), 0, 0), std::logic_error);
+    EXPECT_THROW(rf.readByte(treg(0), 16, 0), std::logic_error);
+    EXPECT_THROW(rf.readByte(treg(0), 0, 64), std::logic_error);
+    EXPECT_THROW(rf.readByte(ureg(4), 0, 0), std::logic_error);
+    EXPECT_THROW(rf.readByte(vreg(2), 0, 0), std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(MetadataReg, CodeAccessors)
+{
+    MetadataReg m;
+    m.setCode(0, 3);
+    m.setCode(1, 1);
+    m.setCode(511, 2);
+    EXPECT_EQ(m.code(0), 3u);
+    EXPECT_EQ(m.code(1), 1u);
+    EXPECT_EQ(m.code(2), 0u);
+    EXPECT_EQ(m.code(511), 2u);
+    // Codes pack 4 per byte, little-endian.
+    EXPECT_EQ(m.body[0], 0x07);
+}
+
+TEST(MetadataReg, RowDescriptors)
+{
+    MetadataReg m;
+    m.rowDesc[0] = 0b10'01'00'10; // rows 0..3: codes 2,0,1,2
+    EXPECT_EQ(m.rowDescCode(0), 2u);
+    EXPECT_EQ(m.rowDescCode(1), 0u);
+    EXPECT_EQ(m.rowDescCode(2), 1u);
+    EXPECT_EQ(m.rowDescCode(3), 2u);
+}
+
+TEST(MetadataRegisterFile, EightRegisters)
+{
+    MetadataRegisterFile mrf;
+    mrf.reg(7).setCode(3, 2);
+    EXPECT_EQ(mrf.reg(7).code(3), 2u);
+    EXPECT_EQ(mrf.reg(0).code(3), 0u);
+    setLoggingThrows(true);
+    EXPECT_THROW(mrf.reg(8), std::logic_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace vegeta::isa

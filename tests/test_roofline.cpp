@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Roofline model tests (paper Figure 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/roofline.hpp"
+
+namespace vegeta::model {
+namespace {
+
+TEST(Roofline, AllEnginesCoincideAtFullDensity)
+{
+    // "For the 100% dense case, the dense matrix (vector) and sparse
+    // matrix (vector) engines achieve the same compute throughput."
+    auto series = figure3Series();
+    const auto &full = series.back();
+    ASSERT_DOUBLE_EQ(full.density, 1.0);
+    EXPECT_NEAR(full.denseMatrixTflops, full.sparseMatrixTflops, 1e-9);
+    EXPECT_NEAR(full.denseVectorTflops, full.sparseVectorTflops, 1e-9);
+}
+
+TEST(Roofline, SparseBeatsDenseBelowFullDensity)
+{
+    for (const auto &p : figure3Series()) {
+        if (p.density < 1.0) {
+            EXPECT_GE(p.sparseMatrixTflops, p.denseMatrixTflops);
+            EXPECT_GE(p.sparseVectorTflops, p.denseVectorTflops);
+        }
+    }
+}
+
+TEST(Roofline, MatrixDominatesVectorWhenComputeBound)
+{
+    auto series = figure3Series();
+    const auto &full = series.back();
+    // 512 vs 64 GFLOPS: 8x gap at 100% density.
+    EXPECT_NEAR(full.denseMatrixTflops / full.denseVectorTflops, 8.0,
+                0.5);
+}
+
+TEST(Roofline, SparseMatrixPlateausAtPeak)
+{
+    // The sparse matrix engine stays compute bound at 0.512 TFLOPS
+    // over the mid densities.
+    RooflineParams params;
+    for (double d : {0.4, 0.6, 0.8}) {
+        const double t = effectiveTflops({64, 64, 56, 56, 3, 3}, d,
+                                         params.matrixGflops, true,
+                                         params);
+        EXPECT_NEAR(t, 0.512, 0.01) << d;
+    }
+}
+
+TEST(Roofline, SparseEnginesConvergeWhenMemoryBound)
+{
+    // "When memory bound, i.e., at extremely low density, ... a sparse
+    // vector engine performs similar to a sparse matrix engine."
+    auto series = figure3Series({}, {64, 64, 56, 56, 3, 3}, {0.001});
+    const auto &p = series.front();
+    EXPECT_NEAR(p.sparseVectorTflops, p.sparseMatrixTflops,
+                0.05 * p.sparseMatrixTflops);
+}
+
+TEST(Roofline, DenseEffectiveThroughputScalesWithDensity)
+{
+    RooflineParams params;
+    const kernels::ConvDims layer{64, 64, 56, 56, 3, 3};
+    const double at_half =
+        effectiveTflops(layer, 0.5, params.matrixGflops, false, params);
+    const double at_full =
+        effectiveTflops(layer, 1.0, params.matrixGflops, false, params);
+    EXPECT_NEAR(at_half, at_full / 2.0, 1e-9);
+}
+
+TEST(Roofline, MonotonicInDensity)
+{
+    auto series = figure3Series();
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        EXPECT_GE(series[i].denseMatrixTflops,
+                  series[i - 1].denseMatrixTflops - 1e-12);
+        EXPECT_GE(series[i].sparseMatrixTflops,
+                  series[i - 1].sparseMatrixTflops - 1e-12);
+    }
+}
+
+TEST(Roofline, DefaultSeriesCoversPercentGrid)
+{
+    auto series = figure3Series();
+    EXPECT_EQ(series.size(), 100u);
+    EXPECT_DOUBLE_EQ(series.front().density, 0.01);
+}
+
+} // namespace
+} // namespace vegeta::model

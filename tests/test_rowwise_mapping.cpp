@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Row-wise mapping tests (paper Section V-E, Figure 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/rowwise_mapping.hpp"
+
+namespace vegeta::engine {
+namespace {
+
+TEST(RowWiseMapping, Figure11Example)
+{
+    // Figure 11: row 1 with 4:4, rows 2-3 with 2:4, last four rows
+    // with 1:4 -- for a full tile: 4 rows 4:4 + 8 rows 2:4 + ... use
+    // sum N = 32 combinations.
+    const std::vector<u32> row_n = {4, 2, 2, 4, 4, 4, 2, 2, 1, 1, 1, 1};
+    auto map = analyzeRowWiseMapping(row_n);
+    EXPECT_EQ(map.rows, 12u);
+    EXPECT_EQ(map.sumN, 4u * 4 + 4 * 2 + 4 * 1);
+    EXPECT_DOUBLE_EQ(map.engineCols, 4 + 2 + 1);
+}
+
+TEST(RowWiseMapping, FullUtilizationAtBudget)
+{
+    EXPECT_TRUE(
+        analyzeRowWiseMapping(std::vector<u32>(8, 4)).fullyUtilized);
+    EXPECT_TRUE(
+        analyzeRowWiseMapping(std::vector<u32>(16, 2)).fullyUtilized);
+    EXPECT_TRUE(
+        analyzeRowWiseMapping(std::vector<u32>(32, 1)).fullyUtilized);
+    EXPECT_FALSE(
+        analyzeRowWiseMapping(std::vector<u32>(7, 4)).fullyUtilized);
+}
+
+TEST(RowWiseMapping, HABoundsOfFullTiles)
+{
+    // HA varies from 8 (all 4:4) to 32 (all 1:4), Section V-E.
+    EXPECT_EQ(analyzeRowWiseMapping(std::vector<u32>(8, 4)).rows,
+              kRowWiseMinRows);
+    EXPECT_EQ(analyzeRowWiseMapping(std::vector<u32>(32, 1)).rows,
+              kRowWiseMaxRows);
+}
+
+TEST(RowWiseMapping, GroupAlignmentDetection)
+{
+    // 2:4 rows must come in pairs, 1:4 rows in quads.
+    EXPECT_TRUE(analyzeRowWiseMapping({4, 2, 2, 1, 1, 1, 1})
+                    .groupsAligned);
+    EXPECT_FALSE(analyzeRowWiseMapping({2, 4, 2}).groupsAligned);
+    EXPECT_FALSE(analyzeRowWiseMapping({1, 1, 1}).groupsAligned);
+    EXPECT_FALSE(analyzeRowWiseMapping({1, 1, 2, 2, 1, 1})
+                     .groupsAligned);
+    EXPECT_TRUE(analyzeRowWiseMapping({2, 2, 1, 1, 1, 1, 4})
+                    .groupsAligned);
+}
+
+TEST(RowWiseMapping, DmaReorderSortsDescending)
+{
+    const std::vector<u32> row_n = {1, 4, 2, 1, 4, 2};
+    auto perm = dmaReorderPermutation(row_n);
+    ASSERT_EQ(perm.size(), 6u);
+    // Sorted values: 4, 4, 2, 2, 1, 1; stable within equal N.
+    EXPECT_EQ(perm, (std::vector<u32>{1, 4, 2, 5, 0, 3}));
+    std::vector<u32> sorted;
+    for (u32 p : perm)
+        sorted.push_back(row_n[p]);
+    EXPECT_EQ(sorted, (std::vector<u32>{4, 4, 2, 2, 1, 1}));
+}
+
+TEST(RowWiseMapping, ReorderedTileIsAligned)
+{
+    const std::vector<u32> row_n = {1, 2, 1, 2, 1, 1, 4};
+    auto perm = dmaReorderPermutation(row_n);
+    std::vector<u32> sorted;
+    for (u32 p : perm)
+        sorted.push_back(row_n[p]);
+    EXPECT_TRUE(analyzeRowWiseMapping(sorted).groupsAligned);
+}
+
+TEST(RowWiseMapping, RejectsIllegalN)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(analyzeRowWiseMapping({3}), std::logic_error);
+    EXPECT_THROW(analyzeRowWiseMapping({0}), std::logic_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace vegeta::engine

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Granularity-assignment tests (paper Sections III-D, V-E, VI-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sparsity/pruning.hpp"
+#include "sparsity/rowwise_transform.hpp"
+
+namespace vegeta {
+namespace {
+
+MatrixBF16
+unstructured(u32 rows, u32 cols, double degree, u64 seed)
+{
+    Rng rng(seed);
+    return randomUnstructuredMatrix(rows, cols, degree, rng);
+}
+
+TEST(AssignCoveringN, DenseAssignsFour)
+{
+    auto m = unstructured(32, 64, 0.9, 1);
+    auto a = assignCoveringN(m, SparsityGranularity::Dense);
+    for (const auto &per_tile : a)
+        for (u32 n : per_tile)
+            EXPECT_EQ(n, 4u);
+}
+
+TEST(AssignCoveringN, LayerWiseIsUniform)
+{
+    auto m = unstructured(32, 128, 0.9, 2);
+    auto a = assignCoveringN(m, SparsityGranularity::LayerWise);
+    const u32 first = a[0][0];
+    for (const auto &per_tile : a)
+        for (u32 n : per_tile)
+            EXPECT_EQ(n, first);
+}
+
+TEST(AssignCoveringN, AssignmentsCoverEveryNonZero)
+{
+    // The assertion inside assignCoveringN enforces covering; here we
+    // double check externally for row-wise.
+    auto m = unstructured(48, 128, 0.85, 3);
+    auto a = assignCoveringN(m, SparsityGranularity::RowWise);
+    for (u32 t = 0; t < a.size(); ++t) {
+        for (u32 r = 0; r < m.rows(); ++r) {
+            // Recompute the minimal covering N of the chunk.
+            u32 worst = 0;
+            for (u32 b = 0; b < 64 / 4; ++b) {
+                u32 nnz = 0;
+                for (u32 e = 0; e < 4; ++e)
+                    if (!m.at(r, t * 64 + b * 4 + e).isZero())
+                        ++nnz;
+                worst = std::max(worst, nnz);
+            }
+            EXPECT_GE(a[t][r], roundUpToLegalN(worst, 4));
+        }
+    }
+}
+
+TEST(AssignCoveringN, PseudoRowWiseGroupsAligned)
+{
+    auto m = unstructured(64, 64, 0.9, 4);
+    auto a = assignCoveringN(m, SparsityGranularity::PseudoRowWise);
+    // Scan groups: 1:4 rows must come in quads, 2:4 rows in pairs.
+    const auto &n = a[0];
+    u32 r = 0;
+    while (r < n.size()) {
+        if (n[r] == 1) {
+            ASSERT_LE(r + 4, n.size());
+            for (u32 i = 0; i < 4; ++i)
+                EXPECT_EQ(n[r + i], 1u);
+            r += 4;
+        } else if (n[r] == 2) {
+            ASSERT_LE(r + 2, n.size());
+            EXPECT_EQ(n[r + 1], 2u);
+            r += 2;
+        } else {
+            EXPECT_EQ(n[r], 4u);
+            r += 1;
+        }
+    }
+}
+
+TEST(GranularitySpeedup, OrderingHolds)
+{
+    // Finer granularity never loses to coarser granularity.
+    for (u64 seed : {10u, 11u, 12u}) {
+        auto m = unstructured(64, 256, 0.9, seed);
+        const double layer =
+            granularitySpeedup(m, SparsityGranularity::LayerWise);
+        const double tile =
+            granularitySpeedup(m, SparsityGranularity::TileWise);
+        const double pseudo =
+            granularitySpeedup(m, SparsityGranularity::PseudoRowWise);
+        const double row =
+            granularitySpeedup(m, SparsityGranularity::RowWise);
+        EXPECT_GE(tile, layer);
+        EXPECT_GE(row, pseudo);
+        EXPECT_GE(row, tile);
+        EXPECT_GE(layer, 0.99); // never slower than dense
+        EXPECT_DOUBLE_EQ(
+            granularitySpeedup(m, SparsityGranularity::Dense), 1.0);
+    }
+}
+
+TEST(GranularitySpeedup, StructuredMatrixGetsFullBenefit)
+{
+    Rng rng(20);
+    auto m = randomNMMatrix(32, 256, pattern14(), rng);
+    // A 1:4 matrix is covered at N=1 by every granularity.
+    EXPECT_DOUBLE_EQ(
+        granularitySpeedup(m, SparsityGranularity::LayerWise), 4.0);
+    EXPECT_DOUBLE_EQ(granularitySpeedup(m, SparsityGranularity::RowWise),
+                     4.0);
+}
+
+TEST(GranularitySpeedup, RowWiseAt90And95MatchesPaperBand)
+{
+    // Section VI-E: row-wise achieves 2.36x at 90% and 3.28x at 95%.
+    double sum90 = 0, sum95 = 0;
+    const int trials = 4;
+    for (int t = 0; t < trials; ++t) {
+        Rng rng(30 + t);
+        auto base = randomMatrixBF16(128, 512, rng);
+        sum90 += granularitySpeedup(
+            maskUnstructuredBernoulli(base, 0.90, rng),
+            SparsityGranularity::RowWise);
+        sum95 += granularitySpeedup(
+            maskUnstructuredBernoulli(base, 0.95, rng),
+            SparsityGranularity::RowWise);
+    }
+    EXPECT_NEAR(sum90 / trials, 2.36, 0.25);
+    EXPECT_NEAR(sum95 / trials, 3.28, 0.30);
+}
+
+TEST(PartitionRowsByNBudget, RespectsBudget)
+{
+    std::vector<u32> row_n{4, 4, 4, 4, 2, 2, 2, 2, 1, 1, 1, 1,
+                           1, 1, 1, 1, 4, 4, 4, 4, 4, 4, 4, 4};
+    auto groups = partitionRowsByNBudget(row_n, 32);
+    u32 covered = 0;
+    for (auto [b, e] : groups) {
+        EXPECT_EQ(b, covered);
+        u32 sum = 0;
+        for (u32 r = b; r < e; ++r)
+            sum += row_n[r];
+        EXPECT_LE(sum, 32u);
+        covered = e;
+    }
+    EXPECT_EQ(covered, row_n.size());
+}
+
+TEST(PartitionRowsByNBudget, FullTilesWhenUniform)
+{
+    std::vector<u32> all_dense(16, 4); // 16 rows of 4:4
+    auto groups = partitionRowsByNBudget(all_dense, 32);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], (std::pair<u32, u32>{0, 8}));
+    EXPECT_EQ(groups[1], (std::pair<u32, u32>{8, 16}));
+
+    std::vector<u32> all_sparse(32, 1); // 32 rows of 1:4
+    groups = partitionRowsByNBudget(all_sparse, 32);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], (std::pair<u32, u32>{0, 32}));
+}
+
+TEST(RowWiseEngineCols, MatchesSectionVEFormula)
+{
+    // Ncols = N44 + N24/2 + N14/4.
+    EXPECT_DOUBLE_EQ(rowWiseEngineCols({4, 4, 4, 4, 4, 4, 4, 4}), 8.0);
+    EXPECT_DOUBLE_EQ(rowWiseEngineCols(std::vector<u32>(32, 1)), 8.0);
+    // One 4:4 row (1 column) + two 2:4 rows (1) + four 1:4 rows (1).
+    EXPECT_DOUBLE_EQ(rowWiseEngineCols({4, 2, 2, 1, 1, 1, 1}), 3.0);
+}
+
+TEST(TransformChunkToRowWise, Lossless)
+{
+    auto chunk = unstructured(24, 64, 0.92, 40);
+    auto rwt = transformChunkToRowWise(chunk);
+    EXPECT_EQ(rwt.decompress(), chunk);
+}
+
+TEST(GranularityName, AllNamed)
+{
+    EXPECT_STREQ(granularityName(SparsityGranularity::Dense), "dense");
+    EXPECT_STREQ(granularityName(SparsityGranularity::RowWise),
+                 "row-wise");
+    EXPECT_STREQ(granularityName(SparsityGranularity::PseudoRowWise),
+                 "pseudo-row-wise");
+}
+
+/** Property: speed-up grows with sparsity degree for row-wise. */
+class DegreeMonotonicity : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(DegreeMonotonicity, RowWiseSpeedupIncreasesWithDegree)
+{
+    Rng rng(GetParam());
+    auto base = randomMatrixBF16(64, 256, rng);
+    double prev = 0.0;
+    for (double degree : {0.6, 0.75, 0.9, 0.97}) {
+        Rng mask_rng(GetParam() * 31 + static_cast<u64>(degree * 100));
+        auto m = maskUnstructuredBernoulli(base, degree, mask_rng);
+        const double s =
+            granularitySpeedup(m, SparsityGranularity::RowWise);
+        EXPECT_GE(s, prev * 0.98); // allow tiny statistical noise
+        prev = s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DegreeMonotonicity,
+                         ::testing::Values(50u, 51u, 52u, 53u));
+
+} // namespace
+} // namespace vegeta

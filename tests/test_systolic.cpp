@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Cycle-by-cycle systolic dataflow tests (paper Figures 8/9): the
+ * detailed array must compute exactly what the functional emulator
+ * computes (beta = 1) or within lane-reassociation rounding (beta = 2),
+ * with cycle counts matching the closed-form stage model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "engine/pipeline.hpp"
+#include "engine/systolic.hpp"
+#include "isa/emulator.hpp"
+#include "sparsity/pruning.hpp"
+
+namespace vegeta::engine {
+namespace {
+
+/** Closed-form total cycles of the detailed array for one run. */
+Cycles
+detailedClosedForm(const EngineConfig &cfg)
+{
+    // Last input column (j = Tn - 1) enters the bottom PE row at
+    // WL + (Tn - 1) + (Nrows - 1), reaches the last SPE column
+    // (Ncols - 1) later, then passes the reduction pipe and one
+    // write-back cycle.
+    return cfg.nRows() + (kTileN - 1) + (cfg.nRows() - 1) +
+           (cfg.nCols() - 1) + cfg.reductionDepth() + 1;
+}
+
+MatrixF
+emulatorGemm(const MatrixBF16 &a, const MatrixBF16 &bt,
+             const MatrixF &c0)
+{
+    isa::FlatMemory mem;
+    isa::Emulator emu(mem);
+    emu.writeTileBF16(isa::treg(4), a);
+    emu.writeTileBF16(isa::treg(0), bt);
+    emu.writeTileF32(isa::treg(5), c0);
+    emu.execute(isa::makeTileGemm(isa::treg(5), isa::treg(4),
+                                  isa::treg(0)));
+    return emu.readTileF32(isa::treg(5), 16, 16);
+}
+
+MatrixF
+emulatorSpmm(const CompressedTile &ct, const MatrixBF16 &bt,
+             const MatrixF &c0)
+{
+    isa::FlatMemory mem;
+    isa::Emulator emu(mem);
+    emu.writeTileBF16(isa::treg(4), ct.values());
+    emu.setMetadata(4, ct.packMetadata());
+    emu.writeTileF32(isa::treg(5), c0);
+    if (ct.pattern().n == 2) {
+        emu.writeTileBF16(isa::ureg(0), bt);
+        emu.execute(isa::makeTileSpmmU(isa::treg(5), isa::treg(4),
+                                       isa::ureg(0)));
+    } else {
+        emu.writeTileBF16(isa::vreg(0), bt);
+        emu.execute(isa::makeTileSpmmV(isa::treg(5), isa::treg(4),
+                                       isa::vreg(0)));
+    }
+    return emu.readTileF32(isa::treg(5), 16, 16);
+}
+
+/** GEMM on every engine design vs the emulator. */
+class SystolicGemm : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SystolicGemm, MatchesEmulator)
+{
+    auto cfg = configByName(GetParam());
+    ASSERT_TRUE(cfg.has_value());
+    Rng rng(42);
+    const MatrixBF16 a = randomMatrixBF16(16, 32, rng);
+    const MatrixBF16 bt = randomMatrixBF16(16, 32, rng);
+    const MatrixF c0 = randomMatrixF(16, 16, rng);
+
+    SystolicSimulator sim(*cfg);
+    const SystolicResult result = sim.runGemm(a, bt, c0);
+    const MatrixF want = emulatorGemm(a, bt, c0);
+
+    if (cfg->beta == 1) {
+        // Same accumulation order: bit exact.
+        EXPECT_EQ(maxAbsDiff(result.c, want), 0.0f);
+    } else {
+        // Lane split reassociates the sum; bounded rounding drift.
+        EXPECT_LT(maxAbsDiff(result.c, want), 1e-3f);
+    }
+}
+
+TEST_P(SystolicGemm, CycleCountMatchesClosedForm)
+{
+    auto cfg = configByName(GetParam());
+    ASSERT_TRUE(cfg.has_value());
+    Rng rng(43);
+    SystolicSimulator sim(*cfg);
+    const auto result = sim.runGemm(randomMatrixBF16(16, 32, rng),
+                                    randomMatrixBF16(16, 32, rng),
+                                    MatrixF(16, 16));
+    EXPECT_EQ(result.totalCycles, detailedClosedForm(*cfg));
+
+    // The detailed count matches the abstract WL/FF/FS/DR stage model
+    // to within the reduction-pipe depth (the abstract model folds the
+    // final reduction into the drain stage, Table III).
+    PipelineModel timing(*cfg);
+    const Cycles abstract = timing.stages(isa::makeTileGemm(
+        isa::treg(5), isa::treg(4), isa::treg(0))).total();
+    const Cycles diff = result.totalCycles > abstract
+                            ? result.totalCycles - abstract
+                            : abstract - result.totalCycles;
+    EXPECT_LE(diff, cfg->reductionDepth() + 1) << cfg->name;
+}
+
+TEST_P(SystolicGemm, EveryMacFires)
+{
+    auto cfg = configByName(GetParam());
+    ASSERT_TRUE(cfg.has_value());
+    Rng rng(44);
+    SystolicSimulator sim(*cfg);
+    const auto result = sim.runGemm(randomMatrixBF16(16, 32, rng),
+                                    randomMatrixBF16(16, 32, rng),
+                                    MatrixF(16, 16));
+    // 16 output columns x 512 MACs each firing once per column.
+    EXPECT_EQ(result.macFirings, 512ull * 16);
+    EXPECT_GT(result.utilization(), 0.1);
+    EXPECT_LE(result.utilization(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SystolicGemm,
+                         ::testing::Values("VEGETA-D-1-1", "VEGETA-D-1-2",
+                                           "VEGETA-D-16-1",
+                                           "VEGETA-S-1-2", "VEGETA-S-2-2",
+                                           "VEGETA-S-4-2", "VEGETA-S-8-2",
+                                           "VEGETA-S-16-2"));
+
+/** SPMM on the sparse designs vs the emulator. */
+class SystolicSpmm
+    : public ::testing::TestWithParam<std::tuple<std::string, u32, u64>>
+{
+};
+
+TEST_P(SystolicSpmm, MatchesEmulator)
+{
+    const auto [name, n, seed] = GetParam();
+    auto cfg = configByName(name);
+    ASSERT_TRUE(cfg.has_value());
+    Rng rng(seed);
+    const u32 eff_cols = 32 * 4 / n;
+    const MatrixBF16 a_eff =
+        randomNMMatrix(16, eff_cols, {n, 4}, rng);
+    const auto ct = CompressedTile::compress(a_eff, {n, 4});
+    const MatrixBF16 bt =
+        randomMatrixBF16(eff_cols, 16, rng).transposed();
+    const MatrixF c0 = randomMatrixF(16, 16, rng);
+
+    SystolicSimulator sim(*cfg);
+    const auto result = sim.runSpmm(ct, bt, c0);
+    const MatrixF want = emulatorSpmm(ct, bt, c0);
+    // beta = 2: lane reassociation rounding only.
+    EXPECT_LT(maxAbsDiff(result.c, want), 1e-3f);
+
+    EXPECT_EQ(result.totalCycles, detailedClosedForm(*cfg));
+    EXPECT_EQ(result.macFirings, 512ull * 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparseDesigns, SystolicSpmm,
+    ::testing::Combine(::testing::Values("VEGETA-S-1-2", "VEGETA-S-2-2",
+                                         "VEGETA-S-4-2", "VEGETA-S-8-2",
+                                         "VEGETA-S-16-2"),
+                       ::testing::Values(1u, 2u),
+                       ::testing::Values(7u, 8u, 9u)));
+
+TEST(SystolicSpmm, StcLikeRuns24Only)
+{
+    Rng rng(50);
+    const MatrixBF16 a24 = randomNMMatrix(16, 64, pattern24(), rng);
+    const auto ct24 = CompressedTile::compress(a24, pattern24());
+    const MatrixBF16 bt = randomMatrixBF16(64, 16, rng).transposed();
+
+    SystolicSimulator sim(stcLike());
+    EXPECT_NO_THROW(sim.runSpmm(ct24, bt, MatrixF(16, 16)));
+
+    setLoggingThrows(true);
+    const MatrixBF16 a14 = randomNMMatrix(16, 128, pattern14(), rng);
+    const auto ct14 = CompressedTile::compress(a14, pattern14());
+    const MatrixBF16 bt14 =
+        randomMatrixBF16(128, 16, rng).transposed();
+    EXPECT_THROW(sim.runSpmm(ct14, bt14, MatrixF(16, 16)),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(SystolicSpmm, DenseEngineRejectsSpmm)
+{
+    setLoggingThrows(true);
+    Rng rng(51);
+    const MatrixBF16 a = randomNMMatrix(16, 64, pattern24(), rng);
+    const auto ct = CompressedTile::compress(a, pattern24());
+    const MatrixBF16 bt = randomMatrixBF16(64, 16, rng).transposed();
+    SystolicSimulator sim(vegetaD12());
+    EXPECT_THROW(sim.runSpmm(ct, bt, MatrixF(16, 16)),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+/** Row-wise TILE_SPMM_R through the detailed array (Figure 11). */
+class SystolicRowWise
+    : public ::testing::TestWithParam<std::tuple<std::string, u64>>
+{
+  protected:
+    /** Build a full row-wise tile (sum N = 32) with a mixed profile. */
+    static RowWiseCompressedTile
+    makeTile(u64 seed, MatrixBF16 &effective_out)
+    {
+        // 2 x 4:4 + 8 x 2:4 + 8 x 1:4 -> sum N = 32, R = 18.
+        const u32 rows = 18;
+        MatrixBF16 eff(rows, 64);
+        std::vector<u32> row_n;
+        Rng rng(seed);
+        for (u32 r = 0; r < rows; ++r) {
+            const u32 n = r < 2 ? 4 : (r < 10 ? 2 : 1);
+            row_n.push_back(n);
+            MatrixBF16 one = randomNMMatrix(1, 64, {n, 4}, rng);
+            for (u32 c = 0; c < 64; ++c)
+                eff.at(r, c) = one.at(0, c);
+        }
+        effective_out = eff;
+        return RowWiseCompressedTile::compress(eff, row_n);
+    }
+};
+
+TEST_P(SystolicRowWise, MatchesReferenceGemm)
+{
+    const auto [name, seed] = GetParam();
+    auto cfg = configByName(name);
+    ASSERT_TRUE(cfg.has_value());
+
+    MatrixBF16 eff;
+    const auto tile = makeTile(seed, eff);
+    Rng rng(seed + 1);
+    const MatrixBF16 b = randomMatrixBF16(64, 16, rng);
+    const MatrixF c0 = randomMatrixF(tile.rows(), 16, rng);
+
+    SystolicSimulator sim(*cfg);
+    const auto result = sim.runSpmmRowWise(tile, b.transposed(), c0);
+
+    MatrixF want = c0;
+    referenceGemm(eff, b, want);
+    // Per-row lane reduction reassociates the sum.
+    EXPECT_LT(maxAbsDiff(result.c, want), 1e-3f);
+
+    // Full utilization: every one of the 512 MACs fires for each of
+    // the 16 output columns (Section V-E: "all columns fully
+    // utilized").
+    EXPECT_EQ(result.macFirings, 512ull * 16);
+}
+
+TEST_P(SystolicRowWise, PartialTileLeavesLanesIdle)
+{
+    const auto [name, seed] = GetParam();
+    auto cfg = configByName(name);
+    ASSERT_TRUE(cfg.has_value());
+
+    // 4 rows of 2:4 -> sum N = 8 of 32 lanes used.
+    MatrixBF16 eff(4, 64);
+    Rng rng(seed);
+    for (u32 r = 0; r < 4; ++r) {
+        MatrixBF16 one = randomNMMatrix(1, 64, pattern24(), rng);
+        for (u32 c = 0; c < 64; ++c)
+            eff.at(r, c) = one.at(0, c);
+    }
+    const auto tile = RowWiseCompressedTile::compress(eff, {2, 2, 2, 2});
+    const MatrixBF16 b = randomMatrixBF16(64, 16, rng);
+
+    SystolicSimulator sim(*cfg);
+    const auto result =
+        sim.runSpmmRowWise(tile, b.transposed(), MatrixF(4, 16));
+    MatrixF want(4, 16);
+    referenceGemm(eff, b, want);
+    EXPECT_LT(maxAbsDiff(result.c, want), 1e-3f);
+    EXPECT_EQ(result.macFirings, 8ull * 16 * 16); // 8 lanes x 16 p x 16 j
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparseDesigns, SystolicRowWise,
+    ::testing::Combine(::testing::Values("VEGETA-S-1-2", "VEGETA-S-2-2",
+                                         "VEGETA-S-4-2", "VEGETA-S-8-2",
+                                         "VEGETA-S-16-2"),
+                       ::testing::Values(60u, 61u)));
+
+TEST(SystolicRowWiseErrors, RejectsUnsupportedEngines)
+{
+    setLoggingThrows(true);
+    Rng rng(70);
+    MatrixBF16 eff = randomNMMatrix(8, 64, pattern24(), rng);
+    const auto tile = RowWiseCompressedTile::compressAuto(eff);
+    const MatrixBF16 bt = randomMatrixBF16(64, 16, rng).transposed();
+    SystolicSimulator dense(vegetaD12());
+    EXPECT_THROW(dense.runSpmmRowWise(tile, bt, MatrixF(8, 16)),
+                 std::logic_error);
+    SystolicSimulator stc(stcLike());
+    EXPECT_THROW(stc.runSpmmRowWise(tile, bt, MatrixF(8, 16)),
+                 std::logic_error);
+    setLoggingThrows(false);
+}
+
+TEST(Systolic, SparseSkipsSameWorkAsDenseComputes)
+{
+    // A 2:4 effective tile needs two dense GEMMs (2 x 8192 MAC
+    // firings) on a dense engine but one SPMM (8192 firings) on a
+    // sparse engine: the 2x instruction reduction of Figure 5.
+    Rng rng(52);
+    const MatrixBF16 a_eff = randomNMMatrix(16, 64, pattern24(), rng);
+    const auto ct = CompressedTile::compress(a_eff, pattern24());
+    const MatrixBF16 b = randomMatrixBF16(64, 16, rng);
+
+    SystolicSimulator sparse(vegetaS22());
+    const auto spmm = sparse.runSpmm(ct, b.transposed(),
+                                     MatrixF(16, 16));
+
+    SystolicSimulator dense(vegetaD12());
+    u64 dense_firings = 0;
+    MatrixF c(16, 16);
+    for (u32 half = 0; half < 2; ++half) {
+        const auto r = dense.runGemm(
+            a_eff.block(0, half * 32, 16, 32),
+            b.block(half * 32, 0, 32, 16).transposed(), c);
+        c = r.c;
+        dense_firings += r.macFirings;
+    }
+    EXPECT_EQ(dense_firings, 2 * spmm.macFirings);
+    EXPECT_LT(maxAbsDiff(c, spmm.c), 1e-3f);
+}
+
+} // namespace
+} // namespace vegeta::engine

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Trace serialization tests: generate-once / replay-anywhere, the
+ * Pin-trace-file equivalent of the paper's methodology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cpu/trace_cpu.hpp"
+#include "cpu/trace_io.hpp"
+#include "kernels/gemm_kernels.hpp"
+
+namespace vegeta::cpu {
+namespace {
+
+Trace
+sampleTrace()
+{
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    return kernels::runSpmmKernel({32, 32, 128}, 2, opts).trace;
+}
+
+TEST(TraceIo, StreamRoundTrip)
+{
+    const Trace trace = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    const auto back = readTrace(buffer);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ((*back)[i].kind, trace[i].kind) << i;
+        EXPECT_EQ((*back)[i].addr, trace[i].addr) << i;
+        EXPECT_EQ((*back)[i].bytes, trace[i].bytes) << i;
+        EXPECT_EQ((*back)[i].chain, trace[i].chain) << i;
+        EXPECT_EQ((*back)[i].tile.toString(), trace[i].tile.toString())
+            << i;
+    }
+}
+
+TEST(TraceIo, ReplayedTraceSimulatesIdentically)
+{
+    const Trace trace = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    const auto back = readTrace(buffer);
+    ASSERT_TRUE(back.has_value());
+
+    CoreConfig core;
+    const auto direct =
+        TraceCpu(core, engine::vegetaS162()).run(trace);
+    const auto replayed =
+        TraceCpu(core, engine::vegetaS162()).run(*back);
+    EXPECT_EQ(direct.totalCycles, replayed.totalCycles);
+    EXPECT_EQ(direct.retiredOps, replayed.retiredOps);
+    EXPECT_EQ(direct.cacheMisses, replayed.cacheMisses);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace trace = sampleTrace();
+    const std::string path = "/tmp/vegeta_trace_test.vgtr";
+    ASSERT_TRUE(writeTraceFile(path, trace));
+    const auto back = readTraceFile(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->size(), trace.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "NOPE" << std::string(64, '\0');
+    EXPECT_FALSE(readTrace(buffer).has_value());
+}
+
+TEST(TraceIo, RejectsTruncation)
+{
+    const Trace trace = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    EXPECT_FALSE(readTrace(truncated).has_value());
+}
+
+TEST(TraceIo, RejectsWrongVersion)
+{
+    const Trace trace = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    std::string bytes = buffer.str();
+    bytes[4] = 99; // version field
+    std::stringstream bad(bytes);
+    EXPECT_FALSE(readTrace(bad).has_value());
+}
+
+TEST(TraceIo, MissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(
+        readTraceFile("/tmp/definitely_not_here.vgtr").has_value());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, {});
+    const auto back = readTrace(buffer);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+} // namespace
+} // namespace vegeta::cpu

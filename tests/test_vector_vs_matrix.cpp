@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 4 study tests: instruction-count and runtime ratios of the
+ * vector kernel over the matrix kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/vector_kernels.hpp"
+#include "model/vector_vs_matrix.hpp"
+
+namespace vegeta::model {
+namespace {
+
+TEST(VectorKernel, TraceComposition)
+{
+    const auto trace = kernels::generateVectorGemmTrace({32, 32, 32});
+    // 32 rows x 2 strips x 16 k-pairs x (2 loads + 1 fma) dominates.
+    const u64 fmas = countKind(trace, cpu::UopKind::VectorFma);
+    EXPECT_EQ(fmas, 32u * 2 * 16);
+    const u64 loads = countKind(trace, cpu::UopKind::Load);
+    EXPECT_EQ(loads, 2 * fmas);
+    EXPECT_EQ(countKind(trace, cpu::UopKind::Store), 32u * 2);
+}
+
+TEST(VectorKernel, ChainsAreDistinctPerStrip)
+{
+    const auto trace = kernels::generateVectorGemmTrace({4, 32, 8});
+    u32 max_chain = 0;
+    for (const auto &op : trace)
+        if (op.kind == cpu::UopKind::VectorFma)
+            max_chain = std::max(max_chain, op.chain);
+    EXPECT_EQ(max_chain, 4u * 2); // m x n/16 strips
+}
+
+TEST(Figure4, InstructionRatioInPaperBand)
+{
+    // Paper: executed-instruction ratio roughly 20-60, growing with
+    // the GEMM dimension.  Our register-blocked matrix kernel executes
+    // slightly fewer instructions than the paper's (unspecified)
+    // codegen, so the measured band sits a bit higher (~30-110); the
+    // shape -- tens of times fewer instructions, growing with the
+    // dimension -- is the reproduced claim (see EXPERIMENTS.md).
+    const auto series = figure4Series();
+    ASSERT_EQ(series.size(), 3u);
+    for (const auto &p : series) {
+        EXPECT_GT(p.instructionRatio(), 15.0) << p.dim;
+        EXPECT_LT(p.instructionRatio(), 120.0) << p.dim;
+    }
+    EXPECT_LT(series[0].instructionRatio(), series[1].instructionRatio());
+    EXPECT_LT(series[1].instructionRatio(), series[2].instructionRatio());
+}
+
+TEST(Figure4, RuntimeRatioGrowsWithDim)
+{
+    const auto series = figure4Series();
+    EXPECT_GT(series.back().runtimeRatio(), 10.0);
+    EXPECT_LT(series[0].runtimeRatio(), series[2].runtimeRatio());
+    for (const auto &p : series)
+        EXPECT_GT(p.runtimeRatio(), 1.0) << p.dim;
+}
+
+TEST(Figure4, MatrixExecutesFarFewerInstructions)
+{
+    const auto series = figure4Series({64});
+    EXPECT_LT(series[0].matrixInstructions,
+              series[0].vectorInstructions / 10);
+}
+
+TEST(VectorKernel, CountHelperMatchesTrace)
+{
+    const kernels::GemmDims dims{16, 32, 64};
+    EXPECT_EQ(kernels::vectorGemmInstructionCount(dims),
+              kernels::generateVectorGemmTrace(dims).size());
+}
+
+} // namespace
+} // namespace vegeta::model

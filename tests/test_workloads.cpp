@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table IV workload tests: every layer's GEMM dims and MAC count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/workloads.hpp"
+
+namespace vegeta::kernels {
+namespace {
+
+TEST(Workloads, TableIVMacCountsExact)
+{
+    const struct
+    {
+        const char *name;
+        u64 macs;
+    } expect[] = {
+        {"ResNet50-L1", 51'380'224},  {"ResNet50-L2", 115'605'504},
+        {"ResNet50-L3", 51'380'224},  {"ResNet50-L4", 115'605'504},
+        {"ResNet50-L5", 51'380'224},  {"ResNet50-L6", 115'605'504},
+        {"BERT-L1", 301'989'888},     {"BERT-L2", 201'326'592},
+        {"BERT-L3", 201'326'592},     {"GPT-L1", 134'217'728},
+        {"GPT-L2", 536'870'912},      {"GPT-L3", 805'306'368},
+    };
+    const auto workloads = tableIVWorkloads();
+    ASSERT_EQ(workloads.size(), std::size(expect));
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        EXPECT_EQ(workloads[i].name, expect[i].name);
+        EXPECT_EQ(workloads[i].paperMacs, expect[i].macs)
+            << workloads[i].name;
+        EXPECT_EQ(workloads[i].gemm.macs(), expect[i].macs)
+            << workloads[i].name;
+    }
+}
+
+TEST(Workloads, Im2colDimsMapping)
+{
+    // ResNet50-L1: K=64, C=256, 1x1 on 56x56.
+    const GemmDims l1 = im2colGemm({64, 256, 56, 56, 1, 1});
+    EXPECT_EQ(l1.m, 64u);
+    EXPECT_EQ(l1.k, 256u);
+    EXPECT_EQ(l1.n, 56u * 56);
+
+    // ResNet50-L2: K=64, C=64, 3x3 on 56x56.
+    const GemmDims l2 = im2colGemm({64, 64, 56, 56, 3, 3});
+    EXPECT_EQ(l2.m, 64u);
+    EXPECT_EQ(l2.k, 64u * 9);
+    EXPECT_EQ(l2.n, 56u * 56);
+}
+
+TEST(Workloads, BertAndGptAreRawGemms)
+{
+    const auto workloads = tableIVWorkloads();
+    const auto &bert1 = workloads[6];
+    EXPECT_EQ(bert1.name, "BERT-L1");
+    EXPECT_EQ(bert1.gemm.m, 512u);
+    EXPECT_EQ(bert1.gemm.n, 768u);
+    EXPECT_EQ(bert1.gemm.k, 768u);
+    const auto &gpt3 = workloads[11];
+    EXPECT_EQ(gpt3.name, "GPT-L3");
+    EXPECT_EQ(gpt3.gemm.k, 12288u);
+}
+
+TEST(Workloads, PrefixFilter)
+{
+    EXPECT_EQ(workloadsByPrefix("ResNet50").size(), 6u);
+    EXPECT_EQ(workloadsByPrefix("BERT").size(), 3u);
+    EXPECT_EQ(workloadsByPrefix("GPT").size(), 3u);
+    EXPECT_TRUE(workloadsByPrefix("LLAMA").empty());
+}
+
+TEST(Workloads, QuickWorkloadsAreTileAligned)
+{
+    for (const auto &w : quickWorkloads()) {
+        EXPECT_EQ(w.gemm.m % 16, 0u) << w.name;
+        EXPECT_EQ(w.gemm.n % 16, 0u) << w.name;
+        EXPECT_EQ(w.gemm.k % 128, 0u) << w.name;
+    }
+}
+
+TEST(ConvDims, MacsFormula)
+{
+    const ConvDims conv{2, 3, 4, 5, 1, 1};
+    EXPECT_EQ(conv.macs(), 2u * 3 * 4 * 5);
+}
+
+} // namespace
+} // namespace vegeta::kernels
