@@ -13,38 +13,22 @@
  *   - register-blocked with U = 1, 2, 3 C tiles (U = 1 is the
  *     dependence-limited stream OF is designed for),
  *
- * with OF off and on, across representative engines.  The paper's
- * "another 32%/37% runtime reduction from OF" corresponds to the
- * U = 1 rows.
+ * with OF off and on, across representative engines.  The whole
+ * (engine x shape x OF) grid is expressed as vegeta::sim requests and
+ * executed in parallel on the SweepRunner.  The paper's "another
+ * 32%/37% runtime reduction from OF" corresponds to the U = 1 rows.
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "cpu/trace_cpu.hpp"
-#include "kernels/gemm_kernels.hpp"
-
-namespace {
-
-using namespace vegeta;
-using namespace vegeta::kernels;
-
-Cycles
-simulate(const engine::EngineConfig &cfg, const cpu::Trace &trace,
-         bool of)
-{
-    cpu::CoreConfig core;
-    core.outputForwarding = of;
-    cpu::TraceCpu cpu_model(core, cfg);
-    return cpu_model.run(trace).totalCycles;
-}
-
-} // namespace
+#include "sim/sweep.hpp"
 
 int
 main()
 {
-    const GemmDims dims{128, 128, 1024};
+    using namespace vegeta;
+
+    const kernels::GemmDims dims{128, 128, 1024};
     std::cout << "Ablation: C-register blocking vs output forwarding\n"
               << "Layer " << dims.m << "x" << dims.n << "x" << dims.k
               << ", 2:4 layer-wise sparsity\n\n";
@@ -52,34 +36,72 @@ main()
     struct KernelShape
     {
         const char *label;
-        bool optimized;
+        sim::KernelVariant variant;
         u32 blocking;
     };
     const KernelShape shapes[] = {
-        {"naive (Listing 1)", false, 1},
-        {"blocked U=1", true, 1},
-        {"blocked U=2", true, 2},
-        {"blocked U=3", true, 3},
+        {"naive (Listing 1)", sim::KernelVariant::Naive, 1},
+        {"blocked U=1", sim::KernelVariant::Optimized, 1},
+        {"blocked U=2", sim::KernelVariant::Optimized, 2},
+        {"blocked U=3", sim::KernelVariant::Optimized, 3},
+    };
+    const char *engine_names[] = {"VEGETA-D-1-2", "VEGETA-S-1-2",
+                                  "VEGETA-S-2-2", "VEGETA-S-16-2"};
+
+    const sim::Simulator simulator;
+
+    // One request per (engine, shape, OF) point; OF requests on dense
+    // engines fold back to no-OF, so build them only for sparse.
+    std::vector<sim::SimulationRequest> requests;
+    for (const char *engine : engine_names) {
+        const bool sparse = simulator.engines().find(engine)->sparse;
+        for (const auto &shape : shapes) {
+            for (const bool of : {false, true}) {
+                if (of && !sparse)
+                    continue;
+                auto builder = simulator.request()
+                                   .gemm(dims)
+                                   .engine(engine)
+                                   .pattern(2)
+                                   .kernel(shape.variant)
+                                   .cBlocking(shape.blocking)
+                                   .outputForwarding(of);
+                const auto request = builder.build();
+                if (!request) {
+                    std::cerr << "bad request: " << builder.error()
+                              << "\n";
+                    return 1;
+                }
+                requests.push_back(*request);
+            }
+        }
+    }
+    const auto results = sim::SweepRunner(simulator).run(requests);
+
+    auto cycles_of = [&](const std::string &engine,
+                         const KernelShape &shape,
+                         bool of) -> Cycles {
+        const char *kernel = sim::kernelVariantName(shape.variant);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const auto &req = requests[i];
+            if (req.engine == engine &&
+                req.cBlocking == shape.blocking &&
+                req.outputForwarding == of && results[i].kernel == kernel)
+                return results[i].coreCycles;
+        }
+        return 0;
     };
 
     Table table({"engine", "kernel", "noOF_cycles", "OF_cycles",
                  "OF_gain_%"});
-    for (const auto &cfg :
-         {engine::vegetaD12(), engine::vegetaS12(), engine::vegetaS22(),
-          engine::vegetaS162()}) {
-        const u32 executed_n = cfg.effectiveN(2);
+    for (const char *engine : engine_names) {
+        const bool sparse = simulator.engines().find(engine)->sparse;
         for (const auto &shape : shapes) {
-            KernelOptions opts;
-            opts.optimized = shape.optimized;
-            opts.cBlocking = shape.blocking;
-            opts.traceOnly = true;
-            const auto run = runSpmmKernel(dims, executed_n, opts);
-
-            const Cycles no_of = simulate(cfg, run.trace, false);
-            table.row().cell(cfg.name).cell(shape.label).cell(
+            const Cycles no_of = cycles_of(engine, shape, false);
+            table.row().cell(engine).cell(shape.label).cell(
                 static_cast<unsigned long long>(no_of));
-            if (cfg.sparse) {
-                const Cycles with_of = simulate(cfg, run.trace, true);
+            if (sparse) {
+                const Cycles with_of = cycles_of(engine, shape, true);
                 table.cell(static_cast<unsigned long long>(with_of));
                 table.cell(100.0 * (1.0 - static_cast<double>(with_of) /
                                               static_cast<double>(no_of)),

@@ -5,41 +5,59 @@
  * (core 2 GHz, engines 0.5 GHz, data prefetched to L2).
  *
  * Runtimes are normalized to the longest run (GPT-L3 on RASA-SM with
- * the dense pattern), exactly as in the paper.  Pass --quick for a
- * reduced workload set.
+ * the dense pattern), exactly as in the paper.  The grid executes on
+ * the vegeta::sim SweepRunner across all hardware threads (results
+ * are bit-identical to a single-threaded run).  Pass --quick for a
+ * reduced workload set, --threads N to override the pool size.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <map>
 
-#include "common/table.hpp"
-#include "kernels/driver.hpp"
+#include "sim/sweep.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vegeta;
-    using namespace vegeta::kernels;
 
-    const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-    const auto workloads = quick ? quickWorkloads() : tableIVWorkloads();
-    const auto engines = engine::allEvaluatedConfigs();
+    bool quick = false;
+    u32 threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 &&
+                 i + 1 < argc)
+            threads = static_cast<u32>(std::atoi(argv[++i]));
+    }
 
+    const sim::Simulator simulator;
+    const auto workloads =
+        simulator.workloads().group(quick ? "quick" : "tableIV");
+    std::vector<std::string> workload_names;
+    for (const auto &w : workloads)
+        workload_names.push_back(w.name);
+    const auto engine_names = simulator.engines().names();
+
+    const sim::SweepRunner runner(simulator, threads);
     std::cout << "Figure 13: normalized runtime, "
-              << (quick ? "quick" : "full Table IV") << " workloads\n"
+              << (quick ? "quick" : "full Table IV") << " workloads ("
+              << runner.threads() << " sweep threads)\n"
               << "(engines at 0.5 GHz via 4x clock divider; lower is "
                  "better; normalized to the longest run)\n\n";
 
-    const auto measurements = figure13Sweep(workloads, engines);
+    const auto grid =
+        sim::figure13Grid(simulator, workload_names, engine_names);
+    const auto results = runner.run(grid);
 
     // Normalize to the longest runtime (paper: GPT-L3 on RASA-SM).
     Cycles longest = 0;
     std::string longest_label;
-    for (const auto &m : measurements) {
-        if (m.coreCycles > longest) {
-            longest = m.coreCycles;
-            longest_label = m.workload + " on " + m.engineName;
+    for (const auto &r : results) {
+        if (r.coreCycles > longest) {
+            longest = r.coreCycles;
+            longest_label = r.workload + " on " + r.engine;
         }
     }
     std::cout << "Longest run (normalization base): " << longest_label
@@ -48,25 +66,25 @@ main(int argc, char **argv)
     for (u32 layer_n : {4u, 2u, 1u}) {
         std::cout << "--- Layer-wise " << layer_n << ":4 sparsity ---\n";
         std::vector<std::string> headers{"engine"};
-        for (const auto &w : workloads)
-            headers.push_back(w.name);
+        for (const auto &name : workload_names)
+            headers.push_back(name);
         Table table(headers);
 
         // Collect rows per engine variant (name + OF flag).
         std::vector<std::pair<std::string, bool>> variants;
-        for (const auto &e : engines) {
+        for (const auto &e : simulator.engines().configs()) {
             variants.emplace_back(e.name, false);
             if (e.sparse)
                 variants.emplace_back(e.name, true);
         }
         for (const auto &[name, of] : variants) {
             table.row().cell(of ? name + " +OF" : name);
-            for (const auto &w : workloads) {
-                for (const auto &m : measurements) {
-                    if (m.engineName == name && m.workload == w.name &&
-                        m.layerN == layer_n &&
-                        m.outputForwarding == of) {
-                        table.cell(static_cast<double>(m.coreCycles) /
+            for (const auto &workload : workload_names) {
+                for (const auto &r : results) {
+                    if (r.engine == name && r.workload == workload &&
+                        r.layerN == layer_n &&
+                        r.outputForwarding == of) {
+                        table.cell(static_cast<double>(r.coreCycles) /
                                        static_cast<double>(longest),
                                    4);
                     }
@@ -87,8 +105,9 @@ main(int argc, char **argv)
         const char *paper;
     } rows[] = {{4, "1.09x"}, {2, "2.20x"}, {1, "3.74x"}};
     for (const auto &r : rows) {
-        const double s = geomeanSpeedupVsDenseBaseline(
-            workloads, r.n, engine::vegetaS162(), true);
+        const double s = sim::geomeanSpeedup(
+            simulator, workload_names, r.n, "VEGETA-S-16-2",
+            /*output_forwarding=*/true, "VEGETA-D-1-2", threads);
         summary.row()
             .cell(std::to_string(r.n) + ":4")
             .cell(s, 2)

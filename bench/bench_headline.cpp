@@ -3,24 +3,28 @@
  * Regenerates the abstract's headline numbers: a VEGETA engine
  * provides 1.09x / 2.20x / 3.74x / 3.28x speed-ups over the SOTA
  * dense matrix engine (RASA-DM) for 4:4 / 2:4 / 1:4 / unstructured
- * (95%) sparse DNN layers.
+ * (95%) sparse DNN layers.  Structured rows run through the
+ * vegeta::sim facade's parallel geomean sweep.
  */
 
 #include <cstring>
 #include <iostream>
 
-#include "common/table.hpp"
-#include "kernels/driver.hpp"
 #include "model/unstructured_analysis.hpp"
+#include "sim/sweep.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vegeta;
-    using namespace vegeta::kernels;
 
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-    const auto workloads = quick ? quickWorkloads() : tableIVWorkloads();
+    const sim::Simulator simulator;
+    const auto workloads =
+        simulator.workloads().group(quick ? "quick" : "tableIV");
+    std::vector<std::string> workload_names;
+    for (const auto &w : workloads)
+        workload_names.push_back(w.name);
 
     std::cout << "Headline speed-ups vs SOTA dense engine (RASA-DM), "
               << (quick ? "quick" : "full Table IV") << " workloads\n\n";
@@ -38,16 +42,16 @@ main(int argc, char **argv)
         {1, "1:4", "3.74x"},
     };
     for (const auto &row : structured) {
-        const double s = geomeanSpeedupVsDenseBaseline(
-            workloads, row.n, engine::vegetaS162(), true);
+        const double s = sim::geomeanSpeedup(
+            simulator, workload_names, row.n, "VEGETA-S-16-2",
+            /*output_forwarding=*/true);
         table.row().cell(row.label).cell(formatDouble(s, 2) + "x").cell(
             row.paper);
     }
 
     // Unstructured 95%: the Section VI-E roofline path (row-wise
     // transformation, compute-bound model).
-    const auto unstructured =
-        model::figure15Series(workloads, {0.95});
+    const auto unstructured = model::figure15Series(workloads, {0.95});
     table.row()
         .cell("unstructured (95%)")
         .cell(formatDouble(unstructured[0].rowWise, 2) + "x")

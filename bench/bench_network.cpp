@@ -14,12 +14,21 @@
 
 #include "common/table.hpp"
 #include "kernels/network.hpp"
+#include "sim/registry.hpp"
 
 int
 main()
 {
     using namespace vegeta;
     using namespace vegeta::kernels;
+
+    // Representative design points, resolved by name through the sim
+    // facade's registry rather than hand-wired factory calls.
+    const auto engine_registry = sim::EngineRegistry::builtin();
+    std::vector<engine::EngineConfig> engines;
+    for (const char *name : {"VEGETA-D-1-2", "STC-like", "VEGETA-S-2-2",
+                             "VEGETA-S-16-2"})
+        engines.push_back(*engine_registry.find(name));
 
     for (const Network &net :
          {resnetFrontNetwork(), bertEncoderNetwork()}) {
@@ -33,9 +42,7 @@ main()
 
         Table table({"engine", "layer-wise cycles",
                      "network-wise cycles", "layer-wise gain"});
-        for (const auto &cfg :
-             {engine::vegetaD12(), engine::stcLike(),
-              engine::vegetaS22(), engine::vegetaS162()}) {
+        for (const auto &cfg : engines) {
             const auto lw = simulateNetwork(
                 net, cfg, NetworkPolicy::LayerWise);
             const auto nw = simulateNetwork(

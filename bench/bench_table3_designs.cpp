@@ -9,6 +9,7 @@
 
 #include "common/table.hpp"
 #include "engine/pipeline.hpp"
+#include "sim/registry.hpp"
 
 int
 main()
@@ -16,12 +17,17 @@ main()
     using namespace vegeta;
     using namespace vegeta::engine;
 
+    // The design points come from the sim facade's engine registry,
+    // not a hand-wired table.
+    const auto table_iii =
+        sim::EngineRegistry::builtin().tableIIIConfigs();
+
     std::cout << "Table III: VEGETA engine design space (all keep "
               << kTotalMacs << " MACs)\n\n";
 
     Table table({"engine", "Nrows", "Ncols", "MACs/PE", "inputs/PE",
                  "broadcast(a)", "drain", "sparsity", "prior work"});
-    for (const auto &cfg : allTableIIIConfigs()) {
+    for (const auto &cfg : table_iii) {
         table.row()
             .cell(cfg.name)
             .cell(static_cast<int>(cfg.nRows()))
@@ -40,7 +46,7 @@ main()
                   "initiation_interval"});
     const auto instr =
         isa::makeTileGemm(isa::treg(5), isa::treg(4), isa::treg(0));
-    for (const auto &cfg : allTableIIIConfigs()) {
+    for (const auto &cfg : table_iii) {
         PipelineModel model(cfg);
         const auto lat = model.stages(instr);
         stages.row()

@@ -1,9 +1,10 @@
 /**
  * @file
  * Command-line simulator front end — the "release binary" of the
- * repository: pick a Table IV workload (or give explicit GEMM dims),
- * an engine, a sparsity pattern, and simulate; optionally write or
- * replay a trace file.
+ * repository, now a thin shell over the vegeta::sim facade: pick a
+ * Table IV workload (or give explicit GEMM dims), an engine, a
+ * sparsity pattern, and simulate; optionally write or replay a trace
+ * file, or emit the result as CSV/JSON.
  *
  * Usage:
  *   simulate_cli --workload BERT-L1 --engine VEGETA-S-16-2 \
@@ -13,18 +14,24 @@
  *   simulate_cli --list
  */
 
-#include <cstring>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "cpu/trace_io.hpp"
-#include "kernels/driver.hpp"
-#include "kernels/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
 using namespace vegeta;
-using namespace vegeta::kernels;
+
+enum class OutputFormat
+{
+    Text,
+    Csv,
+    Json,
+};
 
 void
 usage()
@@ -41,41 +48,32 @@ usage()
            "  --no-of                    disable output forwarding\n"
            "  --naive                    Listing 1 kernel (no C "
            "blocking)\n"
+           "  --csv | --json             machine-readable output\n"
            "  --trace-out FILE           save the generated trace\n"
            "  --trace-in FILE            replay a saved trace\n";
 }
 
-bool
-parseGemm(const std::string &text, GemmDims &dims)
-{
-    unsigned m = 0, n = 0, k = 0;
-    if (std::sscanf(text.c_str(), "%ux%ux%u", &m, &n, &k) != 3)
-        return false;
-    if (m == 0 || n == 0 || k == 0)
-        return false;
-    dims = {m, n, k};
-    return true;
-}
-
 void
-report(const cpu::SimResult &sim, const engine::EngineConfig &engine,
-       bool of)
+report(const sim::SimulationResult &result)
 {
-    std::cout << "engine:             " << engine.toString() << "\n"
-              << "output forwarding:  " << (of ? "on" : "off") << "\n"
-              << "retired ops:        " << sim.retiredOps << "\n"
-              << "core cycles:        " << sim.totalCycles << "\n"
-              << "runtime @ 2 GHz:    "
-              << static_cast<double>(sim.totalCycles) / 2e9 * 1e3
+    std::cout << "workload:           " << result.workload << "\n"
+              << "engine:             " << result.engine << "\n"
+              << "pattern:            " << result.layerN
+              << ":4 (executes " << result.executedN
+              << ":4 on this engine)\n"
+              << "kernel:             " << result.kernel << "\n"
+              << "output forwarding:  "
+              << (result.outputForwarding ? "on" : "off") << "\n"
+              << "retired ops:        " << result.instructions << "\n"
+              << "core cycles:        " << result.coreCycles << "\n"
+              << "runtime @ 2 GHz:    " << result.runtimeMs()
               << " ms\n"
-              << "engine instrs:      " << sim.engineInstructions << "\n"
-              << "MAC utilization:    " << sim.macUtilization * 100.0
+              << "engine instrs:      " << result.engineInstructions
+              << "\n"
+              << "MAC utilization:    " << result.macUtilization * 100.0
               << " %\n"
-              << "L1 hits / misses:   " << sim.cacheHits << " / "
-              << sim.cacheMisses << "\n";
-    for (const auto &[kind, count] : sim.kindCounts)
-        std::cout << "  " << cpu::uopKindName(kind) << ": " << count
-                  << "\n";
+              << "L1 hits / misses:   " << result.cacheHits << " / "
+              << result.cacheMisses << "\n";
 }
 
 } // namespace
@@ -85,11 +83,16 @@ main(int argc, char **argv)
 {
     std::string workload_name;
     std::string gemm_text;
+    bool have_workload = false;
+    bool have_gemm = false;
     std::string engine_name = "VEGETA-S-16-2";
     std::string trace_out, trace_in;
     u32 pattern = 2;
     bool of = true;
     bool naive = false;
+    OutputFormat format = OutputFormat::Text;
+
+    const sim::Simulator simulator;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,17 +101,19 @@ main(int argc, char **argv)
         };
         if (arg == "--list") {
             std::cout << "workloads:\n";
-            for (const auto &w : tableIVWorkloads())
+            for (const auto &w : simulator.workloads().workloads())
                 std::cout << "  " << w.name << " (" << w.gemm.m << "x"
                           << w.gemm.n << "x" << w.gemm.k << ")\n";
             std::cout << "engines:\n";
-            for (const auto &e : engine::allEvaluatedConfigs())
-                std::cout << "  " << e.name << "\n";
+            for (const auto &name : simulator.engines().names())
+                std::cout << "  " << name << "\n";
             return 0;
         } else if (arg == "--workload") {
             workload_name = next();
+            have_workload = true;
         } else if (arg == "--gemm") {
             gemm_text = next();
+            have_gemm = true;
         } else if (arg == "--engine") {
             engine_name = next();
         } else if (arg == "--pattern") {
@@ -117,6 +122,10 @@ main(int argc, char **argv)
             of = false;
         } else if (arg == "--naive") {
             naive = true;
+        } else if (arg == "--csv") {
+            format = OutputFormat::Csv;
+        } else if (arg == "--json") {
+            format = OutputFormat::Json;
         } else if (arg == "--trace-out") {
             trace_out = next();
         } else if (arg == "--trace-in") {
@@ -127,73 +136,70 @@ main(int argc, char **argv)
         }
     }
 
-    const auto engine = engine::configByName(engine_name);
-    if (!engine) {
-        std::cerr << "unknown engine: " << engine_name << "\n";
-        return 1;
-    }
-    if (pattern != 1 && pattern != 2 && pattern != 4) {
-        std::cerr << "pattern must be 1, 2, or 4\n";
+    auto builder = simulator.request()
+                       .engine(engine_name)
+                       .pattern(pattern)
+                       .outputForwarding(of)
+                       .kernel(naive ? sim::KernelVariant::Naive
+                                     : sim::KernelVariant::Optimized);
+    if (have_workload)
+        builder.workload(workload_name);
+    else if (have_gemm)
+        builder.gemm(gemm_text);
+    else
+        builder.workload("GPT-L1"); // the seed's default layer
+
+    auto request = builder.build();
+    if (!request) {
+        std::cerr << "error: " << builder.error() << " (try --list)\n";
         return 1;
     }
 
-    cpu::Trace trace;
+    sim::SimulationResult result;
     if (!trace_in.empty()) {
-        auto loaded = cpu::readTraceFile(trace_in);
-        if (!loaded) {
+        const auto trace = cpu::readTraceFile(trace_in);
+        if (!trace) {
             std::cerr << "cannot read trace: " << trace_in << "\n";
             return 1;
         }
-        trace = std::move(*loaded);
-        std::cout << "replaying " << trace.size() << " ops from "
-                  << trace_in << "\n";
-    } else {
-        GemmDims dims{256, 256, 2048};
-        std::string label = "GPT-L1 (default)";
-        if (!workload_name.empty()) {
-            bool found = false;
-            for (const auto &w : tableIVWorkloads()) {
-                if (w.name == workload_name) {
-                    dims = w.gemm;
-                    label = w.name;
-                    found = true;
-                }
-            }
-            if (!found) {
-                std::cerr << "unknown workload: " << workload_name
-                          << " (try --list)\n";
-                return 1;
-            }
-        } else if (!gemm_text.empty()) {
-            if (!parseGemm(gemm_text, dims)) {
-                std::cerr << "bad --gemm format, expected MxNxK\n";
-                return 1;
-            }
-            label = gemm_text;
+        // The replayed trace, not the builder's default workload, is
+        // what the result describes.
+        request->label = "trace:" + trace_in;
+        if (const auto error = simulator.replayError(*trace, *request)) {
+            std::cerr << "cannot replay on " << request->engine << ": "
+                      << *error << "\n";
+            return 1;
         }
-
-        const u32 executed_n = engine->effectiveN(pattern);
-        KernelOptions opts;
-        opts.optimized = !naive;
-        opts.traceOnly = true;
-        const auto run = runSpmmKernel(dims, executed_n, opts);
-        trace = std::move(run.trace);
-        std::cout << "workload:           " << label << "\n"
-                  << "pattern:            " << pattern << ":4 (executes "
-                  << executed_n << ":4 on this engine)\n";
-        if (!trace_out.empty()) {
-            if (!cpu::writeTraceFile(trace_out, trace)) {
-                std::cerr << "cannot write trace: " << trace_out << "\n";
-                return 1;
-            }
+        if (format == OutputFormat::Text)
+            std::cout << "replaying " << trace->size() << " ops from "
+                      << trace_in << "\n";
+        result = simulator.replay(*trace, *request);
+    } else if (!trace_out.empty()) {
+        // One generation pass: the facade hands back the exact trace
+        // it measured so it can be replayed across engine configs.
+        cpu::Trace trace;
+        result = simulator.run(*request, &trace);
+        if (!cpu::writeTraceFile(trace_out, trace)) {
+            std::cerr << "cannot write trace: " << trace_out << "\n";
+            return 1;
+        }
+        if (format == OutputFormat::Text)
             std::cout << "trace saved:        " << trace_out << " ("
                       << trace.size() << " ops)\n";
-        }
+    } else {
+        result = simulator.run(*request);
     }
 
-    cpu::CoreConfig core;
-    core.outputForwarding = of && engine->sparse;
-    cpu::TraceCpu cpu_model(core, *engine);
-    report(cpu_model.run(trace), *engine, core.outputForwarding);
+    switch (format) {
+      case OutputFormat::Text:
+        report(result);
+        break;
+      case OutputFormat::Csv:
+        sim::writeCsv(std::cout, {result});
+        break;
+      case OutputFormat::Json:
+        sim::writeJson(std::cout, {result});
+        break;
+    }
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "sim/sweep.hpp"
 
 namespace vegeta::kernels {
 
@@ -39,18 +40,42 @@ figure13Sweep(const std::vector<Workload> &workloads,
               const std::vector<engine::EngineConfig> &engines,
               const std::vector<u32> &layer_ns)
 {
-    std::vector<Measurement> out;
+    // Delegate to the sim facade: registries built from the caller's
+    // sets, the grid in the paper's (workload, pattern, engine, OF)
+    // order, executed on the parallel SweepRunner.
+    sim::EngineRegistry engine_reg;
+    std::vector<std::string> engine_names;
+    for (const auto &engine : engines) {
+        engine_reg.add(engine);
+        engine_names.push_back(engine.name);
+    }
+    sim::WorkloadRegistry workload_reg;
+    std::vector<std::string> workload_names;
     for (const auto &workload : workloads) {
-        for (u32 layer_n : layer_ns) {
-            for (const auto &engine : engines) {
-                out.push_back(simulateLayer(workload, layer_n, engine,
-                                            /*output_forwarding=*/false));
-                if (engine.sparse)
-                    out.push_back(
-                        simulateLayer(workload, layer_n, engine,
-                                      /*output_forwarding=*/true));
-            }
-        }
+        workload_reg.add(workload, "sweep");
+        workload_names.push_back(workload.name);
+    }
+
+    const sim::Simulator simulator(std::move(engine_reg),
+                                   std::move(workload_reg));
+    const auto grid = sim::figure13Grid(simulator, workload_names,
+                                        engine_names, layer_ns);
+    const auto results = sim::SweepRunner(simulator).run(grid);
+
+    std::vector<Measurement> out;
+    out.reserve(results.size());
+    for (const auto &r : results) {
+        Measurement m;
+        m.workload = r.workload;
+        m.engineName = r.engine;
+        m.layerN = r.layerN;
+        m.executedN = r.executedN;
+        m.outputForwarding = r.outputForwarding;
+        m.coreCycles = r.coreCycles;
+        m.instructions = r.instructions;
+        m.tileComputes = r.tileComputes;
+        m.macUtilization = r.macUtilization;
+        out.push_back(m);
     }
     return out;
 }

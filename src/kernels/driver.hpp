@@ -42,6 +42,10 @@ Measurement simulateLayer(const Workload &workload, u32 layer_n,
  * layer-wise pattern (4:4, 2:4, 1:4), with OF variants for the sparse
  * designs.  Runtime is reported in core cycles (2 GHz core, engines at
  * 0.5 GHz through the 4x clock divider).
+ *
+ * Legacy shim: delegates to sim::SweepRunner over ad-hoc registries
+ * (an intentional upward dependency inside the single static
+ * library).  New code should build a sim::figure13Grid directly.
  */
 std::vector<Measurement>
 figure13Sweep(const std::vector<Workload> &workloads,

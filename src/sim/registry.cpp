@@ -1,0 +1,159 @@
+#include "sim/registry.hpp"
+
+#include "common/logging.hpp"
+
+namespace vegeta::sim {
+
+EngineRegistry &
+EngineRegistry::add(Factory factory, bool table_iii)
+{
+    VEGETA_ASSERT(factory, "null engine factory");
+    const engine::EngineConfig probe = factory();
+    VEGETA_ASSERT(!probe.name.empty(), "engine config without a name");
+    for (auto &entry : entries_) {
+        if (entry.name == probe.name) {
+            entry.factory = std::move(factory);
+            entry.tableIII = table_iii;
+            return *this;
+        }
+    }
+    entries_.push_back({probe.name, std::move(factory), table_iii});
+    return *this;
+}
+
+EngineRegistry &
+EngineRegistry::add(const engine::EngineConfig &config, bool table_iii)
+{
+    return add([config]() { return config; }, table_iii);
+}
+
+bool
+EngineRegistry::contains(const std::string &name) const
+{
+    return find(name).has_value();
+}
+
+std::optional<engine::EngineConfig>
+EngineRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.name == name)
+            return entry.factory();
+    return std::nullopt;
+}
+
+std::vector<std::string>
+EngineRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.name);
+    return out;
+}
+
+std::vector<engine::EngineConfig>
+EngineRegistry::configs() const
+{
+    std::vector<engine::EngineConfig> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.factory());
+    return out;
+}
+
+std::vector<engine::EngineConfig>
+EngineRegistry::tableIIIConfigs() const
+{
+    std::vector<engine::EngineConfig> out;
+    for (const auto &entry : entries_)
+        if (entry.tableIII)
+            out.push_back(entry.factory());
+    return out;
+}
+
+EngineRegistry
+EngineRegistry::builtin()
+{
+    // allEvaluatedConfigs() order (Figure 13 row order): the eight
+    // Table III rows with STC-like spliced in after VEGETA-S-1-2.
+    EngineRegistry reg;
+    const std::string stc_name = engine::stcLike().name;
+    for (const auto &cfg : engine::allEvaluatedConfigs())
+        reg.add(cfg, /*table_iii=*/cfg.name != stc_name);
+    return reg;
+}
+
+WorkloadRegistry &
+WorkloadRegistry::add(const kernels::Workload &workload,
+                      const std::string &group)
+{
+    VEGETA_ASSERT(!workload.name.empty(), "workload without a name");
+    for (auto &entry : entries_) {
+        if (entry.workload.name == workload.name) {
+            entry.workload = workload;
+            entry.group = group;
+            return *this;
+        }
+    }
+    entries_.push_back({workload, group});
+    return *this;
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return find(name).has_value();
+}
+
+std::optional<kernels::Workload>
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.workload.name == name)
+            return entry.workload;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.workload.name);
+    return out;
+}
+
+std::vector<kernels::Workload>
+WorkloadRegistry::workloads() const
+{
+    std::vector<kernels::Workload> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.workload);
+    return out;
+}
+
+std::vector<kernels::Workload>
+WorkloadRegistry::group(const std::string &group) const
+{
+    std::vector<kernels::Workload> out;
+    for (const auto &entry : entries_)
+        if (entry.group == group)
+            out.push_back(entry.workload);
+    return out;
+}
+
+WorkloadRegistry
+WorkloadRegistry::builtin()
+{
+    WorkloadRegistry reg;
+    for (const auto &w : kernels::tableIVWorkloads())
+        reg.add(w, "tableIV");
+    for (const auto &w : kernels::quickWorkloads())
+        reg.add(w, "quick");
+    return reg;
+}
+
+} // namespace vegeta::sim

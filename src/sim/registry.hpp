@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Engine and workload registries: the single place names are resolved.
+ *
+ * The seed wired engine and workload string tables into every binary
+ * (`configByName` loops in the CLI, `allEvaluatedConfigs()` calls in
+ * each bench).  The registries centralize that: binaries ask the
+ * registry, and new design points or layers become one `add()` call --
+ * including user-defined ones that never touch Table III/IV.
+ */
+
+#ifndef VEGETA_SIM_REGISTRY_HPP
+#define VEGETA_SIM_REGISTRY_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "kernels/workloads.hpp"
+
+namespace vegeta::sim {
+
+/**
+ * Named engine design points, in registration order.  Entries are
+ * factories so a lookup always returns a fresh, unaliased config.
+ */
+class EngineRegistry
+{
+  public:
+    using Factory = std::function<engine::EngineConfig()>;
+
+    /**
+     * Register a design point under the name its factory produces.
+     * Re-registering a name replaces the previous entry (keeping its
+     * position).  @p table_iii marks official Table III rows.
+     */
+    EngineRegistry &add(Factory factory, bool table_iii = false);
+
+    /** Register a fixed config (wrapped into a copying factory). */
+    EngineRegistry &add(const engine::EngineConfig &config,
+                        bool table_iii = false);
+
+    bool contains(const std::string &name) const;
+
+    /** Look up a config by name (nullopt if unknown). */
+    std::optional<engine::EngineConfig>
+    find(const std::string &name) const;
+
+    std::vector<std::string> names() const;
+
+    /** Every registered config, in registration order. */
+    std::vector<engine::EngineConfig> configs() const;
+
+    /** Only the configs registered as Table III rows. */
+    std::vector<engine::EngineConfig> tableIIIConfigs() const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * The paper's evaluated design space: the eight Table III rows
+     * plus the STC-like restricted config (the Figure 13 engine set).
+     */
+    static EngineRegistry builtin();
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Factory factory;
+        bool tableIII = false;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Named evaluation layers, in registration order, partitioned into
+ * groups ("tableIV", "quick", ...).
+ */
+class WorkloadRegistry
+{
+  public:
+    /**
+     * Register a workload under @p group.  Re-registering a name
+     * replaces the previous entry (keeping its position).
+     */
+    WorkloadRegistry &add(const kernels::Workload &workload,
+                          const std::string &group = "custom");
+
+    bool contains(const std::string &name) const;
+
+    /** Look up a workload by name (nullopt if unknown). */
+    std::optional<kernels::Workload>
+    find(const std::string &name) const;
+
+    std::vector<std::string> names() const;
+
+    /** Every registered workload, in registration order. */
+    std::vector<kernels::Workload> workloads() const;
+
+    /** The workloads of one group, in registration order. */
+    std::vector<kernels::Workload>
+    group(const std::string &group) const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * The paper's layers: the twelve Table IV layers under group
+     * "tableIV" and the reduced regression layers under "quick".
+     */
+    static WorkloadRegistry builtin();
+
+  private:
+    struct Entry
+    {
+        kernels::Workload workload;
+        std::string group;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_REGISTRY_HPP

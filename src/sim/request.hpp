@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Typed simulation requests.
+ *
+ * A SimulationRequest is the full description of one simulator run:
+ * what to simulate (a registered workload or explicit GEMM dims),
+ * where (engine design point), and how (layer-wise N:4 pattern,
+ * output forwarding, kernel variant, core overrides).  Requests are
+ * plain data so they can be stored, compared, and sharded across
+ * threads; RequestBuilder validates against the registries so every
+ * request handed to the Simulator is known-runnable.
+ */
+
+#ifndef VEGETA_SIM_REQUEST_HPP
+#define VEGETA_SIM_REQUEST_HPP
+
+#include <optional>
+#include <string>
+
+#include "cpu/trace_cpu.hpp"
+#include "kernels/gemm_kernels.hpp"
+#include "sim/registry.hpp"
+
+namespace vegeta::sim {
+
+/** Software kernel variant to generate the trace with. */
+enum class KernelVariant
+{
+    Optimized, ///< C register-blocked across the k loop (evaluation)
+    Naive,     ///< Listing 1: C loaded/stored inside the k loop
+};
+
+const char *kernelVariantName(KernelVariant variant);
+
+/** One fully-specified simulator run. */
+struct SimulationRequest
+{
+    /** Display label: the workload name or "MxNxK" for raw dims. */
+    std::string label;
+    kernels::GemmDims gemm;
+
+    std::string engine;
+
+    /** The layer's pruned pattern N:4 (1, 2, or 4). */
+    u32 patternN = 4;
+
+    /** Request OF; only takes effect on sparse engines. */
+    bool outputForwarding = false;
+
+    KernelVariant kernel = KernelVariant::Optimized;
+
+    /** C tile registers blocked over the j loop (1..3, optimized). */
+    u32 cBlocking = 3;
+
+    /** Core model overrides (OF flag is set from the request). */
+    cpu::CoreConfig core;
+};
+
+/**
+ * Strict "MxNxK" parser (rejects trailing garbage and zero dims),
+ * shared by the CLI and the builder.
+ */
+std::optional<kernels::GemmDims>
+parseGemmSpec(const std::string &spec);
+
+/**
+ * Fluent, validating builder.  Errors (unknown engine or workload,
+ * bad pattern, bad GEMM spec) are collected as they happen;
+ * `build()` returns the request only if everything resolved.
+ *
+ *   auto req = RequestBuilder(engines, workloads)
+ *                  .workload("BERT-L1")
+ *                  .engine("VEGETA-S-16-2")
+ *                  .pattern(2)
+ *                  .outputForwarding(true)
+ *                  .build();
+ *   if (!req) { ... builder.error() ... }
+ */
+class RequestBuilder
+{
+  public:
+    RequestBuilder(const EngineRegistry &engines,
+                   const WorkloadRegistry &workloads);
+
+    /** Simulate a registered workload. */
+    RequestBuilder &workload(const std::string &name);
+
+    /** Simulate explicit GEMM dimensions. */
+    RequestBuilder &gemm(const kernels::GemmDims &dims);
+
+    /** Simulate a "MxNxK" spec string. */
+    RequestBuilder &gemm(const std::string &spec);
+
+    RequestBuilder &engine(const std::string &name);
+    RequestBuilder &pattern(u32 layer_n);
+    RequestBuilder &outputForwarding(bool enabled);
+    RequestBuilder &kernel(KernelVariant variant);
+    RequestBuilder &cBlocking(u32 c_tiles);
+    RequestBuilder &core(const cpu::CoreConfig &config);
+
+    /** The request, or nullopt if any setter failed validation. */
+    std::optional<SimulationRequest> build();
+
+    /** First validation error ("" while the builder is clean). */
+    const std::string &error() const { return error_; }
+
+  private:
+    void fail(const std::string &message);
+
+    const EngineRegistry &engines_;
+    const WorkloadRegistry &workloads_;
+    SimulationRequest request_;
+    bool have_target_ = false;
+    std::string error_;
+};
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_REQUEST_HPP

@@ -1,0 +1,118 @@
+#include "sim/result.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace vegeta::sim {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+Table
+buildTable(const std::vector<SimulationResult> &results)
+{
+    Table table({"workload", "engine", "pattern", "executed", "OF",
+                 "kernel", "core_cycles", "instructions",
+                 "engine_instrs", "tile_computes", "mac_util",
+                 "runtime_ms"});
+    for (const auto &r : results) {
+        table.row()
+            .cell(r.workload)
+            .cell(r.engine)
+            .cell(std::to_string(r.layerN) + ":4")
+            .cell(std::to_string(r.executedN) + ":4")
+            .cell(r.outputForwarding ? "on" : "off")
+            .cell(r.kernel)
+            .cell(static_cast<unsigned long long>(r.coreCycles))
+            .cell(static_cast<unsigned long long>(r.instructions))
+            .cell(static_cast<unsigned long long>(
+                r.engineInstructions))
+            .cell(static_cast<unsigned long long>(r.tileComputes))
+            .cell(r.macUtilization, 4)
+            .cell(r.runtimeMs(), 4);
+    }
+    return table;
+}
+
+} // namespace
+
+double
+SimulationResult::runtimeMs() const
+{
+    return static_cast<double>(coreCycles) / 2e9 * 1e3;
+}
+
+Table
+resultsTable(const std::vector<SimulationResult> &results)
+{
+    return buildTable(results);
+}
+
+void
+writeCsv(std::ostream &os,
+         const std::vector<SimulationResult> &results)
+{
+    buildTable(results).printCsv(os);
+}
+
+void
+writeJson(std::ostream &os,
+          const std::vector<SimulationResult> &results)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "  {\"workload\": \"" << jsonEscape(r.workload)
+           << "\", \"engine\": \"" << jsonEscape(r.engine)
+           << "\", \"pattern_n\": " << r.layerN
+           << ", \"executed_n\": " << r.executedN
+           << ", \"output_forwarding\": "
+           << (r.outputForwarding ? "true" : "false")
+           << ", \"kernel\": \"" << jsonEscape(r.kernel)
+           << "\", \"core_cycles\": " << r.coreCycles
+           << ", \"instructions\": " << r.instructions
+           << ", \"engine_instructions\": " << r.engineInstructions
+           << ", \"tile_computes\": " << r.tileComputes
+           << ", \"mac_utilization\": "
+           << formatDouble(r.macUtilization, 6)
+           << ", \"cache_hits\": " << r.cacheHits
+           << ", \"cache_misses\": " << r.cacheMisses
+           << ", \"runtime_ms\": " << formatDouble(r.runtimeMs(), 6)
+           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+} // namespace vegeta::sim

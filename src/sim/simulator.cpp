@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include "common/logging.hpp"
+
+namespace vegeta::sim {
+
+Simulator::Simulator()
+    : Simulator(EngineRegistry::builtin(), WorkloadRegistry::builtin())
+{
+}
+
+Simulator::Simulator(EngineRegistry engines, WorkloadRegistry workloads)
+    : engines_(std::move(engines)), workloads_(std::move(workloads))
+{
+}
+
+RequestBuilder
+Simulator::request() const
+{
+    return RequestBuilder(engines_, workloads_);
+}
+
+SimulationResult
+Simulator::run(const SimulationRequest &request,
+               cpu::Trace *trace_out) const
+{
+    const auto engine = engines_.find(request.engine);
+    VEGETA_ASSERT(engine.has_value(), "unregistered engine ",
+                  request.engine);
+
+    const u32 executed_n = engine->effectiveN(request.patternN);
+    kernels::KernelOptions opts;
+    opts.optimized = request.kernel == KernelVariant::Optimized;
+    opts.cBlocking = request.cBlocking;
+    opts.traceOnly = true;
+    const kernels::KernelRun kernel_run =
+        kernels::runSpmmKernel(request.gemm, executed_n, opts);
+    if (trace_out)
+        *trace_out = kernel_run.trace;
+
+    return measure(kernel_run.trace, *engine, request,
+                   kernelVariantName(request.kernel), executed_n,
+                   kernel_run.tileComputes);
+}
+
+std::optional<std::string>
+Simulator::replayError(const cpu::Trace &trace,
+                       const SimulationRequest &request) const
+{
+    const auto engine = engines_.find(request.engine);
+    if (!engine)
+        return "unregistered engine: " + request.engine;
+    for (const auto &op : trace) {
+        if (op.kind == cpu::UopKind::TileCompute &&
+            !engine->supportsOpcode(op.tile.op))
+            return engine->name + " cannot execute " +
+                   std::string(isa::opcodeName(op.tile.op));
+    }
+    return std::nullopt;
+}
+
+SimulationResult
+Simulator::replay(const cpu::Trace &trace,
+                  const SimulationRequest &request) const
+{
+    const auto engine = engines_.find(request.engine);
+    VEGETA_ASSERT(engine.has_value(), "unregistered engine ",
+                  request.engine);
+    return measure(trace, *engine, request, "replay",
+                   engine->effectiveN(request.patternN),
+                   /*tile_computes=*/0);
+}
+
+SimulationResult
+Simulator::measure(const cpu::Trace &trace,
+                   const engine::EngineConfig &engine,
+                   const SimulationRequest &request,
+                   const char *kernel_label, u32 executed_n,
+                   u64 tile_computes) const
+{
+    cpu::CoreConfig core = request.core;
+    core.outputForwarding = request.outputForwarding && engine.sparse;
+    cpu::TraceCpu cpu_model(core, engine);
+    const cpu::SimResult sim = cpu_model.run(trace);
+
+    SimulationResult result;
+    result.workload = request.label;
+    result.engine = engine.name;
+    result.layerN = request.patternN;
+    result.executedN = executed_n;
+    result.outputForwarding = core.outputForwarding;
+    result.kernel = kernel_label;
+    result.coreCycles = sim.totalCycles;
+    result.instructions = sim.retiredOps;
+    result.engineInstructions = sim.engineInstructions;
+    result.tileComputes = tile_computes;
+    result.macUtilization = sim.macUtilization;
+    result.cacheHits = sim.cacheHits;
+    result.cacheMisses = sim.cacheMisses;
+    return result;
+}
+
+} // namespace vegeta::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Simulator facade: the one public entry point for running the
+ * VEGETA model.
+ *
+ * A Simulator owns an engine registry and a workload registry and
+ * turns validated SimulationRequests into SimulationResults.  It
+ * wraps the whole seed flow -- kernel generation (optimized or
+ * Listing-1 naive), layer-wise effective-N resolution, the
+ * trace-driven core model -- and also replays pre-recorded traces so
+ * a trace captured once can be measured across engine configs.
+ *
+ * Everything above this layer (CLI, benches, sweeps) speaks only
+ * requests and results; nothing above it wires engines, workloads, or
+ * kernels by hand.
+ */
+
+#ifndef VEGETA_SIM_SIMULATOR_HPP
+#define VEGETA_SIM_SIMULATOR_HPP
+
+#include "sim/request.hpp"
+#include "sim/result.hpp"
+
+namespace vegeta::sim {
+
+/** Facade over kernel generation + the trace-driven CPU model. */
+class Simulator
+{
+  public:
+    /** A simulator over the paper's builtin design/workload space. */
+    Simulator();
+
+    Simulator(EngineRegistry engines, WorkloadRegistry workloads);
+
+    const EngineRegistry &engines() const { return engines_; }
+    const WorkloadRegistry &workloads() const { return workloads_; }
+
+    /** A builder bound to this simulator's registries. */
+    RequestBuilder request() const;
+
+    /**
+     * Run one request end to end: generate the kernel trace for the
+     * engine's effective N and simulate it on the core model.
+     * The request must name a registered engine (builders guarantee
+     * this); unknown names abort via VEGETA_ASSERT.  When
+     * @p trace_out is non-null the generated trace is copied into it
+     * (for saving to disk) without a second generation pass.
+     */
+    SimulationResult run(const SimulationRequest &request,
+                         cpu::Trace *trace_out = nullptr) const;
+
+    /**
+     * Why @p trace cannot replay on the request's engine (a trace
+     * generated for a sparse executed-N contains TILE_SPMM ops a
+     * dense engine has no datapath for), or nullopt if it can.
+     */
+    std::optional<std::string>
+    replayError(const cpu::Trace &trace,
+                const SimulationRequest &request) const;
+
+    /**
+     * Replay a pre-recorded trace under a request's engine and core
+     * configuration (the kernel variant and GEMM dims of the request
+     * are ignored; the result's kernel field reads "replay").  The
+     * trace must be replayable (see replayError).
+     */
+    SimulationResult replay(const cpu::Trace &trace,
+                            const SimulationRequest &request) const;
+
+  private:
+    SimulationResult measure(const cpu::Trace &trace,
+                             const engine::EngineConfig &engine,
+                             const SimulationRequest &request,
+                             const char *kernel_label,
+                             u32 executed_n, u64 tile_computes) const;
+
+    EngineRegistry engines_;
+    WorkloadRegistry workloads_;
+};
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_SIMULATOR_HPP
