@@ -4,7 +4,9 @@
  *
  * "A larger M provides greater flexibility to the sparse model design
  * and may result in improved accuracy, but would cost more HW."  This
- * ablation quantifies both halves for M = 4 / 8 / 16 on VEGETA-S-2-2:
+ * ablation quantifies both halves for M = 4 / 8 / 16 on VEGETA-S-2-2
+ * through the facade's blocksize-coverage / blocksize-hardware
+ * analytical backends:
  *
  *  - coverage: the row-wise covering speed-up on unstructured sparse
  *    layers (finer legal-N choices cover non-zeros more tightly);
@@ -14,11 +16,7 @@
 
 #include <iostream>
 
-#include "common/random.hpp"
-#include "common/table.hpp"
-#include "engine/area_model.hpp"
-#include "sparsity/pruning.hpp"
-#include "sparsity/rowwise_transform.hpp"
+#include "sim/simulator.hpp"
 
 int
 main()
@@ -27,47 +25,20 @@ main()
 
     std::cout << "Ablation: block size M (VEGETA-S-2-2 base design)\n\n";
 
-    // --- Coverage: row-wise speed-up vs unstructured degree ----------
+    const sim::Simulator simulator;
+
     std::cout << "Row-wise covering speed-up on unstructured layers "
                  "(128x1024, mean of 4 seeds):\n\n";
-    Table coverage({"degree_%", "M=4", "M=8", "M=16"});
-    for (double degree : {0.70, 0.80, 0.90, 0.95}) {
-        double sums[3] = {0, 0, 0};
-        const u32 ms[3] = {4, 8, 16};
-        const int trials = 4;
-        for (int t = 0; t < trials; ++t) {
-            Rng rng(900 + t);
-            const MatrixBF16 base = randomMatrixBF16(128, 1024, rng);
-            Rng mask_rng(17 * t + static_cast<u64>(degree * 1000));
-            const MatrixBF16 m =
-                maskUnstructuredBernoulli(base, degree, mask_rng);
-            for (int i = 0; i < 3; ++i)
-                sums[i] += rowWiseSpeedupForBlockSize(m, ms[i]);
-        }
-        coverage.row().cell(degree * 100.0, 0);
-        for (double s : sums)
-            coverage.cell(s / trials, 2);
-    }
-    coverage.print(std::cout);
+    sim::AnalyticalRequest coverage;
+    coverage.model = "blocksize-coverage";
+    simulator.analyze(coverage).table().print(std::cout);
 
-    // --- Hardware cost ------------------------------------------------
     std::cout << "\nPhysical cost (normalized to the M=4 RASA-SM "
                  "baseline):\n\n";
-    const auto baseline = engine::estimatePhysical(engine::vegetaD11());
-    Table hw({"M", "norm_area", "norm_power", "max_freq_GHz",
-              "metadata_bits/value", "input_elems/PE"});
-    for (u32 m : {4u, 8u, 16u}) {
-        const auto est =
-            engine::estimatePhysical(engine::vegetaS22(), m);
-        hw.row()
-            .cell(static_cast<int>(m))
-            .cell(est.areaUnits / baseline.areaUnits, 3)
-            .cell(est.powerUnits / baseline.powerUnits, 3)
-            .cell(est.maxFrequencyGhz, 2)
-            .cell(static_cast<int>(indexBitsForBlockSize(m)))
-            .cell(static_cast<int>(2 * m));
-    }
-    hw.print(std::cout);
+    sim::AnalyticalRequest hardware;
+    hardware.model = "blocksize-hardware";
+    hardware.engines = {"VEGETA-S-2-2"};
+    simulator.analyze(hardware).table().print(std::cout);
 
     std::cout << "\nReading: doubling M tightens unstructured coverage "
                  "(higher speed-up at the same degree) but grows the "

@@ -2,13 +2,12 @@
  * @file
  * Regenerates Figure 3: effective compute throughput of dense/sparse
  * vector/matrix engines vs density (roofline model, 64/512 GFLOPS,
- * 94 GB/s).
+ * 94 GB/s), through the facade's fig3-roofline analytical backend.
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "model/roofline.hpp"
+#include "sim/simulator.hpp"
 
 int
 main()
@@ -19,25 +18,14 @@ main()
               << "Roofline: vector 64 GFLOPS, matrix 512 GFLOPS, "
                  "memory 94 GB/s; conv layer K=64 C=64 56x56 3x3\n\n";
 
-    Table table({"density_%", "dense_vector", "sparse_vector",
-                 "dense_matrix", "sparse_matrix"});
-    for (const auto &p : model::figure3Series(
-             {}, {64, 64, 56, 56, 3, 3},
-             {0.01, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70,
-              0.80, 0.90, 0.95, 1.00})) {
-        table.row()
-            .cell(p.density * 100.0, 0)
-            .cell(p.denseVectorTflops, 4)
-            .cell(p.sparseVectorTflops, 4)
-            .cell(p.denseMatrixTflops, 4)
-            .cell(p.sparseMatrixTflops, 4);
-    }
-    table.print(std::cout);
+    const sim::Simulator simulator;
+    sim::AnalyticalRequest request;
+    request.model = "fig3-roofline";
+    const auto result = simulator.analyze(request);
+    result.table().print(std::cout);
 
-    std::cout << "\nPaper shape checks:\n"
-              << "  - at 100% density dense == sparse per engine class\n"
-              << "  - sparse matrix plateaus at 0.512 TFLOPS until "
-                 "memory bound\n"
-              << "  - sparse engines >> dense engines at low density\n";
+    std::cout << "\nPaper shape checks:\n";
+    for (const auto &note : result.notes)
+        std::cout << "  - " << note << "\n";
     return 0;
 }

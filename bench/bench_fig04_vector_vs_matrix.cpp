@@ -1,13 +1,13 @@
 /**
  * @file
  * Regenerates Figure 4: executed-instruction count ratio and runtime
- * ratio of a vector engine over a matrix engine on square GEMMs.
+ * ratio of a vector engine over a matrix engine on square GEMMs,
+ * through the facade's fig4-vector-vs-matrix analytical backend.
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "model/vector_vs_matrix.hpp"
+#include "sim/simulator.hpp"
 
 int
 main()
@@ -17,19 +17,11 @@ main()
     std::cout << "Figure 4: vector engine vs matrix engine on GEMMs "
                  "with equal-sized dimensions\n\n";
 
-    Table table({"dim", "vector_instrs", "matrix_instrs", "instr_ratio",
-                 "vector_cycles", "matrix_cycles", "runtime_ratio"});
-    for (const auto &p : model::figure4Series({32, 64, 128})) {
-        table.row()
-            .cell(static_cast<unsigned long long>(p.dim))
-            .cell(static_cast<unsigned long long>(p.vectorInstructions))
-            .cell(static_cast<unsigned long long>(p.matrixInstructions))
-            .cell(p.instructionRatio(), 1)
-            .cell(static_cast<unsigned long long>(p.vectorCycles))
-            .cell(static_cast<unsigned long long>(p.matrixCycles))
-            .cell(p.runtimeRatio(), 1);
-    }
-    table.print(std::cout);
+    const sim::Simulator simulator;
+    sim::AnalyticalRequest request;
+    request.model = "fig4-vector-vs-matrix";
+    const auto result = simulator.analyze(request);
+    result.table().print(std::cout);
 
     std::cout << "\nPaper reports both ratios in the ~20-60 band, "
                  "growing with the dimension; see EXPERIMENTS.md for "

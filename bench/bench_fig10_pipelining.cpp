@@ -2,52 +2,30 @@
  * @file
  * Regenerates Figure 10: pipelined schedules of tile instructions on
  * VEGETA-D-1-2 and VEGETA-S-16-2 -- independent streams, dependent
- * streams without OF, and dependent streams with OF.
+ * streams without OF, and dependent streams with OF -- through the
+ * facade's fig10-pipelining analytical backend.
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "engine/pipeline.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
 using namespace vegeta;
-using namespace vegeta::engine;
 
 void
-printSchedule(const std::string &title, const EngineConfig &cfg,
-              bool dependent, bool output_forwarding)
+printSchedule(const sim::Simulator &simulator, const std::string &title,
+              const std::string &engine, bool dependent,
+              bool output_forwarding)
 {
     std::cout << title << "\n";
-    PipelineModel model(cfg, output_forwarding);
-    const auto lat = model.stages(
-        isa::makeTileGemm(isa::treg(5), isa::treg(4), isa::treg(0)));
-
-    Table table({"instr", "WL", "FF", "FS", "DR", "finish"});
-    const u8 dsts_indep[4] = {1, 2, 3, 5};
-    for (int i = 0; i < 4; ++i) {
-        const u8 dst = dependent ? 5 : dsts_indep[i % 4];
-        const auto op = model.issue(
-            isa::makeTileGemm(isa::treg(dst), isa::treg(4),
-                              isa::treg(0)),
-            0);
-        auto range = [](Cycles a, Cycles b) {
-            return std::to_string(a) + "-" + std::to_string(b);
-        };
-        Cycles t = op.start;
-        table.row().cell("#" + std::to_string(i) + " C=treg" +
-                         std::to_string(dst));
-        table.cell(range(t, t + lat.wl));
-        t += lat.wl;
-        table.cell(range(t, t + lat.ff));
-        t += lat.ff;
-        table.cell(range(t, t + lat.fs));
-        t += lat.fs;
-        table.cell(range(t, t + lat.dr));
-        table.cell(static_cast<unsigned long long>(op.finish));
-    }
-    table.print(std::cout);
+    sim::AnalyticalRequest request;
+    request.model = "fig10-pipelining";
+    request.engines = {engine};
+    request.params["dependent"] = dependent ? 1 : 0;
+    request.params["output_forwarding"] = output_forwarding ? 1 : 0;
+    simulator.analyze(request).table().print(std::cout);
     std::cout << "\n";
 }
 
@@ -59,14 +37,19 @@ main()
     std::cout << "Figure 10: pipelining on VEGETA-D-1-2 / "
                  "VEGETA-S-16-2 (cycle ranges per stage)\n\n";
 
-    printSchedule("(a) VEGETA-D-1-2, independent instructions",
-                  vegetaD12(), false, false);
-    printSchedule("(b) VEGETA-S-16-2, independent instructions",
-                  vegetaS162(), false, false);
-    printSchedule("(c) VEGETA-S-16-2, dependent instructions, no OF",
-                  vegetaS162(), true, false);
-    printSchedule("(d) VEGETA-S-16-2, dependent instructions, with OF",
-                  vegetaS162(), true, true);
+    const sim::Simulator simulator;
+    printSchedule(simulator,
+                  "(a) VEGETA-D-1-2, independent instructions",
+                  "VEGETA-D-1-2", false, false);
+    printSchedule(simulator,
+                  "(b) VEGETA-S-16-2, independent instructions",
+                  "VEGETA-S-16-2", false, false);
+    printSchedule(simulator,
+                  "(c) VEGETA-S-16-2, dependent instructions, no OF",
+                  "VEGETA-S-16-2", true, false);
+    printSchedule(simulator,
+                  "(d) VEGETA-S-16-2, dependent instructions, with OF",
+                  "VEGETA-S-16-2", true, true);
 
     std::cout << "Check: (a)/(b) issue every 16 cycles; (c) dependent "
                  "FF waits for full write-back; (d) OF shrinks the "

@@ -7,11 +7,13 @@
  * Runtimes are normalized to the longest run (GPT-L3 on RASA-SM with
  * the dense pattern), exactly as in the paper.  The grid executes on
  * the vegeta::sim SweepRunner across all hardware threads (results
- * are bit-identical to a single-threaded run).  Pass --quick for a
- * reduced workload set, --threads N to override the pool size.
+ * are bit-identical to a single-threaded run, cache on or off).  Pass
+ * --quick for a reduced workload set, --threads N to override the
+ * pool size, --no-cache to disable result caching (the geomean
+ * summaries re-simulate their baselines instead of reusing the grid's
+ * results).
  */
 
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -23,16 +25,33 @@ main(int argc, char **argv)
     using namespace vegeta;
 
     bool quick = false;
+    bool use_cache = true;
     u32 threads = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0)
+        if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
-        else if (std::strcmp(argv[i], "--threads") == 0 &&
-                 i + 1 < argc)
-            threads = static_cast<u32>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            use_cache = false;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            const auto parsed = sim::parseU32(argv[++i]);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --threads expects a positive "
+                             "integer, got '"
+                          << argv[i] << "'\n";
+                return 1;
+            }
+            threads = *parsed;
+        } else {
+            std::cerr << "usage: bench_fig13_runtime [--quick] "
+                         "[--threads N] [--no-cache]\n";
+            return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+        }
     }
 
-    const sim::Simulator simulator;
+    sim::Simulator simulator;
+    if (use_cache)
+        simulator.enableCache();
     const auto workloads =
         simulator.workloads().group(quick ? "quick" : "tableIV");
     std::vector<std::string> workload_names;
@@ -114,5 +133,13 @@ main(int argc, char **argv)
             .cell(r.paper);
     }
     summary.print(std::cout);
+
+    if (const auto &cache = simulator.cache()) {
+        const auto stats = cache->stats();
+        std::cout << "\nResult cache: " << stats.insertions
+                  << " unique simulations, " << stats.hits
+                  << " hits (geomean summaries reuse the grid's "
+                     "runs)\n";
+    }
     return 0;
 }

@@ -1,53 +1,36 @@
 /**
  * @file
  * Regenerates Figure 14: area and power normalized to RASA-SM plus
- * maximum frequency for every Table III design (component-level
- * analytical model standing in for the paper's RTL synthesis -- see
- * DESIGN.md for the substitution).
+ * maximum frequency for every Table III design, through the facade's
+ * fig14-area-power / fig14-area-breakdown analytical backends
+ * (component-level model standing in for the paper's RTL synthesis --
+ * see DESIGN.md for the substitution).
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "engine/area_model.hpp"
+#include "sim/simulator.hpp"
 
 int
 main()
 {
     using namespace vegeta;
-    using namespace vegeta::engine;
 
     std::cout << "Figure 14: area/power normalized to RASA-SM "
                  "(VEGETA-D-1-1) and max frequency\n\n";
 
-    Table table({"engine", "norm_area", "norm_power", "max_freq_GHz"});
-    for (const auto &row : figure14Series(allTableIIIConfigs())) {
-        table.row()
-            .cell(row.name)
-            .cell(row.normalizedArea, 3)
-            .cell(row.normalizedPower, 3)
-            .cell(row.maxFrequencyGhz, 2);
-    }
-    table.print(std::cout);
+    const sim::Simulator simulator;
+    sim::AnalyticalRequest request;
+    request.model = "fig14-area-power";
+    const auto result = simulator.analyze(request);
+    result.table().print(std::cout);
 
     std::cout << "\nComponent breakdown (area units):\n\n";
-    Table parts({"engine", "MACs", "PE_overhead", "input_buffers",
-                 "sparse_extras", "total"});
-    for (const auto &cfg : allTableIIIConfigs()) {
-        const auto est = estimatePhysical(cfg);
-        parts.row()
-            .cell(cfg.name)
-            .cell(est.macArea, 1)
-            .cell(est.peOverheadArea, 1)
-            .cell(est.inputBufferArea, 1)
-            .cell(est.sparseExtrasArea, 1)
-            .cell(est.areaUnits, 1);
-    }
-    parts.print(std::cout);
+    request.model = "fig14-area-breakdown";
+    simulator.analyze(request).table().print(std::cout);
 
-    std::cout << "\nPaper targets: worst sparse overhead ~6% (S-1-2); "
-                 "S-8-2/S-16-2 below RASA-SM; power overheads "
-                 "17/8/4/3/1% for alpha 1/2/4/8/16; all designs meet "
-              << kEvaluationFrequencyGhz << " GHz.\n";
+    std::cout << "\n";
+    for (const auto &note : result.notes)
+        std::cout << note << "\n";
     return 0;
 }

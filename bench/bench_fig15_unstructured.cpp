@@ -2,48 +2,42 @@
  * @file
  * Regenerates Figure 15: average speed-up of different sparsity
  * granularities over a dense engine at 60-95% unstructured sparsity,
- * including the area-normalized SIGMA-like unstructured engine.
+ * including the area-normalized SIGMA-like unstructured engine,
+ * through the facade's fig15-unstructured analytical backend.
  */
 
 #include <cstring>
 #include <iostream>
 
-#include "common/table.hpp"
-#include "model/unstructured_analysis.hpp"
+#include "sim/simulator.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vegeta;
-    using namespace vegeta::kernels;
 
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-    auto workloads = tableIVWorkloads();
+
+    const sim::Simulator simulator;
+    sim::AnalyticalRequest request;
+    request.model = "fig15-unstructured";
+    std::vector<std::string> names;
+    for (const auto &w : simulator.workloads().group("tableIV"))
+        names.push_back(w.name);
     if (quick)
-        workloads.resize(3);
+        names.resize(3);
+    request.workloads = names;
 
     std::cout << "Figure 15: average speed-up vs dense engine across "
                  "unstructured sparsity degrees\n"
-              << "(averaged over " << workloads.size()
-              << " Table IV layers; SIGMA area factor "
-              << model::kSigmaAreaFactor << ")\n\n";
+              << "(averaged over " << names.size()
+              << " Table IV layers)\n\n";
 
-    Table table({"degree_%", "dense", "layer-wise", "tile-wise",
-                 "pseudo-row-wise", "row-wise", "SIGMA-like"});
-    for (const auto &p : model::figure15Series(workloads)) {
-        table.row()
-            .cell(p.degree * 100.0, 0)
-            .cell(p.dense, 2)
-            .cell(p.layerWise, 2)
-            .cell(p.tileWise, 2)
-            .cell(p.pseudoRowWise, 2)
-            .cell(p.rowWise, 2)
-            .cell(p.sigmaLike, 2);
-    }
-    table.print(std::cout);
+    const auto result = simulator.analyze(request);
+    result.table().print(std::cout);
 
-    std::cout << "\nPaper anchors: row-wise 2.36x @ 90% and 3.28x @ "
-                 "95%; layer-wise barely beats dense; SIGMA-like "
-                 "overtakes row-wise only beyond ~95%.\n";
+    std::cout << "\n";
+    for (const auto &note : result.notes)
+        std::cout << note << "\n";
     return 0;
 }

@@ -10,7 +10,6 @@
 #include <cstring>
 #include <iostream>
 
-#include "model/unstructured_analysis.hpp"
 #include "sim/sweep.hpp"
 
 int
@@ -50,11 +49,15 @@ main(int argc, char **argv)
     }
 
     // Unstructured 95%: the Section VI-E roofline path (row-wise
-    // transformation, compute-bound model).
-    const auto unstructured = model::figure15Series(workloads, {0.95});
+    // transformation, compute-bound model) via the analytical registry.
+    sim::AnalyticalRequest unstructured;
+    unstructured.model = "fig15-unstructured";
+    unstructured.workloads = workload_names;
+    unstructured.params["degree"] = 0.95;
+    const auto series = simulator.analyze(unstructured);
     table.row()
         .cell("unstructured (95%)")
-        .cell(formatDouble(unstructured[0].rowWise, 2) + "x")
+        .cell(formatDouble(series.number(0, "row-wise"), 2) + "x")
         .cell("3.28x");
 
     table.print(std::cout);

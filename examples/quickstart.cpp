@@ -7,15 +7,15 @@
  * 2. Compress it (non-zero values + 2-bit metadata, paper Figure 2).
  * 3. Execute one TILE_SPMM_U on the functional emulator.
  * 4. Check the result against a plain dense GEMM.
- * 5. Ask the engine timing model what the instruction costs on a
- *    VEGETA-S-16-2 vs the dense RASA-DM baseline.
+ * 5. Ask the facade's pipelining backend what the instruction costs
+ *    on a VEGETA-S-16-2 vs the dense RASA-DM baseline.
  */
 
 #include <iostream>
 
 #include "common/random.hpp"
-#include "engine/pipeline.hpp"
 #include "isa/emulator.hpp"
+#include "sim/simulator.hpp"
 #include "sparsity/pruning.hpp"
 
 int
@@ -64,16 +64,26 @@ main()
               << (err == 0.0f ? " (bit exact)\n" : "\n");
 
     // --- 5. Timing: one instruction on two engines -------------------
-    engine::PipelineModel sparse_engine(engine::vegetaS162());
-    const Cycles sparse_cycles = sparse_engine.issue(spmm, 0).finish;
+    const sim::Simulator simulator;
+    sim::AnalyticalRequest timing;
+    timing.model = "fig10-pipelining";
+    timing.engines = {"VEGETA-S-16-2"};
+    timing.params["instructions"] = 1;
+    timing.options["op"] = "spmm_u";
+    const auto sparse_schedule = simulator.analyze(timing);
+    const Cycles sparse_cycles =
+        static_cast<Cycles>(sparse_schedule.number(0, "finish"));
 
     // The dense baseline needs two TILE_GEMMs for the same effective
-    // 16x64 tile (no zero skipping).
-    engine::PipelineModel dense_engine(engine::vegetaD12());
-    const auto gemm =
-        isa::makeTileGemm(isa::treg(5), isa::treg(4), isa::treg(0));
-    dense_engine.issue(gemm, 0);
-    const Cycles dense_cycles = dense_engine.issue(gemm, 0).finish;
+    // 16x64 tile (no zero skipping) -- a dependent 2-instruction
+    // stream accumulating into the same C tile.
+    timing.engines = {"VEGETA-D-1-2"};
+    timing.params["instructions"] = 2;
+    timing.params["dependent"] = 1;
+    timing.options["op"] = "gemm";
+    const auto dense_schedule = simulator.analyze(timing);
+    const Cycles dense_cycles =
+        static_cast<Cycles>(dense_schedule.number(1, "finish"));
 
     std::cout << "VEGETA-S-16-2: 1 TILE_SPMM_U in " << sparse_cycles
               << " engine cycles\n"

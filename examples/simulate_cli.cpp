@@ -14,8 +14,6 @@
  *   simulate_cli --list
  */
 
-#include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -117,7 +115,17 @@ main(int argc, char **argv)
         } else if (arg == "--engine") {
             engine_name = next();
         } else if (arg == "--pattern") {
-            pattern = static_cast<u32>(std::atoi(next()));
+            // Strict parse: atoi would fold garbage and negatives to
+            // silent wrong patterns; the builder then checks 1/2/4.
+            const std::string text = next();
+            const auto parsed = sim::parseU32(text);
+            if (!parsed) {
+                std::cerr << "error: --pattern expects 1, 2, or 4, "
+                             "got '"
+                          << text << "'\n";
+                return 1;
+            }
+            pattern = *parsed;
         } else if (arg == "--no-of") {
             of = false;
         } else if (arg == "--naive") {

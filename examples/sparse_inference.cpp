@@ -3,15 +3,17 @@
  * Sparse DNN inference example: a transformer projection layer
  * (reduced BERT shape) pruned to each supported N:4 pattern, executed
  * with the VEGETA kernels, verified against the dense reference, and
- * timed on the full engine sweep -- a miniature Figure 13.
+ * timed on the full engine sweep -- a miniature Figure 13 expressed
+ * as one deduplicated vegeta::sim request batch.
  */
 
+#include <cstdlib>
 #include <iostream>
 
 #include "common/random.hpp"
 #include "common/table.hpp"
-#include "kernels/driver.hpp"
 #include "kernels/gemm_kernels.hpp"
+#include "sim/sweep.hpp"
 #include "sparsity/pruning.hpp"
 
 int
@@ -46,24 +48,47 @@ main()
     // --- Cycle-level sweep (miniature Figure 13) ---------------------
     std::cout << "\nSimulated runtime (core cycles, engines at "
                  "0.5 GHz):\n\n";
-    Workload layer;
-    layer.name = "bert-reduced";
-    layer.gemm = dims;
+    const sim::Simulator simulator;
+
+    // One batch: every evaluated engine x each pattern (OF on sparse
+    // engines), plus the RASA-DM 2:4 baseline -- which duplicates a
+    // grid entry, so the sweep's dedupe runs it only once.
+    const auto engines = simulator.engines().names();
+    std::vector<sim::SimulationRequest> requests;
+    auto build = [&](const std::string &engine, u32 pattern, bool of) {
+        auto builder = simulator.request()
+                           .gemm(dims)
+                           .engine(engine)
+                           .pattern(pattern)
+                           .outputForwarding(of);
+        const auto request = builder.build();
+        if (!request) {
+            std::cerr << "bad request: " << builder.error() << "\n";
+            std::exit(1);
+        }
+        requests.push_back(*request);
+    };
+    build("VEGETA-D-1-2", 2, false); // speed-up baseline
+    for (const auto &name : engines) {
+        const bool of = simulator.engines().find(name)->sparse;
+        for (u32 pattern : {4u, 2u, 1u})
+            build(name, pattern, of);
+    }
+    const auto results = sim::SweepRunner(simulator).run(requests);
+    const Cycles baseline_cycles = results[0].coreCycles;
 
     Table table({"engine", "4:4", "2:4", "1:4", "2:4 speedup"});
-    const auto baseline =
-        simulateLayer(layer, 2, engine::vegetaD12(), false);
-    for (const auto &cfg : engine::allEvaluatedConfigs()) {
-        const bool of = cfg.sparse;
-        const auto d = simulateLayer(layer, 4, cfg, of);
-        const auto s24 = simulateLayer(layer, 2, cfg, of);
-        const auto s14 = simulateLayer(layer, 1, cfg, of);
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+        const bool of = simulator.engines().find(engines[e])->sparse;
+        const auto &d = results[1 + e * 3];
+        const auto &s24 = results[1 + e * 3 + 1];
+        const auto &s14 = results[1 + e * 3 + 2];
         table.row()
-            .cell(cfg.name + (of ? " +OF" : ""))
+            .cell(engines[e] + (of ? " +OF" : ""))
             .cell(static_cast<unsigned long long>(d.coreCycles))
             .cell(static_cast<unsigned long long>(s24.coreCycles))
             .cell(static_cast<unsigned long long>(s14.coreCycles))
-            .cell(static_cast<double>(baseline.coreCycles) /
+            .cell(static_cast<double>(baseline_cycles) /
                       static_cast<double>(s24.coreCycles),
                   2);
     }

@@ -1,5 +1,6 @@
 #include "cpu/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -72,8 +73,36 @@ readTrace(std::istream &is)
     if (!readRaw(is, count))
         return std::nullopt;
 
+    // The on-disk count is untrusted: a corrupt or truncated header
+    // must not drive a multi-GB reserve before the first element read
+    // fails.  On seekable streams the count is validated against the
+    // bytes actually remaining; otherwise the reserve is clamped and
+    // the vector grows on demand.
+    constexpr u64 kOpDiskBytes =
+        sizeof(u8) + sizeof(TraceOp::chain) + sizeof(TraceOp::addr) +
+        sizeof(TraceOp::bytes) + sizeof(isa::EncodedInstruction::word) +
+        sizeof(isa::EncodedInstruction::addr);
+    constexpr u64 kReserveClampOps = u64(1) << 20;
+    u64 reserve_ops = std::min(count, kReserveClampOps);
+    const auto here = is.tellg();
+    if (here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const auto end = is.tellg();
+        // A stream that can tell but not seek-to-end must still be
+        // readable below: drop the failed-seek state, skip validation.
+        is.clear();
+        is.seekg(here);
+        if (end != std::istream::pos_type(-1) && is) {
+            const u64 remaining =
+                end >= here ? static_cast<u64>(end - here) : 0;
+            if (count > remaining / kOpDiskBytes)
+                return std::nullopt;
+            reserve_ops = count;
+        }
+    }
+
     Trace trace;
-    trace.reserve(count);
+    trace.reserve(reserve_ops);
     for (u64 i = 0; i < count; ++i) {
         TraceOp op;
         u8 kind;

@@ -24,6 +24,22 @@ parseGemmSpec(const std::string &spec)
     return kernels::GemmDims{m, n, k};
 }
 
+std::optional<u32>
+parseU32(const std::string &text)
+{
+    if (text.empty() || text.size() > 10)
+        return std::nullopt;
+    u64 value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        value = value * 10 + static_cast<u64>(c - '0');
+    }
+    if (value > 0xffffffffULL)
+        return std::nullopt;
+    return static_cast<u32>(value);
+}
+
 RequestBuilder::RequestBuilder(const EngineRegistry &engines,
                                const WorkloadRegistry &workloads)
     : engines_(engines), workloads_(workloads)

@@ -64,6 +64,13 @@ std::optional<kernels::GemmDims>
 parseGemmSpec(const std::string &spec);
 
 /**
+ * Strict decimal u32 parser for CLI flags: digits only (no sign, no
+ * trailing garbage, no empty string) and the value must fit in u32.
+ * Unlike atoi, garbage and negatives are errors, not silent zeros.
+ */
+std::optional<u32> parseU32(const std::string &text);
+
+/**
  * Fluent, validating builder.  Errors (unknown engine or workload,
  * bad pattern, bad GEMM spec) are collected as they happen;
  * `build()` returns the request only if everything resolved.

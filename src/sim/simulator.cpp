@@ -10,7 +10,15 @@ Simulator::Simulator()
 }
 
 Simulator::Simulator(EngineRegistry engines, WorkloadRegistry workloads)
-    : engines_(std::move(engines)), workloads_(std::move(workloads))
+    : Simulator(std::move(engines), std::move(workloads),
+                AnalyticalRegistry::builtin())
+{
+}
+
+Simulator::Simulator(EngineRegistry engines, WorkloadRegistry workloads,
+                     AnalyticalRegistry analytics)
+    : engines_(std::move(engines)), workloads_(std::move(workloads)),
+      analytics_(std::move(analytics))
 {
 }
 
@@ -20,9 +28,39 @@ Simulator::request() const
     return RequestBuilder(engines_, workloads_);
 }
 
+void
+Simulator::setCache(std::shared_ptr<ResultCache> cache)
+{
+    cache_ = std::move(cache);
+}
+
+std::shared_ptr<ResultCache>
+Simulator::enableCache()
+{
+    cache_ = std::make_shared<ResultCache>();
+    return cache_;
+}
+
 SimulationResult
 Simulator::run(const SimulationRequest &request,
                cpu::Trace *trace_out) const
+{
+    // Callers wanting the generated trace always pay the generation
+    // pass; a cache hit has no trace to hand back.
+    if (!cache_ || trace_out)
+        return runUncached(request, trace_out);
+
+    const std::string key = cacheKey(request);
+    if (auto hit = cache_->find(key))
+        return *hit;
+    const SimulationResult result = runUncached(request, nullptr);
+    cache_->insert(key, result);
+    return result;
+}
+
+SimulationResult
+Simulator::runUncached(const SimulationRequest &request,
+                       cpu::Trace *trace_out) const
 {
     const auto engine = engines_.find(request.engine);
     VEGETA_ASSERT(engine.has_value(), "unregistered engine ",
@@ -69,6 +107,31 @@ Simulator::replay(const cpu::Trace &trace,
     return measure(trace, *engine, request, "replay",
                    engine->effectiveN(request.patternN),
                    /*tile_computes=*/0);
+}
+
+std::optional<std::string>
+Simulator::analyzeError(const AnalyticalRequest &request) const
+{
+    if (!analytics_.contains(request.model))
+        return "unknown analytical model: " + request.model;
+    for (const auto &name : request.engines)
+        if (!engines_.contains(name))
+            return "unknown engine: " + name;
+    for (const auto &name : request.workloads)
+        if (!workloads_.contains(name))
+            return "unknown workload: " + name;
+    return std::nullopt;
+}
+
+AnalyticalResult
+Simulator::analyze(const AnalyticalRequest &request) const
+{
+    const auto error = analyzeError(request);
+    VEGETA_ASSERT(!error.has_value(), "bad analytical request: ",
+                  error.value_or(""));
+    const AnalyticalRegistry::Backend *backend =
+        analytics_.find(request.model);
+    return (*backend)(*this, request);
 }
 
 SimulationResult

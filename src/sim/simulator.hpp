@@ -3,12 +3,15 @@
  * The Simulator facade: the one public entry point for running the
  * VEGETA model.
  *
- * A Simulator owns an engine registry and a workload registry and
- * turns validated SimulationRequests into SimulationResults.  It
- * wraps the whole seed flow -- kernel generation (optimized or
- * Listing-1 naive), layer-wise effective-N resolution, the
- * trace-driven core model -- and also replays pre-recorded traces so
- * a trace captured once can be measured across engine configs.
+ * A Simulator owns an engine registry, a workload registry, and an
+ * analytical-model registry, and turns validated SimulationRequests
+ * into SimulationResults (and AnalyticalRequests into
+ * AnalyticalResults).  It wraps the whole seed flow -- kernel
+ * generation (optimized or Listing-1 naive), layer-wise effective-N
+ * resolution, the trace-driven core model -- replays pre-recorded
+ * traces so a trace captured once can be measured across engine
+ * configs, and optionally memoizes results in a request-keyed
+ * ResultCache.
  *
  * Everything above this layer (CLI, benches, sweeps) speaks only
  * requests and results; nothing above it wires engines, workloads, or
@@ -18,6 +21,10 @@
 #ifndef VEGETA_SIM_SIMULATOR_HPP
 #define VEGETA_SIM_SIMULATOR_HPP
 
+#include <memory>
+
+#include "sim/analytical.hpp"
+#include "sim/cache.hpp"
 #include "sim/request.hpp"
 #include "sim/result.hpp"
 
@@ -32,11 +39,30 @@ class Simulator
 
     Simulator(EngineRegistry engines, WorkloadRegistry workloads);
 
+    Simulator(EngineRegistry engines, WorkloadRegistry workloads,
+              AnalyticalRegistry analytics);
+
     const EngineRegistry &engines() const { return engines_; }
     const WorkloadRegistry &workloads() const { return workloads_; }
+    const AnalyticalRegistry &analytics() const { return analytics_; }
 
     /** A builder bound to this simulator's registries. */
     RequestBuilder request() const;
+
+    /**
+     * Attach a result cache consulted by run() (and, through it, by
+     * every sweep).  Caching never changes an answer -- equal cache
+     * keys imply bit-identical results -- it only skips re-simulating
+     * requests already seen.  Pass nullptr to disable.  The cache may
+     * be shared between simulators with identical registries.
+     */
+    void setCache(std::shared_ptr<ResultCache> cache);
+
+    /** Convenience: attach a fresh cache and return it. */
+    std::shared_ptr<ResultCache> enableCache();
+
+    /** The attached cache (nullptr when caching is off). */
+    const std::shared_ptr<ResultCache> &cache() const { return cache_; }
 
     /**
      * Run one request end to end: generate the kernel trace for the
@@ -67,6 +93,20 @@ class Simulator
     SimulationResult replay(const cpu::Trace &trace,
                             const SimulationRequest &request) const;
 
+    /**
+     * Why an analytical request cannot run (unknown model, engine, or
+     * workload name), or nullopt if it is valid.
+     */
+    std::optional<std::string>
+    analyzeError(const AnalyticalRequest &request) const;
+
+    /**
+     * Evaluate one registered analytical model.  The request must be
+     * valid (see analyzeError); invalid names abort via VEGETA_ASSERT,
+     * matching run()'s contract.
+     */
+    AnalyticalResult analyze(const AnalyticalRequest &request) const;
+
   private:
     SimulationResult measure(const cpu::Trace &trace,
                              const engine::EngineConfig &engine,
@@ -74,8 +114,13 @@ class Simulator
                              const char *kernel_label,
                              u32 executed_n, u64 tile_computes) const;
 
+    SimulationResult runUncached(const SimulationRequest &request,
+                                 cpu::Trace *trace_out) const;
+
     EngineRegistry engines_;
     WorkloadRegistry workloads_;
+    AnalyticalRegistry analytics_;
+    std::shared_ptr<ResultCache> cache_;
 };
 
 } // namespace vegeta::sim

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "sim/cache.hpp"
 
 namespace vegeta::sim {
 
@@ -24,34 +26,57 @@ SweepRunner::run(const std::vector<SimulationRequest> &requests) const
     if (requests.empty())
         return results;
 
-    const u32 workers =
-        std::min<u32>(threads_, static_cast<u32>(requests.size()));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < requests.size(); ++i)
-            results[i] = simulator_.run(requests[i]);
-        return results;
+    // Batch-level dedupe before dispatch: requests with equal
+    // canonical keys are guaranteed to produce bit-identical results,
+    // so only the first occurrence simulates; duplicates copy its
+    // slot afterwards.  The output is therefore identical to running
+    // every request -- for any thread count, cache on or off.
+    std::vector<std::size_t> unique;
+    std::vector<std::size_t> source(requests.size());
+    {
+        std::unordered_map<std::string, std::size_t> first;
+        first.reserve(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const auto [it, inserted] =
+                first.emplace(cacheKey(requests[i]), i);
+            source[i] = it->second;
+            if (inserted)
+                unique.push_back(i);
+        }
     }
 
-    // Work-stealing by atomic index: each worker claims the next
-    // unclaimed request and writes into its slot, so the result
-    // vector is independent of scheduling.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= requests.size())
-                return;
+    const u32 workers =
+        std::min<u32>(threads_, static_cast<u32>(unique.size()));
+    if (workers <= 1) {
+        for (const std::size_t i : unique)
             results[i] = simulator_.run(requests[i]);
-        }
-    };
+    } else {
+        // Work-stealing by atomic index: each worker claims the next
+        // unclaimed request and writes into its slot, so the result
+        // vector is independent of scheduling.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t u =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (u >= unique.size())
+                    return;
+                const std::size_t i = unique[u];
+                results[i] = simulator_.run(requests[i]);
+            }
+        };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (u32 t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (auto &thread : pool)
-        thread.join();
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (u32 t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        if (source[i] != i)
+            results[i] = results[source[i]];
     return results;
 }
 

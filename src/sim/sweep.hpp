@@ -34,8 +34,11 @@ class SweepRunner
 
     /**
      * Run every request; `results[i]` corresponds to `requests[i]`.
-     * Deterministic: the batch output is bit-for-bit identical for
-     * any thread count.
+     * Requests that repeat within the batch (equal canonical cache
+     * keys) simulate once and fan their result out to every duplicate
+     * slot.  Deterministic: the batch output is bit-for-bit identical
+     * for any thread count, with or without a ResultCache attached to
+     * the simulator.
      */
     std::vector<SimulationResult>
     run(const std::vector<SimulationRequest> &requests) const;

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "cpu/trace_cpu.hpp"
@@ -98,6 +100,52 @@ TEST(TraceIo, RejectsWrongVersion)
     bytes[4] = 99; // version field
     std::stringstream bad(bytes);
     EXPECT_FALSE(readTrace(bad).has_value());
+}
+
+TEST(TraceIo, RejectsCountLargerThanStream)
+{
+    // A corrupt header promising billions of ops must fail cleanly
+    // before any element read -- and, critically, without reserving
+    // a multi-GB vector for the lie.
+    const Trace trace = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    std::string bytes = buffer.str();
+    const u64 huge = u64(1) << 60;
+    std::memcpy(&bytes[8], &huge, sizeof(huge)); // count field
+    std::stringstream corrupt(bytes);
+    EXPECT_FALSE(readTrace(corrupt).has_value());
+}
+
+TEST(TraceIo, RejectsCountBeyondTruncatedBody)
+{
+    const Trace trace = sampleTrace();
+    std::stringstream buffer;
+    writeTrace(buffer, trace);
+    std::string bytes = buffer.str();
+    // Keep the header (magic + version + count) but drop most of the
+    // body: the recorded count now exceeds the remaining bytes.
+    bytes.resize(16 + 8);
+    std::stringstream truncated(bytes);
+    EXPECT_FALSE(readTrace(truncated).has_value());
+}
+
+TEST(TraceIo, RejectsOverCountedHeaderOnFile)
+{
+    const Trace trace = sampleTrace();
+    const std::string path = "/tmp/vegeta_trace_corrupt.vgtr";
+    ASSERT_TRUE(writeTraceFile(path, trace));
+
+    std::fstream file(path, std::ios::in | std::ios::out |
+                                std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(8);
+    const u64 huge = u64(0xffffffffffff);
+    file.write(reinterpret_cast<const char *>(&huge), sizeof(huge));
+    file.close();
+
+    EXPECT_FALSE(readTraceFile(path).has_value());
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, MissingFileReturnsNullopt)
