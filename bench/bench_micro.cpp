@@ -1,17 +1,17 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator stack itself:
- * functional emulation, compression, the detailed systolic dataflow,
- * and the trace-driven CPU model.
+ * functional emulation, compression, kernel/trace generation, and the
+ * sim-facade replay paths (streaming and batch).  Engine timing is
+ * exercised through the facade's micro-latency analytical backend --
+ * nothing here wires engine models by hand.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "common/random.hpp"
-#include "cpu/trace_cpu.hpp"
-#include "engine/systolic.hpp"
-#include "isa/emulator.hpp"
 #include "kernels/gemm_kernels.hpp"
+#include "sim/simulator.hpp"
 #include "sparsity/pruning.hpp"
 #include "sparsity/rowwise_transform.hpp"
 
@@ -81,37 +81,46 @@ BM_RowWiseTransform(benchmark::State &state)
 }
 BENCHMARK(BM_RowWiseTransform);
 
-void
-BM_SystolicSpmm(benchmark::State &state)
+sim::SimulationRequest
+microRequest(const sim::Simulator &simulator)
 {
-    Rng rng(5);
-    const auto tile = randomNMMatrix(16, 64, pattern24(), rng);
-    const auto ct = CompressedTile::compress(tile, pattern24());
-    const auto bt = randomMatrixBF16(64, 16, rng).transposed();
-    const MatrixF c0(16, 16);
-    engine::SystolicSimulator sim(engine::vegetaS22());
-    for (auto _ : state) {
-        auto result = sim.runSpmm(ct, bt, c0);
-        benchmark::DoNotOptimize(result);
-    }
+    auto request = simulator.request()
+                       .gemm(kernels::GemmDims{64, 64, 512})
+                       .engine("VEGETA-S-16-2")
+                       .pattern(2)
+                       .build();
+    return *request;
 }
-BENCHMARK(BM_SystolicSpmm);
 
 void
-BM_TraceCpuSimulation(benchmark::State &state)
+BM_FacadeStreamingRun(benchmark::State &state)
 {
-    kernels::KernelOptions opts;
-    opts.traceOnly = true;
-    const auto run =
-        kernels::runSpmmKernel({64, 64, 512}, 2, opts);
+    const sim::Simulator simulator; // no cache: measure the replay
+    const auto request = microRequest(simulator);
+    u64 uops = 0;
     for (auto _ : state) {
-        cpu::TraceCpu cpu({}, engine::vegetaS162());
-        auto result = cpu.run(run.trace);
+        auto result = simulator.run(request);
+        uops = result.instructions;
         benchmark::DoNotOptimize(result);
     }
-    state.SetItemsProcessed(state.iterations() * run.trace.size());
+    state.SetItemsProcessed(state.iterations() * uops);
 }
-BENCHMARK(BM_TraceCpuSimulation);
+BENCHMARK(BM_FacadeStreamingRun);
+
+void
+BM_FacadeBatchReplay(benchmark::State &state)
+{
+    const sim::Simulator simulator;
+    const auto request = microRequest(simulator);
+    cpu::Trace trace;
+    simulator.run(request, &trace);
+    for (auto _ : state) {
+        auto result = simulator.replay(trace, request);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_FacadeBatchReplay);
 
 void
 BM_TraceGeneration(benchmark::State &state)
@@ -124,6 +133,19 @@ BM_TraceGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TraceGeneration);
+
+void
+BM_AnalyticalMicroLatency(benchmark::State &state)
+{
+    const sim::Simulator simulator;
+    sim::AnalyticalRequest request;
+    request.model = "micro-latency";
+    for (auto _ : state) {
+        auto result = simulator.analyze(request);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_AnalyticalMicroLatency);
 
 } // namespace
 

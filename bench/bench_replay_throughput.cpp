@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Replay-throughput harness: the machine-readable perf baseline for
+ * the simulator's hottest loop.
+ *
+ * Measures, on Figure 13-style SPMM workloads:
+ *  - single-stream batch replay (pre-recorded trace -> TraceCpu) in
+ *    uops/sec,
+ *  - single-stream streaming simulation (kernel generator emitting
+ *    straight into the replayer, no materialized trace),
+ *  - a thread-pooled SweepRunner grid (requests/sec and uops/sec),
+ *  - peak RSS before and after materializing the largest trace (the
+ *    streaming path's memory does not scale with trace length).
+ *
+ * Emits BENCH_replay.json.  With --baseline FILE the run compares its
+ * single-stream geomean against the committed baseline and exits
+ * non-zero past --max-regress PCT (default 30).  Because absolute
+ * uops/sec depends on the machine, a small fixed-work calibration
+ * loop is timed too and the baseline is scaled by the calibration
+ * ratio (clamped to 4x either way) before comparing.
+ *
+ * Usage: bench_replay_throughput [--smoke] [--out FILE]
+ *        [--threads N] [--baseline FILE] [--max-regress PCT]
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace vegeta;
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/** Current peak RSS in bytes (Linux ru_maxrss is in KiB). */
+u64
+peakRssBytes()
+{
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<u64>(usage.ru_maxrss) * 1024;
+}
+
+/**
+ * Fixed-work integer loop (Mops/s): a machine-speed yardstick so a
+ * committed baseline from one machine can gate CI runs on another.
+ */
+double
+calibrationMops()
+{
+    volatile u64 sink = 0;
+    const u64 iters = 50'000'000;
+    u64 h = 0xcbf29ce484222325ull;
+    const auto t0 = Clock::now();
+    for (u64 i = 0; i < iters; ++i)
+        h = (h ^ i) * 0x100000001b3ull;
+    const auto t1 = Clock::now();
+    sink = h;
+    (void)sink;
+    return iters / seconds(t0, t1) / 1e6;
+}
+
+struct Point
+{
+    std::string label;
+    kernels::GemmDims dims;
+    std::string engine;
+    u32 pattern;
+};
+
+struct PointResult
+{
+    Point point;
+    u64 uops = 0;
+    double batchUopsPerSec = 0;
+    double streamUopsPerSec = 0;
+};
+
+sim::SimulationRequest
+requestFor(const sim::Simulator &simulator, const Point &point)
+{
+    auto request = simulator.request()
+                       .gemm(point.dims)
+                       .engine(point.engine)
+                       .pattern(point.pattern)
+                       .build();
+    VEGETA_ASSERT(request.has_value(), "invalid bench request");
+    return *request;
+}
+
+/** Streaming: generation + replay fused, no trace in memory. */
+void
+measureStream(const sim::Simulator &simulator, PointResult &out,
+              int reps)
+{
+    const auto request = requestFor(simulator, out.point);
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        const auto result = simulator.run(request);
+        const auto t1 = Clock::now();
+        out.uops = result.instructions;
+        out.streamUopsPerSec = std::max(
+            out.streamUopsPerSec,
+            result.instructions / seconds(t0, t1));
+    }
+}
+
+/** Batch: materialize the trace once, then time pure replay. */
+void
+measureBatch(const sim::Simulator &simulator, PointResult &out,
+             int reps)
+{
+    const auto request = requestFor(simulator, out.point);
+    cpu::Trace trace;
+    simulator.run(request, &trace);
+    VEGETA_ASSERT(trace.size() == out.uops,
+                  "batch and streaming runs generated different "
+                  "op counts");
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        const auto result = simulator.replay(trace, request);
+        const auto t1 = Clock::now();
+        VEGETA_ASSERT(result.instructions == trace.size(),
+                      "replay consumed a different op count");
+        out.batchUopsPerSec = std::max(
+            out.batchUopsPerSec, trace.size() / seconds(t0, t1));
+    }
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+/** Minimal scan for `"key": <number>` in a JSON file. */
+bool
+findJsonNumber(const std::string &text, const std::string &key,
+               double *value)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    *value = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_replay.json";
+    std::string baseline_path;
+    double max_regress_pct = 30;
+    u32 threads = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--max-regress") {
+            max_regress_pct = std::strtod(next(), nullptr);
+        } else if (arg == "--threads") {
+            const auto parsed = sim::parseU32(next());
+            if (!parsed) {
+                std::cerr << "bad --threads value\n";
+                return 2;
+            }
+            threads = *parsed;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n"
+                      << "usage: bench_replay_throughput [--smoke] "
+                         "[--out FILE] [--threads N] "
+                         "[--baseline FILE] [--max-regress PCT]\n";
+            return 2;
+        }
+    }
+
+    const sim::Simulator simulator; // cache off: measure the replay
+    const int reps = smoke ? 2 : 5;
+
+    // Single-stream points: Figure 13 layer-wise patterns on the
+    // flagship sparse engine plus the dense baseline.  Smoke mode
+    // measures the SAME points with fewer repetitions, so its
+    // geomean is directly comparable to a committed full-mode
+    // baseline (the regression gate depends on this).
+    std::vector<Point> points;
+    const std::vector<kernels::GemmDims> sizes = {{128, 128, 512},
+                                                  {256, 256, 1024}};
+    for (const auto &dims : sizes) {
+        std::ostringstream label;
+        label << dims.m << "x" << dims.n << "x" << dims.k;
+        for (u32 pattern : {4u, 2u, 1u})
+            points.push_back({label.str(), dims, "VEGETA-S-16-2",
+                              pattern});
+        points.push_back({label.str(), dims, "VEGETA-D-1-2", 4});
+    }
+
+    const double calibration = calibrationMops();
+
+    // Phase 1 -- streaming only.  Nothing up to the RSS snapshot
+    // below materializes a trace, so the snapshot is the streaming
+    // path's true peak, including one deliberately long stream.
+    std::vector<PointResult> results;
+    for (const auto &point : points) {
+        results.push_back({point, 0, 0, 0});
+        measureStream(simulator, results.back(), reps);
+    }
+    const Point big_point{"memory-probe",
+                          smoke ? kernels::GemmDims{256, 256, 1024}
+                                : kernels::GemmDims{512, 512, 4096},
+                          "VEGETA-S-16-2", 1};
+    PointResult big{big_point, 0, 0, 0};
+    measureStream(simulator, big, 1);
+    const u64 stream_peak_rss = peakRssBytes();
+
+    // Phase 2 -- batch replay (materializes every trace, including
+    // the long one): the RSS delta against the snapshot above is the
+    // memory the streaming path no longer pays.
+    for (auto &r : results)
+        measureBatch(simulator, r, reps);
+    measureBatch(simulator, big, 1);
+    const u64 batch_peak_rss = peakRssBytes();
+
+    std::vector<double> batch_rates, stream_rates;
+    for (const auto &r : results) {
+        batch_rates.push_back(r.batchUopsPerSec);
+        stream_rates.push_back(r.streamUopsPerSec);
+        std::printf("%-14s %-14s N=%u  %8zu uops  batch %7.2f "
+                    "Muops/s  stream %7.2f Muops/s\n",
+                    r.point.label.c_str(), r.point.engine.c_str(),
+                    r.point.pattern, static_cast<size_t>(r.uops),
+                    r.batchUopsPerSec / 1e6,
+                    r.streamUopsPerSec / 1e6);
+    }
+    std::printf("memory probe (%s, %zu uops): streaming peak RSS "
+                "%.1f MiB, after materializing %.1f MiB\n",
+                big.point.label.c_str(), static_cast<size_t>(big.uops),
+                stream_peak_rss / 1048576.0,
+                batch_peak_rss / 1048576.0);
+    const double batch_geomean = geomean(batch_rates);
+    const double stream_geomean = geomean(stream_rates);
+
+    // Threaded sweep over the Figure 13 grid of the quick workloads.
+    const std::vector<std::string> grid_workloads =
+        smoke ? std::vector<std::string>{"quick-small"}
+              : std::vector<std::string>{"quick-small", "quick-square",
+                                         "quick-deep"};
+    const std::vector<std::string> grid_engines = {
+        "VEGETA-D-1-2", "VEGETA-S-1-2", "VEGETA-S-16-2"};
+    const auto grid =
+        sim::figure13Grid(simulator, grid_workloads, grid_engines);
+    const u32 sweep_threads =
+        threads != 0
+            ? threads
+            : std::max(1u, std::thread::hardware_concurrency());
+    const sim::SweepRunner runner(simulator, sweep_threads);
+    runner.run(grid); // warm-up
+    double sweep_secs = 0;
+    u64 sweep_uops = 0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        const auto sweep_results = runner.run(grid);
+        const auto t1 = Clock::now();
+        u64 uops = 0;
+        for (const auto &res : sweep_results)
+            uops += res.instructions;
+        const double secs = seconds(t0, t1);
+        if (sweep_secs == 0 || secs < sweep_secs) {
+            sweep_secs = secs;
+            sweep_uops = uops;
+        }
+    }
+    std::printf("sweep: %zu requests, %u threads, %.3fs best, %.2f "
+                "Muops/s\n",
+                grid.size(), runner.threads(), sweep_secs,
+                sweep_uops / sweep_secs / 1e6);
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 2;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"replay_throughput\",\n";
+    os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+    os << "  \"calibration_mops\": " << calibration << ",\n";
+    os << "  \"single_stream\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "    {\"workload\": \"" << r.point.label
+           << "\", \"engine\": \"" << r.point.engine
+           << "\", \"pattern\": " << r.point.pattern
+           << ", \"uops\": " << r.uops
+           << ", \"batch_uops_per_sec\": " << r.batchUopsPerSec
+           << ", \"stream_uops_per_sec\": " << r.streamUopsPerSec
+           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"single_stream_uops_per_sec_geomean\": " << batch_geomean
+       << ",\n";
+    os << "  \"stream_uops_per_sec_geomean\": " << stream_geomean
+       << ",\n";
+    os << "  \"sweep\": {\"requests\": " << grid.size()
+       << ", \"threads\": " << runner.threads()
+       << ", \"seconds\": " << sweep_secs
+       << ", \"uops_per_sec\": " << sweep_uops / sweep_secs << "},\n";
+    os << "  \"memory_probe_uops\": " << big.uops << ",\n";
+    os << "  \"stream_peak_rss_bytes\": " << stream_peak_rss << ",\n";
+    os << "  \"batch_peak_rss_bytes\": " << batch_peak_rss << "\n";
+    os << "}\n";
+    os.close();
+    std::printf("wrote %s (geomean: batch %.2f, stream %.2f Muops/s)\n",
+                out_path.c_str(), batch_geomean / 1e6,
+                stream_geomean / 1e6);
+
+    if (!baseline_path.empty()) {
+        std::ifstream is(baseline_path);
+        if (!is) {
+            std::cerr << "cannot read baseline " << baseline_path
+                      << "\n";
+            return 2;
+        }
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        const std::string text = buffer.str();
+        if (text.find("\"bench\": \"replay_throughput\"") ==
+            std::string::npos) {
+            std::cerr << baseline_path
+                      << " is not a replay_throughput baseline\n";
+            return 2;
+        }
+        double base_rate = 0, base_calibration = 0;
+        if (!findJsonNumber(text, "single_stream_uops_per_sec_geomean",
+                            &base_rate)) {
+            std::cerr << "baseline has no "
+                         "single_stream_uops_per_sec_geomean\n";
+            return 2;
+        }
+        double scale = 1;
+        if (findJsonNumber(text, "calibration_mops",
+                           &base_calibration) &&
+            base_calibration > 0 && calibration > 0) {
+            scale = calibration / base_calibration;
+            scale = std::min(4.0, std::max(0.25, scale));
+        }
+        const double floor =
+            base_rate * scale * (1 - max_regress_pct / 100);
+        std::printf("regression gate: %.2f Muops/s vs floor %.2f "
+                    "(baseline %.2f x machine scale %.2f)\n",
+                    batch_geomean / 1e6, floor / 1e6, base_rate / 1e6,
+                    scale);
+        if (batch_geomean < floor) {
+            std::cerr << "FAIL: single-stream replay throughput "
+                         "regressed more than "
+                      << max_regress_pct << "%\n";
+            return 1;
+        }
+    }
+    return 0;
+}

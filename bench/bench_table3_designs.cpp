@@ -2,28 +2,26 @@
  * @file
  * Regenerates Table III: the VEGETA-D / VEGETA-S design space, plus
  * the per-design stage latencies and initiation intervals implied by
- * Section V-C.
+ * Section V-C.  Facade-only: the design points come from the engine
+ * registry and the timing numbers from the micro-latency analytical
+ * backend.
  */
 
 #include <iostream>
 
 #include "common/table.hpp"
-#include "engine/pipeline.hpp"
-#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
 
 int
 main()
 {
     using namespace vegeta;
-    using namespace vegeta::engine;
 
-    // The design points come from the sim facade's engine registry,
-    // not a hand-wired table.
-    const auto table_iii =
-        sim::EngineRegistry::builtin().tableIIIConfigs();
+    const sim::Simulator simulator;
+    const auto table_iii = simulator.engines().tableIIIConfigs();
 
     std::cout << "Table III: VEGETA engine design space (all keep "
-              << kTotalMacs << " MACs)\n\n";
+              << engine::kTotalMacs << " MACs)\n\n";
 
     Table table({"engine", "Nrows", "Ncols", "MACs/PE", "inputs/PE",
                  "broadcast(a)", "drain", "sparsity", "prior work"});
@@ -42,23 +40,11 @@ main()
     table.print(std::cout);
 
     std::cout << "\nDerived pipelining behaviour (Section V-C):\n\n";
-    Table stages({"engine", "WL", "FF", "FS", "DR", "isolated_latency",
-                  "initiation_interval"});
-    const auto instr =
-        isa::makeTileGemm(isa::treg(5), isa::treg(4), isa::treg(0));
-    for (const auto &cfg : table_iii) {
-        PipelineModel model(cfg);
-        const auto lat = model.stages(instr);
-        stages.row()
-            .cell(cfg.name)
-            .cell(static_cast<unsigned long long>(lat.wl))
-            .cell(static_cast<unsigned long long>(lat.ff))
-            .cell(static_cast<unsigned long long>(lat.fs))
-            .cell(static_cast<unsigned long long>(lat.dr))
-            .cell(static_cast<unsigned long long>(lat.total()))
-            .cell(static_cast<unsigned long long>(
-                initiationInterval(cfg)));
-    }
-    stages.print(std::cout);
+    sim::AnalyticalRequest request;
+    request.model = "micro-latency";
+    const sim::AnalyticalResult stages = simulator.analyze(request);
+    stages.table().print(std::cout);
+    for (const auto &note : stages.notes)
+        std::cout << "  " << note << "\n";
     return 0;
 }

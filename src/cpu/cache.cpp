@@ -6,52 +6,56 @@
 
 namespace vegeta::cpu {
 
+namespace {
+
+bool
+isPowerOfTwo(u32 value)
+{
+    return value > 0 && (value & (value - 1)) == 0;
+}
+
+u32
+log2u(u32 value)
+{
+    u32 shift = 0;
+    while ((u32{1} << shift) < value)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
 CacheModel::CacheModel(CacheConfig config) : config_(config)
 {
-    VEGETA_ASSERT(config_.l1Sets > 0 && config_.l1Ways > 0 &&
-                      config_.lineBytes > 0,
-                  "degenerate cache configuration");
-    sets_.resize(config_.l1Sets);
+    VEGETA_ASSERT(config_.l1Ways > 0, "degenerate cache configuration");
+    VEGETA_ASSERT(isPowerOfTwo(config_.lineBytes) &&
+                      isPowerOfTwo(config_.l1Sets),
+                  "lineBytes and l1Sets must be powers of two");
+    line_shift_ = log2u(config_.lineBytes);
+    set_mask_ = config_.l1Sets - 1;
+    tags_.assign(std::size_t{config_.l1Sets} * config_.l1Ways,
+                 kInvalidTag);
 }
 
-Cycles
-CacheModel::accessLine(Addr addr)
-{
-    const u64 line = addr / config_.lineBytes;
-    Set &set = sets_[line % config_.l1Sets];
-
-    auto it = std::find(set.lru.begin(), set.lru.end(), line);
-    if (it != set.lru.end()) {
-        set.lru.erase(it);
-        set.lru.push_front(line);
-        ++hits_;
-        return config_.l1Latency;
-    }
-
-    ++misses_;
-    set.lru.push_front(line);
-    if (set.lru.size() > config_.l1Ways)
-        set.lru.pop_back();
-    return config_.l2Latency;
-}
-
-std::vector<Cycles>
+CacheModel::RangeAccess
 CacheModel::accessRange(Addr addr, u32 bytes)
 {
     VEGETA_ASSERT(bytes > 0, "zero-length access");
-    std::vector<Cycles> latencies;
+    RangeAccess access;
     const u64 first = addr / config_.lineBytes;
     const u64 last = (addr + bytes - 1) / config_.lineBytes;
-    for (u64 line = first; line <= last; ++line)
-        latencies.push_back(accessLine(line * config_.lineBytes));
-    return latencies;
+    for (u64 line = first; line <= last; ++line) {
+        access.maxLatency = std::max(
+            access.maxLatency, accessLine(line * config_.lineBytes));
+        ++access.lines;
+    }
+    return access;
 }
 
 void
 CacheModel::reset()
 {
-    for (auto &set : sets_)
-        set.lru.clear();
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
     hits_ = 0;
     misses_ = 0;
 }

@@ -7,13 +7,19 @@
  * with LRU backed by an always-hitting L2: the first touch of a line
  * pays the L2 hit latency, re-references within L1 residency pay the
  * L1 latency.
+ *
+ * Tags live in one contiguous array of l1Sets x l1Ways entries kept in
+ * MRU-first order per set (exact LRU: the victim is the last entry),
+ * so an access is a short linear scan plus an in-place rotate over at
+ * most 96 bytes -- no allocation after construction (the seed's
+ * per-set std::list LRU paid a node allocation per fill and a pointer
+ * chase per probe, the hottest path of the whole replayer).
  */
 
 #ifndef VEGETA_CPU_CACHE_HPP
 #define VEGETA_CPU_CACHE_HPP
 
-#include <list>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 #include "common/types.hpp"
@@ -22,8 +28,8 @@ namespace vegeta::cpu {
 
 struct CacheConfig
 {
-    u32 lineBytes = 64;
-    u32 l1Sets = 64;
+    u32 lineBytes = 64;     ///< must be a power of two
+    u32 l1Sets = 64;        ///< must be a power of two
     u32 l1Ways = 12;        ///< 48 KB L1D
     Cycles l1Latency = 4;
     Cycles l2Latency = 14;  ///< all misses hit in the prefetched L2
@@ -35,14 +41,58 @@ class CacheModel
   public:
     explicit CacheModel(CacheConfig config = {});
 
-    /** Access one line-aligned address; returns the load-use latency. */
-    Cycles accessLine(Addr addr);
+    /**
+     * Access one line-aligned address; returns the load-use latency.
+     * Defined inline: this is called once per touched cache line by
+     * the replay loop, the hottest call site in the simulator.
+     */
+    Cycles
+    accessLine(Addr addr)
+    {
+        // lineBytes / l1Sets are powers of two (checked at
+        // construction): shift + mask instead of runtime div/mod,
+        // which would otherwise dominate the per-line cost.
+        const u64 line = addr >> line_shift_;
+        const u32 ways = config_.l1Ways;
+        u64 *set = tags_.data() + (line & set_mask_) * ways;
+
+        // Branchless fixed-length scan (a tag can match at most one
+        // way; empty ways hold kInvalidTag and never match): the only
+        // data-dependent branch left is the single hit/miss test,
+        // instead of two exits per way.
+        u32 hit_way = ways;
+        for (u32 w = 0; w < ways; ++w)
+            if (set[w] == line)
+                hit_way = w;
+
+        if (hit_way == ways) {
+            // Miss: every way shifts down one slot; the LRU tail
+            // drops off.
+            ++misses_;
+            std::memmove(set + 1, set, (ways - 1) * sizeof(u64));
+            set[0] = line;
+            return config_.l2Latency;
+        }
+
+        // Hit at depth hit_way: rotate it to the MRU front.
+        ++hits_;
+        std::memmove(set + 1, set, hit_way * sizeof(u64));
+        set[0] = line;
+        return config_.l1Latency;
+    }
+
+    /** Aggregate of one multi-line range access. */
+    struct RangeAccess
+    {
+        Cycles maxLatency = 0; ///< slowest touched line
+        u32 lines = 0;         ///< cache lines the range spans
+    };
 
     /**
-     * Access [addr, addr + bytes); returns per-line latencies (one
-     * entry per touched cache line).
+     * Access every line of [addr, addr + bytes) in ascending order;
+     * returns the aggregate (no per-call allocation).
      */
-    std::vector<Cycles> accessRange(Addr addr, u32 bytes);
+    RangeAccess accessRange(Addr addr, u32 bytes);
 
     u64 hits() const { return hits_; }
     u64 misses() const { return misses_; }
@@ -52,13 +102,13 @@ class CacheModel
     const CacheConfig &config() const { return config_; }
 
   private:
-    struct Set
-    {
-        std::list<u64> lru; ///< front = most recent line tag
-    };
+    static constexpr u64 kInvalidTag = ~u64{0};
 
     CacheConfig config_;
-    std::vector<Set> sets_;
+    u32 line_shift_ = 6; ///< log2(lineBytes)
+    u64 set_mask_ = 63;  ///< l1Sets - 1
+    /** l1Sets x l1Ways line tags, MRU first (kInvalidTag = empty). */
+    std::vector<u64> tags_;
     u64 hits_ = 0;
     u64 misses_ = 0;
 };

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Open-addressed u64 -> Cycles map for the replay hot loop.
+ *
+ * The scheduler keys store-to-load line dependences by cache-line
+ * index and vector-FMA accumulator chains by chain id.  Both live on
+ * the per-op critical path, where std::unordered_map's node
+ * allocation and pointer chasing dominate the profile.  FlatCycleMap
+ * is a power-of-two open-addressed table with linear probing: one
+ * contiguous allocation, no per-insert allocation, and lookups that
+ * touch a single cache line in the common case.  clear() keeps the
+ * capacity, so a reused TraceCpu allocates nothing after warm-up.
+ *
+ * Capacity grows only with the number of *distinct* keys (data
+ * footprint), never with trace length.
+ */
+
+#ifndef VEGETA_CPU_FLAT_MAP_HPP
+#define VEGETA_CPU_FLAT_MAP_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vegeta::cpu {
+
+class FlatCycleMap
+{
+  public:
+    explicit FlatCycleMap(std::size_t initial_capacity = 1024)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_capacity)
+            cap *= 2;
+        slots_.resize(cap);
+    }
+
+    /** Value for @p key, or nullptr if absent. */
+    const Cycles *
+    find(u64 key) const
+    {
+        const u64 stored = key + 1; // 0 marks an empty slot
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+            if (slots_[i].key == stored)
+                return &slots_[i].value;
+            if (slots_[i].key == 0)
+                return nullptr;
+        }
+    }
+
+    void
+    insertOrAssign(u64 key, Cycles value)
+    {
+        const u64 stored = key + 1;
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+            if (slots_[i].key == stored) {
+                slots_[i].value = value;
+                return;
+            }
+            if (slots_[i].key == 0) {
+                slots_[i] = {stored, value};
+                if (++size_ * 4 > slots_.size() * 3)
+                    grow();
+                return;
+            }
+        }
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Drop every entry but keep the table allocation. */
+    void
+    clear()
+    {
+        if (size_ == 0)
+            return;
+        for (auto &slot : slots_)
+            slot.key = 0;
+        size_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        u64 key = 0; ///< stored key + 1; 0 = empty
+        Cycles value = 0;
+    };
+
+    static u64
+    hash(u64 key)
+    {
+        // Fibonacci multiplicative hash: line indices and chain ids
+        // are sequential, which a plain mask would cluster.
+        return (key * 0x9e3779b97f4a7c15ull) >> 16;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, {});
+        const std::size_t mask = slots_.size() - 1;
+        for (const auto &slot : old) {
+            if (slot.key == 0)
+                continue;
+            std::size_t i = hash(slot.key - 1) & mask;
+            while (slots_[i].key != 0)
+                i = (i + 1) & mask;
+            slots_[i] = slot;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+} // namespace vegeta::cpu
+
+#endif // VEGETA_CPU_FLAT_MAP_HPP

@@ -14,16 +14,26 @@
  * renamed: dependencies are RAW-only, and tile-compute scheduling
  * (stage pipelining + output forwarding) is delegated to
  * engine::PipelineModel.
+ *
+ * The replayer is a streaming consumer: feed ops one at a time with
+ * step() (or as a TraceSink via emit()) and collect statistics with
+ * finish().  Kernels can therefore emit uops straight into the model
+ * with no intermediate cpu::Trace, and the per-op state is all O(1):
+ * dispatch/retire windows and the load buffer are fixed-size rings,
+ * register renaming is a 16-entry array, and store-line / FMA-chain
+ * dependences live in open-addressed flat maps.  Nothing on the
+ * per-op path allocates.
  */
 
 #ifndef VEGETA_CPU_TRACE_CPU_HPP
 #define VEGETA_CPU_TRACE_CPU_HPP
 
+#include <array>
 #include <map>
-#include <unordered_map>
 
 #include "cpu/cache.hpp"
-#include "cpu/uop.hpp"
+#include "cpu/flat_map.hpp"
+#include "cpu/trace_sink.hpp"
 #include "engine/pipeline.hpp"
 
 namespace vegeta::cpu {
@@ -61,13 +71,35 @@ struct SimResult
     double macUtilization = 0.0;
 };
 
-/** The trace-driven core. */
-class TraceCpu
+/** The trace-driven core: a streaming replayer. */
+class TraceCpu final : public TraceSink
 {
   public:
     TraceCpu(CoreConfig core, engine::EngineConfig engine);
 
-    /** Simulate a trace from a cold pipeline; returns statistics. */
+    /**
+     * Begin a fresh simulation from a cold pipeline, discarding any
+     * partially-stepped stream.  Keeps every allocation.
+     */
+    void reset();
+
+    /** Schedule the next op of the stream. */
+    void step(const TraceOp &op);
+
+    /** TraceSink: kernels emit uops straight into the scheduler. */
+    void
+    emit(const TraceOp &op) override
+    {
+        step(op);
+    }
+
+    /**
+     * Statistics of the stream stepped since the last reset; leaves
+     * the model reset for the next stream.
+     */
+    SimResult finish();
+
+    /** Batch convenience: reset, step every op, finish. */
     SimResult run(const Trace &trace);
 
     const CoreConfig &coreConfig() const { return core_; }
@@ -77,17 +109,28 @@ class TraceCpu
     }
 
   private:
+    /** Line size memory traffic splits at (Section V-F). */
+    static constexpr u32 kLineBytes = 64;
+
     /** N identical fully-pipelined units; each issue occupies 1 cycle. */
     class ResourcePool
     {
       public:
-        explicit ResourcePool(u32 units) : next_free_(units, 0) {}
+        static constexpr u32 kMaxUnits = 16;
+
+        explicit ResourcePool(u32 units) : units_(units)
+        {
+            VEGETA_ASSERT(units > 0 && units <= kMaxUnits,
+                          "resource pool supports 1..16 units, got ",
+                          units);
+            next_free_.fill(0);
+        }
 
         Cycles
         acquire(Cycles earliest)
         {
             u32 best = 0;
-            for (u32 u = 1; u < next_free_.size(); ++u)
+            for (u32 u = 1; u < units_; ++u)
                 if (next_free_[u] < next_free_[best])
                     best = u;
             const Cycles start = std::max(earliest, next_free_[best]);
@@ -98,11 +141,13 @@ class TraceCpu
         void
         reset()
         {
-            std::fill(next_free_.begin(), next_free_.end(), 0);
+            next_free_.fill(0);
         }
 
       private:
-        std::vector<Cycles> next_free_;
+        u32 units_;
+        /** Inline storage: acquire() runs once per op / line fill. */
+        std::array<Cycles, kMaxUnits> next_free_;
     };
 
     struct RegInfo
@@ -114,8 +159,50 @@ class TraceCpu
     Cycles toEngineCycles(Cycles core) const;
     Cycles toCoreCycles(Cycles engine) const;
 
+    /** Issue [addr, addr+bytes) line by line; returns completion. */
+    Cycles issueLineRange(Cycles earliest, Addr addr, u64 bytes);
+    /** Mark every line of [addr, addr+bytes) store-owned. */
+    void recordStoreRange(Cycles data_ready, Addr addr, u64 bytes);
+
     CoreConfig core_;
     engine::EngineConfig engine_config_;
+
+    CacheModel cache_;
+    engine::PipelineModel engine_;
+    ResourcePool alus_;
+    ResourcePool lsu_;
+    ResourcePool vectors_;
+
+    // Dispatch/retire windows: the scheduler looks back at most
+    // max(fetchWidth, retireWidth, robEntries) ops, so the full-trace
+    // vectors of the seed collapse into two rings of that depth.
+    std::vector<Cycles> dispatch_ring_;
+    std::vector<Cycles> retire_ring_;
+    u64 ring_mask_ = 0; ///< rings are power-of-two sized
+
+    /** Completion times of the last loadBufferEntries line fills. */
+    std::vector<Cycles> load_buffer_;
+    u64 load_buffer_fills_ = 0;
+    u32 load_buffer_cursor_ = 0; ///< fills % entries, kept by wrap
+
+    /** Rename table over the 16-entry physical dep-id space. */
+    std::array<RegInfo, isa::kNumDepRegs> rename_{};
+
+    FlatCycleMap vector_chains_;
+    /** Store-to-load memory dependence at cache-line granularity. */
+    FlatCycleMap store_line_ready_;
+    // Bounding box of all stored lines: loads outside it (the bulk of
+    // A/B tile traffic, which lives in regions never stored to) skip
+    // the dependence probe entirely.
+    u64 stored_line_min_ = ~u64{0};
+    u64 stored_line_max_ = 0;
+
+    u64 ops_ = 0;
+    Cycles last_retire_ = 0;
+    std::array<u64, 8> kind_counts_{};
+    u64 engine_instructions_ = 0;
+    Cycles engine_last_finish_ = 0;
+    u64 effectual_macs_ = 0;
 };
 
 } // namespace vegeta::cpu

@@ -59,67 +59,106 @@ writeTraceFile(const std::string &path, const Trace &trace)
     return static_cast<bool>(os);
 }
 
-std::optional<Trace>
-readTrace(std::istream &is)
+TraceReader::TraceReader(std::istream &is) : is_(is)
 {
     char magic[4];
-    is.read(magic, 4);
-    if (!is || std::memcmp(magic, kMagic, 4) != 0)
-        return std::nullopt;
+    is_.read(magic, 4);
+    if (!is_ || std::memcmp(magic, kMagic, 4) != 0)
+        return;
     u32 version;
-    if (!readRaw(is, version) || version != kTraceFormatVersion)
-        return std::nullopt;
-    u64 count;
-    if (!readRaw(is, count))
-        return std::nullopt;
+    if (!readRaw(is_, version) || version != kTraceFormatVersion)
+        return;
+    if (!readRaw(is_, count_)) {
+        count_ = 0;
+        return;
+    }
 
     // The on-disk count is untrusted: a corrupt or truncated header
     // must not drive a multi-GB reserve before the first element read
     // fails.  On seekable streams the count is validated against the
-    // bytes actually remaining; otherwise the reserve is clamped and
-    // the vector grows on demand.
+    // bytes actually remaining; otherwise the reserve hint is clamped
+    // and materializing callers grow on demand.
     constexpr u64 kOpDiskBytes =
         sizeof(u8) + sizeof(TraceOp::chain) + sizeof(TraceOp::addr) +
         sizeof(TraceOp::bytes) + sizeof(isa::EncodedInstruction::word) +
         sizeof(isa::EncodedInstruction::addr);
     constexpr u64 kReserveClampOps = u64(1) << 20;
-    u64 reserve_ops = std::min(count, kReserveClampOps);
-    const auto here = is.tellg();
+    reserve_hint_ = std::min(count_, kReserveClampOps);
+    const auto here = is_.tellg();
     if (here != std::istream::pos_type(-1)) {
-        is.seekg(0, std::ios::end);
-        const auto end = is.tellg();
+        is_.seekg(0, std::ios::end);
+        const auto end = is_.tellg();
         // A stream that can tell but not seek-to-end must still be
         // readable below: drop the failed-seek state, skip validation.
-        is.clear();
-        is.seekg(here);
-        if (end != std::istream::pos_type(-1) && is) {
+        is_.clear();
+        is_.seekg(here);
+        if (end != std::istream::pos_type(-1) && is_) {
             const u64 remaining =
                 end >= here ? static_cast<u64>(end - here) : 0;
-            if (count > remaining / kOpDiskBytes)
-                return std::nullopt;
-            reserve_ops = count;
+            if (count_ > remaining / kOpDiskBytes) {
+                count_ = 0;
+                return;
+            }
+            reserve_hint_ = count_;
         }
     }
+    header_ok_ = true;
+}
 
-    Trace trace;
-    trace.reserve(reserve_ops);
-    for (u64 i = 0; i < count; ++i) {
-        TraceOp op;
-        u8 kind;
-        isa::EncodedInstruction enc;
-        if (!readRaw(is, kind) || !readRaw(is, op.chain) ||
-            !readRaw(is, op.addr) || !readRaw(is, op.bytes) ||
-            !readRaw(is, enc.word) || !readRaw(is, enc.addr))
-            return std::nullopt;
-        if (kind > static_cast<u8>(UopKind::TileCompute))
-            return std::nullopt;
-        op.kind = static_cast<UopKind>(kind);
-        auto tile = isa::decode(enc);
-        if (!tile)
-            return std::nullopt;
-        op.tile = *tile;
-        trace.push_back(op);
+std::optional<TraceOp>
+TraceReader::next()
+{
+    if (!header_ok_ || error_ || read_ >= count_)
+        return std::nullopt;
+    TraceOp op;
+    u8 kind;
+    isa::EncodedInstruction enc;
+    if (!readRaw(is_, kind) || !readRaw(is_, op.chain) ||
+        !readRaw(is_, op.addr) || !readRaw(is_, op.bytes) ||
+        !readRaw(is_, enc.word) || !readRaw(is_, enc.addr)) {
+        error_ = true;
+        return std::nullopt;
     }
+    if (kind > static_cast<u8>(UopKind::TileCompute)) {
+        error_ = true;
+        return std::nullopt;
+    }
+    op.kind = static_cast<UopKind>(kind);
+    auto tile = isa::decode(enc);
+    if (!tile) {
+        error_ = true;
+        return std::nullopt;
+    }
+    op.tile = *tile;
+    ++read_;
+    return op;
+}
+
+std::optional<u64>
+streamTrace(std::istream &is, TraceSink &sink)
+{
+    TraceReader reader(is);
+    if (!reader.valid())
+        return std::nullopt;
+    while (auto op = reader.next())
+        sink.emit(*op);
+    if (reader.error())
+        return std::nullopt;
+    return reader.read();
+}
+
+std::optional<Trace>
+readTrace(std::istream &is)
+{
+    TraceReader reader(is);
+    if (!reader.valid())
+        return std::nullopt;
+    Trace trace;
+    trace.reserve(reader.reserveHint());
+    while (auto op = reader.next())
+        trace.push_back(*op);
+    if (reader.error())
+        return std::nullopt;
     return trace;
 }
 

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "cpu/trace_sink.hpp"
 #include "cpu/uop.hpp"
 
 namespace vegeta::cpu {
@@ -35,6 +36,59 @@ inline constexpr u32 kTraceFormatVersion = 1;
 /** Serialize a trace to a stream / file. */
 void writeTrace(std::ostream &os, const Trace &trace);
 bool writeTraceFile(const std::string &path, const Trace &trace);
+
+/**
+ * Incremental trace deserializer: validates the header on
+ * construction, then hands out one op per next() call, so an on-disk
+ * trace can be replayed (fed into a TraceSink) without ever holding
+ * more than one op in memory.
+ *
+ * The on-disk op count is untrusted: on seekable streams it is
+ * checked against the bytes actually remaining up front; otherwise
+ * truncation surfaces as error() at the failing op.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::istream &is);
+
+    /** Header parsed and plausible (magic, version, count). */
+    bool valid() const { return header_ok_; }
+
+    /** Op count promised by the header (0 if the header was bad). */
+    u64 count() const { return count_; }
+
+    /** Ops handed out so far. */
+    u64 read() const { return read_; }
+
+    /**
+     * The next op, or nullopt when the stream is exhausted.  After a
+     * nullopt, error() distinguishes a clean end from truncation or a
+     * malformed op.
+     */
+    std::optional<TraceOp> next();
+
+    /** True once a read failed before count() ops were delivered. */
+    bool error() const { return error_; }
+
+    /** How many ops to reserve when materializing (clamped). */
+    u64 reserveHint() const { return reserve_hint_; }
+
+  private:
+    std::istream &is_;
+    u64 count_ = 0;
+    u64 read_ = 0;
+    u64 reserve_hint_ = 0;
+    bool header_ok_ = false;
+    bool error_ = false;
+};
+
+/**
+ * Stream every op of a serialized trace into @p sink; returns the op
+ * count on success, nullopt on a bad header, truncation, or a
+ * malformed op (the sink may have consumed a prefix by then).
+ */
+std::optional<u64> streamTrace(std::istream &is, TraceSink &sink);
 
 /**
  * Deserialize; returns nullopt on bad magic/version/truncation or a

@@ -49,31 +49,28 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
     }
 
     // Register dependencies.
-    const auto accumulate = instr.accumulateRegs();
+    const isa::RegList accumulate = instr.accumulateRegList();
     auto is_accumulate = [&](u32 reg) {
-        return std::find(accumulate.begin(), accumulate.end(), reg) !=
-               accumulate.end();
+        return accumulate.contains(reg);
     };
 
-    for (u32 reg : instr.readRegs()) {
-        auto full = reg_full_ready_.find(reg);
-        if (full == reg_full_ready_.end())
+    for (u32 reg : instr.readRegList()) {
+        if (!reg_full_valid_[reg])
             continue;
         if (is_accumulate(reg)) {
             // The C operand is not needed until the FF stage begins
             // (Figure 10c: the dependent instruction's WL overlaps the
             // producer's tail even without OF).
-            Cycles ff_earliest = full->second;
+            Cycles ff_earliest = reg_full_ready_[reg];
             if (output_forwarding_) {
                 // OF: C may be read once the producer has begun
                 // writing it back, Nrows + log2(beta) cycles after the
                 // producer's FF begin, element by element in the same
                 // order (Figure 10d).
-                auto of = reg_of_producer_ff_.find(reg);
-                if (of != reg_of_producer_ff_.end()) {
+                if (reg_of_valid_[reg]) {
                     const Cycles of_delay =
                         config_.nRows() + config_.reductionDepth();
-                    ff_earliest = of->second + of_delay;
+                    ff_earliest = reg_of_producer_ff_[reg] + of_delay;
                 }
             }
             if (ff_earliest > lat.ffOffset())
@@ -81,15 +78,14 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
         } else {
             // A/B operands are stationary weights / west inputs needed
             // from WL onward: wait for the full write-back.
-            start = std::max(start, full->second);
+            start = std::max(start, reg_full_ready_[reg]);
         }
     }
 
     // WAW on outputs: never reorder write-back of the same register.
-    for (u32 reg : instr.writeRegs()) {
-        auto full = reg_full_ready_.find(reg);
-        if (full != reg_full_ready_.end() && !is_accumulate(reg))
-            start = std::max(start, full->second);
+    for (u32 reg : instr.writeRegList()) {
+        if (reg_full_valid_[reg] && !is_accumulate(reg))
+            start = std::max(start, reg_full_ready_[reg]);
     }
 
     ScheduledOp op;
@@ -106,12 +102,11 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
     }
     any_issued_ = true;
 
-    for (u32 reg : instr.writeRegs()) {
+    for (u32 reg : instr.writeRegList()) {
         reg_full_ready_[reg] = op.finish;
-        if (is_accumulate(reg))
-            reg_of_producer_ff_[reg] = op.ffStart;
-        else
-            reg_of_producer_ff_.erase(reg);
+        reg_full_valid_[reg] = true;
+        reg_of_producer_ff_[reg] = op.ffStart;
+        reg_of_valid_[reg] = is_accumulate(reg);
     }
 
     busy_until_ = std::max(busy_until_, op.finish);
@@ -121,15 +116,16 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
 Cycles
 PipelineModel::regReadyFull(u32 reg) const
 {
-    auto it = reg_full_ready_.find(reg);
-    return it == reg_full_ready_.end() ? 0 : it->second;
+    VEGETA_ASSERT(reg < isa::kNumDepRegs, "dep-reg id out of range");
+    return reg_full_valid_[reg] ? reg_full_ready_[reg] : 0;
 }
 
 void
 PipelineModel::invalidateReg(u32 reg)
 {
-    reg_full_ready_.erase(reg);
-    reg_of_producer_ff_.erase(reg);
+    VEGETA_ASSERT(reg < isa::kNumDepRegs, "dep-reg id out of range");
+    reg_full_valid_[reg] = false;
+    reg_of_valid_[reg] = false;
 }
 
 void
@@ -137,8 +133,8 @@ PipelineModel::reset()
 {
     last_stage_exit_.fill(0);
     any_issued_ = false;
-    reg_full_ready_.clear();
-    reg_of_producer_ff_.clear();
+    reg_full_valid_.fill(false);
+    reg_of_valid_.fill(false);
     busy_until_ = 0;
 }
 

@@ -26,7 +26,6 @@
 #define VEGETA_ENGINE_PIPELINE_HPP
 
 #include <array>
-#include <unordered_map>
 #include <vector>
 
 #include "engine/config.hpp"
@@ -113,10 +112,15 @@ class PipelineModel
     std::array<Cycles, 4> last_stage_exit_{};
     bool any_issued_ = false;
 
+    // Per-register state, directly indexed by physical dependency id
+    // (the space is 16 entries: tregs 0-7, mregs 8-15).  The paired
+    // flag distinguishes "never written / invalidated" from cycle 0.
     /** Per-register full write-back completion time. */
-    std::unordered_map<u32, Cycles> reg_full_ready_;
+    std::array<Cycles, isa::kNumDepRegs> reg_full_ready_{};
+    std::array<bool, isa::kNumDepRegs> reg_full_valid_{};
     /** Per-register FF start of its last accumulate producer. */
-    std::unordered_map<u32, Cycles> reg_of_producer_ff_;
+    std::array<Cycles, isa::kNumDepRegs> reg_of_producer_ff_{};
+    std::array<bool, isa::kNumDepRegs> reg_of_valid_{};
 
     Cycles busy_until_ = 0;
 };

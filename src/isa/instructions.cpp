@@ -123,18 +123,36 @@ Instruction::toString() const
 namespace {
 
 void
-appendTileRegs(std::vector<u32> &out, TileReg reg)
+appendTileRegs(RegList &out, TileReg reg)
 {
+    // Malformed instructions (hand-built out-of-range indices) must
+    // not reach the schedulers' fixed dep-id tables.
+    VEGETA_ASSERT(reg.firstTreg() + reg.numTregs() <= kNumTregs,
+                  "tile register index out of range");
     for (u32 i = 0; i < reg.numTregs(); ++i)
-        out.push_back(reg.firstTreg() + i);
+        out.push(reg.firstTreg() + i);
+}
+
+u32
+checkedMregDepId(u32 mreg_index)
+{
+    VEGETA_ASSERT(mreg_index < kNumMregs,
+                  "mreg index out of range");
+    return mregDepId(mreg_index);
+}
+
+std::vector<u32>
+toVector(const RegList &list)
+{
+    return {list.begin(), list.end()};
 }
 
 } // namespace
 
-std::vector<u32>
-Instruction::readRegs() const
+RegList
+Instruction::readRegList() const
 {
-    std::vector<u32> regs;
+    RegList regs;
     switch (op) {
       case Opcode::TileLoadT:
       case Opcode::TileLoadU:
@@ -155,16 +173,16 @@ Instruction::readRegs() const
         appendTileRegs(regs, dst);
         appendTileRegs(regs, srcA);
         appendTileRegs(regs, srcB);
-        regs.push_back(mregDepId(srcA.firstTreg()));
+        regs.push(checkedMregDepId(srcA.firstTreg()));
         break;
     }
     return regs;
 }
 
-std::vector<u32>
-Instruction::writeRegs() const
+RegList
+Instruction::writeRegList() const
 {
-    std::vector<u32> regs;
+    RegList regs;
     switch (op) {
       case Opcode::TileLoadT:
       case Opcode::TileLoadU:
@@ -172,7 +190,7 @@ Instruction::writeRegs() const
         appendTileRegs(regs, dst);
         break;
       case Opcode::TileLoadM:
-        regs.push_back(mregDepId(mreg));
+        regs.push(checkedMregDepId(mreg));
         break;
       case Opcode::TileStoreT:
         break;
@@ -186,13 +204,31 @@ Instruction::writeRegs() const
     return regs;
 }
 
-std::vector<u32>
-Instruction::accumulateRegs() const
+RegList
+Instruction::accumulateRegList() const
 {
-    std::vector<u32> regs;
+    RegList regs;
     if (isTileCompute(op))
         appendTileRegs(regs, dst);
     return regs;
+}
+
+std::vector<u32>
+Instruction::readRegs() const
+{
+    return toVector(readRegList());
+}
+
+std::vector<u32>
+Instruction::writeRegs() const
+{
+    return toVector(writeRegList());
+}
+
+std::vector<u32>
+Instruction::accumulateRegs() const
+{
+    return toVector(accumulateRegList());
 }
 
 Instruction

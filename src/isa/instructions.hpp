@@ -18,6 +18,7 @@
 #ifndef VEGETA_ISA_INSTRUCTIONS_HPP
 #define VEGETA_ISA_INSTRUCTIONS_HPP
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,39 @@ ComputeShape computeShape(Opcode op);
 /** Useful MACs per instruction (8192 for GEMM/SPMM_U/SPMM_V). */
 u64 effectualMacs(Opcode op);
 
+/**
+ * Fixed-capacity list of physical dependency-tracking register ids.
+ * An instruction names at most 7 (TILE_SPMM_V: C + A + four vreg
+ * tregs + the paired mreg), so operand queries in the replay hot loop
+ * never allocate.
+ */
+struct RegList
+{
+    static constexpr u32 kCapacity = 8;
+
+    std::array<u32, kCapacity> ids{};
+    u32 count = 0;
+
+    void
+    push(u32 id)
+    {
+        VEGETA_ASSERT(count < kCapacity, "RegList overflow");
+        ids[count++] = id;
+    }
+
+    bool
+    contains(u32 id) const
+    {
+        for (u32 i = 0; i < count; ++i)
+            if (ids[i] == id)
+                return true;
+        return false;
+    }
+
+    const u32 *begin() const { return ids.data(); }
+    const u32 *end() const { return ids.data() + count; }
+};
+
 /** One VEGETA instruction instance. */
 struct Instruction
 {
@@ -90,6 +124,11 @@ struct Instruction
      * forwarding optimization of Section V-C.
      */
     std::vector<u32> accumulateRegs() const;
+
+    /** Allocation-free equivalents for per-op scheduling loops. */
+    RegList readRegList() const;
+    RegList writeRegList() const;
+    RegList accumulateRegList() const;
 };
 
 /** Physical dependency-tracking id of an mreg. */
@@ -98,6 +137,9 @@ mregDepId(u32 mreg_index)
 {
     return kNumTregs + mreg_index;
 }
+
+/** Size of the physical dependency-id space (tregs + mregs). */
+inline constexpr u32 kNumDepRegs = kNumTregs + kNumMregs;
 
 /** Instruction builders (argument order follows Table II). */
 Instruction makeTileLoadT(TileReg dst, Addr addr, u32 stride);

@@ -20,12 +20,13 @@ constexpr u32 kATileBytes = 1024; ///< values always fill one treg
 constexpr u32 kMdTileBytes = 192; ///< 136 B image, padded for alignment
 constexpr u32 kCTileBytes = 1024; ///< 16 x 16 FP32
 
-/** Emits trace ops and optionally executes them functionally. */
+/** Emits trace ops into a sink, optionally executing them. */
 class Emitter
 {
   public:
-    Emitter(const KernelOptions &opts, isa::Emulator *emu)
-        : opts_(opts), emu_(emu)
+    Emitter(const KernelOptions &opts, isa::Emulator *emu,
+            cpu::TraceSink &sink)
+        : opts_(opts), emu_(emu), sink_(sink)
     {
     }
 
@@ -33,37 +34,41 @@ class Emitter
     scalar(u32 count)
     {
         for (u32 i = 0; i < count; ++i)
-            run_.trace.push_back(cpu::TraceOp::alu());
+            sink_.emit(cpu::TraceOp::alu());
+        stats_.instructions += count;
     }
 
     void
     loopEnd()
     {
         scalar(opts_.loopOverheadAlu);
-        run_.trace.push_back(cpu::TraceOp::branch());
+        sink_.emit(cpu::TraceOp::branch());
+        ++stats_.instructions;
     }
 
     void
     tile(const isa::Instruction &in)
     {
         scalar(opts_.scalarOpsPerTileOp);
-        run_.trace.push_back(cpu::TraceOp::fromTileInstruction(in));
+        sink_.emit(cpu::TraceOp::fromTileInstruction(in));
+        ++stats_.instructions;
         if (isa::isTileCompute(in.op))
-            ++run_.tileComputes;
+            ++stats_.tileComputes;
         else if (isa::isTileLoad(in.op))
-            ++run_.tileLoads;
+            ++stats_.tileLoads;
         else
-            ++run_.tileStores;
+            ++stats_.tileStores;
         if (emu_ != nullptr)
             emu_->execute(in);
     }
 
-    KernelRun &run() { return run_; }
+    const KernelStats &stats() const { return stats_; }
 
   private:
     const KernelOptions &opts_;
     isa::Emulator *emu_;
-    KernelRun run_;
+    cpu::TraceSink &sink_;
+    KernelStats stats_;
 };
 
 MatrixBF16
@@ -103,9 +108,13 @@ padProblem(GemmDims dims, u32 executed_n)
     return padded;
 }
 
-KernelRun
-runSpmmKernel(GemmDims dims, u32 executed_n, const KernelOptions &opts,
-              const MatrixBF16 *a, const MatrixBF16 *b)
+namespace {
+
+/** Shared generator behind the batch and streaming entry points. */
+KernelStats
+spmmKernelImpl(GemmDims dims, u32 executed_n, const KernelOptions &opts,
+               const MatrixBF16 *a, const MatrixBF16 *b,
+               cpu::TraceSink &sink, MatrixF *c_out)
 {
     const u32 tk = kTileForN(executed_n);
     const GemmDims p = padProblem(dims, executed_n);
@@ -167,7 +176,7 @@ runSpmmKernel(GemmDims dims, u32 executed_n, const KernelOptions &opts,
         emu.emplace(mem);
     }
 
-    Emitter emit(opts, emu ? &*emu : nullptr);
+    Emitter emit(opts, emu ? &*emu : nullptr, sink);
 
     // Register plan: B in treg0/ureg0/vreg0 (backing tregs 0-3), A
     // values treg4 (+mreg4), C tiles treg5-7.  The optimized kernel
@@ -249,17 +258,44 @@ runSpmmKernel(GemmDims dims, u32 executed_n, const KernelOptions &opts,
     }
     emit.scalar(opts.prologueAlu / 2); // epilogue
 
-    KernelRun run = std::move(emit.run());
-    if (!opts.traceOnly) {
+    if (!opts.traceOnly && c_out != nullptr) {
         MatrixF c_pad(p.m, p.n);
         for (u32 i = 0; i < mt; ++i)
             for (u32 j = 0; j < nt; ++j)
                 c_pad.setBlock(i * 16, j * 16,
                                isa::loadMatrixF32(mem, addr_c(i, j), 16,
                                                   16, 64));
-        run.c = c_pad.block(0, 0, dims.m, dims.n);
+        *c_out = c_pad.block(0, 0, dims.m, dims.n);
     }
+    return emit.stats();
+}
+
+} // namespace
+
+KernelRun
+runSpmmKernel(GemmDims dims, u32 executed_n, const KernelOptions &opts,
+              const MatrixBF16 *a, const MatrixBF16 *b)
+{
+    cpu::TraceCollector collector;
+    KernelRun run;
+    const KernelStats stats = spmmKernelImpl(dims, executed_n, opts, a,
+                                             b, collector, &run.c);
+    run.trace = collector.take();
+    run.tileComputes = stats.tileComputes;
+    run.tileLoads = stats.tileLoads;
+    run.tileStores = stats.tileStores;
     return run;
+}
+
+KernelStats
+streamSpmmKernel(GemmDims dims, u32 executed_n,
+                 const KernelOptions &opts, cpu::TraceSink &sink)
+{
+    VEGETA_ASSERT(opts.traceOnly,
+                  "streaming kernel generation is trace-only (a "
+                  "functional run returns C through runSpmmKernel)");
+    return spmmKernelImpl(dims, executed_n, opts, nullptr, nullptr,
+                          sink, nullptr);
 }
 
 KernelRun
@@ -282,7 +318,8 @@ runRowWiseSpmmKernel(const MatrixBF16 &a, const MatrixBF16 &b,
 
     isa::FlatMemory mem;
     isa::Emulator emu(mem);
-    Emitter emit(opts, &emu);
+    cpu::TraceCollector collector;
+    Emitter emit(opts, &emu, collector);
 
     MatrixF c_host(m, n_pad);
 
@@ -383,7 +420,11 @@ runRowWiseSpmmKernel(const MatrixBF16 &a, const MatrixBF16 &b,
         emit.loopEnd();
     }
 
-    KernelRun run = std::move(emit.run());
+    KernelRun run;
+    run.trace = collector.take();
+    run.tileComputes = emit.stats().tileComputes;
+    run.tileLoads = emit.stats().tileLoads;
+    run.tileStores = emit.stats().tileStores;
     run.c = c_host.block(0, 0, m, b.cols());
     return run;
 }

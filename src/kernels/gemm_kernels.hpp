@@ -29,6 +29,7 @@
 
 #include <optional>
 
+#include "cpu/trace_sink.hpp"
 #include "cpu/uop.hpp"
 #include "isa/emulator.hpp"
 #include "kernels/workloads.hpp"
@@ -59,6 +60,15 @@ struct KernelOptions
     u32 tileSetupAlu = 8;
     /** One-time kernel prologue/epilogue ops. */
     u32 prologueAlu = 50;
+};
+
+/** Instruction-mix statistics of one generated kernel. */
+struct KernelStats
+{
+    u64 instructions = 0; ///< total trace ops emitted
+    u64 tileComputes = 0;
+    u64 tileLoads = 0;
+    u64 tileStores = 0;
 };
 
 /** Outcome of generating (and optionally executing) a kernel. */
@@ -92,6 +102,18 @@ KernelRun runSpmmKernel(GemmDims dims, u32 executed_n,
                         const KernelOptions &opts,
                         const MatrixBF16 *a = nullptr,
                         const MatrixBF16 *b = nullptr);
+
+/**
+ * Streaming variant of runSpmmKernel: emit the dynamic uop trace
+ * directly into @p sink, one op at a time, materializing no
+ * cpu::Trace.  Requires opts.traceOnly (a functional run needs the
+ * staged matrices and returns C, which only the batch entry point
+ * carries).  Feeding a cpu::TraceCpu as the sink replays the kernel
+ * with memory independent of trace length.
+ */
+KernelStats streamSpmmKernel(GemmDims dims, u32 executed_n,
+                             const KernelOptions &opts,
+                             cpu::TraceSink &sink);
 
 /**
  * Row-wise N:4 SPMM kernel using TILE_SPMM_R (Section V-E): every

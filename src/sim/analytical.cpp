@@ -202,6 +202,58 @@ resolveEngine(const Simulator &simulator,
     return *config;
 }
 
+/**
+ * Per-engine micro-latencies of one tile-compute instruction: the
+ * WL/FF/FS/DR stage split, the isolated (unpipelined) latency, and
+ * the back-to-back initiation interval -- the Section V-C numbers
+ * bench_table3_designs and bench_micro previously derived by wiring
+ * engine::PipelineModel directly.
+ */
+AnalyticalResult
+microLatencyBackend(const Simulator &simulator,
+                    const AnalyticalRequest &request)
+{
+    AnalyticalResult result;
+    result.model = request.model;
+    result.columns = {"engine", "WL", "FF",
+                      "FS",     "DR", "isolated_latency",
+                      "initiation_interval"};
+
+    const std::string op = request.option("op", "gemm");
+    VEGETA_ASSERT(op == "gemm" || op == "spmm_u" || op == "spmm_v",
+                  "unknown micro-latency op ", op);
+    for (const auto &config : resolveEngines(simulator, request)) {
+        isa::Instruction instr;
+        if (op == "spmm_u")
+            instr = isa::makeTileSpmmU(isa::treg(5), isa::treg(4),
+                                       isa::ureg(0));
+        else if (op == "spmm_v")
+            instr = isa::makeTileSpmmV(isa::treg(5), isa::treg(4),
+                                       isa::vreg(0));
+        else
+            instr = isa::makeTileGemm(isa::treg(5), isa::treg(4),
+                                      isa::treg(0));
+        if (!config.supportsOpcode(instr.op))
+            continue;
+        engine::PipelineModel model(config);
+        const auto lat = model.stages(instr);
+        auto &row = result.row();
+        row.push_back(AnalyticalCell::text(config.name));
+        row.push_back(AnalyticalCell::number(double(lat.wl), 0));
+        row.push_back(AnalyticalCell::number(double(lat.ff), 0));
+        row.push_back(AnalyticalCell::number(double(lat.fs), 0));
+        row.push_back(AnalyticalCell::number(double(lat.dr), 0));
+        row.push_back(AnalyticalCell::number(
+            double(engine::isolatedLatency(config, instr)), 0));
+        row.push_back(AnalyticalCell::number(
+            double(engine::initiationInterval(config)), 0));
+    }
+    result.notes.push_back(
+        "engine cycles; isolated latency = WL+FF+FS+DR with no "
+        "overlap (Section V-C)");
+    return result;
+}
+
 AnalyticalResult
 rooflineBackend(const Simulator &, const AnalyticalRequest &request)
 {
@@ -524,7 +576,11 @@ AnalyticalRegistry::builtin()
         .add("blocksize-hardware",
              "Block-size ablation: physical cost of M = 4/8/16 "
              "normalized to RASA-SM",
-             blockSizeHardwareBackend);
+             blockSizeHardwareBackend)
+        .add("micro-latency",
+             "Section V-C: per-engine stage latencies, isolated "
+             "latency, and initiation interval",
+             microLatencyBackend);
     return registry;
 }
 

@@ -130,7 +130,7 @@ class AnalyticalRegistry
      * The paper's analytical models: fig3-roofline,
      * fig4-vector-vs-matrix, fig10-pipelining, fig14-area-power,
      * fig14-area-breakdown, fig15-unstructured, blocksize-coverage,
-     * and blocksize-hardware.
+     * blocksize-hardware, and micro-latency.
      */
     static AnalyticalRegistry builtin();
 

@@ -71,14 +71,28 @@ Simulator::runUncached(const SimulationRequest &request,
     opts.optimized = request.kernel == KernelVariant::Optimized;
     opts.cBlocking = request.cBlocking;
     opts.traceOnly = true;
-    const kernels::KernelRun kernel_run =
-        kernels::runSpmmKernel(request.gemm, executed_n, opts);
-    if (trace_out)
-        *trace_out = kernel_run.trace;
 
-    return measure(kernel_run.trace, *engine, request,
-                   kernelVariantName(request.kernel), executed_n,
-                   kernel_run.tileComputes);
+    if (trace_out) {
+        // The caller wants the trace itself (to save or replay), so
+        // this path has to materialize it anyway -- but only once:
+        // move it out instead of copying a potentially huge vector.
+        kernels::KernelRun kernel_run =
+            kernels::runSpmmKernel(request.gemm, executed_n, opts);
+        *trace_out = std::move(kernel_run.trace);
+        return measure(*trace_out, *engine, request,
+                       kernelVariantName(request.kernel), executed_n,
+                       kernel_run.tileComputes);
+    }
+
+    // Streaming replay: the kernel generator emits uops straight into
+    // the scheduler, so peak memory is independent of trace length.
+    cpu::TraceCpu cpu_model(coreFor(request, *engine), *engine);
+    const kernels::KernelStats stats =
+        kernels::streamSpmmKernel(request.gemm, executed_n, opts,
+                                  cpu_model);
+    return fromSimResult(cpu_model.finish(), *engine, request,
+                         kernelVariantName(request.kernel), executed_n,
+                         stats.tileComputes);
 }
 
 std::optional<std::string>
@@ -134,6 +148,15 @@ Simulator::analyze(const AnalyticalRequest &request) const
     return (*backend)(*this, request);
 }
 
+cpu::CoreConfig
+Simulator::coreFor(const SimulationRequest &request,
+                   const engine::EngineConfig &engine)
+{
+    cpu::CoreConfig core = request.core;
+    core.outputForwarding = request.outputForwarding && engine.sparse;
+    return core;
+}
+
 SimulationResult
 Simulator::measure(const cpu::Trace &trace,
                    const engine::EngineConfig &engine,
@@ -141,17 +164,25 @@ Simulator::measure(const cpu::Trace &trace,
                    const char *kernel_label, u32 executed_n,
                    u64 tile_computes) const
 {
-    cpu::CoreConfig core = request.core;
-    core.outputForwarding = request.outputForwarding && engine.sparse;
-    cpu::TraceCpu cpu_model(core, engine);
-    const cpu::SimResult sim = cpu_model.run(trace);
+    cpu::TraceCpu cpu_model(coreFor(request, engine), engine);
+    return fromSimResult(cpu_model.run(trace), engine, request,
+                         kernel_label, executed_n, tile_computes);
+}
 
+SimulationResult
+Simulator::fromSimResult(const cpu::SimResult &sim,
+                         const engine::EngineConfig &engine,
+                         const SimulationRequest &request,
+                         const char *kernel_label, u32 executed_n,
+                         u64 tile_computes)
+{
     SimulationResult result;
     result.workload = request.label;
     result.engine = engine.name;
     result.layerN = request.patternN;
     result.executedN = executed_n;
-    result.outputForwarding = core.outputForwarding;
+    result.outputForwarding =
+        request.outputForwarding && engine.sparse;
     result.kernel = kernel_label;
     result.coreCycles = sim.totalCycles;
     result.instructions = sim.retiredOps;

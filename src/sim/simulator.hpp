@@ -108,6 +108,16 @@ class Simulator
     AnalyticalResult analyze(const AnalyticalRequest &request) const;
 
   private:
+    static cpu::CoreConfig coreFor(const SimulationRequest &request,
+                                   const engine::EngineConfig &engine);
+
+    static SimulationResult
+    fromSimResult(const cpu::SimResult &sim,
+                  const engine::EngineConfig &engine,
+                  const SimulationRequest &request,
+                  const char *kernel_label, u32 executed_n,
+                  u64 tile_computes);
+
     SimulationResult measure(const cpu::Trace &trace,
                              const engine::EngineConfig &engine,
                              const SimulationRequest &request,

@@ -53,13 +53,17 @@ TEST(Cache, LruEvictionWithinSet)
 TEST(Cache, RangeAccessTouchesEveryLine)
 {
     CacheModel cache;
-    auto lat = cache.accessRange(0x2000, 1024);
-    EXPECT_EQ(lat.size(), 16u); // a 1 KB tile = 16 cache lines
-    for (Cycles l : lat)
-        EXPECT_EQ(l, cache.config().l2Latency);
+    auto range = cache.accessRange(0x2000, 1024);
+    EXPECT_EQ(range.lines, 16u); // a 1 KB tile = 16 cache lines
+    EXPECT_EQ(range.maxLatency, cache.config().l2Latency);
+    EXPECT_EQ(cache.misses(), 16u);
+    // Re-access: every line hits, so the aggregate is the L1 latency.
+    auto again = cache.accessRange(0x2000, 1024);
+    EXPECT_EQ(again.maxLatency, cache.config().l1Latency);
+    EXPECT_EQ(cache.hits(), 16u);
     // Unaligned range straddles one extra line.
-    auto lat2 = cache.accessRange(0x5020, 128);
-    EXPECT_EQ(lat2.size(), 3u);
+    auto unaligned = cache.accessRange(0x5020, 128);
+    EXPECT_EQ(unaligned.lines, 3u);
 }
 
 TEST(Cache, ResetClearsState)
