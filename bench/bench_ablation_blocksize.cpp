@@ -16,7 +16,7 @@
 
 #include <iostream>
 
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 int
 main()
@@ -25,7 +25,7 @@ main()
 
     std::cout << "Ablation: block size M (VEGETA-S-2-2 base design)\n\n";
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
 
     std::cout << "Row-wise covering speed-up on unstructured layers "
                  "(128x1024, mean of 4 seeds):\n\n";

@@ -15,13 +15,13 @@
  *
  * with OF off and on, across representative engines.  The whole
  * (engine x shape x OF) grid is expressed as vegeta::sim requests and
- * executed in parallel on the SweepRunner.  The paper's "another
+ * executed in parallel by Session::runBatch.  The paper's "another
  * 32%/37% runtime reduction from OF" corresponds to the U = 1 rows.
  */
 
 #include <iostream>
 
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 
 int
 main()
@@ -48,7 +48,7 @@ main()
     const char *engine_names[] = {"VEGETA-D-1-2", "VEGETA-S-1-2",
                                   "VEGETA-S-2-2", "VEGETA-S-16-2"};
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
 
     // One request per (engine, shape, OF) point; OF requests on dense
     // engines fold back to no-OF, so build them only for sparse.
@@ -76,7 +76,7 @@ main()
             }
         }
     }
-    const auto results = sim::SweepRunner(simulator).run(requests);
+    const auto results = simulator.runBatch(requests);
 
     auto cycles_of = [&](const std::string &engine,
                          const KernelShape &shape,

@@ -3,36 +3,36 @@
  * Dynamic-sparsity study (paper Section VII): why SAVE-style register
  * compaction works for 32-lane vector registers but not for 512-lane
  * tile registers.
+ *
+ * Facade-only: the whole study is the Session's `dynamic-sparsity`
+ * analytical backend; nothing here wires model/dynamic_sparsity by
+ * hand.
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "model/dynamic_sparsity.hpp"
+#include "sim/session.hpp"
 
 int
 main()
 {
     using namespace vegeta;
-    using namespace vegeta::model;
+
+    const sim::Session session;
 
     std::cout << "Section VII study: merging sparse registers "
-                 "(SAVE-style compaction)\n"
-              << "vector register = " << kVectorLanes
-              << " operands, tile register = " << kTileLanes
-              << " operands\n\n";
+                 "(SAVE-style compaction)\n\n";
 
-    Table table({"nnz_density_%", "P(merge) vector", "P(merge) tile",
-                 "compaction vector", "compaction tile"});
-    for (const auto &p : compactionStudy()) {
-        table.row()
-            .cell(p.density * 100.0, 0)
-            .cell(p.vectorMergeProb, 4)
-            .cell(p.tileMergeProb, 6)
-            .cell(p.vectorCompaction, 2)
-            .cell(p.tileCompaction, 2);
+    auto builder = session.job().model("dynamic-sparsity");
+    const auto job = builder.build();
+    if (!job) {
+        std::cerr << "bad job: " << builder.error() << "\n";
+        return 1;
     }
-    table.print(std::cout);
+    const auto result = session.run(*job).analysis;
+    result.table().print(std::cout);
+    for (const auto &note : result.notes)
+        std::cout << "  " << note << "\n";
 
     std::cout << "\nReading: at the dynamic densities ReLU produces "
                  "(tens of percent), two vector registers still merge "

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 int
 main()
@@ -18,7 +18,7 @@ main()
               << "Roofline: vector 64 GFLOPS, matrix 512 GFLOPS, "
                  "memory 94 GB/s; conv layer K=64 C=64 56x56 3x3\n\n";
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     sim::AnalyticalRequest request;
     request.model = "fig3-roofline";
     const auto result = simulator.analyze(request);

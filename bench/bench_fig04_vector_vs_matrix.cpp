@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 int
 main()
@@ -17,7 +17,7 @@ main()
     std::cout << "Figure 4: vector engine vs matrix engine on GEMMs "
                  "with equal-sized dimensions\n\n";
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     sim::AnalyticalRequest request;
     request.model = "fig4-vector-vs-matrix";
     const auto result = simulator.analyze(request);

@@ -8,14 +8,14 @@
 
 #include <iostream>
 
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 namespace {
 
 using namespace vegeta;
 
 void
-printSchedule(const sim::Simulator &simulator, const std::string &title,
+printSchedule(const sim::Session &simulator, const std::string &title,
               const std::string &engine, bool dependent,
               bool output_forwarding)
 {
@@ -37,7 +37,7 @@ main()
     std::cout << "Figure 10: pipelining on VEGETA-D-1-2 / "
                  "VEGETA-S-16-2 (cycle ranges per stage)\n\n";
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     printSchedule(simulator,
                   "(a) VEGETA-D-1-2, independent instructions",
                   "VEGETA-D-1-2", false, false);

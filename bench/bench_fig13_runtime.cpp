@@ -6,18 +6,21 @@
  *
  * Runtimes are normalized to the longest run (GPT-L3 on RASA-SM with
  * the dense pattern), exactly as in the paper.  The grid executes on
- * the vegeta::sim SweepRunner across all hardware threads (results
+ * Session::runBatch across all hardware threads (results
  * are bit-identical to a single-threaded run, cache on or off).  Pass
  * --quick for a reduced workload set, --threads N to override the
  * pool size, --no-cache to disable result caching (the geomean
  * summaries re-simulate their baselines instead of reusing the grid's
- * results).
+ * results), and --cache-dir DIR to attach the persistent result
+ * cache (a second run replays nothing).
  */
 
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <thread>
 
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 
 int
 main(int argc, char **argv)
@@ -26,12 +29,16 @@ main(int argc, char **argv)
 
     bool quick = false;
     bool use_cache = true;
+    std::string cache_dir;
     u32 threads = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             use_cache = false;
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                   i + 1 < argc) {
+            cache_dir = argv[++i];
         } else if (std::strcmp(argv[i], "--threads") == 0 &&
                    i + 1 < argc) {
             const auto parsed = sim::parseU32(argv[++i]);
@@ -44,14 +51,20 @@ main(int argc, char **argv)
             threads = *parsed;
         } else {
             std::cerr << "usage: bench_fig13_runtime [--quick] "
-                         "[--threads N] [--no-cache]\n";
+                         "[--threads N] [--no-cache] "
+                         "[--cache-dir DIR]\n";
             return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
         }
     }
 
-    sim::Simulator simulator;
+    sim::Session simulator;
     if (use_cache)
         simulator.enableCache();
+    if (!cache_dir.empty() &&
+        !simulator.attachDiskCache(cache_dir)->ok()) {
+        std::cerr << "cannot open cache dir: " << cache_dir << "\n";
+        return 1;
+    }
     const auto workloads =
         simulator.workloads().group(quick ? "quick" : "tableIV");
     std::vector<std::string> workload_names;
@@ -59,16 +72,19 @@ main(int argc, char **argv)
         workload_names.push_back(w.name);
     const auto engine_names = simulator.engines().names();
 
-    const sim::SweepRunner runner(simulator, threads);
+    const u32 pool =
+        threads != 0
+            ? threads
+            : std::max(1u, std::thread::hardware_concurrency());
     std::cout << "Figure 13: normalized runtime, "
               << (quick ? "quick" : "full Table IV") << " workloads ("
-              << runner.threads() << " sweep threads)\n"
+              << pool << " sweep threads)\n"
               << "(engines at 0.5 GHz via 4x clock divider; lower is "
                  "better; normalized to the longest run)\n\n";
 
     const auto grid =
         sim::figure13Grid(simulator, workload_names, engine_names);
-    const auto results = runner.run(grid);
+    const auto results = simulator.runBatch(grid, threads);
 
     // Normalize to the longest runtime (paper: GPT-L3 on RASA-SM).
     Cycles longest = 0;
@@ -140,6 +156,13 @@ main(int argc, char **argv)
                   << " unique simulations, " << stats.hits
                   << " hits (geomean summaries reuse the grid's "
                      "runs)\n";
+    }
+    if (const auto &disk = simulator.diskCache()) {
+        const auto stats = disk->stats();
+        std::cout << "Persistent cache: " << stats.hits << " hits, "
+                  << stats.insertions << " new entries ("
+                  << simulator.simulationsPerformed()
+                  << " traces actually simulated)\n";
     }
     return 0;
 }

@@ -9,7 +9,7 @@
 
 #include <iostream>
 
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 int
 main()
@@ -19,7 +19,7 @@ main()
     std::cout << "Figure 14: area/power normalized to RASA-SM "
                  "(VEGETA-D-1-1) and max frequency\n\n";
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     sim::AnalyticalRequest request;
     request.model = "fig14-area-power";
     const auto result = simulator.analyze(request);

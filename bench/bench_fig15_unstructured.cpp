@@ -9,7 +9,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 int
 main(int argc, char **argv)
@@ -18,7 +18,7 @@ main(int argc, char **argv)
 
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     sim::AnalyticalRequest request;
     request.model = "fig15-unstructured";
     std::vector<std::string> names;

@@ -10,7 +10,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 
 int
 main(int argc, char **argv)
@@ -18,7 +18,7 @@ main(int argc, char **argv)
     using namespace vegeta;
 
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     const auto workloads =
         simulator.workloads().group(quick ? "quick" : "tableIV");
     std::vector<std::string> workload_names;

@@ -11,7 +11,7 @@
 
 #include "common/random.hpp"
 #include "kernels/gemm_kernels.hpp"
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 #include "sparsity/pruning.hpp"
 #include "sparsity/rowwise_transform.hpp"
 
@@ -82,7 +82,7 @@ BM_RowWiseTransform(benchmark::State &state)
 BENCHMARK(BM_RowWiseTransform);
 
 sim::SimulationRequest
-microRequest(const sim::Simulator &simulator)
+microRequest(const sim::Session &simulator)
 {
     auto request = simulator.request()
                        .gemm(kernels::GemmDims{64, 64, 512})
@@ -95,7 +95,7 @@ microRequest(const sim::Simulator &simulator)
 void
 BM_FacadeStreamingRun(benchmark::State &state)
 {
-    const sim::Simulator simulator; // no cache: measure the replay
+    const sim::Session simulator; // no cache: measure the replay
     const auto request = microRequest(simulator);
     u64 uops = 0;
     for (auto _ : state) {
@@ -110,7 +110,7 @@ BENCHMARK(BM_FacadeStreamingRun);
 void
 BM_FacadeBatchReplay(benchmark::State &state)
 {
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     const auto request = microRequest(simulator);
     cpu::Trace trace;
     simulator.run(request, &trace);
@@ -137,7 +137,7 @@ BENCHMARK(BM_TraceGeneration);
 void
 BM_AnalyticalMicroLatency(benchmark::State &state)
 {
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     sim::AnalyticalRequest request;
     request.model = "micro-latency";
     for (auto _ : state) {

@@ -8,54 +8,38 @@
  * run every layer at the densest N any layer needs; VEGETA executes
  * each layer at its own N.  The gap is the value of the "flexible"
  * half of flexible N:M support.
+ *
+ * Facade-only: the whole study is the Session's `network-policy`
+ * analytical backend; nothing here wires kernels/network by hand.
  */
 
 #include <iostream>
 
-#include "common/table.hpp"
-#include "kernels/network.hpp"
-#include "sim/registry.hpp"
+#include "sim/session.hpp"
 
 int
 main()
 {
     using namespace vegeta;
-    using namespace vegeta::kernels;
 
-    // Representative design points, resolved by name through the sim
-    // facade's registry rather than hand-wired factory calls.
-    const auto engine_registry = sim::EngineRegistry::builtin();
-    std::vector<engine::EngineConfig> engines;
-    for (const char *name : {"VEGETA-D-1-2", "STC-like", "VEGETA-S-2-2",
-                             "VEGETA-S-16-2"})
-        engines.push_back(*engine_registry.find(name));
+    const sim::Session session;
 
-    for (const Network &net :
-         {resnetFrontNetwork(), bertEncoderNetwork()}) {
-        std::cout << "Network " << net.name << " ("
-                  << net.layers.size() << " layers, "
-                  << net.totalMacs() << " MACs)\n";
-        std::cout << "  per-layer patterns:";
-        for (const auto &l : net.layers)
-            std::cout << " " << l.layerN << ":4";
-        std::cout << "\n\n";
-
-        Table table({"engine", "layer-wise cycles",
-                     "network-wise cycles", "layer-wise gain"});
-        for (const auto &cfg : engines) {
-            const auto lw = simulateNetwork(
-                net, cfg, NetworkPolicy::LayerWise);
-            const auto nw = simulateNetwork(
-                net, cfg, NetworkPolicy::NetworkWise);
-            table.row()
-                .cell(cfg.name)
-                .cell(static_cast<unsigned long long>(lw.totalCycles))
-                .cell(static_cast<unsigned long long>(nw.totalCycles))
-                .cell(static_cast<double>(nw.totalCycles) /
-                          static_cast<double>(lw.totalCycles),
-                      2);
+    for (const char *network : {"resnet-front", "bert-encoder"}) {
+        auto builder = session.job()
+                           .model("network-policy")
+                           .option("network", network);
+        const auto job = builder.build();
+        if (!job) {
+            std::cerr << "bad job: " << builder.error() << "\n";
+            return 1;
         }
-        table.print(std::cout);
+        const auto result = session.run(*job).analysis;
+
+        // The first note carries the network's shape (layer count,
+        // MACs, per-layer patterns).
+        if (!result.notes.empty())
+            std::cout << "Network " << result.notes.front() << "\n\n";
+        result.table().print(std::cout);
         std::cout << "\n";
     }
 

@@ -8,23 +8,29 @@
  *    uops/sec,
  *  - single-stream streaming simulation (kernel generator emitting
  *    straight into the replayer, no materialized trace),
- *  - a thread-pooled SweepRunner grid (requests/sec and uops/sec),
+ *  - a thread-pooled Session::runBatch grid (uops/sec),
  *  - peak RSS before and after materializing the largest trace (the
  *    streaming path's memory does not scale with trace length).
  *
- * Emits BENCH_replay.json.  With --baseline FILE the run compares its
- * single-stream geomean against the committed baseline and exits
- * non-zero past --max-regress PCT (default 30).  Because absolute
- * uops/sec depends on the machine, a small fixed-work calibration
- * loop is timed too and the baseline is scaled by the calibration
- * ratio (clamped to 4x either way) before comparing.
+ * Appends one entry (keyed by commit, one JSON object per line) to
+ * the BENCH_replay.json trajectory, so the file accumulates one
+ * point per PR instead of being overwritten; an entry with the same
+ * commit key is replaced, and an old single-point file is converted
+ * in place.  With --baseline FILE the run compares its single-stream
+ * geomean against the LATEST entry of the committed trajectory and
+ * exits non-zero past --max-regress PCT (default 30).  Because
+ * absolute uops/sec depends on the machine, a small fixed-work
+ * calibration loop is timed too and the baseline is scaled by the
+ * calibration ratio (clamped to 4x either way) before comparing.
  *
  * Usage: bench_replay_throughput [--smoke] [--out FILE]
- *        [--threads N] [--baseline FILE] [--max-regress PCT]
+ *        [--threads N] [--commit KEY] [--baseline FILE]
+ *        [--max-regress PCT]
  */
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -36,8 +42,7 @@
 #include <thread>
 #include <vector>
 
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 
 namespace {
 
@@ -95,7 +100,7 @@ struct PointResult
 };
 
 sim::SimulationRequest
-requestFor(const sim::Simulator &simulator, const Point &point)
+requestFor(const sim::Session &simulator, const Point &point)
 {
     auto request = simulator.request()
                        .gemm(point.dims)
@@ -108,7 +113,7 @@ requestFor(const sim::Simulator &simulator, const Point &point)
 
 /** Streaming: generation + replay fused, no trace in memory. */
 void
-measureStream(const sim::Simulator &simulator, PointResult &out,
+measureStream(const sim::Session &simulator, PointResult &out,
               int reps)
 {
     const auto request = requestFor(simulator, out.point);
@@ -125,7 +130,7 @@ measureStream(const sim::Simulator &simulator, PointResult &out,
 
 /** Batch: materialize the trace once, then time pure replay. */
 void
-measureBatch(const sim::Simulator &simulator, PointResult &out,
+measureBatch(const sim::Session &simulator, PointResult &out,
              int reps)
 {
     const auto request = requestFor(simulator, out.point);
@@ -169,6 +174,102 @@ findJsonNumber(const std::string &text, const std::string &key,
     return true;
 }
 
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return "";
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+/** `git rev-parse --short HEAD`, or "local" off a checkout. */
+std::string
+gitShortHead()
+{
+    FILE *pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (!pipe)
+        return "local";
+    char buf[64] = {0};
+    const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+    pclose(pipe);
+    if (!got)
+        return "local";
+    std::string head(buf);
+    while (!head.empty() &&
+           (head.back() == '\n' || head.back() == '\r'))
+        head.pop_back();
+    return head.empty() ? "local" : head;
+}
+
+/**
+ * The trajectory's entry lines (one compact JSON object per line,
+ * oldest first).  An old single-point file converts into one entry
+ * keyed "pre-trajectory"; anything unrecognizable yields no entries
+ * (the file is rewritten from scratch).
+ */
+std::vector<std::string>
+trajectoryEntries(const std::string &text)
+{
+    std::vector<std::string> entries;
+    if (text.find("\"bench\": \"replay_trajectory\"") !=
+        std::string::npos) {
+        std::istringstream is(text);
+        std::string line;
+        while (std::getline(is, line)) {
+            const auto start = line.find_first_not_of(" \t");
+            if (start == std::string::npos ||
+                line.compare(start, 10, "{\"commit\":") != 0)
+                continue;
+            auto end = line.find_last_of('}');
+            if (end == std::string::npos)
+                continue;
+            entries.push_back(line.substr(start, end - start + 1));
+        }
+        return entries;
+    }
+    if (text.find("\"bench\": \"replay_throughput\"") !=
+        std::string::npos) {
+        // Old single-point format: compact it into one entry line.
+        std::string flat;
+        flat.reserve(text.size());
+        bool in_space = false;
+        for (const char c : text) {
+            if (c == '\n' || c == '\r' || c == ' ' || c == '\t') {
+                in_space = true;
+                continue;
+            }
+            if (in_space && !flat.empty() && flat.back() != '{' &&
+                flat.back() != '[' && c != '}' && c != ']')
+                flat += ' ';
+            in_space = false;
+            flat += c;
+        }
+        const auto brace = flat.find('{');
+        if (brace != std::string::npos)
+            entries.push_back("{\"commit\": \"pre-trajectory\", " +
+                              flat.substr(brace + 1));
+    }
+    return entries;
+}
+
+/** The commit key of an entry line ("" if unparsable). */
+std::string
+entryCommit(const std::string &entry)
+{
+    const std::string needle = "\"commit\": \"";
+    const auto pos = entry.find(needle);
+    if (pos == std::string::npos)
+        return "";
+    const auto start = pos + needle.size();
+    const auto end = entry.find('"', start);
+    if (end == std::string::npos)
+        return "";
+    return entry.substr(start, end - start);
+}
+
 } // namespace
 
 int
@@ -177,6 +278,7 @@ main(int argc, char **argv)
     bool smoke = false;
     std::string out_path = "BENCH_replay.json";
     std::string baseline_path;
+    std::string commit;
     double max_regress_pct = 30;
     u32 threads = 0;
 
@@ -195,6 +297,8 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--baseline") {
             baseline_path = next();
+        } else if (arg == "--commit") {
+            commit = next();
         } else if (arg == "--max-regress") {
             max_regress_pct = std::strtod(next(), nullptr);
         } else if (arg == "--threads") {
@@ -207,13 +311,13 @@ main(int argc, char **argv)
         } else {
             std::cerr << "unknown argument: " << arg << "\n"
                       << "usage: bench_replay_throughput [--smoke] "
-                         "[--out FILE] [--threads N] "
+                         "[--out FILE] [--threads N] [--commit KEY] "
                          "[--baseline FILE] [--max-regress PCT]\n";
             return 2;
         }
     }
 
-    const sim::Simulator simulator; // cache off: measure the replay
+    const sim::Session simulator; // cache off: measure the replay
     const int reps = smoke ? 2 : 5;
 
     // Single-stream points: Figure 13 layer-wise patterns on the
@@ -291,13 +395,13 @@ main(int argc, char **argv)
         threads != 0
             ? threads
             : std::max(1u, std::thread::hardware_concurrency());
-    const sim::SweepRunner runner(simulator, sweep_threads);
-    runner.run(grid); // warm-up
+    simulator.runBatch(grid, sweep_threads); // warm-up
     double sweep_secs = 0;
     u64 sweep_uops = 0;
     for (int r = 0; r < reps; ++r) {
         const auto t0 = Clock::now();
-        const auto sweep_results = runner.run(grid);
+        const auto sweep_results = simulator.runBatch(grid,
+                                                      sweep_threads);
         const auto t1 = Clock::now();
         u64 uops = 0;
         for (const auto &res : sweep_results)
@@ -310,72 +414,98 @@ main(int argc, char **argv)
     }
     std::printf("sweep: %zu requests, %u threads, %.3fs best, %.2f "
                 "Muops/s\n",
-                grid.size(), runner.threads(), sweep_secs,
+                grid.size(), sweep_threads, sweep_secs,
                 sweep_uops / sweep_secs / 1e6);
+
+    // One trajectory entry, compact (a single line) so the committed
+    // file stays an append-only, diff-friendly series.
+    if (commit.empty())
+        commit = gitShortHead();
+    std::ostringstream entry;
+    entry << "{\"commit\": \"" << commit << "\", \"mode\": \""
+          << (smoke ? "smoke" : "full")
+          << "\", \"calibration_mops\": " << calibration
+          << ", \"single_stream\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        entry << (i ? ", " : "") << "{\"workload\": \"" << r.point.label
+              << "\", \"engine\": \"" << r.point.engine
+              << "\", \"pattern\": " << r.point.pattern
+              << ", \"uops\": " << r.uops
+              << ", \"batch_uops_per_sec\": " << r.batchUopsPerSec
+              << ", \"stream_uops_per_sec\": " << r.streamUopsPerSec
+              << "}";
+    }
+    entry << "], \"single_stream_uops_per_sec_geomean\": "
+          << batch_geomean << ", \"stream_uops_per_sec_geomean\": "
+          << stream_geomean << ", \"sweep\": {\"requests\": "
+          << grid.size() << ", \"threads\": " << sweep_threads
+          << ", \"seconds\": " << sweep_secs
+          << ", \"uops_per_sec\": " << sweep_uops / sweep_secs
+          << "}, \"memory_probe_uops\": " << big.uops
+          << ", \"stream_peak_rss_bytes\": " << stream_peak_rss
+          << ", \"batch_peak_rss_bytes\": " << batch_peak_rss << "}";
+
+    // Snapshot the baseline BEFORE rewriting --out, so gating still
+    // compares against the previous entry when both name the same
+    // file.
+    const std::string baseline_text =
+        baseline_path.empty() ? "" : readFileText(baseline_path);
+
+    // Merge with whatever trajectory is already at --out: keep every
+    // entry except one with the same commit key (replaced in place so
+    // re-runs do not bloat the series), then append this run's.
+    std::vector<std::string> entries =
+        trajectoryEntries(readFileText(out_path));
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const std::string &e) {
+                                     return entryCommit(e) == commit;
+                                 }),
+                  entries.end());
+    entries.push_back(entry.str());
 
     std::ofstream os(out_path);
     if (!os) {
         std::cerr << "cannot write " << out_path << "\n";
         return 2;
     }
-    os << "{\n";
-    os << "  \"bench\": \"replay_throughput\",\n";
-    os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
-    os << "  \"calibration_mops\": " << calibration << ",\n";
-    os << "  \"single_stream\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
-        os << "    {\"workload\": \"" << r.point.label
-           << "\", \"engine\": \"" << r.point.engine
-           << "\", \"pattern\": " << r.point.pattern
-           << ", \"uops\": " << r.uops
-           << ", \"batch_uops_per_sec\": " << r.batchUopsPerSec
-           << ", \"stream_uops_per_sec\": " << r.streamUopsPerSec
-           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    os << "  ],\n";
-    os << "  \"single_stream_uops_per_sec_geomean\": " << batch_geomean
-       << ",\n";
-    os << "  \"stream_uops_per_sec_geomean\": " << stream_geomean
-       << ",\n";
-    os << "  \"sweep\": {\"requests\": " << grid.size()
-       << ", \"threads\": " << runner.threads()
-       << ", \"seconds\": " << sweep_secs
-       << ", \"uops_per_sec\": " << sweep_uops / sweep_secs << "},\n";
-    os << "  \"memory_probe_uops\": " << big.uops << ",\n";
-    os << "  \"stream_peak_rss_bytes\": " << stream_peak_rss << ",\n";
-    os << "  \"batch_peak_rss_bytes\": " << batch_peak_rss << "\n";
-    os << "}\n";
+    os << "{\n  \"bench\": \"replay_trajectory\",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        os << "    " << entries[i]
+           << (i + 1 < entries.size() ? "," : "") << "\n";
+    os << "  ]\n}\n";
     os.close();
-    std::printf("wrote %s (geomean: batch %.2f, stream %.2f Muops/s)\n",
-                out_path.c_str(), batch_geomean / 1e6,
+    std::printf("wrote %s (%zu entries; geomean: batch %.2f, stream "
+                "%.2f Muops/s)\n",
+                out_path.c_str(), entries.size(), batch_geomean / 1e6,
                 stream_geomean / 1e6);
 
     if (!baseline_path.empty()) {
-        std::ifstream is(baseline_path);
-        if (!is) {
+        const std::string &text = baseline_text;
+        if (text.empty()) {
             std::cerr << "cannot read baseline " << baseline_path
                       << "\n";
             return 2;
         }
-        std::stringstream buffer;
-        buffer << is.rdbuf();
-        const std::string text = buffer.str();
-        if (text.find("\"bench\": \"replay_throughput\"") ==
-            std::string::npos) {
+        // Gate against the LATEST entry of the committed trajectory
+        // (an old single-point baseline converts to one entry).
+        const auto base_entries = trajectoryEntries(text);
+        if (base_entries.empty()) {
             std::cerr << baseline_path
-                      << " is not a replay_throughput baseline\n";
+                      << " is not a replay trajectory/baseline\n";
             return 2;
         }
+        const std::string &latest = base_entries.back();
         double base_rate = 0, base_calibration = 0;
-        if (!findJsonNumber(text, "single_stream_uops_per_sec_geomean",
+        if (!findJsonNumber(latest,
+                            "single_stream_uops_per_sec_geomean",
                             &base_rate)) {
             std::cerr << "baseline has no "
                          "single_stream_uops_per_sec_geomean\n";
             return 2;
         }
         double scale = 1;
-        if (findJsonNumber(text, "calibration_mops",
+        if (findJsonNumber(latest, "calibration_mops",
                            &base_calibration) &&
             base_calibration > 0 && calibration > 0) {
             scale = calibration / base_calibration;
@@ -383,10 +513,11 @@ main(int argc, char **argv)
         }
         const double floor =
             base_rate * scale * (1 - max_regress_pct / 100);
-        std::printf("regression gate: %.2f Muops/s vs floor %.2f "
-                    "(baseline %.2f x machine scale %.2f)\n",
-                    batch_geomean / 1e6, floor / 1e6, base_rate / 1e6,
-                    scale);
+        std::printf("regression gate vs entry '%s': %.2f Muops/s vs "
+                    "floor %.2f (baseline %.2f x machine scale "
+                    "%.2f)\n",
+                    entryCommit(latest).c_str(), batch_geomean / 1e6,
+                    floor / 1e6, base_rate / 1e6, scale);
         if (batch_geomean < floor) {
             std::cerr << "FAIL: single-stream replay throughput "
                          "regressed more than "

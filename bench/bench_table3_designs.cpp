@@ -10,14 +10,14 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 int
 main()
 {
     using namespace vegeta;
 
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     const auto table_iii = simulator.engines().tableIIIConfigs();
 
     std::cout << "Table III: VEGETA engine design space (all keep "

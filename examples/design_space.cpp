@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 
 int
 main()
@@ -20,7 +20,7 @@ main()
     using namespace vegeta;
 
     const char *workload = "GPT-L1";
-    sim::Simulator simulator;
+    sim::Session simulator;
     simulator.enableCache();
 
     const auto layer = simulator.workloads().find(workload);
@@ -57,7 +57,7 @@ main()
     build("VEGETA-D-1-2", false); // baseline first
     for (const auto &cfg : configs)
         build(cfg.name, cfg.sparse);
-    const auto results = sim::SweepRunner(simulator).run(requests);
+    const auto results = simulator.runBatch(requests);
     const Cycles baseline_cycles = results[0].coreCycles;
 
     Table table({"engine", "cycles", "speedup", "norm_area",

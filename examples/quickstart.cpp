@@ -15,7 +15,7 @@
 
 #include "common/random.hpp"
 #include "isa/emulator.hpp"
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 #include "sparsity/pruning.hpp"
 
 int
@@ -64,7 +64,7 @@ main()
               << (err == 0.0f ? " (bit exact)\n" : "\n");
 
     // --- 5. Timing: one instruction on two engines -------------------
-    const sim::Simulator simulator;
+    const sim::Session simulator;
     sim::AnalyticalRequest timing;
     timing.model = "fig10-pipelining";
     timing.engines = {"VEGETA-S-16-2"};

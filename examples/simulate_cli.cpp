@@ -1,24 +1,33 @@
 /**
  * @file
- * Command-line simulator front end — the "release binary" of the
- * repository, now a thin shell over the vegeta::sim facade: pick a
- * Table IV workload (or give explicit GEMM dims), an engine, a
- * sparsity pattern, and simulate; optionally write or replay a trace
- * file, or emit the result as CSV/JSON.
+ * Command-line front end of the vegeta::sim Session -- the "release
+ * binary" of the repository, organized as subcommands so both halves
+ * of the evaluation (trace simulation and the analytical models) are
+ * reachable from the shell:
  *
- * Usage:
- *   simulate_cli --workload BERT-L1 --engine VEGETA-S-16-2 \
- *                --pattern 2 [--no-of] [--naive] [--trace-out f.vgtr]
- *   simulate_cli --gemm 256x256x2048 --engine VEGETA-D-1-2 --pattern 4
- *   simulate_cli --trace-in f.vgtr --engine VEGETA-S-2-2
- *   simulate_cli --list
+ *   simulate_cli run     one trace simulation (or trace replay)
+ *   simulate_cli analyze one analytical model evaluation
+ *   simulate_cli sweep   a (workload x pattern x engine) grid batch
+ *   simulate_cli list    registered workloads/engines/models
+ *   simulate_cli cache   persistent result-cache stats / clear
+ *
+ * `run` and `sweep` accept --cache-dir DIR to attach the Session's
+ * persistent result cache; `cache stats` prints its counters as JSON.
+ * Every numeric flag goes through the strict sim parsers (parseU32 /
+ * parseGemmSpec): garbage or negative values are errors, never
+ * silently-zero atoi results.
+ *
+ * Flag-style invocations without a subcommand (`simulate_cli
+ * --workload ...`) are deprecated but still route to `run`.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cpu/trace_io.hpp"
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 
 namespace {
 
@@ -32,27 +41,114 @@ enum class OutputFormat
 };
 
 void
-usage()
+usage(std::ostream &os)
 {
-    std::cout
-        << "vegeta simulate_cli\n"
-           "  --list                     list workloads and engines\n"
-           "  --workload NAME            a Table IV layer\n"
-           "  --gemm MxNxK               explicit GEMM dimensions\n"
-           "  --engine NAME              engine (default "
-           "VEGETA-S-16-2)\n"
-           "  --pattern N                layer-wise N:4 (1/2/4, "
-           "default 2)\n"
-           "  --no-of                    disable output forwarding\n"
-           "  --naive                    Listing 1 kernel (no C "
-           "blocking)\n"
-           "  --csv | --json             machine-readable output\n"
-           "  --trace-out FILE           save the generated trace\n"
-           "  --trace-in FILE            replay a saved trace\n";
+    os << "vegeta simulate_cli <command> [options]\n"
+          "\n"
+          "commands:\n"
+          "  run      simulate one workload/GEMM, or replay a trace\n"
+          "  analyze  evaluate an analytical model\n"
+          "  sweep    run a workload x pattern x engine grid\n"
+          "  list     list workloads, engines, and models\n"
+          "  cache    persistent-cache maintenance (stats|clear)\n"
+          "\n"
+          "run options:\n"
+          "  --workload NAME     a Table IV layer (default GPT-L1)\n"
+          "  --gemm MxNxK        explicit GEMM dimensions\n"
+          "  --engine NAME       engine (default VEGETA-S-16-2)\n"
+          "  --pattern N         layer-wise N:4 (1/2/4, default 2)\n"
+          "  --no-of             disable output forwarding\n"
+          "  --naive             Listing 1 kernel (no C blocking)\n"
+          "  --cblocking N       C tile registers (1..3)\n"
+          "  --trace-out FILE    save the generated trace\n"
+          "  --trace-in FILE     replay a saved trace\n"
+          "  --cache-dir DIR     attach the persistent result cache\n"
+          "  --csv | --json      machine-readable output\n"
+          "\n"
+          "analyze options:\n"
+          "  MODEL               analytical model name (see list)\n"
+          "  --workload NAME     narrow to a workload (repeatable)\n"
+          "  --engine NAME       narrow to an engine (repeatable)\n"
+          "  --param K=V         numeric model parameter\n"
+          "  --option K=V        string model option\n"
+          "  --csv | --json      machine-readable output\n"
+          "\n"
+          "sweep options:\n"
+          "  --quick             quick workload group (default "
+          "tableIV)\n"
+          "  --workload NAME     explicit workload (repeatable)\n"
+          "  --engine NAME       explicit engine (repeatable, default "
+          "all)\n"
+          "  --pattern N         layer pattern (repeatable, default "
+          "4 2 1)\n"
+          "  --threads N         worker threads (default hardware)\n"
+          "  --cache-dir DIR     attach the persistent result cache\n"
+          "  --csv | --json      machine-readable output\n"
+          "\n"
+          "cache options:\n"
+          "  stats | clear       action\n"
+          "  --cache-dir DIR     cache directory (required)\n";
+}
+
+/** Strict double parse: the whole string must be one number. */
+std::optional<double>
+parseDouble(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+/** Split "key=value" ("" key or missing '=' is an error). */
+std::optional<std::pair<std::string, std::string>>
+parseKeyValue(const std::string &text)
+{
+    const auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return std::nullopt;
+    return std::make_pair(text.substr(0, eq), text.substr(eq + 1));
+}
+
+/** Simple arg cursor with fatal-on-missing value access. */
+struct Args
+{
+    std::vector<std::string> argv;
+    std::size_t next = 0;
+
+    bool done() const { return next >= argv.size(); }
+    const std::string &peek() const { return argv[next]; }
+    std::string take() { return argv[next++]; }
+
+    /** The value of a --flag VALUE pair, or exit(1). */
+    std::string value(const std::string &flag)
+    {
+        if (done()) {
+            std::cerr << "error: " << flag << " needs a value\n";
+            std::exit(1);
+        }
+        return take();
+    }
+};
+
+u32
+parsePatternFlag(Args &args)
+{
+    const std::string text = args.value("--pattern");
+    const auto parsed = sim::parseU32(text);
+    if (!parsed) {
+        std::cerr << "error: --pattern expects 1, 2, or 4, got '"
+                  << text << "'\n";
+        std::exit(1);
+    }
+    return *parsed;
 }
 
 void
-report(const sim::SimulationResult &result)
+reportText(const sim::SimulationResult &result)
 {
     std::cout << "workload:           " << result.workload << "\n"
               << "engine:             " << result.engine << "\n"
@@ -74,58 +170,53 @@ report(const sim::SimulationResult &result)
               << result.cacheMisses << "\n";
 }
 
-} // namespace
+/** Print persistent-cache traffic (to stderr; stdout stays data). */
+void
+reportDiskCache(const sim::Session &session)
+{
+    if (const auto &disk = session.diskCache()) {
+        const auto stats = disk->stats();
+        std::cerr << "persistent cache: " << stats.hits << " hits, "
+                  << stats.misses << " misses, " << stats.insertions
+                  << " new entries (" << disk->size() << " total in "
+                  << disk->directory() << ")\n";
+    }
+}
 
 int
-main(int argc, char **argv)
+cmdRun(Args args)
 {
-    std::string workload_name;
-    std::string gemm_text;
-    bool have_workload = false;
-    bool have_gemm = false;
+    std::string workload_name, gemm_text;
+    bool have_workload = false, have_gemm = false;
     std::string engine_name = "VEGETA-S-16-2";
-    std::string trace_out, trace_in;
+    std::string trace_out, trace_in, cache_dir;
     u32 pattern = 2;
+    u32 cblocking = 3;
     bool of = true;
     bool naive = false;
     OutputFormat format = OutputFormat::Text;
 
-    const sim::Simulator simulator;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : "";
-        };
-        if (arg == "--list") {
-            std::cout << "workloads:\n";
-            for (const auto &w : simulator.workloads().workloads())
-                std::cout << "  " << w.name << " (" << w.gemm.m << "x"
-                          << w.gemm.n << "x" << w.gemm.k << ")\n";
-            std::cout << "engines:\n";
-            for (const auto &name : simulator.engines().names())
-                std::cout << "  " << name << "\n";
-            return 0;
-        } else if (arg == "--workload") {
-            workload_name = next();
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--workload") {
+            workload_name = args.value(arg);
             have_workload = true;
         } else if (arg == "--gemm") {
-            gemm_text = next();
+            gemm_text = args.value(arg);
             have_gemm = true;
         } else if (arg == "--engine") {
-            engine_name = next();
+            engine_name = args.value(arg);
         } else if (arg == "--pattern") {
-            // Strict parse: atoi would fold garbage and negatives to
-            // silent wrong patterns; the builder then checks 1/2/4.
-            const std::string text = next();
+            pattern = parsePatternFlag(args);
+        } else if (arg == "--cblocking") {
+            const std::string text = args.value(arg);
             const auto parsed = sim::parseU32(text);
             if (!parsed) {
-                std::cerr << "error: --pattern expects 1, 2, or 4, "
-                             "got '"
+                std::cerr << "error: --cblocking expects 1..3, got '"
                           << text << "'\n";
                 return 1;
             }
-            pattern = *parsed;
+            cblocking = *parsed;
         } else if (arg == "--no-of") {
             of = false;
         } else if (arg == "--naive") {
@@ -135,19 +226,35 @@ main(int argc, char **argv)
         } else if (arg == "--json") {
             format = OutputFormat::Json;
         } else if (arg == "--trace-out") {
-            trace_out = next();
+            trace_out = args.value(arg);
         } else if (arg == "--trace-in") {
-            trace_in = next();
+            trace_in = args.value(arg);
+        } else if (arg == "--cache-dir") {
+            cache_dir = args.value(arg);
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
         } else {
-            usage();
-            return arg == "--help" ? 0 : 1;
+            std::cerr << "error: unknown run option " << arg << "\n";
+            return 1;
         }
     }
 
-    auto builder = simulator.request()
+    sim::Session session;
+    if (!cache_dir.empty()) {
+        const auto disk = session.attachDiskCache(cache_dir);
+        if (!disk->ok()) {
+            std::cerr << "cannot open cache dir: " << cache_dir
+                      << "\n";
+            return 2;
+        }
+    }
+
+    auto builder = session.job()
                        .engine(engine_name)
                        .pattern(pattern)
                        .outputForwarding(of)
+                       .cBlocking(cblocking)
                        .kernel(naive ? sim::KernelVariant::Naive
                                      : sim::KernelVariant::Optimized);
     if (have_workload)
@@ -157,9 +264,10 @@ main(int argc, char **argv)
     else
         builder.workload("GPT-L1"); // the seed's default layer
 
-    auto request = builder.build();
-    if (!request) {
-        std::cerr << "error: " << builder.error() << " (try --list)\n";
+    auto job = builder.build();
+    if (!job) {
+        std::cerr << "error: " << builder.error()
+                  << " (try 'simulate_cli list')\n";
         return 1;
     }
 
@@ -168,39 +276,40 @@ main(int argc, char **argv)
         const auto trace = cpu::readTraceFile(trace_in);
         if (!trace) {
             std::cerr << "cannot read trace: " << trace_in << "\n";
-            return 1;
+            return 2;
         }
         // The replayed trace, not the builder's default workload, is
         // what the result describes.
-        request->label = "trace:" + trace_in;
-        if (const auto error = simulator.replayError(*trace, *request)) {
-            std::cerr << "cannot replay on " << request->engine << ": "
-                      << *error << "\n";
+        job->simulation.label = "trace:" + trace_in;
+        if (const auto error =
+                session.replayError(*trace, job->simulation)) {
+            std::cerr << "cannot replay on " << job->simulation.engine
+                      << ": " << *error << "\n";
             return 1;
         }
         if (format == OutputFormat::Text)
             std::cout << "replaying " << trace->size() << " ops from "
                       << trace_in << "\n";
-        result = simulator.replay(*trace, *request);
+        result = session.replay(*trace, job->simulation);
     } else if (!trace_out.empty()) {
         // One generation pass: the facade hands back the exact trace
         // it measured so it can be replayed across engine configs.
         cpu::Trace trace;
-        result = simulator.run(*request, &trace);
+        result = session.run(job->simulation, &trace);
         if (!cpu::writeTraceFile(trace_out, trace)) {
             std::cerr << "cannot write trace: " << trace_out << "\n";
-            return 1;
+            return 2;
         }
         if (format == OutputFormat::Text)
             std::cout << "trace saved:        " << trace_out << " ("
                       << trace.size() << " ops)\n";
     } else {
-        result = simulator.run(*request);
+        result = session.run(*job).simulation;
     }
 
     switch (format) {
       case OutputFormat::Text:
-        report(result);
+        reportText(result);
         break;
       case OutputFormat::Csv:
         sim::writeCsv(std::cout, {result});
@@ -209,5 +318,398 @@ main(int argc, char **argv)
         sim::writeJson(std::cout, {result});
         break;
     }
+    reportDiskCache(session);
     return 0;
+}
+
+int
+cmdAnalyze(Args args)
+{
+    std::string model;
+    OutputFormat format = OutputFormat::Text;
+    sim::Session session;
+    auto builder = session.job();
+
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--model") {
+            model = args.value(arg);
+        } else if (arg == "--workload") {
+            builder.workload(args.value(arg));
+        } else if (arg == "--engine") {
+            builder.engine(args.value(arg));
+        } else if (arg == "--param") {
+            const std::string text = args.value(arg);
+            const auto kv = parseKeyValue(text);
+            if (!kv) {
+                std::cerr << "error: --param expects KEY=VALUE, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            const auto value = parseDouble(kv->second);
+            if (!value) {
+                std::cerr << "error: --param " << kv->first
+                          << " expects a number, got '" << kv->second
+                          << "'\n";
+                return 1;
+            }
+            builder.param(kv->first, *value);
+        } else if (arg == "--option") {
+            const std::string text = args.value(arg);
+            const auto kv = parseKeyValue(text);
+            if (!kv) {
+                std::cerr << "error: --option expects KEY=VALUE, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            builder.option(kv->first, kv->second);
+        } else if (arg == "--csv") {
+            format = OutputFormat::Csv;
+        } else if (arg == "--json") {
+            format = OutputFormat::Json;
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && model.empty()) {
+            model = arg;
+        } else {
+            std::cerr << "error: unknown analyze option " << arg
+                      << "\n";
+            return 1;
+        }
+    }
+
+    if (model.empty()) {
+        std::cerr << "error: analyze needs a model name; registered "
+                     "models:\n";
+        for (const auto &name : session.analytics().names())
+            std::cerr << "  " << name << "\n";
+        return 1;
+    }
+    builder.model(model);
+
+    const auto job = builder.build();
+    if (!job) {
+        std::cerr << "error: " << builder.error()
+                  << " (try 'simulate_cli list models')\n";
+        return 1;
+    }
+
+    const auto result = session.run(*job).analysis;
+    switch (format) {
+      case OutputFormat::Text:
+        result.table().print(std::cout);
+        for (const auto &note : result.notes)
+            std::cout << "  " << note << "\n";
+        break;
+      case OutputFormat::Csv:
+        sim::writeCsv(std::cout, result);
+        break;
+      case OutputFormat::Json:
+        sim::writeJson(std::cout, result);
+        break;
+    }
+    return 0;
+}
+
+int
+cmdSweep(Args args)
+{
+    bool quick = false;
+    std::vector<std::string> workload_names, engine_names;
+    std::vector<u32> patterns;
+    u32 threads = 0;
+    std::string cache_dir;
+    OutputFormat format = OutputFormat::Text;
+
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--workload") {
+            workload_names.push_back(args.value(arg));
+        } else if (arg == "--engine") {
+            engine_names.push_back(args.value(arg));
+        } else if (arg == "--pattern") {
+            patterns.push_back(parsePatternFlag(args));
+        } else if (arg == "--threads") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --threads expects a positive "
+                             "integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            threads = *parsed;
+        } else if (arg == "--cache-dir") {
+            cache_dir = args.value(arg);
+        } else if (arg == "--csv") {
+            format = OutputFormat::Csv;
+        } else if (arg == "--json") {
+            format = OutputFormat::Json;
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "error: unknown sweep option " << arg << "\n";
+            return 1;
+        }
+    }
+
+    sim::Session session;
+    session.enableCache();
+    if (!cache_dir.empty()) {
+        const auto disk = session.attachDiskCache(cache_dir);
+        if (!disk->ok()) {
+            std::cerr << "cannot open cache dir: " << cache_dir
+                      << "\n";
+            return 2;
+        }
+    }
+
+    if (workload_names.empty())
+        for (const auto &w : session.workloads().group(
+                 quick ? "quick" : "tableIV"))
+            workload_names.push_back(w.name);
+    if (engine_names.empty())
+        engine_names = session.engines().names();
+    if (patterns.empty())
+        patterns = {4, 2, 1};
+
+    for (const auto &name : workload_names) {
+        if (!session.workloads().contains(name)) {
+            std::cerr << "error: unknown workload: " << name << "\n";
+            return 1;
+        }
+    }
+    for (const auto &name : engine_names) {
+        if (!session.engines().contains(name)) {
+            std::cerr << "error: unknown engine: " << name << "\n";
+            return 1;
+        }
+    }
+    for (const u32 pattern : patterns) {
+        if (pattern != 1 && pattern != 2 && pattern != 4) {
+            std::cerr << "error: pattern must be 1, 2, or 4 (got "
+                      << pattern << ")\n";
+            return 1;
+        }
+    }
+
+    const auto grid = sim::figure13Grid(session, workload_names,
+                                        engine_names, patterns);
+    const auto results = session.runBatch(grid, threads);
+
+    switch (format) {
+      case OutputFormat::Text:
+        sim::resultsTable(results).print(std::cout);
+        break;
+      case OutputFormat::Csv:
+        sim::writeCsv(std::cout, results);
+        break;
+      case OutputFormat::Json:
+        sim::writeJson(std::cout, results);
+        break;
+    }
+    std::cerr << "sweep: " << grid.size() << " requests, "
+              << session.simulationsPerformed() << " simulated\n";
+    reportDiskCache(session);
+    return 0;
+}
+
+int
+cmdList(Args args)
+{
+    std::string what = "all";
+    bool json = false;
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && what == "all")
+            what = arg;
+        else {
+            std::cerr << "error: unknown list option " << arg << "\n";
+            return 1;
+        }
+    }
+    if (what != "all" && what != "workloads" && what != "engines" &&
+        what != "models") {
+        std::cerr << "error: list expects workloads, engines, or "
+                     "models (got '"
+                  << what << "')\n";
+        return 1;
+    }
+
+    const sim::Session session;
+    if (json) {
+        std::cout << "{";
+        bool first_section = true;
+        if (what == "all" || what == "workloads") {
+            std::cout << "\n  \"workloads\": [";
+            bool first = true;
+            for (const auto &w : session.workloads().workloads()) {
+                std::cout << (first ? "" : ", ")
+                          << "\n    {\"name\": \""
+                          << sim::jsonEscape(w.name)
+                          << "\", \"m\": " << w.gemm.m
+                          << ", \"n\": " << w.gemm.n
+                          << ", \"k\": " << w.gemm.k << "}";
+                first = false;
+            }
+            std::cout << "\n  ]";
+            first_section = false;
+        }
+        if (what == "all" || what == "engines") {
+            std::cout << (first_section ? "" : ",")
+                      << "\n  \"engines\": [";
+            bool first = true;
+            for (const auto &name : session.engines().names()) {
+                std::cout << (first ? "" : ", ") << "\""
+                          << sim::jsonEscape(name) << "\"";
+                first = false;
+            }
+            std::cout << "]";
+            first_section = false;
+        }
+        if (what == "all" || what == "models") {
+            std::cout << (first_section ? "" : ",")
+                      << "\n  \"models\": [";
+            bool first = true;
+            for (const auto &name : session.analytics().names()) {
+                std::cout << (first ? "" : ", ")
+                          << "\n    {\"name\": \""
+                          << sim::jsonEscape(name)
+                          << "\", \"description\": \""
+                          << sim::jsonEscape(
+                                 session.analytics().description(name))
+                          << "\"}";
+                first = false;
+            }
+            std::cout << "\n  ]";
+        }
+        std::cout << "\n}\n";
+        return 0;
+    }
+
+    if (what == "all" || what == "workloads") {
+        std::cout << "workloads:\n";
+        for (const auto &w : session.workloads().workloads())
+            std::cout << "  " << w.name << " (" << w.gemm.m << "x"
+                      << w.gemm.n << "x" << w.gemm.k << ")\n";
+    }
+    if (what == "all" || what == "engines") {
+        std::cout << "engines:\n";
+        for (const auto &name : session.engines().names())
+            std::cout << "  " << name << "\n";
+    }
+    if (what == "all" || what == "models") {
+        std::cout << "models:\n";
+        for (const auto &name : session.analytics().names())
+            std::cout << "  " << name << " -- "
+                      << session.analytics().description(name) << "\n";
+    }
+    return 0;
+}
+
+int
+cmdCache(Args args)
+{
+    std::string action, cache_dir;
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--cache-dir") {
+            cache_dir = args.value(arg);
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-' && action.empty()) {
+            action = arg;
+        } else {
+            std::cerr << "error: unknown cache option " << arg << "\n";
+            return 1;
+        }
+    }
+    if (action != "stats" && action != "clear") {
+        std::cerr << "error: cache expects 'stats' or 'clear' (got '"
+                  << action << "')\n";
+        return 1;
+    }
+    if (cache_dir.empty()) {
+        std::cerr << "error: cache needs --cache-dir DIR\n";
+        return 1;
+    }
+
+    sim::DiskResultCache cache(cache_dir);
+    if (!cache.ok()) {
+        std::cerr << "cannot open cache dir: " << cache_dir << "\n";
+        return 2;
+    }
+    if (action == "clear") {
+        const std::size_t dropped = cache.size();
+        cache.clear();
+        std::cout << "{\"path\": \""
+                  << sim::jsonEscape(cache.filePath())
+                  << "\", \"cleared_entries\": " << dropped << "}\n";
+        return 0;
+    }
+    const auto stats = cache.stats();
+    std::cout << "{\"path\": \"" << sim::jsonEscape(cache.filePath())
+              << "\", \"entries\": " << cache.size()
+              << ", \"loaded\": " << stats.loaded
+              << ", \"rejected_records\": " << stats.rejected
+              << ", \"version_mismatch\": "
+              << (stats.versionMismatch ? "true" : "false") << "}\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i)
+        args.argv.emplace_back(argv[i]);
+
+    if (args.done()) {
+        usage(std::cerr);
+        return 1;
+    }
+
+    const std::string command = args.take();
+    if (command == "run")
+        return cmdRun(std::move(args));
+    if (command == "analyze")
+        return cmdAnalyze(std::move(args));
+    if (command == "sweep")
+        return cmdSweep(std::move(args));
+    if (command == "list")
+        return cmdList(std::move(args));
+    if (command == "cache")
+        return cmdCache(std::move(args));
+    if (command == "--help" || command == "help") {
+        usage(std::cout);
+        return 0;
+    }
+    if (command == "--list") {
+        // Deprecated flag spelling of `list`.
+        std::cerr << "note: '--list' is deprecated; use "
+                     "'simulate_cli list'\n";
+        return cmdList(std::move(args));
+    }
+    if (!command.empty() && command[0] == '-') {
+        // Deprecated flag-style invocation: route to `run`.
+        std::cerr << "note: flag-style invocation is deprecated; use "
+                     "'simulate_cli run ...'\n";
+        args.next = 0;
+        return cmdRun(std::move(args));
+    }
+    std::cerr << "error: unknown command '" << command << "'\n\n";
+    usage(std::cerr);
+    return 1;
 }

@@ -13,7 +13,7 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "kernels/gemm_kernels.hpp"
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 #include "sparsity/pruning.hpp"
 
 int
@@ -48,7 +48,7 @@ main()
     // --- Cycle-level sweep (miniature Figure 13) ---------------------
     std::cout << "\nSimulated runtime (core cycles, engines at "
                  "0.5 GHz):\n\n";
-    const sim::Simulator simulator;
+    const sim::Session simulator;
 
     // One batch: every evaluated engine x each pattern (OF on sparse
     // engines), plus the RASA-DM 2:4 baseline -- which duplicates a
@@ -74,7 +74,7 @@ main()
         for (u32 pattern : {4u, 2u, 1u})
             build(name, pattern, of);
     }
-    const auto results = sim::SweepRunner(simulator).run(requests);
+    const auto results = simulator.runBatch(requests);
     const Cycles baseline_cycles = results[0].coreCycles;
 
     Table table({"engine", "4:4", "2:4", "1:4", "2:4 speedup"});

@@ -1,13 +1,19 @@
 #include "sim/analytical.hpp"
 
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
 #include "common/logging.hpp"
 #include "common/random.hpp"
 #include "engine/area_model.hpp"
 #include "engine/pipeline.hpp"
+#include "kernels/network.hpp"
+#include "model/dynamic_sparsity.hpp"
 #include "model/roofline.hpp"
 #include "model/unstructured_analysis.hpp"
 #include "model/vector_vs_matrix.hpp"
-#include "sim/simulator.hpp"
+#include "sim/session.hpp"
 #include "sparsity/compressed_tile.hpp"
 #include "sparsity/pruning.hpp"
 #include "sparsity/rowwise_transform.hpp"
@@ -101,6 +107,43 @@ AnalyticalResult::table() const
     return out;
 }
 
+void
+writeJson(std::ostream &os, const AnalyticalResult &result)
+{
+    os << "{\n  \"model\": \"" << jsonEscape(result.model)
+       << "\",\n  \"columns\": [";
+    for (std::size_t c = 0; c < result.columns.size(); ++c)
+        os << (c ? ", " : "") << '"' << jsonEscape(result.columns[c])
+           << '"';
+    os << "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < result.rows.size(); ++r) {
+        const auto &cells = result.rows[r];
+        os << "    {";
+        for (std::size_t c = 0;
+             c < cells.size() && c < result.columns.size(); ++c) {
+            os << (c ? ", " : "") << '"'
+               << jsonEscape(result.columns[c]) << "\": ";
+            if (cells[c].isNumber())
+                os << formatDouble(cells[c].value,
+                                   std::max(cells[c].precision, 6));
+            else
+                os << '"' << jsonEscape(cells[c].label) << '"';
+        }
+        os << "}" << (r + 1 < result.rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"notes\": [";
+    for (std::size_t n = 0; n < result.notes.size(); ++n)
+        os << (n ? ", " : "") << '"' << jsonEscape(result.notes[n])
+           << '"';
+    os << "]\n}\n";
+}
+
+void
+writeCsv(std::ostream &os, const AnalyticalResult &result)
+{
+    result.table().printCsv(os);
+}
+
 AnalyticalRegistry &
 AnalyticalRegistry::add(const std::string &name,
                         const std::string &description, Backend backend)
@@ -154,7 +197,7 @@ namespace {
 
 /** Resolve the request's workloads, or @p group when none are named. */
 std::vector<kernels::Workload>
-resolveWorkloads(const Simulator &simulator,
+resolveWorkloads(const Session &simulator,
                  const AnalyticalRequest &request,
                  const std::string &group)
 {
@@ -173,7 +216,7 @@ resolveWorkloads(const Simulator &simulator,
 
 /** Resolve the request's engines, or the Table III rows when none. */
 std::vector<engine::EngineConfig>
-resolveEngines(const Simulator &simulator,
+resolveEngines(const Session &simulator,
                const AnalyticalRequest &request)
 {
     if (request.engines.empty())
@@ -191,7 +234,7 @@ resolveEngines(const Simulator &simulator,
 
 /** The one engine a single-engine backend operates on. */
 engine::EngineConfig
-resolveEngine(const Simulator &simulator,
+resolveEngine(const Session &simulator,
               const AnalyticalRequest &request,
               const std::string &fallback)
 {
@@ -210,7 +253,7 @@ resolveEngine(const Simulator &simulator,
  * engine::PipelineModel directly.
  */
 AnalyticalResult
-microLatencyBackend(const Simulator &simulator,
+microLatencyBackend(const Session &simulator,
                     const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -255,7 +298,7 @@ microLatencyBackend(const Simulator &simulator,
 }
 
 AnalyticalResult
-rooflineBackend(const Simulator &, const AnalyticalRequest &request)
+rooflineBackend(const Session &, const AnalyticalRequest &request)
 {
     AnalyticalResult result;
     result.model = request.model;
@@ -290,7 +333,7 @@ rooflineBackend(const Simulator &, const AnalyticalRequest &request)
 }
 
 AnalyticalResult
-vectorVsMatrixBackend(const Simulator &,
+vectorVsMatrixBackend(const Session &,
                       const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -319,7 +362,7 @@ vectorVsMatrixBackend(const Simulator &,
 }
 
 AnalyticalResult
-pipeliningBackend(const Simulator &simulator,
+pipeliningBackend(const Session &simulator,
                   const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -375,7 +418,7 @@ pipeliningBackend(const Simulator &simulator,
 }
 
 AnalyticalResult
-areaPowerBackend(const Simulator &simulator,
+areaPowerBackend(const Session &simulator,
                  const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -402,7 +445,7 @@ areaPowerBackend(const Simulator &simulator,
 }
 
 AnalyticalResult
-areaBreakdownBackend(const Simulator &simulator,
+areaBreakdownBackend(const Session &simulator,
                      const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -426,7 +469,7 @@ areaBreakdownBackend(const Simulator &simulator,
 }
 
 AnalyticalResult
-unstructuredBackend(const Simulator &simulator,
+unstructuredBackend(const Session &simulator,
                     const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -464,7 +507,7 @@ unstructuredBackend(const Simulator &simulator,
 }
 
 AnalyticalResult
-blockSizeCoverageBackend(const Simulator &,
+blockSizeCoverageBackend(const Session &,
                          const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -499,7 +542,7 @@ blockSizeCoverageBackend(const Simulator &,
 }
 
 AnalyticalResult
-blockSizeHardwareBackend(const Simulator &simulator,
+blockSizeHardwareBackend(const Session &simulator,
                          const AnalyticalRequest &request)
 {
     AnalyticalResult result;
@@ -535,6 +578,125 @@ blockSizeHardwareBackend(const Simulator &simulator,
             double(indexBitsForBlockSize(m)), 0));
         row.push_back(AnalyticalCell::number(double(2 * m), 0));
     }
+    return result;
+}
+
+/**
+ * Section III-B network study: layer-wise vs network-wise N:M
+ * execution of whole sparse networks -- the study bench_network used
+ * to wire against kernels/network directly.  The "network" option
+ * picks one reference network ("resnet-front" / "bert-encoder");
+ * the default runs both.
+ */
+AnalyticalResult
+networkPolicyBackend(const Session &simulator,
+                     const AnalyticalRequest &request)
+{
+    AnalyticalResult result;
+    result.model = request.model;
+    result.columns = {"network", "engine", "layer_wise_cycles",
+                      "network_wise_cycles", "network_wise_slowdown"};
+
+    const std::string which = request.option("network", "all");
+    std::vector<kernels::Network> networks;
+    if (which == "resnet-front" || which == "all")
+        networks.push_back(kernels::resnetFrontNetwork());
+    if (which == "bert-encoder" || which == "all")
+        networks.push_back(kernels::bertEncoderNetwork());
+    VEGETA_ASSERT(!networks.empty(), "unknown network ", which,
+                  " (expected resnet-front, bert-encoder, or all)");
+
+    // Representative design points by default: the dense baseline, a
+    // single-pattern STC-like engine, and two flexible sparse ones.
+    std::vector<engine::EngineConfig> engines;
+    if (request.engines.empty()) {
+        for (const char *name : {"VEGETA-D-1-2", "STC-like",
+                                 "VEGETA-S-2-2", "VEGETA-S-16-2"}) {
+            const auto config = simulator.engines().find(name);
+            VEGETA_ASSERT(config.has_value(), "unregistered engine ",
+                          name);
+            engines.push_back(*config);
+        }
+    } else {
+        engines = resolveEngines(simulator, request);
+    }
+
+    const bool of = request.param("output_forwarding", 1) != 0;
+    for (const auto &net : networks) {
+        std::ostringstream note;
+        note << net.name << ": " << net.layers.size() << " layers, "
+             << net.totalMacs() << " MACs, patterns";
+        for (const auto &layer : net.layers)
+            note << ' ' << layer.layerN << ":4";
+        result.notes.push_back(note.str());
+
+        for (const auto &config : engines) {
+            const auto lw = kernels::simulateNetwork(
+                net, config, kernels::NetworkPolicy::LayerWise, of);
+            const auto nw = kernels::simulateNetwork(
+                net, config, kernels::NetworkPolicy::NetworkWise, of);
+            auto &row = result.row();
+            row.push_back(AnalyticalCell::text(net.name));
+            row.push_back(AnalyticalCell::text(config.name));
+            row.push_back(
+                AnalyticalCell::number(double(lw.totalCycles), 0));
+            row.push_back(
+                AnalyticalCell::number(double(nw.totalCycles), 0));
+            row.push_back(AnalyticalCell::number(
+                double(nw.totalCycles) / double(lw.totalCycles), 2));
+        }
+    }
+    result.notes.push_back(
+        "dense engines see no difference; STC-like gains only where "
+        "2:4 covers the mix; flexible engines turn each layer's own "
+        "pattern into runtime (Section III-B)");
+    return result;
+}
+
+/**
+ * Section VII dynamic-sparsity study: SAVE-style register-compaction
+ * probabilities for 32-lane vector vs 512-lane tile registers -- the
+ * model bench_dynamic_sparsity used to wire directly.
+ */
+AnalyticalResult
+dynamicSparsityBackend(const Session &,
+                       const AnalyticalRequest &request)
+{
+    AnalyticalResult result;
+    result.model = request.model;
+    result.columns = {"density_%", "vector_merge_prob",
+                      "tile_merge_prob", "vector_compaction",
+                      "tile_compaction"};
+
+    const u32 registers =
+        static_cast<u32>(request.param("registers", 256));
+    const u32 trials = static_cast<u32>(request.param("trials", 2000));
+    const u64 seed =
+        static_cast<u64>(request.param("seed", double(0xd15c0)));
+    VEGETA_ASSERT(registers > 0 && trials > 0,
+                  "degenerate compaction study");
+
+    // A "density" parameter narrows the sweep to one point; the
+    // default covers the paper's 1%..50% range.
+    std::vector<double> densities;
+    if (request.params.count("density"))
+        densities.push_back(request.param("density", 0.25));
+
+    for (const auto &p :
+         model::compactionStudy(densities, registers, trials, seed)) {
+        auto &row = result.row();
+        row.push_back(AnalyticalCell::number(p.density * 100.0, 0));
+        row.push_back(AnalyticalCell::number(p.vectorMergeProb, 4));
+        row.push_back(AnalyticalCell::number(p.tileMergeProb, 6));
+        row.push_back(AnalyticalCell::number(p.vectorCompaction, 2));
+        row.push_back(AnalyticalCell::number(p.tileCompaction, 2));
+    }
+    result.notes = {
+        "vector register = 32 operands, tile register = 512 (16x32 "
+        "BF16)",
+        "at ReLU-like densities two vector registers still merge with "
+        "useful probability; two tile registers essentially never do "
+        "(Section VII)"};
     return result;
 }
 
@@ -580,7 +742,15 @@ AnalyticalRegistry::builtin()
         .add("micro-latency",
              "Section V-C: per-engine stage latencies, isolated "
              "latency, and initiation interval",
-             microLatencyBackend);
+             microLatencyBackend)
+        .add("network-policy",
+             "Section III-B: layer-wise vs network-wise N:M execution "
+             "of whole sparse networks",
+             networkPolicyBackend)
+        .add("dynamic-sparsity",
+             "Section VII: SAVE-style register-compaction probability "
+             "for vector vs tile registers",
+             dynamicSparsityBackend);
     return registry;
 }
 

@@ -22,6 +22,7 @@
 #define VEGETA_SIM_ANALYTICAL_HPP
 
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
@@ -32,7 +33,7 @@
 
 namespace vegeta::sim {
 
-class Simulator;
+class Session;
 
 /** One table cell: either text or a number with print precision. */
 struct AnalyticalCell
@@ -99,8 +100,17 @@ struct AnalyticalResult
 };
 
 /**
+ * Render as a JSON object: model, columns, one object per row keyed
+ * by column name (numbers stay numbers), and notes.
+ */
+void writeJson(std::ostream &os, const AnalyticalResult &result);
+
+/** Render as CSV with a header row (cells as they print). */
+void writeCsv(std::ostream &os, const AnalyticalResult &result);
+
+/**
  * Named analytical backends, in registration order.  A backend maps
- * a validated request to a result using the simulator's registries
+ * a validated request to a result using the session's registries
  * for engine/workload resolution; re-registering a name replaces the
  * previous entry (keeping its position).
  */
@@ -108,7 +118,7 @@ class AnalyticalRegistry
 {
   public:
     using Backend = std::function<AnalyticalResult(
-        const Simulator &, const AnalyticalRequest &)>;
+        const Session &, const AnalyticalRequest &)>;
 
     AnalyticalRegistry &add(const std::string &name,
                             const std::string &description,
@@ -130,7 +140,8 @@ class AnalyticalRegistry
      * The paper's analytical models: fig3-roofline,
      * fig4-vector-vs-matrix, fig10-pipelining, fig14-area-power,
      * fig14-area-breakdown, fig15-unstructured, blocksize-coverage,
-     * blocksize-hardware, and micro-latency.
+     * blocksize-hardware, micro-latency, network-policy, and
+     * dynamic-sparsity.
      */
     static AnalyticalRegistry builtin();
 

@@ -1,0 +1,297 @@
+#include "sim/disk_cache.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vegeta::sim {
+
+namespace {
+
+/** Record fields, in file order (after the key, with checksum). */
+constexpr std::size_t kFieldCount = 15;
+
+/** FNV-1a over a record's pre-checksum text. */
+u64
+recordChecksum(const std::string &text)
+{
+    u64 hash = 0xcbf29ce484222325ull;
+    for (const char c : text)
+        hash = (hash ^ static_cast<unsigned char>(c)) *
+               0x100000001b3ull;
+    return hash;
+}
+
+/** Strict u64 parse: decimal digits only, no sign, no garbage. */
+bool
+parseU64Field(const std::string &text, u64 *out)
+{
+    if (text.empty() || text.size() > 20)
+        return false;
+    u64 value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        const u64 next = value * 10 + static_cast<u64>(c - '0');
+        if (next < value)
+            return false;
+        value = next;
+    }
+    *out = value;
+    return true;
+}
+
+/** Strict hex u64 parse (the macUtilization bit pattern). */
+bool
+parseHexField(const std::string &text, u64 *out)
+{
+    if (text.empty() || text.size() > 16)
+        return false;
+    u64 value = 0;
+    for (const char c : text) {
+        u64 digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<u64>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<u64>(c - 'a') + 10;
+        else
+            return false;
+        value = (value << 4) | digit;
+    }
+    *out = value;
+    return true;
+}
+
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+/** One record as a line: key + result fields, tab-separated. */
+std::string
+formatRecord(const std::string &key, const SimulationResult &r)
+{
+    std::ostringstream os;
+    char util[24];
+    std::snprintf(util, sizeof(util), "%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<u64>(r.macUtilization)));
+    os << key << '\t' << r.workload << '\t' << r.engine << '\t'
+       << r.layerN << '\t' << r.executedN << '\t'
+       << (r.outputForwarding ? 1 : 0) << '\t' << r.kernel << '\t'
+       << r.coreCycles << '\t' << r.instructions << '\t'
+       << r.engineInstructions << '\t' << r.tileComputes << '\t'
+       << util << '\t' << r.cacheHits << '\t' << r.cacheMisses;
+    // Trailing checksum: bit rot inside a value field must reject
+    // the record (a miss), never surface as a wrong cached result.
+    char sum[24];
+    std::snprintf(sum, sizeof(sum), "%016llx",
+                  static_cast<unsigned long long>(
+                      recordChecksum(os.str())));
+    os << '\t' << sum;
+    return os.str();
+}
+
+/** Parse one record line; false (and no side effects) on corruption. */
+bool
+parseRecord(const std::string &line, std::string *key,
+            SimulationResult *result)
+{
+    const auto fields = splitTabs(line);
+    if (fields.size() != kFieldCount || fields[0].empty())
+        return false;
+
+    u64 checksum;
+    if (!parseHexField(fields[14], &checksum))
+        return false;
+    const std::size_t body_len =
+        line.size() - fields[14].size() - 1; // minus "\t<sum>"
+    if (checksum != recordChecksum(line.substr(0, body_len)))
+        return false;
+
+    u64 layer_n, executed_n, of, core_cycles, instructions;
+    u64 engine_instructions, tile_computes, util_bits, hits, misses;
+    if (!parseU64Field(fields[3], &layer_n) ||
+        !parseU64Field(fields[4], &executed_n) ||
+        !parseU64Field(fields[5], &of) || of > 1 ||
+        !parseU64Field(fields[7], &core_cycles) ||
+        !parseU64Field(fields[8], &instructions) ||
+        !parseU64Field(fields[9], &engine_instructions) ||
+        !parseU64Field(fields[10], &tile_computes) ||
+        !parseHexField(fields[11], &util_bits) ||
+        !parseU64Field(fields[12], &hits) ||
+        !parseU64Field(fields[13], &misses))
+        return false;
+    if (layer_n > 0xffffffffULL || executed_n > 0xffffffffULL)
+        return false;
+
+    *key = fields[0];
+    result->workload = fields[1];
+    result->engine = fields[2];
+    result->layerN = static_cast<u32>(layer_n);
+    result->executedN = static_cast<u32>(executed_n);
+    result->outputForwarding = of != 0;
+    result->kernel = fields[6];
+    result->coreCycles = core_cycles;
+    result->instructions = instructions;
+    result->engineInstructions = engine_instructions;
+    result->tileComputes = tile_computes;
+    result->macUtilization = std::bit_cast<double>(util_bits);
+    result->cacheHits = hits;
+    result->cacheMisses = misses;
+    return true;
+}
+
+} // namespace
+
+const char *
+DiskResultCache::formatHeader()
+{
+    return "vegeta-result-cache v1";
+}
+
+DiskResultCache::DiskResultCache(const std::string &directory)
+    : directory_(directory)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    file_ = (std::filesystem::path(directory_) / "results.vgc")
+                .string();
+    ok_ = !ec && std::filesystem::is_directory(directory_);
+    if (ok_)
+        load();
+}
+
+void
+DiskResultCache::load()
+{
+    std::ifstream is(file_);
+    if (!is)
+        return; // no file yet: an empty cache, created on insert
+
+    std::string line;
+    if (!std::getline(is, line) || line != formatHeader()) {
+        // Unknown or future format: never guess at its records.  The
+        // file is rewritten wholesale on the next insert.
+        version_mismatch_ = true;
+        needs_rewrite_ = true;
+        return;
+    }
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::string key;
+        SimulationResult result;
+        if (!parseRecord(line, &key, &result)) {
+            ++rejected_; // truncated tail or bit rot: a miss, not an
+            continue;    // error -- the entry just re-simulates
+        }
+        if (entries_.emplace(std::move(key), std::move(result)).second)
+            ++loaded_;
+    }
+}
+
+std::optional<SimulationResult>
+DiskResultCache::find(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+DiskResultCache::insert(const std::string &key,
+                        const SimulationResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!entries_.emplace(key, result).second)
+        return;
+    ++insertions_;
+    if (needs_rewrite_) {
+        if (rewriteLocked())
+            needs_rewrite_ = false;
+    } else {
+        appendLocked(key, result);
+    }
+}
+
+bool
+DiskResultCache::rewriteLocked()
+{
+    std::ofstream os(file_, std::ios::trunc);
+    if (!os)
+        return false;
+    os << formatHeader() << '\n';
+    for (const auto &[key, result] : entries_)
+        os << formatRecord(key, result) << '\n';
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+bool
+DiskResultCache::appendLocked(const std::string &key,
+                              const SimulationResult &result)
+{
+    const bool fresh = !std::filesystem::exists(file_);
+    std::ofstream os(file_, std::ios::app);
+    if (!os)
+        return false;
+    if (fresh)
+        os << formatHeader() << '\n';
+    os << formatRecord(key, result) << '\n';
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+std::size_t
+DiskResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+DiskResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    // If truncation fails the stale file still holds every record:
+    // keep the rewrite pending so the next insert retries it rather
+    // than appending to (and thereby resurrecting) the old contents.
+    needs_rewrite_ = !rewriteLocked();
+}
+
+DiskCacheStats
+DiskResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    DiskCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.insertions = insertions_;
+    stats.loaded = loaded_;
+    stats.rejected = rejected_;
+    stats.versionMismatch = version_mismatch_;
+    return stats;
+}
+
+} // namespace vegeta::sim

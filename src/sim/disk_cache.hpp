@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Persistent (on-disk) result caching.
+ *
+ * The in-memory ResultCache dies with the process; the DiskResultCache
+ * persists simulation results across runs so a warm sweep replays
+ * nothing.  Entries are keyed by the same canonical cacheKey
+ * serialization as the in-memory cache (equal keys imply bit-identical
+ * results), stored one record per line in a version-headed text file
+ * under the cache directory.
+ *
+ * The load path is corruption-tolerant by construction: a missing
+ * file is an empty cache, a version-mismatched header invalidates the
+ * whole file (it is rewritten on the next insert), and a truncated or
+ * corrupt record -- including silent bit rot inside a value field,
+ * caught by a per-record checksum -- is skipped, so a damaged cache
+ * can only cause misses, never wrong results.  macUtilization
+ * round-trips through its raw bit pattern so persisted results stay
+ * bit-for-bit identical to freshly simulated ones.
+ */
+
+#ifndef VEGETA_SIM_DISK_CACHE_HPP
+#define VEGETA_SIM_DISK_CACHE_HPP
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/result.hpp"
+
+namespace vegeta::sim {
+
+/** Traffic and load-time health counters of a DiskResultCache. */
+struct DiskCacheStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 insertions = 0; ///< records appended by this process
+    u64 loaded = 0;     ///< valid records read from disk on open
+    u64 rejected = 0;   ///< corrupt/truncated records skipped on open
+    bool versionMismatch = false; ///< whole file ignored on open
+};
+
+/**
+ * Thread-safe persistent map from canonical request keys to
+ * SimulationResults, backed by `<directory>/results.vgc`.  The file
+ * is read once on construction and appended to on insert, so two
+ * sequential Sessions pointed at the same directory share results
+ * across processes.  First insert wins, matching ResultCache.
+ */
+class DiskResultCache
+{
+  public:
+    /**
+     * Open (creating the directory and file as needed) the cache
+     * under @p directory.  Check ok() before relying on persistence;
+     * a cache that failed to open still works as an in-memory map.
+     */
+    explicit DiskResultCache(const std::string &directory);
+
+    /** False when the directory/file could not be created or read. */
+    bool ok() const { return ok_; }
+
+    const std::string &directory() const { return directory_; }
+
+    /** Full path of the backing file. */
+    const std::string &filePath() const { return file_; }
+
+    /** The cached result for key, or nullopt (counts a hit/miss). */
+    std::optional<SimulationResult> find(const std::string &key) const;
+
+    /** Persist a result under key (first insert wins, flushed). */
+    void insert(const std::string &key,
+                const SimulationResult &result);
+
+    std::size_t size() const;
+
+    /** Drop every entry and truncate the backing file. */
+    void clear();
+
+    DiskCacheStats stats() const;
+
+    /** The on-disk format version tag this build reads and writes. */
+    static const char *formatHeader();
+
+  private:
+    void load();
+    bool rewriteLocked();
+    bool appendLocked(const std::string &key,
+                      const SimulationResult &result);
+
+    std::string directory_;
+    std::string file_;
+    bool ok_ = false;
+    bool needs_rewrite_ = false;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, SimulationResult> entries_;
+    mutable u64 hits_ = 0;
+    mutable u64 misses_ = 0;
+    u64 insertions_ = 0;
+    u64 loaded_ = 0;
+    u64 rejected_ = 0;
+    bool version_mismatch_ = false;
+};
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_DISK_CACHE_HPP

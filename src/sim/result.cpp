@@ -5,9 +5,6 @@
 
 namespace vegeta::sim {
 
-namespace {
-
-/** Minimal JSON string escaping (quotes, backslashes, control). */
 std::string
 jsonEscape(const std::string &text)
 {
@@ -39,6 +36,8 @@ jsonEscape(const std::string &text)
     }
     return out;
 }
+
+namespace {
 
 Table
 buildTable(const std::vector<SimulationResult> &results)

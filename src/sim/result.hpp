@@ -21,6 +21,9 @@
 
 namespace vegeta::sim {
 
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string jsonEscape(const std::string &text);
+
 /** One simulator run, request echo + measurements. */
 struct SimulationResult
 {

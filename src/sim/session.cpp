@@ -1,0 +1,424 @@
+#include "sim/session.hpp"
+
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace vegeta::sim {
+
+Session::Session()
+    : Session(EngineRegistry::builtin(), WorkloadRegistry::builtin())
+{
+}
+
+Session::Session(EngineRegistry engines, WorkloadRegistry workloads)
+    : Session(std::move(engines), std::move(workloads),
+              AnalyticalRegistry::builtin())
+{
+}
+
+Session::Session(EngineRegistry engines, WorkloadRegistry workloads,
+                 AnalyticalRegistry analytics)
+    : engines_(std::move(engines)), workloads_(std::move(workloads)),
+      analytics_(std::move(analytics))
+{
+}
+
+RequestBuilder
+Session::request() const
+{
+    return RequestBuilder(engines_, workloads_);
+}
+
+JobBuilder
+Session::job() const
+{
+    return JobBuilder(engines_, workloads_, analytics_);
+}
+
+void
+Session::setCache(std::shared_ptr<ResultCache> cache)
+{
+    cache_ = std::move(cache);
+}
+
+std::shared_ptr<ResultCache>
+Session::enableCache()
+{
+    cache_ = std::make_shared<ResultCache>();
+    return cache_;
+}
+
+std::shared_ptr<DiskResultCache>
+Session::attachDiskCache(const std::string &directory)
+{
+    disk_cache_ = std::make_shared<DiskResultCache>(directory);
+    return disk_cache_;
+}
+
+void
+Session::setDiskCache(std::shared_ptr<DiskResultCache> cache)
+{
+    disk_cache_ = std::move(cache);
+}
+
+SimulationResult
+Session::run(const SimulationRequest &request,
+             cpu::Trace *trace_out) const
+{
+    if (!cache_ && !disk_cache_)
+        return runUncached(request, trace_out);
+
+    const std::string key = cacheKey(request);
+    // Callers wanting the generated trace always pay the generation
+    // pass -- a cache hit has no trace to hand back -- but their
+    // result still warms the caches for later trace-less runs.
+    if (!trace_out) {
+        if (cache_)
+            if (auto hit = cache_->find(key))
+                return *hit;
+        if (disk_cache_) {
+            if (auto hit = disk_cache_->find(key)) {
+                // Promote: later repeats hit memory, not the disk
+                // map.
+                if (cache_)
+                    cache_->insert(key, *hit);
+                return *hit;
+            }
+        }
+    }
+    const SimulationResult result = runUncached(request, trace_out);
+    if (cache_)
+        cache_->insert(key, result);
+    if (disk_cache_)
+        disk_cache_->insert(key, result);
+    return result;
+}
+
+SimulationResult
+Session::runUncached(const SimulationRequest &request,
+                     cpu::Trace *trace_out) const
+{
+    const auto engine = engines_.find(request.engine);
+    VEGETA_ASSERT(engine.has_value(), "unregistered engine ",
+                  request.engine);
+    simulations_.fetch_add(1, std::memory_order_relaxed);
+
+    const u32 executed_n = engine->effectiveN(request.patternN);
+    kernels::KernelOptions opts;
+    opts.optimized = request.kernel == KernelVariant::Optimized;
+    opts.cBlocking = request.cBlocking;
+    opts.traceOnly = true;
+
+    if (trace_out) {
+        // The caller wants the trace itself (to save or replay), so
+        // this path has to materialize it anyway -- but only once:
+        // move it out instead of copying a potentially huge vector.
+        kernels::KernelRun kernel_run =
+            kernels::runSpmmKernel(request.gemm, executed_n, opts);
+        *trace_out = std::move(kernel_run.trace);
+        return measure(*trace_out, *engine, request,
+                       kernelVariantName(request.kernel), executed_n,
+                       kernel_run.tileComputes);
+    }
+
+    // Streaming replay: the kernel generator emits uops straight into
+    // the scheduler, so peak memory is independent of trace length.
+    cpu::TraceCpu cpu_model(coreFor(request, *engine), *engine);
+    const kernels::KernelStats stats =
+        kernels::streamSpmmKernel(request.gemm, executed_n, opts,
+                                  cpu_model);
+    return fromSimResult(cpu_model.finish(), *engine, request,
+                         kernelVariantName(request.kernel), executed_n,
+                         stats.tileComputes);
+}
+
+std::optional<std::string>
+Session::replayError(const cpu::Trace &trace,
+                     const SimulationRequest &request) const
+{
+    const auto engine = engines_.find(request.engine);
+    if (!engine)
+        return "unregistered engine: " + request.engine;
+    for (const auto &op : trace) {
+        if (op.kind == cpu::UopKind::TileCompute &&
+            !engine->supportsOpcode(op.tile.op))
+            return engine->name + " cannot execute " +
+                   std::string(isa::opcodeName(op.tile.op));
+    }
+    return std::nullopt;
+}
+
+SimulationResult
+Session::replay(const cpu::Trace &trace,
+                const SimulationRequest &request) const
+{
+    const auto engine = engines_.find(request.engine);
+    VEGETA_ASSERT(engine.has_value(), "unregistered engine ",
+                  request.engine);
+    simulations_.fetch_add(1, std::memory_order_relaxed);
+    return measure(trace, *engine, request, "replay",
+                   engine->effectiveN(request.patternN),
+                   /*tile_computes=*/0);
+}
+
+std::optional<std::string>
+Session::analyzeError(const AnalyticalRequest &request) const
+{
+    if (!analytics_.contains(request.model))
+        return "unknown analytical model: " + request.model;
+    for (const auto &name : request.engines)
+        if (!engines_.contains(name))
+            return "unknown engine: " + name;
+    for (const auto &name : request.workloads)
+        if (!workloads_.contains(name))
+            return "unknown workload: " + name;
+    return std::nullopt;
+}
+
+AnalyticalResult
+Session::analyze(const AnalyticalRequest &request) const
+{
+    const auto error = analyzeError(request);
+    VEGETA_ASSERT(!error.has_value(), "bad analytical request: ",
+                  error.value_or(""));
+    const AnalyticalRegistry::Backend *backend =
+        analytics_.find(request.model);
+    return (*backend)(*this, request);
+}
+
+std::optional<std::string>
+Session::jobError(const Job &job) const
+{
+    if (job.kind == JobKind::Analysis)
+        return analyzeError(job.analysis);
+    if (!engines_.contains(job.simulation.engine))
+        return "unknown engine: " + job.simulation.engine;
+    if (job.simulation.gemm.m == 0 || job.simulation.gemm.n == 0 ||
+        job.simulation.gemm.k == 0)
+        return std::string("GEMM dimensions must be non-zero");
+    return std::nullopt;
+}
+
+JobResult
+Session::run(const Job &job) const
+{
+    JobResult result;
+    result.kind = job.kind;
+    if (job.kind == JobKind::Analysis)
+        result.analysis = analyze(job.analysis);
+    else
+        result.simulation = run(job.simulation);
+    return result;
+}
+
+std::vector<JobResult>
+Session::runBatch(const std::vector<Job> &jobs, u32 threads) const
+{
+    std::vector<JobResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : static_cast<u32>(hw);
+    }
+
+    // Batch-level dedupe before dispatch: jobs with equal canonical
+    // keys are guaranteed to produce bit-identical results, so only
+    // the first occurrence runs; duplicates copy its slot afterwards.
+    // The output is therefore identical to running every job -- for
+    // any thread count, caches on or off.
+    std::vector<std::size_t> unique;
+    std::vector<std::size_t> source(jobs.size());
+    {
+        std::unordered_map<std::string, std::size_t> first;
+        first.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const auto [it, inserted] =
+                first.emplace(jobKey(jobs[i]), i);
+            source[i] = it->second;
+            if (inserted)
+                unique.push_back(i);
+        }
+    }
+
+    const u32 workers =
+        std::min<u32>(threads, static_cast<u32>(unique.size()));
+    if (workers <= 1) {
+        for (const std::size_t i : unique)
+            results[i] = run(jobs[i]);
+    } else {
+        // Work-stealing by atomic index: each worker claims the next
+        // unclaimed job and writes into its slot, so the result
+        // vector is independent of scheduling.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+            for (;;) {
+                const std::size_t u =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (u >= unique.size())
+                    return;
+                const std::size_t i = unique[u];
+                results[i] = run(jobs[i]);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (u32 t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (source[i] != i)
+            results[i] = results[source[i]];
+    return results;
+}
+
+std::vector<SimulationResult>
+Session::runBatch(const std::vector<SimulationRequest> &requests,
+                  u32 threads) const
+{
+    std::vector<Job> jobs;
+    jobs.reserve(requests.size());
+    for (const auto &request : requests)
+        jobs.push_back(Job::simulate(request));
+    auto job_results = runBatch(jobs, threads);
+    std::vector<SimulationResult> results;
+    results.reserve(job_results.size());
+    for (auto &r : job_results)
+        results.push_back(std::move(r.simulation));
+    return results;
+}
+
+cpu::CoreConfig
+Session::coreFor(const SimulationRequest &request,
+                 const engine::EngineConfig &engine)
+{
+    cpu::CoreConfig core = request.core;
+    core.outputForwarding = request.outputForwarding && engine.sparse;
+    return core;
+}
+
+SimulationResult
+Session::measure(const cpu::Trace &trace,
+                 const engine::EngineConfig &engine,
+                 const SimulationRequest &request,
+                 const char *kernel_label, u32 executed_n,
+                 u64 tile_computes) const
+{
+    cpu::TraceCpu cpu_model(coreFor(request, engine), engine);
+    return fromSimResult(cpu_model.run(trace), engine, request,
+                         kernel_label, executed_n, tile_computes);
+}
+
+SimulationResult
+Session::fromSimResult(const cpu::SimResult &sim,
+                       const engine::EngineConfig &engine,
+                       const SimulationRequest &request,
+                       const char *kernel_label, u32 executed_n,
+                       u64 tile_computes)
+{
+    SimulationResult result;
+    result.workload = request.label;
+    result.engine = engine.name;
+    result.layerN = request.patternN;
+    result.executedN = executed_n;
+    result.outputForwarding =
+        request.outputForwarding && engine.sparse;
+    result.kernel = kernel_label;
+    result.coreCycles = sim.totalCycles;
+    result.instructions = sim.retiredOps;
+    result.engineInstructions = sim.engineInstructions;
+    result.tileComputes = tile_computes;
+    result.macUtilization = sim.macUtilization;
+    result.cacheHits = sim.cacheHits;
+    result.cacheMisses = sim.cacheMisses;
+    return result;
+}
+
+std::vector<SimulationRequest>
+figure13Grid(const Session &session,
+             const std::vector<std::string> &workload_names,
+             const std::vector<std::string> &engine_names,
+             const std::vector<u32> &patterns)
+{
+    std::vector<SimulationRequest> grid;
+    for (const auto &workload : workload_names) {
+        for (const u32 pattern : patterns) {
+            for (const auto &engine : engine_names) {
+                const auto config = session.engines().find(engine);
+                VEGETA_ASSERT(config.has_value(),
+                              "unregistered engine ", engine);
+                auto base = session.request()
+                                .workload(workload)
+                                .engine(engine)
+                                .pattern(pattern);
+                auto no_of = base;
+                const auto request =
+                    no_of.outputForwarding(false).build();
+                VEGETA_ASSERT(request.has_value(), "bad grid request: ",
+                              no_of.error());
+                grid.push_back(*request);
+                if (config->sparse) {
+                    const auto of_request =
+                        base.outputForwarding(true).build();
+                    VEGETA_ASSERT(of_request.has_value(),
+                                  "bad grid request: ", base.error());
+                    grid.push_back(*of_request);
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+double
+geomeanSpeedup(const Session &session,
+               const std::vector<std::string> &workload_names,
+               u32 layer_n, const std::string &engine_name,
+               bool output_forwarding,
+               const std::string &baseline_name, u32 threads)
+{
+    VEGETA_ASSERT(!workload_names.empty(),
+                  "geomeanSpeedup over no workloads");
+
+    // Baseline requests first, then the engine under test, so
+    // results[i] / results[i + n] pair up per workload.
+    std::vector<SimulationRequest> requests;
+    requests.reserve(workload_names.size() * 2);
+    for (const bool test : {false, true}) {
+        for (const auto &workload : workload_names) {
+            auto builder =
+                session.request()
+                    .workload(workload)
+                    .engine(test ? engine_name : baseline_name)
+                    .pattern(layer_n)
+                    .outputForwarding(test && output_forwarding);
+            const auto request = builder.build();
+            VEGETA_ASSERT(request.has_value(),
+                          "bad speedup request: ", builder.error());
+            requests.push_back(*request);
+        }
+    }
+
+    const auto results = session.runBatch(requests, threads);
+    const std::size_t n = workload_names.size();
+    std::vector<double> speedups;
+    speedups.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        VEGETA_ASSERT(results[i + n].coreCycles > 0,
+                      "zero-cycle simulation");
+        speedups.push_back(
+            static_cast<double>(results[i].coreCycles) /
+            static_cast<double>(results[i + n].coreCycles));
+    }
+    return geomean(speedups);
+}
+
+} // namespace vegeta::sim

@@ -1,137 +1,24 @@
 /**
  * @file
- * The Simulator facade: the one public entry point for running the
- * VEGETA model.
+ * Deprecated shim: the Simulator facade is now the Session.
  *
- * A Simulator owns an engine registry, a workload registry, and an
- * analytical-model registry, and turns validated SimulationRequests
- * into SimulationResults (and AnalyticalRequests into
- * AnalyticalResults).  It wraps the whole seed flow -- kernel
- * generation (optimized or Listing-1 naive), layer-wise effective-N
- * resolution, the trace-driven core model -- replays pre-recorded
- * traces so a trace captured once can be measured across engine
- * configs, and optionally memoizes results in a request-keyed
- * ResultCache.
- *
- * Everything above this layer (CLI, benches, sweeps) speaks only
- * requests and results; nothing above it wires engines, workloads, or
- * kernels by hand.
+ * The Session/Job API (sim/session.hpp) subsumes everything the
+ * Simulator did -- same registries, same request/result types, same
+ * run/replay/analyze contracts -- and adds polymorphic jobs, batch
+ * execution, and the persistent result cache.  `Simulator` is kept
+ * as an alias so code (and tests) written against the old name keeps
+ * compiling unchanged; new code should say Session.
  */
 
 #ifndef VEGETA_SIM_SIMULATOR_HPP
 #define VEGETA_SIM_SIMULATOR_HPP
 
-#include <memory>
-
-#include "sim/analytical.hpp"
-#include "sim/cache.hpp"
-#include "sim/request.hpp"
-#include "sim/result.hpp"
+#include "sim/session.hpp"
 
 namespace vegeta::sim {
 
-/** Facade over kernel generation + the trace-driven CPU model. */
-class Simulator
-{
-  public:
-    /** A simulator over the paper's builtin design/workload space. */
-    Simulator();
-
-    Simulator(EngineRegistry engines, WorkloadRegistry workloads);
-
-    Simulator(EngineRegistry engines, WorkloadRegistry workloads,
-              AnalyticalRegistry analytics);
-
-    const EngineRegistry &engines() const { return engines_; }
-    const WorkloadRegistry &workloads() const { return workloads_; }
-    const AnalyticalRegistry &analytics() const { return analytics_; }
-
-    /** A builder bound to this simulator's registries. */
-    RequestBuilder request() const;
-
-    /**
-     * Attach a result cache consulted by run() (and, through it, by
-     * every sweep).  Caching never changes an answer -- equal cache
-     * keys imply bit-identical results -- it only skips re-simulating
-     * requests already seen.  Pass nullptr to disable.  The cache may
-     * be shared between simulators with identical registries.
-     */
-    void setCache(std::shared_ptr<ResultCache> cache);
-
-    /** Convenience: attach a fresh cache and return it. */
-    std::shared_ptr<ResultCache> enableCache();
-
-    /** The attached cache (nullptr when caching is off). */
-    const std::shared_ptr<ResultCache> &cache() const { return cache_; }
-
-    /**
-     * Run one request end to end: generate the kernel trace for the
-     * engine's effective N and simulate it on the core model.
-     * The request must name a registered engine (builders guarantee
-     * this); unknown names abort via VEGETA_ASSERT.  When
-     * @p trace_out is non-null the generated trace is copied into it
-     * (for saving to disk) without a second generation pass.
-     */
-    SimulationResult run(const SimulationRequest &request,
-                         cpu::Trace *trace_out = nullptr) const;
-
-    /**
-     * Why @p trace cannot replay on the request's engine (a trace
-     * generated for a sparse executed-N contains TILE_SPMM ops a
-     * dense engine has no datapath for), or nullopt if it can.
-     */
-    std::optional<std::string>
-    replayError(const cpu::Trace &trace,
-                const SimulationRequest &request) const;
-
-    /**
-     * Replay a pre-recorded trace under a request's engine and core
-     * configuration (the kernel variant and GEMM dims of the request
-     * are ignored; the result's kernel field reads "replay").  The
-     * trace must be replayable (see replayError).
-     */
-    SimulationResult replay(const cpu::Trace &trace,
-                            const SimulationRequest &request) const;
-
-    /**
-     * Why an analytical request cannot run (unknown model, engine, or
-     * workload name), or nullopt if it is valid.
-     */
-    std::optional<std::string>
-    analyzeError(const AnalyticalRequest &request) const;
-
-    /**
-     * Evaluate one registered analytical model.  The request must be
-     * valid (see analyzeError); invalid names abort via VEGETA_ASSERT,
-     * matching run()'s contract.
-     */
-    AnalyticalResult analyze(const AnalyticalRequest &request) const;
-
-  private:
-    static cpu::CoreConfig coreFor(const SimulationRequest &request,
-                                   const engine::EngineConfig &engine);
-
-    static SimulationResult
-    fromSimResult(const cpu::SimResult &sim,
-                  const engine::EngineConfig &engine,
-                  const SimulationRequest &request,
-                  const char *kernel_label, u32 executed_n,
-                  u64 tile_computes);
-
-    SimulationResult measure(const cpu::Trace &trace,
-                             const engine::EngineConfig &engine,
-                             const SimulationRequest &request,
-                             const char *kernel_label,
-                             u32 executed_n, u64 tile_computes) const;
-
-    SimulationResult runUncached(const SimulationRequest &request,
-                                 cpu::Trace *trace_out) const;
-
-    EngineRegistry engines_;
-    WorkloadRegistry workloads_;
-    AnalyticalRegistry analytics_;
-    std::shared_ptr<ResultCache> cache_;
-};
+/** Deprecated name for Session; prefer Session in new code. */
+using Simulator = Session;
 
 } // namespace vegeta::sim
 

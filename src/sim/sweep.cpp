@@ -1,17 +1,11 @@
 #include "sim/sweep.hpp"
 
-#include <atomic>
 #include <thread>
-#include <unordered_map>
-
-#include "common/logging.hpp"
-#include "common/stats.hpp"
-#include "sim/cache.hpp"
 
 namespace vegeta::sim {
 
-SweepRunner::SweepRunner(const Simulator &simulator, u32 threads)
-    : simulator_(simulator), threads_(threads)
+SweepRunner::SweepRunner(const Session &session, u32 threads)
+    : session_(session), threads_(threads)
 {
     if (threads_ == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -22,142 +16,7 @@ SweepRunner::SweepRunner(const Simulator &simulator, u32 threads)
 std::vector<SimulationResult>
 SweepRunner::run(const std::vector<SimulationRequest> &requests) const
 {
-    std::vector<SimulationResult> results(requests.size());
-    if (requests.empty())
-        return results;
-
-    // Batch-level dedupe before dispatch: requests with equal
-    // canonical keys are guaranteed to produce bit-identical results,
-    // so only the first occurrence simulates; duplicates copy its
-    // slot afterwards.  The output is therefore identical to running
-    // every request -- for any thread count, cache on or off.
-    std::vector<std::size_t> unique;
-    std::vector<std::size_t> source(requests.size());
-    {
-        std::unordered_map<std::string, std::size_t> first;
-        first.reserve(requests.size());
-        for (std::size_t i = 0; i < requests.size(); ++i) {
-            const auto [it, inserted] =
-                first.emplace(cacheKey(requests[i]), i);
-            source[i] = it->second;
-            if (inserted)
-                unique.push_back(i);
-        }
-    }
-
-    const u32 workers =
-        std::min<u32>(threads_, static_cast<u32>(unique.size()));
-    if (workers <= 1) {
-        for (const std::size_t i : unique)
-            results[i] = simulator_.run(requests[i]);
-    } else {
-        // Work-stealing by atomic index: each worker claims the next
-        // unclaimed request and writes into its slot, so the result
-        // vector is independent of scheduling.
-        std::atomic<std::size_t> next{0};
-        auto worker = [&]() {
-            for (;;) {
-                const std::size_t u =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (u >= unique.size())
-                    return;
-                const std::size_t i = unique[u];
-                results[i] = simulator_.run(requests[i]);
-            }
-        };
-
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (u32 t = 0; t < workers; ++t)
-            pool.emplace_back(worker);
-        for (auto &thread : pool)
-            thread.join();
-    }
-
-    for (std::size_t i = 0; i < requests.size(); ++i)
-        if (source[i] != i)
-            results[i] = results[source[i]];
-    return results;
-}
-
-std::vector<SimulationRequest>
-figure13Grid(const Simulator &simulator,
-             const std::vector<std::string> &workload_names,
-             const std::vector<std::string> &engine_names,
-             const std::vector<u32> &patterns)
-{
-    std::vector<SimulationRequest> grid;
-    for (const auto &workload : workload_names) {
-        for (const u32 pattern : patterns) {
-            for (const auto &engine : engine_names) {
-                const auto config = simulator.engines().find(engine);
-                VEGETA_ASSERT(config.has_value(),
-                              "unregistered engine ", engine);
-                auto base = simulator.request()
-                                .workload(workload)
-                                .engine(engine)
-                                .pattern(pattern);
-                auto no_of = base;
-                const auto request =
-                    no_of.outputForwarding(false).build();
-                VEGETA_ASSERT(request.has_value(), "bad grid request: ",
-                              no_of.error());
-                grid.push_back(*request);
-                if (config->sparse) {
-                    const auto of_request =
-                        base.outputForwarding(true).build();
-                    VEGETA_ASSERT(of_request.has_value(),
-                                  "bad grid request: ", base.error());
-                    grid.push_back(*of_request);
-                }
-            }
-        }
-    }
-    return grid;
-}
-
-double
-geomeanSpeedup(const Simulator &simulator,
-               const std::vector<std::string> &workload_names,
-               u32 layer_n, const std::string &engine_name,
-               bool output_forwarding,
-               const std::string &baseline_name, u32 threads)
-{
-    VEGETA_ASSERT(!workload_names.empty(),
-                  "geomeanSpeedup over no workloads");
-
-    // Baseline requests first, then the engine under test, so
-    // results[i] / results[i + n] pair up per workload.
-    std::vector<SimulationRequest> requests;
-    requests.reserve(workload_names.size() * 2);
-    for (const bool test : {false, true}) {
-        for (const auto &workload : workload_names) {
-            auto builder =
-                simulator.request()
-                    .workload(workload)
-                    .engine(test ? engine_name : baseline_name)
-                    .pattern(layer_n)
-                    .outputForwarding(test && output_forwarding);
-            const auto request = builder.build();
-            VEGETA_ASSERT(request.has_value(),
-                          "bad speedup request: ", builder.error());
-            requests.push_back(*request);
-        }
-    }
-
-    const auto results =
-        SweepRunner(simulator, threads).run(requests);
-    const std::size_t n = workload_names.size();
-    std::vector<double> speedups;
-    speedups.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        VEGETA_ASSERT(results[i + n].coreCycles > 0,
-                      "zero-cycle simulation");
-        speedups.push_back(
-            static_cast<double>(results[i].coreCycles) /
-            static_cast<double>(results[i + n].coreCycles));
-    }
-    return geomean(speedups);
+    return session_.runBatch(requests, threads_);
 }
 
 } // namespace vegeta::sim

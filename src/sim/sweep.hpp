@@ -1,16 +1,13 @@
 /**
  * @file
- * Parallel request sweeps.
+ * Deprecated shim: parallel request sweeps are now Session::runBatch.
  *
- * The paper's evaluation is a grid: engines x workloads x layer-wise
- * patterns x OF variants (Figure 13 alone is 12 x 9 x 3 with sparse
- * OF doubling).  SweepRunner executes any request batch on a pool of
- * worker threads; each request is independent and results land in
- * their request's slot, so the output order -- and every value in it
- * -- is identical for 1 thread and N threads.
- *
- * Grid helpers build the paper's standard batches so callers never
- * hand-roll the nested loops.
+ * SweepRunner predates the Session/Job API; it is kept because its
+ * construct-then-run shape is pinned by tests and convenient for
+ * callers that sweep the same session repeatedly.  It adds nothing
+ * over Session::runBatch -- run() forwards straight to it, so the
+ * determinism and dedupe guarantees are the Session's.  The Figure 13
+ * grid helpers moved to sim/session.hpp (re-exported here).
  */
 
 #ifndef VEGETA_SIM_SWEEP_HPP
@@ -20,25 +17,22 @@
 
 namespace vegeta::sim {
 
-/** Thread-pooled executor for independent request batches. */
+/** Deprecated thread-pooled executor; prefer Session::runBatch. */
 class SweepRunner
 {
   public:
     /**
-     * @param simulator  facade to run requests on (borrowed; must
-     *                   outlive the runner)
-     * @param threads    worker count; 0 picks the hardware
-     *                   concurrency
+     * @param session  facade to run requests on (borrowed; must
+     *                 outlive the runner)
+     * @param threads  worker count; 0 picks the hardware
+     *                 concurrency
      */
-    explicit SweepRunner(const Simulator &simulator, u32 threads = 0);
+    explicit SweepRunner(const Session &session, u32 threads = 0);
 
     /**
      * Run every request; `results[i]` corresponds to `requests[i]`.
-     * Requests that repeat within the batch (equal canonical cache
-     * keys) simulate once and fan their result out to every duplicate
-     * slot.  Deterministic: the batch output is bit-for-bit identical
-     * for any thread count, with or without a ResultCache attached to
-     * the simulator.
+     * Forwards to Session::runBatch: deduplicated, deterministic,
+     * bit-for-bit identical for any thread count.
      */
     std::vector<SimulationResult>
     run(const std::vector<SimulationRequest> &requests) const;
@@ -46,36 +40,9 @@ class SweepRunner
     u32 threads() const { return threads_; }
 
   private:
-    const Simulator &simulator_;
+    const Session &session_;
     u32 threads_;
 };
-
-/**
- * The Figure 13 grid over this simulator's registries: for each
- * workload x pattern x engine, one no-OF request, plus an OF request
- * for sparse engines (matching the paper's evaluated variants).
- * Row-major in (workload, pattern, engine) order.
- */
-std::vector<SimulationRequest>
-figure13Grid(const Simulator &simulator,
-             const std::vector<std::string> &workload_names,
-             const std::vector<std::string> &engine_names,
-             const std::vector<u32> &patterns = {4, 2, 1});
-
-/**
- * Geometric-mean speed-up of `engine_name` (with optional OF) over
- * `baseline_name` across the named workloads at one layer pattern --
- * the abstract's 1.09x / 2.20x / 3.74x numbers when the baseline is
- * the RASA-DM dense engine.  Both sides of every ratio run through
- * the (parallel) sweep.
- */
-double geomeanSpeedup(const Simulator &simulator,
-                      const std::vector<std::string> &workload_names,
-                      u32 layer_n, const std::string &engine_name,
-                      bool output_forwarding,
-                      const std::string &baseline_name =
-                          "VEGETA-D-1-2",
-                      u32 threads = 0);
 
 } // namespace vegeta::sim
 

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "engine/area_model.hpp"
 #include "engine/pipeline.hpp"
+#include "kernels/network.hpp"
+#include "model/dynamic_sparsity.hpp"
 #include "model/vector_vs_matrix.hpp"
 #include "sim/simulator.hpp"
 
@@ -188,6 +192,79 @@ TEST(Analytical, ResultCellAccessorsAndTable)
 
     const Table table = result.table();
     EXPECT_EQ(table.numRows(), 1u);
+}
+
+TEST(Analytical, NetworkPolicyMatchesDirectModel)
+{
+    const Simulator simulator;
+    AnalyticalRequest request;
+    request.model = "network-policy";
+    request.options["network"] = "resnet-front";
+    request.engines = {"VEGETA-S-16-2"};
+    const auto result = simulator.analyze(request);
+    ASSERT_EQ(result.rows.size(), 1u);
+
+    const auto net = kernels::resnetFrontNetwork();
+    const auto config = simulator.engines().find("VEGETA-S-16-2");
+    const auto lw = kernels::simulateNetwork(
+        net, *config, kernels::NetworkPolicy::LayerWise);
+    const auto nw = kernels::simulateNetwork(
+        net, *config, kernels::NetworkPolicy::NetworkWise);
+    EXPECT_EQ(result.number(0, "layer_wise_cycles"),
+              double(lw.totalCycles));
+    EXPECT_EQ(result.number(0, "network_wise_cycles"),
+              double(nw.totalCycles));
+    // Flexible hardware beats the network-wide pattern on a mixed net.
+    EXPECT_GT(result.number(0, "network_wise_slowdown"), 1.0);
+}
+
+TEST(Analytical, DynamicSparsityMatchesDirectModel)
+{
+    const Simulator simulator;
+    AnalyticalRequest request;
+    request.model = "dynamic-sparsity";
+    request.params["registers"] = 16;
+    request.params["trials"] = 64;
+    request.params["density"] = 0.2;
+    const auto result = simulator.analyze(request);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.number(0, "density_%"), 20.0);
+
+    const auto direct = model::compactionStudy({0.2}, 16, 64, 0xd15c0);
+    ASSERT_EQ(direct.size(), 1u);
+    EXPECT_EQ(result.number(0, "vector_merge_prob"),
+              direct[0].vectorMergeProb);
+    EXPECT_EQ(result.number(0, "tile_merge_prob"),
+              direct[0].tileMergeProb);
+    // Merging 32-lane registers stays practical far past the point
+    // where 512-lane tiles stop merging (the Section VII argument).
+    EXPECT_GT(result.number(0, "vector_merge_prob"),
+              result.number(0, "tile_merge_prob"));
+}
+
+TEST(Analytical, JsonAndCsvWritersAreWellFormedEnough)
+{
+    AnalyticalResult result;
+    result.model = "demo";
+    result.columns = {"name", "value"};
+    auto &row = result.row();
+    row.push_back(AnalyticalCell::text("alpha \"quoted\""));
+    row.push_back(AnalyticalCell::number(1.25, 2));
+    result.notes = {"a note"};
+
+    std::ostringstream json;
+    writeJson(json, result);
+    const std::string text = json.str();
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_NE(text.find("\"model\": \"demo\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"alpha \\\"quoted\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"value\": 1.25"), std::string::npos);
+    EXPECT_NE(text.find("\"notes\": [\"a note\"]"), std::string::npos);
+
+    std::ostringstream csv;
+    writeCsv(csv, result);
+    EXPECT_NE(csv.str().find("name,value"), std::string::npos);
 }
 
 TEST(Analytical, RooflineShapeChecks)

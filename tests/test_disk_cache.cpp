@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Persistent result-cache tests: round-trips are bit-identical,
+ * a version-mismatched file is invalidated wholesale, corrupt or
+ * truncated records degrade to misses (never wrong results), and two
+ * sequential Sessions share results through the same cache directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/session.hpp"
+
+namespace vegeta::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh (empty) cache directory under the test temp dir. */
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "vegeta_disk_cache" / name;
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+SimulationResult
+sampleResult(const std::string &tag, double util)
+{
+    SimulationResult result;
+    result.workload = tag;
+    result.engine = "VEGETA-S-2-2";
+    result.layerN = 2;
+    result.executedN = 2;
+    result.outputForwarding = true;
+    result.kernel = "optimized";
+    result.coreCycles = 12345;
+    result.instructions = 678;
+    result.engineInstructions = 90;
+    result.tileComputes = 12;
+    result.macUtilization = util;
+    result.cacheHits = 3;
+    result.cacheMisses = 4;
+    return result;
+}
+
+void
+expectIdentical(const SimulationResult &a, const SimulationResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.engine, b.engine);
+    EXPECT_EQ(a.layerN, b.layerN);
+    EXPECT_EQ(a.executedN, b.executedN);
+    EXPECT_EQ(a.outputForwarding, b.outputForwarding);
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.engineInstructions, b.engineInstructions);
+    EXPECT_EQ(a.tileComputes, b.tileComputes);
+    // bit-for-bit: exact double equality, not a tolerance.
+    EXPECT_EQ(a.macUtilization, b.macUtilization);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+}
+
+TEST(DiskCache, RoundTripsAcrossInstances)
+{
+    const std::string dir = freshDir("roundtrip");
+    // 0.1 has no exact double representation: the bit-pattern
+    // serialization must still round-trip it exactly.
+    const SimulationResult original = sampleResult("w", 0.1);
+    {
+        DiskResultCache cache(dir);
+        ASSERT_TRUE(cache.ok());
+        EXPECT_FALSE(cache.find("key-a").has_value());
+        cache.insert("key-a", original);
+        EXPECT_EQ(cache.size(), 1u);
+    }
+    DiskResultCache reopened(dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.stats().loaded, 1u);
+    const auto hit = reopened.find("key-a");
+    ASSERT_TRUE(hit.has_value());
+    expectIdentical(*hit, original);
+    EXPECT_EQ(reopened.stats().hits, 1u);
+}
+
+TEST(DiskCache, FirstInsertWins)
+{
+    const std::string dir = freshDir("first_wins");
+    DiskResultCache cache(dir);
+    cache.insert("k", sampleResult("first", 0.5));
+    cache.insert("k", sampleResult("second", 0.75));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.find("k")->workload, "first");
+}
+
+TEST(DiskCache, VersionMismatchInvalidatesWholeFile)
+{
+    const std::string dir = freshDir("version");
+    {
+        DiskResultCache cache(dir);
+        cache.insert("k", sampleResult("w", 0.5));
+    }
+    // Rewrite the header to a future version: every record after it
+    // must be ignored (a format change never risks misreads).
+    const fs::path file = fs::path(dir) / "results.vgc";
+    std::string text;
+    {
+        std::ifstream is(file);
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        text = buffer.str();
+    }
+    text.replace(text.find("v1"), 2, "v9");
+    {
+        std::ofstream os(file, std::ios::trunc);
+        os << text;
+    }
+
+    DiskResultCache reopened(dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.size(), 0u);
+    EXPECT_TRUE(reopened.stats().versionMismatch);
+    EXPECT_FALSE(reopened.find("k").has_value());
+
+    // The next insert rewrites the file under the current header...
+    reopened.insert("k2", sampleResult("w2", 0.25));
+    DiskResultCache third(dir);
+    EXPECT_FALSE(third.stats().versionMismatch);
+    EXPECT_EQ(third.size(), 1u);
+    ASSERT_TRUE(third.find("k2").has_value());
+}
+
+TEST(DiskCache, TruncatedAndCorruptRecordsDegradeToMisses)
+{
+    const std::string dir = freshDir("corrupt");
+    const SimulationResult good = sampleResult("good", 0.5);
+    {
+        DiskResultCache cache(dir);
+        cache.insert("good-key", good);
+        cache.insert("rotten-key", sampleResult("rotten", 0.25));
+    }
+    const fs::path file = fs::path(dir) / "results.vgc";
+    std::string text;
+    {
+        std::ifstream is(file);
+        std::stringstream buffer;
+        buffer << is.rdbuf();
+        text = buffer.str();
+    }
+    // Silent bit rot inside a value field: tamper the coreCycles
+    // digits of the second record without touching its shape.  The
+    // per-record checksum must reject it (a miss, not a wrong hit).
+    const auto rotten = text.find("\t12345\t", text.find("rotten"));
+    ASSERT_NE(rotten, std::string::npos);
+    text.replace(rotten, 7, "\t19345\t");
+    {
+        // Plus a field-count-corrupt record, a number-corrupt record,
+        // and a truncated tail (no newline, cut mid-record).
+        std::ofstream os(file, std::ios::trunc);
+        os << text;
+        os << "short-key\tonly\tthree\n";
+        os << "bad-num\tw\te\tNaN\t2\t1\topt\t1\t1\t1\t1\tzz\t0\t0\n";
+        os << "trunc-key\tw\te\t2";
+    }
+    DiskResultCache reopened(dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_EQ(reopened.stats().loaded, 1u);
+    EXPECT_EQ(reopened.stats().rejected, 4u);
+    const auto hit = reopened.find("good-key");
+    ASSERT_TRUE(hit.has_value());
+    expectIdentical(*hit, good);
+    EXPECT_FALSE(reopened.find("rotten-key").has_value());
+    EXPECT_FALSE(reopened.find("trunc-key").has_value());
+}
+
+TEST(DiskCache, GarbageFileIsAnEmptyCache)
+{
+    const std::string dir = freshDir("garbage");
+    fs::create_directories(dir);
+    {
+        std::ofstream os(fs::path(dir) / "results.vgc",
+                         std::ios::binary);
+        os << "\x7f\x45\x4c\x46 not a cache at all\n\x00\x01\x02";
+    }
+    DiskResultCache cache(dir);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(cache.stats().versionMismatch);
+    // Still usable: inserts repair the file.
+    cache.insert("k", sampleResult("w", 1.0));
+    DiskResultCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 1u);
+}
+
+TEST(DiskCache, ClearTruncatesTheFile)
+{
+    const std::string dir = freshDir("clear");
+    {
+        DiskResultCache cache(dir);
+        cache.insert("k", sampleResult("w", 0.5));
+        cache.clear();
+        EXPECT_EQ(cache.size(), 0u);
+    }
+    DiskResultCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 0u);
+    EXPECT_FALSE(reopened.stats().versionMismatch);
+}
+
+TEST(DiskCache, TraceOutRunsStillWarmTheCache)
+{
+    const std::string dir = freshDir("trace_out");
+
+    Session first;
+    first.attachDiskCache(dir);
+    const auto request = first.request()
+                             .gemm(kernels::GemmDims{32, 32, 128})
+                             .engine("VEGETA-S-2-2")
+                             .pattern(2)
+                             .build();
+    ASSERT_TRUE(request.has_value());
+    cpu::Trace trace;
+    const auto with_trace = first.run(*request, &trace);
+    EXPECT_FALSE(trace.empty());
+
+    // The trace-saving run paid the generation pass, but its result
+    // still landed in the persistent cache.
+    Session second;
+    second.attachDiskCache(dir);
+    const auto warm = second.run(*request);
+    expectIdentical(warm, with_trace);
+    EXPECT_EQ(second.simulationsPerformed(), 0u);
+}
+
+TEST(DiskCache, TwoSequentialSessionsShareResults)
+{
+    const std::string dir = freshDir("sessions");
+
+    Session first;
+    first.attachDiskCache(dir);
+    const auto request = first.request()
+                             .gemm(kernels::GemmDims{32, 32, 128})
+                             .engine("VEGETA-S-2-2")
+                             .pattern(2)
+                             .build();
+    ASSERT_TRUE(request.has_value());
+    const auto cold = first.run(*request);
+    EXPECT_EQ(first.simulationsPerformed(), 1u);
+
+    // A second Session (a "second process") on the same directory
+    // serves the request from disk without simulating anything.
+    Session second;
+    second.attachDiskCache(dir);
+    const auto warm = second.run(*request);
+    expectIdentical(warm, cold);
+    EXPECT_EQ(second.simulationsPerformed(), 0u);
+    EXPECT_EQ(second.diskCache()->stats().hits, 1u);
+}
+
+} // namespace
+} // namespace vegeta::sim

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Session/Job API tests: JobBuilder subsumes RequestBuilder
+ * validation, job keys dedupe across kinds, and runBatch over a
+ * MIXED trace+analytical job vector is bit-for-bit identical for 1
+ * and N threads, with and without the in-memory and persistent
+ * caches attached -- and a second batch against a warm on-disk cache
+ * performs zero trace replays.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/sweep.hpp"
+
+namespace vegeta::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "vegeta_session" / name;
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+void
+expectIdenticalSim(const SimulationResult &a, const SimulationResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.engine, b.engine);
+    EXPECT_EQ(a.layerN, b.layerN);
+    EXPECT_EQ(a.executedN, b.executedN);
+    EXPECT_EQ(a.outputForwarding, b.outputForwarding);
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.engineInstructions, b.engineInstructions);
+    EXPECT_EQ(a.tileComputes, b.tileComputes);
+    EXPECT_EQ(a.macUtilization, b.macUtilization);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+}
+
+void
+expectIdenticalAnalysis(const AnalyticalResult &a,
+                        const AnalyticalResult &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    ASSERT_EQ(a.columns, b.columns);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t r = 0; r < a.rows.size(); ++r) {
+        ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
+        for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
+            EXPECT_EQ(a.rows[r][c].label, b.rows[r][c].label);
+            // bit-for-bit: exact double equality.
+            EXPECT_EQ(a.rows[r][c].value, b.rows[r][c].value);
+            EXPECT_EQ(a.rows[r][c].precision, b.rows[r][c].precision);
+        }
+    }
+    EXPECT_EQ(a.notes, b.notes);
+}
+
+void
+expectIdenticalBatches(const std::vector<JobResult> &a,
+                       const std::vector<JobResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].kind, b[i].kind) << i;
+        if (a[i].kind == JobKind::Simulation)
+            expectIdenticalSim(a[i].simulation, b[i].simulation);
+        else
+            expectIdenticalAnalysis(a[i].analysis, b[i].analysis);
+    }
+}
+
+/**
+ * A mixed batch: trace simulations across engines/patterns (with
+ * duplicates, so dedupe is exercised) interleaved with analytical
+ * queries, including a parameterized Monte-Carlo one.
+ */
+std::vector<Job>
+mixedBatch(const Session &session)
+{
+    std::vector<Job> jobs;
+    auto sim_job = [&](const char *engine, u32 pattern, bool of) {
+        auto builder = session.job()
+                           .gemm(kernels::GemmDims{32, 32, 128})
+                           .engine(engine)
+                           .pattern(pattern)
+                           .outputForwarding(of);
+        auto job = builder.build();
+        EXPECT_TRUE(job.has_value()) << builder.error();
+        jobs.push_back(*job);
+    };
+    auto ana_job = [&](auto configure) {
+        auto builder = session.job();
+        configure(builder);
+        auto job = builder.build();
+        EXPECT_TRUE(job.has_value()) << builder.error();
+        jobs.push_back(*job);
+    };
+
+    sim_job("VEGETA-D-1-2", 4, false);
+    ana_job([](JobBuilder &b) { b.model("fig4-vector-vs-matrix"); });
+    sim_job("VEGETA-S-2-2", 2, true);
+    ana_job([](JobBuilder &b) {
+        b.model("dynamic-sparsity")
+            .param("registers", 16)
+            .param("trials", 64)
+            .param("density", 0.2);
+    });
+    sim_job("VEGETA-S-2-2", 2, true); // duplicate of job 2
+    ana_job([](JobBuilder &b) {
+        b.model("micro-latency").engine("VEGETA-S-16-2");
+    });
+    sim_job("VEGETA-S-16-2", 1, false);
+    ana_job([](JobBuilder &b) {
+        b.model("fig4-vector-vs-matrix"); // duplicate of job 1
+    });
+    return jobs;
+}
+
+// --- JobBuilder validation -------------------------------------------
+
+TEST(JobBuilder, SimulationJobMatchesRequestBuilder)
+{
+    const Session session;
+    auto jb = session.job()
+                  .workload("BERT-L1")
+                  .engine("VEGETA-S-16-2")
+                  .pattern(2)
+                  .outputForwarding(true);
+    const auto job = jb.build();
+    ASSERT_TRUE(job.has_value()) << jb.error();
+    ASSERT_EQ(job->kind, JobKind::Simulation);
+
+    auto rb = session.request()
+                  .workload("BERT-L1")
+                  .engine("VEGETA-S-16-2")
+                  .pattern(2)
+                  .outputForwarding(true);
+    const auto request = rb.build();
+    ASSERT_TRUE(request.has_value());
+    // Same canonical key: the two builders describe identical work.
+    EXPECT_EQ(cacheKey(job->simulation), cacheKey(*request));
+}
+
+TEST(JobBuilder, RejectsUnknownNamesEagerly)
+{
+    const Session session;
+    {
+        auto b = session.job().workload("NoSuchLayer");
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("unknown workload"),
+                  std::string::npos);
+    }
+    {
+        auto b = session.job().engine("NOPE-9000");
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("unknown engine"), std::string::npos);
+    }
+    {
+        auto b = session.job().model("no-such-model");
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("unknown analytical model"),
+                  std::string::npos);
+    }
+    {
+        auto b = session.job()
+                     .workload("BERT-L1")
+                     .engine("VEGETA-S-16-2")
+                     .pattern(3);
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("pattern"), std::string::npos);
+    }
+}
+
+TEST(JobBuilder, RejectsCrossKindMixtures)
+{
+    const Session session;
+    {
+        // A pattern on an analytical job.
+        auto b = session.job().model("fig3-roofline").pattern(2);
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("simulation jobs"),
+                  std::string::npos);
+    }
+    {
+        // A param on a simulation job.
+        auto b = session.job()
+                     .workload("BERT-L1")
+                     .engine("VEGETA-S-16-2")
+                     .param("degree", 0.95);
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("model"), std::string::npos);
+    }
+    {
+        // Two engines on a simulation job (fine for analysis).
+        auto b = session.job()
+                     .workload("BERT-L1")
+                     .engine("VEGETA-S-16-2")
+                     .engine("VEGETA-D-1-2");
+        EXPECT_FALSE(b.build().has_value());
+        EXPECT_NE(b.error().find("exactly one engine"),
+                  std::string::npos);
+    }
+    {
+        auto b = session.job()
+                     .model("fig14-area-power")
+                     .engine("VEGETA-S-16-2")
+                     .engine("VEGETA-D-1-2");
+        const auto job = b.build();
+        ASSERT_TRUE(job.has_value()) << b.error();
+        EXPECT_EQ(job->kind, JobKind::Analysis);
+        EXPECT_EQ(job->analysis.engines.size(), 2u);
+    }
+}
+
+// --- Job keys --------------------------------------------------------
+
+TEST(JobKey, DistinguishesKindsAndParameters)
+{
+    const Session session;
+    const auto sim_job = session.job()
+                             .workload("quick-small")
+                             .engine("VEGETA-S-2-2")
+                             .build();
+    ASSERT_TRUE(sim_job.has_value());
+
+    auto ana = session.job().model("fig15-unstructured");
+    const auto ana_job = ana.build();
+    ASSERT_TRUE(ana_job.has_value());
+    EXPECT_NE(jobKey(*sim_job), jobKey(*ana_job));
+
+    auto ana2 = session.job()
+                    .model("fig15-unstructured")
+                    .param("degree", 0.95);
+    const auto ana_job2 = ana2.build();
+    EXPECT_NE(jobKey(*ana_job), jobKey(*ana_job2));
+
+    auto ana3 = session.job()
+                    .model("fig15-unstructured")
+                    .param("degree", 0.95);
+    EXPECT_EQ(jobKey(*ana_job2), jobKey(*ana3.build()));
+}
+
+// --- Session::run(Job) -----------------------------------------------
+
+TEST(Session, JobRunMatchesTypedEntryPoints)
+{
+    const Session session;
+    const auto sim_job = session.job()
+                             .workload("quick-small")
+                             .engine("VEGETA-S-2-2")
+                             .pattern(2)
+                             .build();
+    ASSERT_TRUE(sim_job.has_value());
+    const auto via_job = session.run(*sim_job);
+    ASSERT_EQ(via_job.kind, JobKind::Simulation);
+    expectIdenticalSim(via_job.simulation,
+                       session.run(sim_job->simulation));
+
+    auto ana = session.job()
+                   .model("fig14-area-power")
+                   .engine("VEGETA-S-16-2");
+    const auto ana_job = ana.build();
+    ASSERT_TRUE(ana_job.has_value());
+    const auto via_ana = session.run(*ana_job);
+    ASSERT_EQ(via_ana.kind, JobKind::Analysis);
+    expectIdenticalAnalysis(via_ana.analysis,
+                            session.analyze(ana_job->analysis));
+}
+
+// --- runBatch --------------------------------------------------------
+
+TEST(Session, MixedBatchBitIdenticalAcrossThreadsAndCaches)
+{
+    const Session plain;
+    const auto jobs = mixedBatch(plain);
+    const auto reference = plain.runBatch(jobs, 1);
+
+    // Threads.
+    expectIdenticalBatches(plain.runBatch(jobs, 4), reference);
+
+    // In-memory cache.
+    Session cached;
+    cached.enableCache();
+    expectIdenticalBatches(cached.runBatch(jobs, 1), reference);
+    expectIdenticalBatches(cached.runBatch(jobs, 4), reference);
+
+    // Persistent cache (cold, then warm, single- and multi-threaded).
+    Session disk;
+    disk.attachDiskCache(freshDir("mixed_batch"));
+    ASSERT_TRUE(disk.diskCache()->ok());
+    expectIdenticalBatches(disk.runBatch(jobs, 4), reference);
+    expectIdenticalBatches(disk.runBatch(jobs, 1), reference);
+}
+
+TEST(Session, BatchDedupeRunsUniqueJobsOnce)
+{
+    Session session;
+    const auto cache = session.enableCache();
+    const auto jobs = mixedBatch(session);
+    session.runBatch(jobs, 4);
+    // mixedBatch holds 3 unique trace jobs (one duplicated): each
+    // simulates exactly once.
+    EXPECT_EQ(session.simulationsPerformed(), 3u);
+    EXPECT_EQ(cache->stats().insertions, 3u);
+}
+
+TEST(Session, WarmDiskCacheSkipsEveryTraceReplay)
+{
+    const std::string dir = freshDir("warm_sweep");
+
+    // Cold run: a first session populates the persistent cache.
+    Session cold;
+    cold.attachDiskCache(dir);
+    ASSERT_TRUE(cold.diskCache()->ok());
+    const auto jobs = mixedBatch(cold);
+    const auto cold_results = cold.runBatch(jobs, 4);
+    EXPECT_EQ(cold.simulationsPerformed(), 3u);
+
+    // Warm run: a second session (fresh process in real life) runs
+    // the same sweep against the same directory -- ZERO trace
+    // replays, and bit-identical output.
+    Session warm;
+    warm.attachDiskCache(dir);
+    const auto warm_results = warm.runBatch(jobs, 4);
+    expectIdenticalBatches(warm_results, cold_results);
+    EXPECT_EQ(warm.simulationsPerformed(), 0u);
+    const auto stats = warm.diskCache()->stats();
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(Session, RequestOverloadMatchesSweepRunnerShim)
+{
+    const Session session;
+    std::vector<SimulationRequest> requests;
+    for (const char *engine : {"VEGETA-D-1-2", "VEGETA-S-2-2"}) {
+        const auto request = session.request()
+                                 .workload("quick-small")
+                                 .engine(engine)
+                                 .pattern(2)
+                                 .build();
+        ASSERT_TRUE(request.has_value());
+        requests.push_back(*request);
+    }
+    const auto direct = session.runBatch(requests, 2);
+    const auto shim = SweepRunner(session, 2).run(requests);
+    ASSERT_EQ(direct.size(), shim.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        expectIdenticalSim(direct[i], shim[i]);
+}
+
+TEST(Session, JobErrorChecksBothKinds)
+{
+    const Session session;
+    Job bad_sim;
+    bad_sim.kind = JobKind::Simulation;
+    bad_sim.simulation.engine = "NOPE-9000";
+    bad_sim.simulation.gemm = {32, 32, 64};
+    ASSERT_TRUE(session.jobError(bad_sim).has_value());
+
+    Job bad_ana;
+    bad_ana.kind = JobKind::Analysis;
+    bad_ana.analysis.model = "no-such-model";
+    ASSERT_TRUE(session.jobError(bad_ana).has_value());
+
+    const auto good = session.job()
+                          .gemm(kernels::GemmDims{32, 32, 64})
+                          .engine("VEGETA-D-1-2")
+                          .build();
+    ASSERT_TRUE(good.has_value());
+    EXPECT_FALSE(session.jobError(*good).has_value());
+}
+
+} // namespace
+} // namespace vegeta::sim
