@@ -9,6 +9,9 @@
  *  - single-stream streaming simulation (kernel generator emitting
  *    straight into the replayer, no materialized trace),
  *  - a thread-pooled Session::runBatch grid (uops/sec),
+ *  - the same grid sharded over worker PROCESSES (ProcessPool) at
+ *    several worker counts -- the pooled-sweep scaling row (workers
+ *    re-enter this binary through the hidden "worker" argv token),
  *  - peak RSS before and after materializing the largest trace (the
  *    streaming path's memory does not scale with trace length).
  *
@@ -42,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/pool.hpp"
 #include "sim/session.hpp"
 
 namespace {
@@ -275,6 +279,12 @@ entryCommit(const std::string &entry)
 int
 main(int argc, char **argv)
 {
+    // Hidden pool-worker re-entry: the pooled-sweep measurement forks
+    // this binary back into itself with a shard file.
+    if (argc > 1 && std::string(argv[1]) == "worker")
+        return sim::poolWorkerMain(
+            std::vector<std::string>(argv + 2, argv + argc));
+
     bool smoke = false;
     std::string out_path = "BENCH_replay.json";
     std::string baseline_path;
@@ -417,6 +427,56 @@ main(int argc, char **argv)
                 grid.size(), sweep_threads, sweep_secs,
                 sweep_uops / sweep_secs / 1e6);
 
+    // Pooled-sweep scaling row: the same grid sharded over worker
+    // processes (each worker single-threaded so the row isolates
+    // process-level scaling).  No cache dir: every point is a cold
+    // compute, comparable across worker counts.
+    struct PoolPoint
+    {
+        u32 workers;
+        double seconds;
+        double uopsPerSec;
+    };
+    std::vector<sim::Job> pool_jobs;
+    pool_jobs.reserve(grid.size());
+    for (const auto &request : grid)
+        pool_jobs.push_back(sim::Job::simulate(request));
+    std::vector<PoolPoint> pool_points;
+    for (const u32 workers :
+         smoke ? std::vector<u32>{1, 2} : std::vector<u32>{1, 2, 4}) {
+        sim::PoolOptions options;
+        options.workers = workers;
+        options.threadsPerWorker = 1;
+        double best_secs = 0;
+        u64 pool_uops = 0;
+        const int pool_reps = smoke ? 1 : 2;
+        for (int r = 0; r < pool_reps; ++r) {
+            const auto t0 = Clock::now();
+            const auto pooled =
+                simulator.runBatchPooled(pool_jobs, options);
+            const auto t1 = Clock::now();
+            if (!pooled.ok) {
+                std::cerr << "pooled sweep failed: " << pooled.error
+                          << "\n";
+                return 2;
+            }
+            u64 uops = 0;
+            for (const auto &res : pooled.results)
+                uops += res.simulation.instructions;
+            const double secs = seconds(t0, t1);
+            if (best_secs == 0 || secs < best_secs) {
+                best_secs = secs;
+                pool_uops = uops;
+            }
+        }
+        pool_points.push_back(
+            {workers, best_secs, pool_uops / best_secs});
+        std::printf("pool : %zu requests, %u workers, %.3fs best, "
+                    "%.2f Muops/s\n",
+                    grid.size(), workers,
+                    best_secs, pool_uops / best_secs / 1e6);
+    }
+
     // One trajectory entry, compact (a single line) so the committed
     // file stays an append-only, diff-friendly series.
     if (commit.empty())
@@ -442,7 +502,14 @@ main(int argc, char **argv)
           << grid.size() << ", \"threads\": " << sweep_threads
           << ", \"seconds\": " << sweep_secs
           << ", \"uops_per_sec\": " << sweep_uops / sweep_secs
-          << "}, \"memory_probe_uops\": " << big.uops
+          << "}, \"pool_sweep\": [";
+    for (std::size_t i = 0; i < pool_points.size(); ++i)
+        entry << (i ? ", " : "") << "{\"workers\": "
+              << pool_points[i].workers
+              << ", \"seconds\": " << pool_points[i].seconds
+              << ", \"uops_per_sec\": " << pool_points[i].uopsPerSec
+              << "}";
+    entry << "], \"memory_probe_uops\": " << big.uops
           << ", \"stream_peak_rss_bytes\": " << stream_peak_rss
           << ", \"batch_peak_rss_bytes\": " << batch_peak_rss << "}";
 

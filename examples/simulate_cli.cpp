@@ -12,21 +12,29 @@
  *   simulate_cli cache   persistent result-cache stats / clear
  *
  * `run` and `sweep` accept --cache-dir DIR to attach the Session's
- * persistent result cache; `cache stats` prints its counters as JSON.
- * Every numeric flag goes through the strict sim parsers (parseU32 /
- * parseGemmSpec): garbage or negative values are errors, never
- * silently-zero atoi results.
+ * persistent result cache; `cache stats` prints its counters as JSON
+ * and `cache prune` bounds the file under --max-bytes/--max-entries.
+ * `sweep --workers N` shards the grid over N forked worker processes
+ * (sim/pool.hpp) that re-enter this binary through the hidden
+ * `worker` subcommand and share the --cache-dir; the merged output
+ * is byte-identical to the single-process sweep.  Every numeric flag
+ * goes through the strict sim parsers (parseU32 / parseGemmSpec):
+ * garbage or negative values are errors, never silently-zero atoi
+ * results.
  *
  * Flag-style invocations without a subcommand (`simulate_cli
  * --workload ...`) are deprecated but still route to `run`.
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cpu/trace_io.hpp"
+#include "sim/pool.hpp"
+#include "sim/serial.hpp"
 #include "sim/session.hpp"
 
 namespace {
@@ -50,7 +58,8 @@ usage(std::ostream &os)
           "  analyze  evaluate an analytical model\n"
           "  sweep    run a workload x pattern x engine grid\n"
           "  list     list workloads, engines, and models\n"
-          "  cache    persistent-cache maintenance (stats|clear)\n"
+          "  cache    persistent-cache maintenance "
+          "(stats|clear|prune)\n"
           "\n"
           "run options:\n"
           "  --workload NAME     a Table IV layer (default GPT-L1)\n"
@@ -82,12 +91,19 @@ usage(std::ostream &os)
           "  --pattern N         layer pattern (repeatable, default "
           "4 2 1)\n"
           "  --threads N         worker threads (default hardware)\n"
+          "  --workers N         shard over N worker processes\n"
+          "                      (byte-identical to single-process)\n"
           "  --cache-dir DIR     attach the persistent result cache\n"
+          "                      (shared by all pool workers)\n"
           "  --csv | --json      machine-readable output\n"
           "\n"
           "cache options:\n"
-          "  stats | clear       action\n"
-          "  --cache-dir DIR     cache directory (required)\n";
+          "  stats | clear | prune   action\n"
+          "  --cache-dir DIR     cache directory (required)\n"
+          "  --max-bytes N       prune: keep newest entries <= N "
+          "bytes\n"
+          "  --max-entries N     prune: keep at most N newest "
+          "entries\n";
 }
 
 /** Strict double parse: the whole string must be one number. */
@@ -419,6 +435,7 @@ cmdSweep(Args args)
     std::vector<std::string> workload_names, engine_names;
     std::vector<u32> patterns;
     u32 threads = 0;
+    u32 workers = 0;
     std::string cache_dir;
     OutputFormat format = OutputFormat::Text;
 
@@ -442,6 +459,16 @@ cmdSweep(Args args)
                 return 1;
             }
             threads = *parsed;
+        } else if (arg == "--workers") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --workers expects a positive "
+                             "integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            workers = *parsed;
         } else if (arg == "--cache-dir") {
             cache_dir = args.value(arg);
         } else if (arg == "--csv") {
@@ -460,11 +487,24 @@ cmdSweep(Args args)
     sim::Session session;
     session.enableCache();
     if (!cache_dir.empty()) {
-        const auto disk = session.attachDiskCache(cache_dir);
-        if (!disk->ok()) {
-            std::cerr << "cannot open cache dir: " << cache_dir
-                      << "\n";
-            return 2;
+        if (workers > 0) {
+            // Pooled mode: the WORKERS open the shared cache; the
+            // parent only checks the directory is usable instead of
+            // loading a potentially large file it would never read.
+            std::error_code ec;
+            std::filesystem::create_directories(cache_dir, ec);
+            if (ec || !std::filesystem::is_directory(cache_dir)) {
+                std::cerr << "cannot open cache dir: " << cache_dir
+                          << "\n";
+                return 2;
+            }
+        } else {
+            const auto disk = session.attachDiskCache(cache_dir);
+            if (!disk->ok()) {
+                std::cerr << "cannot open cache dir: " << cache_dir
+                          << "\n";
+                return 2;
+            }
         }
     }
 
@@ -499,7 +539,35 @@ cmdSweep(Args args)
 
     const auto grid = sim::figure13Grid(session, workload_names,
                                         engine_names, patterns);
-    const auto results = session.runBatch(grid, threads);
+
+    std::vector<sim::SimulationResult> results;
+    u64 simulated = 0;
+    if (workers > 0) {
+        // Pooled path: shard the grid over forked worker processes
+        // re-entering this binary via the hidden `worker` subcommand.
+        // The merged batch is byte-identical to the in-process sweep.
+        std::vector<sim::Job> jobs;
+        jobs.reserve(grid.size());
+        for (const auto &request : grid)
+            jobs.push_back(sim::Job::simulate(request));
+        sim::PoolOptions options;
+        options.workers = workers;
+        options.cacheDir = cache_dir;
+        options.threadsPerWorker = threads;
+        const auto pooled = session.runBatchPooled(jobs, options);
+        if (!pooled.ok) {
+            std::cerr << "error: pooled sweep failed: " << pooled.error
+                      << "\n";
+            return 2;
+        }
+        results.reserve(pooled.results.size());
+        for (const auto &result : pooled.results)
+            results.push_back(result.simulation);
+        simulated = pooled.stats.simulationsPerformed;
+    } else {
+        results = session.runBatch(grid, threads);
+        simulated = session.simulationsPerformed();
+    }
 
     switch (format) {
       case OutputFormat::Text:
@@ -512,9 +580,15 @@ cmdSweep(Args args)
         sim::writeJson(std::cout, results);
         break;
     }
-    std::cerr << "sweep: " << grid.size() << " requests, "
-              << session.simulationsPerformed() << " simulated\n";
-    reportDiskCache(session);
+    std::cerr << "sweep: " << grid.size() << " requests, " << simulated
+              << " simulated";
+    if (workers > 0)
+        std::cerr << " across " << workers << " workers";
+    std::cerr << "\n";
+    // In pooled mode the cache traffic happened in the workers; the
+    // parent's view would read 0/0 regardless, so say nothing.
+    if (workers == 0)
+        reportDiskCache(session);
     return 0;
 }
 
@@ -620,10 +694,23 @@ int
 cmdCache(Args args)
 {
     std::string action, cache_dir;
+    std::optional<u64> max_bytes, max_entries;
     while (!args.done()) {
         const std::string arg = args.take();
         if (arg == "--cache-dir") {
             cache_dir = args.value(arg);
+        } else if (arg == "--max-bytes" || arg == "--max-entries") {
+            const std::string text = args.value(arg);
+            // Full u64 range: a multi-GiB byte budget is reasonable
+            // for a grow-forever cache file.
+            u64 parsed;
+            if (!sim::serial::parseU64(text, &parsed)) {
+                std::cerr << "error: " << arg
+                          << " expects a non-negative integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            (arg == "--max-bytes" ? max_bytes : max_entries) = parsed;
         } else if (arg == "--help") {
             usage(std::cout);
             return 0;
@@ -634,13 +721,19 @@ cmdCache(Args args)
             return 1;
         }
     }
-    if (action != "stats" && action != "clear") {
-        std::cerr << "error: cache expects 'stats' or 'clear' (got '"
+    if (action != "stats" && action != "clear" && action != "prune") {
+        std::cerr << "error: cache expects 'stats', 'clear', or "
+                     "'prune' (got '"
                   << action << "')\n";
         return 1;
     }
     if (cache_dir.empty()) {
         std::cerr << "error: cache needs --cache-dir DIR\n";
+        return 1;
+    }
+    if (action == "prune" && !max_bytes && !max_entries) {
+        std::cerr << "error: cache prune needs --max-bytes and/or "
+                     "--max-entries\n";
         return 1;
     }
 
@@ -657,9 +750,21 @@ cmdCache(Args args)
                   << "\", \"cleared_entries\": " << dropped << "}\n";
         return 0;
     }
+    if (action == "prune") {
+        const auto pruned = cache.prune(max_bytes, max_entries);
+        std::cout << "{\"path\": \""
+                  << sim::jsonEscape(cache.filePath())
+                  << "\", \"kept_entries\": " << pruned.kept
+                  << ", \"dropped_entries\": " << pruned.dropped
+                  << ", \"file_bytes\": " << pruned.fileBytes << "}\n";
+        return 0;
+    }
     const auto stats = cache.stats();
     std::cout << "{\"path\": \"" << sim::jsonEscape(cache.filePath())
               << "\", \"entries\": " << cache.size()
+              << ", \"simulation_entries\": " << stats.simulationEntries
+              << ", \"analysis_entries\": " << stats.analysisEntries
+              << ", \"file_bytes\": " << stats.fileBytes
               << ", \"loaded\": " << stats.loaded
               << ", \"rejected_records\": " << stats.rejected
               << ", \"version_mismatch\": "
@@ -682,6 +787,15 @@ main(int argc, char **argv)
     }
 
     const std::string command = args.take();
+    if (command == "worker") {
+        // Hidden: the process-pool re-enters this binary here with a
+        // shard file written by `sweep --workers` (sim/pool.hpp).
+        return sim::poolWorkerMain(args.argv.size() > 1
+                                       ? std::vector<std::string>(
+                                             args.argv.begin() + 1,
+                                             args.argv.end())
+                                       : std::vector<std::string>{});
+    }
     if (command == "run")
         return cmdRun(std::move(args));
     if (command == "analyze")

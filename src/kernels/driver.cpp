@@ -2,7 +2,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
-#include "sim/sweep.hpp"
+#include "sim/session.hpp"
 
 namespace vegeta::kernels {
 
@@ -42,7 +42,7 @@ figure13Sweep(const std::vector<Workload> &workloads,
 {
     // Delegate to the sim facade: registries built from the caller's
     // sets, the grid in the paper's (workload, pattern, engine, OF)
-    // order, executed on the parallel SweepRunner.
+    // order, executed on one parallel Session batch.
     sim::EngineRegistry engine_reg;
     std::vector<std::string> engine_names;
     for (const auto &engine : engines) {
@@ -56,11 +56,11 @@ figure13Sweep(const std::vector<Workload> &workloads,
         workload_names.push_back(workload.name);
     }
 
-    const sim::Simulator simulator(std::move(engine_reg),
-                                   std::move(workload_reg));
-    const auto grid = sim::figure13Grid(simulator, workload_names,
+    const sim::Session session(std::move(engine_reg),
+                               std::move(workload_reg));
+    const auto grid = sim::figure13Grid(session, workload_names,
                                         engine_names, layer_ns);
-    const auto results = sim::SweepRunner(simulator).run(grid);
+    const auto results = session.runBatch(grid);
 
     std::vector<Measurement> out;
     out.reserve(results.size());

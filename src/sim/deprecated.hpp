@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The single compile-time deprecation path for facade shims.
+ *
+ * Every deprecated spelling (sim/simulator.hpp's `Simulator`,
+ * sim/sweep.hpp's `SweepRunner`) announces itself through the one
+ * macro below, so "how do shims warn" has exactly one answer and one
+ * off switch: define VEGETA_SIM_SILENCE_DEPRECATION before including
+ * a shim header (or with -D) to silence the notes, e.g. in the tests
+ * that deliberately pin shim behavior.
+ */
+
+#ifndef VEGETA_SIM_DEPRECATED_HPP
+#define VEGETA_SIM_DEPRECATED_HPP
+
+#if defined(VEGETA_SIM_SILENCE_DEPRECATION)
+#define VEGETA_SIM_DEPRECATION_NOTE(message_text)
+#else
+#define VEGETA_SIM_STRINGIFY_IMPL_(x) #x
+#define VEGETA_SIM_DEPRECATION_NOTE(message_text)                      \
+    _Pragma(VEGETA_SIM_STRINGIFY_IMPL_(message(message_text)))
+#endif
+
+#endif // VEGETA_SIM_DEPRECATED_HPP

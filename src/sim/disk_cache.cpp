@@ -1,167 +1,122 @@
 #include "sim/disk_cache.hpp"
 
-#include <bit>
-#include <cstdio>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
-#include <sstream>
-#include <vector>
+
+#include "sim/serial.hpp"
 
 namespace vegeta::sim {
 
 namespace {
 
-/** Record fields, in file order (after the key, with checksum). */
-constexpr std::size_t kFieldCount = 15;
+/** Record type tags, the first field of every v2 line. */
+constexpr const char *kSimTag = "S";
+constexpr const char *kAnaTag = "A";
 
-/** FNV-1a over a record's pre-checksum text. */
-u64
-recordChecksum(const std::string &text)
-{
-    u64 hash = 0xcbf29ce484222325ull;
-    for (const char c : text)
-        hash = (hash ^ static_cast<unsigned char>(c)) *
-               0x100000001b3ull;
-    return hash;
-}
-
-/** Strict u64 parse: decimal digits only, no sign, no garbage. */
-bool
-parseU64Field(const std::string &text, u64 *out)
-{
-    if (text.empty() || text.size() > 20)
-        return false;
-    u64 value = 0;
-    for (const char c : text) {
-        if (c < '0' || c > '9')
-            return false;
-        const u64 next = value * 10 + static_cast<u64>(c - '0');
-        if (next < value)
-            return false;
-        value = next;
-    }
-    *out = value;
-    return true;
-}
-
-/** Strict hex u64 parse (the macUtilization bit pattern). */
-bool
-parseHexField(const std::string &text, u64 *out)
-{
-    if (text.empty() || text.size() > 16)
-        return false;
-    u64 value = 0;
-    for (const char c : text) {
-        u64 digit;
-        if (c >= '0' && c <= '9')
-            digit = static_cast<u64>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            digit = static_cast<u64>(c - 'a') + 10;
-        else
-            return false;
-        value = (value << 4) | digit;
-    }
-    *out = value;
-    return true;
-}
-
-std::vector<std::string>
-splitTabs(const std::string &line)
-{
-    std::vector<std::string> fields;
-    std::size_t start = 0;
-    for (;;) {
-        const std::size_t tab = line.find('\t', start);
-        if (tab == std::string::npos) {
-            fields.push_back(line.substr(start));
-            return fields;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-}
-
-/** One record as a line: key + result fields, tab-separated. */
+/** One simulation record as a line: tag, key, result, checksum. */
 std::string
-formatRecord(const std::string &key, const SimulationResult &r)
+formatSimRecord(const std::string &key, const SimulationResult &r)
 {
-    std::ostringstream os;
-    char util[24];
-    std::snprintf(util, sizeof(util), "%016llx",
-                  static_cast<unsigned long long>(
-                      std::bit_cast<u64>(r.macUtilization)));
-    os << key << '\t' << r.workload << '\t' << r.engine << '\t'
-       << r.layerN << '\t' << r.executedN << '\t'
-       << (r.outputForwarding ? 1 : 0) << '\t' << r.kernel << '\t'
-       << r.coreCycles << '\t' << r.instructions << '\t'
-       << r.engineInstructions << '\t' << r.tileComputes << '\t'
-       << util << '\t' << r.cacheHits << '\t' << r.cacheMisses;
-    // Trailing checksum: bit rot inside a value field must reject
-    // the record (a miss), never surface as a wrong cached result.
-    char sum[24];
-    std::snprintf(sum, sizeof(sum), "%016llx",
-                  static_cast<unsigned long long>(
-                      recordChecksum(os.str())));
-    os << '\t' << sum;
-    return os.str();
+    serial::FieldWriter writer;
+    writer.raw(kSimTag).str(key);
+    serial::appendSimulationResult(writer, r);
+    return writer.line();
 }
 
-/** Parse one record line; false (and no side effects) on corruption. */
-bool
-parseRecord(const std::string &line, std::string *key,
-            SimulationResult *result)
+/** One analytical record as a line: tag, key, result, checksum. */
+std::string
+formatAnaRecord(const std::string &key, const AnalyticalResult &r)
 {
-    const auto fields = splitTabs(line);
-    if (fields.size() != kFieldCount || fields[0].empty())
-        return false;
-
-    u64 checksum;
-    if (!parseHexField(fields[14], &checksum))
-        return false;
-    const std::size_t body_len =
-        line.size() - fields[14].size() - 1; // minus "\t<sum>"
-    if (checksum != recordChecksum(line.substr(0, body_len)))
-        return false;
-
-    u64 layer_n, executed_n, of, core_cycles, instructions;
-    u64 engine_instructions, tile_computes, util_bits, hits, misses;
-    if (!parseU64Field(fields[3], &layer_n) ||
-        !parseU64Field(fields[4], &executed_n) ||
-        !parseU64Field(fields[5], &of) || of > 1 ||
-        !parseU64Field(fields[7], &core_cycles) ||
-        !parseU64Field(fields[8], &instructions) ||
-        !parseU64Field(fields[9], &engine_instructions) ||
-        !parseU64Field(fields[10], &tile_computes) ||
-        !parseHexField(fields[11], &util_bits) ||
-        !parseU64Field(fields[12], &hits) ||
-        !parseU64Field(fields[13], &misses))
-        return false;
-    if (layer_n > 0xffffffffULL || executed_n > 0xffffffffULL)
-        return false;
-
-    *key = fields[0];
-    result->workload = fields[1];
-    result->engine = fields[2];
-    result->layerN = static_cast<u32>(layer_n);
-    result->executedN = static_cast<u32>(executed_n);
-    result->outputForwarding = of != 0;
-    result->kernel = fields[6];
-    result->coreCycles = core_cycles;
-    result->instructions = instructions;
-    result->engineInstructions = engine_instructions;
-    result->tileComputes = tile_computes;
-    result->macUtilization = std::bit_cast<double>(util_bits);
-    result->cacheHits = hits;
-    result->cacheMisses = misses;
-    return true;
+    serial::FieldWriter writer;
+    writer.raw(kAnaTag).str(key);
+    serial::appendAnalyticalResult(writer, r);
+    return writer.line();
 }
+
+/**
+ * RAII exclusive flock over the backing file, creating it as needed.
+ * Concurrent writer processes (pool workers sharing one cache dir)
+ * serialize on this lock, so records are appended whole -- the
+ * explicit spelling of the "concurrent first-insert-wins appends are
+ * safe" guarantee.
+ */
+class LockedFile
+{
+  public:
+    explicit LockedFile(const std::string &path)
+    {
+        fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~LockedFile()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    /** Size of the locked file (0 on error). */
+    u64 size() const
+    {
+        struct stat st = {};
+        if (::fstat(fd_, &st) != 0)
+            return 0;
+        return static_cast<u64>(st.st_size);
+    }
+
+    /** Append the whole text at the end (short writes retried). */
+    bool append(const std::string &text)
+    {
+        if (::lseek(fd_, 0, SEEK_END) < 0)
+            return false;
+        return writeAll(text);
+    }
+
+    /** Replace the whole contents with text. */
+    bool replace(const std::string &text)
+    {
+        if (::ftruncate(fd_, 0) != 0 ||
+            ::lseek(fd_, 0, SEEK_SET) < 0)
+            return false;
+        return writeAll(text);
+    }
+
+  private:
+    bool writeAll(const std::string &text)
+    {
+        const char *data = text.data();
+        std::size_t left = text.size();
+        while (left > 0) {
+            const ssize_t n = ::write(fd_, data, left);
+            if (n <= 0)
+                return false;
+            data += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    int fd_ = -1;
+};
 
 } // namespace
 
 const char *
 DiskResultCache::formatHeader()
 {
-    return "vegeta-result-cache v1";
+    return "vegeta-result-cache v2";
 }
 
 DiskResultCache::DiskResultCache(const std::string &directory)
@@ -185,8 +140,9 @@ DiskResultCache::load()
 
     std::string line;
     if (!std::getline(is, line) || line != formatHeader()) {
-        // Unknown or future format: never guess at its records.  The
-        // file is rewritten wholesale on the next insert.
+        // Unknown, old, or future format: never guess at its
+        // records.  The file is rewritten wholesale on the next
+        // insert.
         version_mismatch_ = true;
         needs_rewrite_ = true;
         return;
@@ -194,14 +150,43 @@ DiskResultCache::load()
     while (std::getline(is, line)) {
         if (line.empty())
             continue;
-        std::string key;
-        SimulationResult result;
-        if (!parseRecord(line, &key, &result)) {
+        auto fields = serial::checkedFields(line);
+        if (!fields) {
             ++rejected_; // truncated tail or bit rot: a miss, not an
             continue;    // error -- the entry just re-simulates
         }
-        if (entries_.emplace(std::move(key), std::move(result)).second)
-            ++loaded_;
+        serial::FieldReader reader(std::move(*fields));
+        const std::string tag = reader.raw();
+        const std::string key = reader.str();
+        if (!reader.ok() || key.empty()) {
+            ++rejected_;
+            continue;
+        }
+        if (tag == kSimTag) {
+            SimulationResult result;
+            if (!serial::readSimulationResult(reader, &result) ||
+                !reader.done()) {
+                ++rejected_;
+                continue;
+            }
+            if (entries_.emplace(key, std::move(result)).second) {
+                order_.emplace_back(RecordKind::Simulation, key);
+                ++loaded_;
+            }
+        } else if (tag == kAnaTag) {
+            AnalyticalResult result;
+            if (!serial::readAnalyticalResult(reader, &result) ||
+                !reader.done()) {
+                ++rejected_;
+                continue;
+            }
+            if (analyses_.emplace(key, std::move(result)).second) {
+                order_.emplace_back(RecordKind::Analysis, key);
+                ++loaded_;
+            }
+        } else {
+            ++rejected_;
+        }
     }
 }
 
@@ -225,48 +210,90 @@ DiskResultCache::insert(const std::string &key,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!entries_.emplace(key, result).second)
         return;
+    order_.emplace_back(RecordKind::Simulation, key);
     ++insertions_;
     if (needs_rewrite_) {
         if (rewriteLocked())
             needs_rewrite_ = false;
     } else {
-        appendLocked(key, result);
+        appendRecordLocked(formatSimRecord(key, result));
     }
+}
+
+std::optional<AnalyticalResult>
+DiskResultCache::findAnalysis(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = analyses_.find(key);
+    if (it == analyses_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+DiskResultCache::insertAnalysis(const std::string &key,
+                                const AnalyticalResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!analyses_.emplace(key, result).second)
+        return;
+    order_.emplace_back(RecordKind::Analysis, key);
+    ++insertions_;
+    if (needs_rewrite_) {
+        if (rewriteLocked())
+            needs_rewrite_ = false;
+    } else {
+        appendRecordLocked(formatAnaRecord(key, result));
+    }
+}
+
+std::string
+DiskResultCache::formatEntryLocked(RecordKind kind,
+                                   const std::string &key) const
+{
+    if (kind == RecordKind::Simulation)
+        return formatSimRecord(key, entries_.at(key));
+    return formatAnaRecord(key, analyses_.at(key));
 }
 
 bool
 DiskResultCache::rewriteLocked()
 {
-    std::ofstream os(file_, std::ios::trunc);
-    if (!os)
-        return false;
-    os << formatHeader() << '\n';
-    for (const auto &[key, result] : entries_)
-        os << formatRecord(key, result) << '\n';
-    os.flush();
-    return static_cast<bool>(os);
+    std::string text = formatHeader();
+    text += '\n';
+    for (const auto &[kind, key] : order_) {
+        text += formatEntryLocked(kind, key);
+        text += '\n';
+    }
+    LockedFile file(file_);
+    return file.ok() && file.replace(text);
 }
 
 bool
-DiskResultCache::appendLocked(const std::string &key,
-                              const SimulationResult &result)
+DiskResultCache::appendRecordLocked(const std::string &record)
 {
-    const bool fresh = !std::filesystem::exists(file_);
-    std::ofstream os(file_, std::ios::app);
-    if (!os)
+    LockedFile file(file_);
+    if (!file.ok())
         return false;
-    if (fresh)
-        os << formatHeader() << '\n';
-    os << formatRecord(key, result) << '\n';
-    os.flush();
-    return static_cast<bool>(os);
+    // The header check happens under the lock, so of N concurrent
+    // writer processes racing to create the file exactly one writes
+    // the header.
+    std::string text;
+    if (file.size() == 0)
+        text = std::string(formatHeader()) + '\n';
+    text += record;
+    text += '\n';
+    return file.append(text);
 }
 
 std::size_t
 DiskResultCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
+    return entries_.size() + analyses_.size();
 }
 
 void
@@ -274,10 +301,68 @@ DiskResultCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    analyses_.clear();
+    order_.clear();
     // If truncation fails the stale file still holds every record:
     // keep the rewrite pending so the next insert retries it rather
     // than appending to (and thereby resurrecting) the old contents.
     needs_rewrite_ = !rewriteLocked();
+}
+
+DiskCachePrune
+DiskResultCache::prune(std::optional<u64> max_bytes,
+                       std::optional<u64> max_entries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    DiskCachePrune pruned;
+
+    // Walk newest-to-oldest accumulating record sizes; the kept set
+    // is the longest most-recent suffix fitting both budgets.
+    const u64 header_bytes =
+        static_cast<u64>(std::string(formatHeader()).size()) + 1;
+    u64 bytes = header_bytes;
+    std::size_t keep_from = order_.size();
+    while (keep_from > 0) {
+        const auto &[kind, key] = order_[keep_from - 1];
+        const u64 record_bytes =
+            static_cast<u64>(formatEntryLocked(kind, key).size()) + 1;
+        const u64 kept_count = order_.size() - keep_from + 1;
+        if (max_entries && kept_count > *max_entries)
+            break;
+        if (max_bytes && bytes + record_bytes > *max_bytes)
+            break;
+        bytes += record_bytes;
+        --keep_from;
+    }
+
+    pruned.dropped = keep_from;
+    pruned.kept = order_.size() - keep_from;
+    for (std::size_t i = 0; i < keep_from; ++i) {
+        const auto &[kind, key] = order_[i];
+        if (kind == RecordKind::Simulation)
+            entries_.erase(key);
+        else
+            analyses_.erase(key);
+    }
+    order_.erase(order_.begin(),
+                 order_.begin() +
+                     static_cast<std::ptrdiff_t>(keep_from));
+    // Compact also when nothing was dropped but the physical file is
+    // bigger than the kept set -- duplicate lines from concurrent
+    // appenders or rejected records would otherwise keep the file
+    // over a byte budget the entries themselves fit in.
+    if (keep_from > 0 || fileBytesLocked() > bytes)
+        needs_rewrite_ = !rewriteLocked();
+    pruned.fileBytes = fileBytesLocked();
+    return pruned;
+}
+
+u64
+DiskResultCache::fileBytesLocked() const
+{
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(file_, ec);
+    return ec ? 0 : static_cast<u64>(bytes);
 }
 
 DiskCacheStats
@@ -291,6 +376,9 @@ DiskResultCache::stats() const
     stats.loaded = loaded_;
     stats.rejected = rejected_;
     stats.versionMismatch = version_mismatch_;
+    stats.simulationEntries = entries_.size();
+    stats.analysisEntries = analyses_.size();
+    stats.fileBytes = fileBytesLocked();
     return stats;
 }
 

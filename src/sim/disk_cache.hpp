@@ -3,20 +3,29 @@
  * Persistent (on-disk) result caching.
  *
  * The in-memory ResultCache dies with the process; the DiskResultCache
- * persists simulation results across runs so a warm sweep replays
- * nothing.  Entries are keyed by the same canonical cacheKey
- * serialization as the in-memory cache (equal keys imply bit-identical
- * results), stored one record per line in a version-headed text file
- * under the cache directory.
+ * persists results across runs so a warm sweep replays nothing.  Both
+ * halves of the evaluation are persisted: simulation results keyed by
+ * the canonical cacheKey serialization and analytical results keyed by
+ * analyticalKey, stored as type-tagged records (one per line) in a
+ * version-headed text file under the cache directory.
  *
  * The load path is corruption-tolerant by construction: a missing
- * file is an empty cache, a version-mismatched header invalidates the
- * whole file (it is rewritten on the next insert), and a truncated or
+ * file is an empty cache, a version-mismatched header (including a v1
+ * file from before analytical records existed) invalidates the whole
+ * file (it is rewritten on the next insert), and a truncated or
  * corrupt record -- including silent bit rot inside a value field,
  * caught by a per-record checksum -- is skipped, so a damaged cache
- * can only cause misses, never wrong results.  macUtilization
- * round-trips through its raw bit pattern so persisted results stay
- * bit-for-bit identical to freshly simulated ones.
+ * can only cause misses, never wrong results.  Doubles round-trip
+ * through their raw bit pattern so persisted results stay bit-for-bit
+ * identical to freshly computed ones.
+ *
+ * Appends take an exclusive flock() on the backing file, so any
+ * number of concurrent writer processes (pool workers sharing one
+ * --cache-dir) interleave whole records, never torn ones; combined
+ * with first-insert-wins load semantics, concurrent writers are safe
+ * by construction.  The append-only file can be bounded with prune():
+ * keep the most-recently-appended entries under a byte and/or entry
+ * budget and compact the file in place.
  */
 
 #ifndef VEGETA_SIM_DISK_CACHE_HPP
@@ -26,7 +35,9 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "sim/analytical.hpp"
 #include "sim/result.hpp"
 
 namespace vegeta::sim {
@@ -34,20 +45,32 @@ namespace vegeta::sim {
 /** Traffic and load-time health counters of a DiskResultCache. */
 struct DiskCacheStats
 {
-    u64 hits = 0;
-    u64 misses = 0;
+    u64 hits = 0;   ///< simulation + analysis hits
+    u64 misses = 0; ///< simulation + analysis misses
     u64 insertions = 0; ///< records appended by this process
     u64 loaded = 0;     ///< valid records read from disk on open
     u64 rejected = 0;   ///< corrupt/truncated records skipped on open
     bool versionMismatch = false; ///< whole file ignored on open
+
+    u64 simulationEntries = 0; ///< cached simulation results
+    u64 analysisEntries = 0;   ///< cached analytical results
+    u64 fileBytes = 0;         ///< current size of the backing file
+};
+
+/** What prune() kept and dropped. */
+struct DiskCachePrune
+{
+    u64 kept = 0;
+    u64 dropped = 0;
+    u64 fileBytes = 0; ///< backing-file size after compaction
 };
 
 /**
- * Thread-safe persistent map from canonical request keys to
- * SimulationResults, backed by `<directory>/results.vgc`.  The file
- * is read once on construction and appended to on insert, so two
- * sequential Sessions pointed at the same directory share results
- * across processes.  First insert wins, matching ResultCache.
+ * Thread-safe persistent map from canonical request keys to results,
+ * backed by `<directory>/results.vgc`.  The file is read once on
+ * construction and appended to on insert, so sessions (and pool
+ * worker processes) pointed at the same directory share results.
+ * First insert wins, matching ResultCache.
  */
 class DiskResultCache
 {
@@ -74,10 +97,28 @@ class DiskResultCache
     void insert(const std::string &key,
                 const SimulationResult &result);
 
+    /** The cached analytical result for key, or nullopt. */
+    std::optional<AnalyticalResult>
+    findAnalysis(const std::string &key) const;
+
+    /** Persist an analytical result (first insert wins, flushed). */
+    void insertAnalysis(const std::string &key,
+                        const AnalyticalResult &result);
+
+    /** Total cached entries (simulation + analysis). */
     std::size_t size() const;
 
     /** Drop every entry and truncate the backing file. */
     void clear();
+
+    /**
+     * Bound the cache: keep the most-recently-appended entries whose
+     * records fit under @p max_bytes (backing-file bytes, header
+     * included) and @p max_entries, drop the rest, and compact the
+     * backing file.  Nullopt means unbounded in that dimension.
+     */
+    DiskCachePrune prune(std::optional<u64> max_bytes,
+                         std::optional<u64> max_entries);
 
     DiskCacheStats stats() const;
 
@@ -85,10 +126,18 @@ class DiskResultCache
     static const char *formatHeader();
 
   private:
+    enum class RecordKind
+    {
+        Simulation,
+        Analysis,
+    };
+
     void load();
     bool rewriteLocked();
-    bool appendLocked(const std::string &key,
-                      const SimulationResult &result);
+    bool appendRecordLocked(const std::string &record);
+    std::string formatEntryLocked(RecordKind kind,
+                                  const std::string &key) const;
+    u64 fileBytesLocked() const;
 
     std::string directory_;
     std::string file_;
@@ -97,6 +146,11 @@ class DiskResultCache
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, SimulationResult> entries_;
+    std::unordered_map<std::string, AnalyticalResult> analyses_;
+
+    /** Append order (oldest first) -- what prune() evicts from. */
+    std::vector<std::pair<RecordKind, std::string>> order_;
+
     mutable u64 hits_ = 0;
     mutable u64 misses_ = 0;
     u64 insertions_ = 0;

@@ -1,0 +1,389 @@
+#include "sim/job_io.hpp"
+
+#include <fstream>
+#include <functional>
+
+#include "sim/serial.hpp"
+
+namespace vegeta::sim {
+
+namespace {
+
+using serial::FieldReader;
+using serial::FieldWriter;
+
+/** Record kind tags, the first field of job and result records. */
+constexpr const char *kSimTag = "S";
+constexpr const char *kAnaTag = "A";
+
+/**
+ * A SimulationRequest, every field in jobKey's canonical spelling
+ * (kernelVariantName for the variant, the full core and L1
+ * configuration) so a worker reruns exactly what the parent keyed.
+ */
+void
+appendSimulationRequest(FieldWriter &writer,
+                        const SimulationRequest &request)
+{
+    const cpu::CoreConfig &core = request.core;
+    const cpu::CacheConfig &l1 = core.cache;
+    writer.str(request.label)
+        .num(request.gemm.m)
+        .num(request.gemm.n)
+        .num(request.gemm.k)
+        .str(request.engine)
+        .num(request.patternN)
+        .num(request.outputForwarding ? 1 : 0)
+        .str(kernelVariantName(request.kernel))
+        .num(request.cBlocking)
+        .num(core.fetchWidth)
+        .num(core.retireWidth)
+        .num(core.robEntries)
+        .num(core.loadBufferEntries)
+        .num(core.frontEndDepth)
+        .num(core.numAlus)
+        .num(core.numLsuPorts)
+        .num(core.numVectorFus)
+        .num(core.vectorFmaLatency)
+        .num(core.engineClockDivider)
+        .num(core.outputForwarding ? 1 : 0)
+        .num(l1.lineBytes)
+        .num(l1.l1Sets)
+        .num(l1.l1Ways)
+        .num(l1.l1Latency)
+        .num(l1.l2Latency);
+}
+
+bool
+readSimulationRequest(FieldReader &reader, SimulationRequest *request)
+{
+    request->label = reader.str();
+    request->gemm.m = reader.num32();
+    request->gemm.n = reader.num32();
+    request->gemm.k = reader.num32();
+    request->engine = reader.str();
+    request->patternN = reader.num32();
+    const u64 of = reader.num();
+    request->outputForwarding = of != 0;
+    const std::string kernel = reader.str();
+    if (kernel == kernelVariantName(KernelVariant::Optimized))
+        request->kernel = KernelVariant::Optimized;
+    else if (kernel == kernelVariantName(KernelVariant::Naive))
+        request->kernel = KernelVariant::Naive;
+    else
+        return false;
+    request->cBlocking = reader.num32();
+    cpu::CoreConfig &core = request->core;
+    core.fetchWidth = reader.num32();
+    core.retireWidth = reader.num32();
+    core.robEntries = reader.num32();
+    core.loadBufferEntries = reader.num32();
+    core.frontEndDepth = reader.num32();
+    core.numAlus = reader.num32();
+    core.numLsuPorts = reader.num32();
+    core.numVectorFus = reader.num32();
+    core.vectorFmaLatency = reader.num();
+    core.engineClockDivider = reader.num32();
+    const u64 core_of = reader.num();
+    core.outputForwarding = core_of != 0;
+    cpu::CacheConfig &l1 = core.cache;
+    l1.lineBytes = reader.num32();
+    l1.l1Sets = reader.num32();
+    l1.l1Ways = reader.num32();
+    l1.l1Latency = reader.num();
+    l1.l2Latency = reader.num();
+    return reader.ok() && of <= 1 && core_of <= 1;
+}
+
+void
+appendAnalyticalRequest(FieldWriter &writer,
+                        const AnalyticalRequest &request)
+{
+    writer.str(request.model);
+    writer.num(request.workloads.size());
+    for (const auto &name : request.workloads)
+        writer.str(name);
+    writer.num(request.engines.size());
+    for (const auto &name : request.engines)
+        writer.str(name);
+    writer.num(request.params.size());
+    for (const auto &[name, value] : request.params)
+        writer.str(name).bits(value);
+    writer.num(request.options.size());
+    for (const auto &[name, value] : request.options)
+        writer.str(name).str(value);
+}
+
+bool
+readAnalyticalRequest(FieldReader &reader, AnalyticalRequest *request)
+{
+    request->model = reader.str();
+    const u64 workloads = reader.num();
+    if (!reader.ok() || workloads > reader.remaining())
+        return false;
+    for (u64 i = 0; i < workloads; ++i)
+        request->workloads.push_back(reader.str());
+    const u64 engines = reader.num();
+    if (!reader.ok() || engines > reader.remaining())
+        return false;
+    for (u64 i = 0; i < engines; ++i)
+        request->engines.push_back(reader.str());
+    const u64 params = reader.num();
+    if (!reader.ok() || params > reader.remaining() / 2)
+        return false;
+    for (u64 i = 0; i < params; ++i) {
+        const std::string name = reader.str();
+        request->params[name] = reader.bits();
+    }
+    const u64 options = reader.num();
+    if (!reader.ok() || options > reader.remaining() / 2)
+        return false;
+    for (u64 i = 0; i < options; ++i) {
+        const std::string name = reader.str();
+        request->options[name] = reader.str();
+    }
+    return reader.ok();
+}
+
+void
+appendJobResult(FieldWriter &writer, const JobResult &result)
+{
+    if (result.kind == JobKind::Analysis) {
+        writer.raw(kAnaTag);
+        serial::appendAnalyticalResult(writer, result.analysis);
+    } else {
+        writer.raw(kSimTag);
+        serial::appendSimulationResult(writer, result.simulation);
+    }
+}
+
+bool
+readJobResult(FieldReader &reader, JobResult *result)
+{
+    const std::string kind = reader.raw();
+    if (kind == kAnaTag) {
+        result->kind = JobKind::Analysis;
+        return serial::readAnalyticalResult(reader, &result->analysis);
+    }
+    if (kind == kSimTag) {
+        result->kind = JobKind::Simulation;
+        return serial::readSimulationResult(reader,
+                                            &result->simulation);
+    }
+    return false;
+}
+
+/** The one kind-tag dispatch for job records (parse + file read). */
+bool
+readJob(FieldReader &reader, Job *job)
+{
+    const std::string kind = reader.raw();
+    if (kind == kAnaTag) {
+        job->kind = JobKind::Analysis;
+        if (!readAnalyticalRequest(reader, &job->analysis))
+            return false;
+    } else if (kind == kSimTag) {
+        job->kind = JobKind::Simulation;
+        if (!readSimulationRequest(reader, &job->simulation))
+            return false;
+    } else {
+        return false;
+    }
+    return reader.done();
+}
+
+/** A checksummed "end <count> ..." footer line. */
+std::string
+footerLine(const std::vector<u64> &numbers)
+{
+    FieldWriter writer;
+    writer.raw("end");
+    for (const u64 n : numbers)
+        writer.num(n);
+    return writer.line();
+}
+
+/**
+ * Shared line-structured reader: verifies the header, hands every
+ * checksum-valid record to @p on_record, and requires a checksummed
+ * "end" footer whose first number matches the record count.  Extra
+ * footer numbers are returned through @p footer_numbers.
+ */
+bool
+readRecordFile(const std::string &path, const char *header,
+               const std::function<bool(FieldReader &)> &on_record,
+               std::vector<u64> *footer_numbers, std::string *error)
+{
+    auto fail = [&](const std::string &reason) {
+        if (error)
+            *error = path + ": " + reason;
+        return false;
+    };
+
+    std::ifstream is(path);
+    if (!is)
+        return fail("cannot open");
+    std::string line;
+    if (!std::getline(is, line) || line != header)
+        return fail("bad or missing header");
+
+    u64 records = 0;
+    bool saw_footer = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (saw_footer)
+            return fail("content after footer");
+        auto fields = serial::checkedFields(line);
+        if (!fields)
+            return fail("corrupt record (checksum)");
+        FieldReader reader(std::move(*fields));
+        if (reader.remaining() > 0 &&
+            line.compare(0, 4, "end\t") == 0) {
+            if (reader.raw() != "end")
+                return fail("corrupt footer");
+            std::vector<u64> numbers;
+            while (reader.remaining() > 0)
+                numbers.push_back(reader.num());
+            if (!reader.ok() || numbers.empty())
+                return fail("corrupt footer");
+            if (numbers[0] != records)
+                return fail("record count mismatch");
+            if (footer_numbers)
+                *footer_numbers = std::move(numbers);
+            saw_footer = true;
+            continue;
+        }
+        if (!on_record(reader))
+            return fail("corrupt record");
+        ++records;
+    }
+    if (!saw_footer)
+        return fail("truncated (no footer)");
+    return true;
+}
+
+} // namespace
+
+const char *
+jobFileHeader()
+{
+    return "vegeta-job-file v1";
+}
+
+const char *
+resultFileHeader()
+{
+    return "vegeta-result-file v1";
+}
+
+std::string
+serializeJob(const Job &job)
+{
+    FieldWriter writer;
+    if (job.kind == JobKind::Analysis) {
+        writer.raw(kAnaTag);
+        appendAnalyticalRequest(writer, job.analysis);
+    } else {
+        writer.raw(kSimTag);
+        appendSimulationRequest(writer, job.simulation);
+    }
+    return writer.line();
+}
+
+std::optional<Job>
+parseJob(const std::string &line)
+{
+    auto fields = serial::checkedFields(line);
+    if (!fields)
+        return std::nullopt;
+    FieldReader reader(std::move(*fields));
+    Job job;
+    if (!readJob(reader, &job))
+        return std::nullopt;
+    return job;
+}
+
+bool
+writeJobFile(const std::string &path, const std::vector<Job> &jobs)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return false;
+    os << jobFileHeader() << '\n';
+    for (const auto &job : jobs)
+        os << serializeJob(job) << '\n';
+    os << footerLine({jobs.size()}) << '\n';
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+std::optional<std::vector<Job>>
+readJobFile(const std::string &path, std::string *error)
+{
+    std::vector<Job> jobs;
+    const bool ok = readRecordFile(
+        path, jobFileHeader(),
+        [&](FieldReader &reader) {
+            Job job;
+            if (!readJob(reader, &job))
+                return false;
+            jobs.push_back(std::move(job));
+            return true;
+        },
+        nullptr, error);
+    if (!ok)
+        return std::nullopt;
+    return jobs;
+}
+
+bool
+writeResultFile(const std::string &path, const WorkerOutput &output)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        return false;
+    os << resultFileHeader() << '\n';
+    for (const auto &[key, result] : output.results) {
+        FieldWriter writer;
+        writer.str(key);
+        appendJobResult(writer, result);
+        os << writer.line() << '\n';
+    }
+    os << footerLine({output.results.size(),
+                      output.simulationsPerformed,
+                      output.analysesPerformed})
+       << '\n';
+    os.flush();
+    return static_cast<bool>(os);
+}
+
+std::optional<WorkerOutput>
+readResultFile(const std::string &path, std::string *error)
+{
+    WorkerOutput output;
+    std::vector<u64> footer;
+    const bool ok = readRecordFile(
+        path, resultFileHeader(),
+        [&](FieldReader &reader) {
+            const std::string key = reader.str();
+            JobResult result;
+            if (!readJobResult(reader, &result) || !reader.done())
+                return false;
+            output.results.emplace_back(key, std::move(result));
+            return true;
+        },
+        &footer, error);
+    if (!ok)
+        return std::nullopt;
+    if (footer.size() != 3) {
+        if (error)
+            *error = path + ": corrupt footer";
+        return std::nullopt;
+    }
+    output.simulationsPerformed = footer[1];
+    output.analysesPerformed = footer[2];
+    return output;
+}
+
+} // namespace vegeta::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Versioned job/result files: how the process pool ships work.
+ *
+ * The pool parent writes each worker's shard as a job file (every
+ * `Job` field serialized, so the worker reconstructs exactly the work
+ * the parent described -- same canonical field spellings as jobKey),
+ * and each worker writes its results back as a result file keyed by
+ * canonical job key, with doubles round-tripped through raw bit
+ * patterns so a merged pooled batch is bit-for-bit identical to a
+ * single-process one.
+ *
+ * Both formats are corruption-checked end to end: a version header, a
+ * per-record checksum, and a checksummed `end` footer carrying the
+ * record count.  A truncated or tampered file parses to a clean error
+ * (the pool fails that worker), never to missing or wrong results.
+ */
+
+#ifndef VEGETA_SIM_JOB_IO_HPP
+#define VEGETA_SIM_JOB_IO_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+
+namespace vegeta::sim {
+
+/** Version header of a pool job (shard) file. */
+const char *jobFileHeader();
+
+/** Version header of a pool result file. */
+const char *resultFileHeader();
+
+/** One job as a checksummed record line (kind-tagged). */
+std::string serializeJob(const Job &job);
+
+/** Parse a serializeJob line (nullopt on any corruption). */
+std::optional<Job> parseJob(const std::string &line);
+
+/** Write a shard of jobs; false when the file cannot be written. */
+bool writeJobFile(const std::string &path,
+                  const std::vector<Job> &jobs);
+
+/**
+ * Read a shard back.  Any defect -- missing file, wrong header,
+ * corrupt or truncated record, bad footer count -- yields nullopt
+ * with a one-line reason in @p error.
+ */
+std::optional<std::vector<Job>>
+readJobFile(const std::string &path, std::string *error);
+
+/** What one pool worker hands back to the parent. */
+struct WorkerOutput
+{
+    /** Canonical job key -> result, in shard order. */
+    std::vector<std::pair<std::string, JobResult>> results;
+
+    /** Core-model simulations the worker actually performed. */
+    u64 simulationsPerformed = 0;
+
+    /** Analytical backends the worker actually evaluated. */
+    u64 analysesPerformed = 0;
+};
+
+/** Write a worker's results; false when the file cannot be written. */
+bool writeResultFile(const std::string &path,
+                     const WorkerOutput &output);
+
+/** Read a result file back (same error contract as readJobFile). */
+std::optional<WorkerOutput>
+readResultFile(const std::string &path, std::string *error);
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_JOB_IO_HPP

@@ -1,0 +1,385 @@
+#include "sim/pool.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+#include "sim/job_io.hpp"
+#include "sim/session.hpp"
+
+namespace vegeta::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Shard
+{
+    std::vector<Job> jobs;
+    std::vector<std::string> keys;
+    std::string jobFile;
+    std::string resultFile;
+    pid_t pid = -1;
+};
+
+/** mkdtemp under the system temp dir ("" on failure). */
+std::string
+freshWorkDir()
+{
+    std::error_code ec;
+    fs::path base = fs::temp_directory_path(ec);
+    if (ec)
+        base = "/tmp";
+    std::string pattern =
+        (base / "vegeta-pool-XXXXXX").string();
+    if (!mkdtemp(pattern.data()))
+        return "";
+    return pattern;
+}
+
+/** fork/exec one worker; returns the pid (or -1). */
+pid_t
+spawnWorker(const std::vector<std::string> &command)
+{
+    std::vector<char *> argv;
+    argv.reserve(command.size() + 1);
+    for (const auto &arg : command)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        execv(argv[0], argv.data());
+        // exec failed: report on the inherited stderr and die with
+        // the shell's "command not found" convention.
+        std::cerr << "vegeta pool worker: cannot exec " << command[0]
+                  << ": " << std::strerror(errno) << "\n";
+        _exit(127);
+    }
+    return pid;
+}
+
+} // namespace
+
+std::string
+currentExecutablePath()
+{
+    char buf[4096];
+    const ssize_t len = readlink("/proc/self/exe", buf,
+                                 sizeof(buf) - 1);
+    if (len <= 0)
+        return "";
+    buf[len] = '\0';
+    return buf;
+}
+
+ProcessPool::ProcessPool(PoolOptions options)
+    : options_(std::move(options))
+{
+}
+
+PoolRun
+ProcessPool::run(const Session &session,
+                 const std::vector<Job> &jobs) const
+{
+    PoolRun out;
+    auto fail = [&](const std::string &reason) {
+        out.ok = false;
+        out.results.clear();
+        out.error = reason;
+        return out;
+    };
+
+    if (options_.workers == 0)
+        return fail("pool needs at least one worker");
+
+    out.results.resize(jobs.size());
+    if (jobs.empty()) {
+        out.ok = true;
+        return out;
+    }
+
+    // Validate up front: a bad job is the caller's bug, not a worker
+    // failure, and must be reported before any process spawns.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (const auto error = session.jobError(jobs[i]))
+            return fail("job " + std::to_string(i) + ": " + *error);
+    }
+
+    // Dedupe by canonical key (first occurrence carries the job),
+    // then shard the SORTED key set round-robin: the assignment is a
+    // pure function of the batch contents, independent of argument
+    // order, timing, or worker count.  Keys are serialized once per
+    // job and reused by the merge below.
+    std::vector<std::string> keys;
+    keys.reserve(jobs.size());
+    std::map<std::string, std::size_t> unique; // sorted by key
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        keys.push_back(jobKey(jobs[i]));
+        unique.emplace(keys.back(), i);
+    }
+    out.stats.uniqueJobs = unique.size();
+
+    const u32 workers = std::min<u32>(
+        options_.workers, static_cast<u32>(unique.size()));
+
+    std::vector<std::string> command = options_.workerCommand;
+    if (command.empty()) {
+        const std::string self = currentExecutablePath();
+        if (self.empty())
+            return fail("cannot resolve own executable for workers");
+        command = {self, "worker"};
+    }
+
+    std::string work_dir = options_.workDir;
+    bool own_work_dir = false;
+    if (work_dir.empty()) {
+        work_dir = freshWorkDir();
+        own_work_dir = true;
+        if (work_dir.empty())
+            return fail("cannot create pool work directory");
+    } else {
+        std::error_code ec;
+        fs::create_directories(work_dir, ec);
+        if (ec || !fs::is_directory(work_dir))
+            return fail("cannot create pool work directory: " +
+                        work_dir);
+    }
+    // Deal the sorted keys round-robin into shards.
+    std::vector<Shard> shards(workers);
+    auto cleanup = [&]() {
+        if (options_.keepFiles)
+            return;
+        std::error_code ec;
+        if (own_work_dir) {
+            fs::remove_all(work_dir, ec);
+            return;
+        }
+        for (const auto &shard : shards) {
+            fs::remove(shard.jobFile, ec);
+            fs::remove(shard.resultFile, ec);
+        }
+    };
+    {
+        u32 next = 0;
+        for (const auto &[key, index] : unique) {
+            shards[next].keys.push_back(key);
+            shards[next].jobs.push_back(jobs[index]);
+            next = (next + 1) % workers;
+        }
+    }
+
+    // Write every shard file before spawning anything: a write
+    // failure must not leave half a pool running.
+    for (u32 w = 0; w < workers; ++w) {
+        const fs::path base = fs::path(work_dir);
+        shards[w].jobFile =
+            (base / ("shard-" + std::to_string(w) + ".jobs")).string();
+        shards[w].resultFile =
+            (base / ("shard-" + std::to_string(w) + ".results"))
+                .string();
+        if (!writeJobFile(shards[w].jobFile, shards[w].jobs)) {
+            cleanup();
+            return fail("cannot write shard file: " +
+                        shards[w].jobFile);
+        }
+    }
+
+    // Default worker thread count divides the machine instead of
+    // letting every worker claim all of it (N workers x hardware
+    // threads would oversubscribe the CPU N-fold).
+    u32 worker_threads = options_.threadsPerWorker;
+    if (worker_threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        worker_threads = std::max(1u, static_cast<u32>(hw) / workers);
+    }
+
+    for (u32 w = 0; w < workers; ++w) {
+        std::vector<std::string> argv = command;
+        argv.insert(argv.end(), {"--jobs", shards[w].jobFile, "--out",
+                                 shards[w].resultFile});
+        if (!options_.cacheDir.empty())
+            argv.insert(argv.end(),
+                        {"--cache-dir", options_.cacheDir});
+        argv.insert(argv.end(),
+                    {"--threads", std::to_string(worker_threads)});
+        shards[w].pid = spawnWorker(argv);
+        if (shards[w].pid < 0) {
+            // Reap whatever already started before reporting.
+            for (u32 prev = 0; prev < w; ++prev) {
+                int status = 0;
+                waitpid(shards[prev].pid, &status, 0);
+            }
+            cleanup();
+            return fail("cannot fork worker " + std::to_string(w));
+        }
+    }
+    out.stats.workersSpawned = workers;
+
+    // Collect every worker before judging any: no zombie is left
+    // behind even when an early worker failed.
+    std::string worker_error;
+    for (u32 w = 0; w < workers; ++w) {
+        int status = 0;
+        if (waitpid(shards[w].pid, &status, 0) < 0) {
+            if (worker_error.empty())
+                worker_error =
+                    "worker " + std::to_string(w) + ": wait failed";
+            continue;
+        }
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            if (worker_error.empty())
+                worker_error =
+                    "worker " + std::to_string(w) +
+                    " failed (exit status " +
+                    std::to_string(WIFEXITED(status)
+                                       ? WEXITSTATUS(status)
+                                       : -1) +
+                    ")";
+        }
+    }
+    if (!worker_error.empty()) {
+        cleanup();
+        return fail(worker_error);
+    }
+
+    // Merge: every shard key must come back exactly once; the output
+    // vector is filled in original batch order through the dedupe
+    // map, so the merge is bit-for-bit the single-process answer.
+    std::unordered_map<std::string, JobResult> by_key;
+    by_key.reserve(unique.size());
+    for (u32 w = 0; w < workers; ++w) {
+        std::string error;
+        auto output = readResultFile(shards[w].resultFile, &error);
+        if (!output) {
+            cleanup();
+            return fail("worker " + std::to_string(w) + ": " + error);
+        }
+        out.stats.simulationsPerformed += output->simulationsPerformed;
+        out.stats.analysesPerformed += output->analysesPerformed;
+        for (auto &[key, result] : output->results) {
+            if (!by_key.emplace(key, std::move(result)).second) {
+                cleanup();
+                return fail("worker " + std::to_string(w) +
+                            ": duplicate result key");
+            }
+        }
+        for (const auto &key : shards[w].keys) {
+            if (!by_key.count(key)) {
+                cleanup();
+                return fail("worker " + std::to_string(w) +
+                            ": missing result for a shard job");
+            }
+        }
+    }
+    cleanup();
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out.results[i] = by_key.find(keys[i])->second;
+    out.ok = true;
+    return out;
+}
+
+int
+poolWorkerMain(const std::vector<std::string> &args)
+{
+    std::string jobs_path, out_path, cache_dir;
+    u32 threads = 0;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&]() -> const std::string * {
+            if (i + 1 >= args.size()) {
+                std::cerr << "pool worker: " << arg
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (arg == "--jobs") {
+            const auto *v = value();
+            if (!v)
+                return 2;
+            jobs_path = *v;
+        } else if (arg == "--out") {
+            const auto *v = value();
+            if (!v)
+                return 2;
+            out_path = *v;
+        } else if (arg == "--cache-dir") {
+            const auto *v = value();
+            if (!v)
+                return 2;
+            cache_dir = *v;
+        } else if (arg == "--threads") {
+            const auto *v = value();
+            if (!v)
+                return 2;
+            const auto parsed = parseU32(*v);
+            if (!parsed) {
+                std::cerr << "pool worker: bad --threads value '"
+                          << *v << "'\n";
+                return 2;
+            }
+            threads = *parsed;
+        } else {
+            std::cerr << "pool worker: unknown option " << arg << "\n";
+            return 2;
+        }
+    }
+    if (jobs_path.empty() || out_path.empty()) {
+        std::cerr << "pool worker: --jobs and --out are required\n";
+        return 2;
+    }
+
+    std::string error;
+    const auto jobs = readJobFile(jobs_path, &error);
+    if (!jobs) {
+        std::cerr << "pool worker: " << error << "\n";
+        return 3;
+    }
+
+    Session session;
+    session.enableCache();
+    if (!cache_dir.empty()) {
+        const auto disk = session.attachDiskCache(cache_dir);
+        if (!disk->ok()) {
+            std::cerr << "pool worker: cannot open cache dir: "
+                      << cache_dir << "\n";
+            return 4;
+        }
+    }
+    for (const auto &job : *jobs) {
+        if (const auto job_error = session.jobError(job)) {
+            std::cerr << "pool worker: bad job: " << *job_error
+                      << "\n";
+            return 5;
+        }
+    }
+
+    const auto results = session.runBatch(*jobs, threads);
+
+    WorkerOutput output;
+    output.results.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        output.results.emplace_back(jobKey((*jobs)[i]), results[i]);
+    output.simulationsPerformed = session.simulationsPerformed();
+    output.analysesPerformed = session.analysesPerformed();
+    if (!writeResultFile(out_path, output)) {
+        std::cerr << "pool worker: cannot write " << out_path << "\n";
+        return 6;
+    }
+    return 0;
+}
+
+} // namespace vegeta::sim

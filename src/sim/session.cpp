@@ -186,7 +186,20 @@ Session::analyze(const AnalyticalRequest &request) const
                   error.value_or(""));
     const AnalyticalRegistry::Backend *backend =
         analytics_.find(request.model);
-    return (*backend)(*this, request);
+    if (!disk_cache_) {
+        analyses_.fetch_add(1, std::memory_order_relaxed);
+        return (*backend)(*this, request);
+    }
+    // Analytical results persist like simulation results: equal
+    // canonical keys imply bit-identical tables (backends are pure
+    // functions of the request), so a warm cache skips the backend.
+    const std::string key = analyticalKey(request);
+    if (auto hit = disk_cache_->findAnalysis(key))
+        return *hit;
+    analyses_.fetch_add(1, std::memory_order_relaxed);
+    AnalyticalResult result = (*backend)(*this, request);
+    disk_cache_->insertAnalysis(key, result);
+    return result;
 }
 
 std::optional<std::string>
@@ -278,6 +291,13 @@ Session::runBatch(const std::vector<Job> &jobs, u32 threads) const
         if (source[i] != i)
             results[i] = results[source[i]];
     return results;
+}
+
+PoolRun
+Session::runBatchPooled(const std::vector<Job> &jobs,
+                        const PoolOptions &options) const
+{
+    return ProcessPool(options).run(*this, jobs);
 }
 
 std::vector<SimulationResult>

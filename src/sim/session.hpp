@@ -31,6 +31,7 @@
 #include "sim/cache.hpp"
 #include "sim/disk_cache.hpp"
 #include "sim/job.hpp"
+#include "sim/pool.hpp"
 #include "sim/request.hpp"
 #include "sim/result.hpp"
 
@@ -162,6 +163,20 @@ class Session
              u32 threads = 0) const;
 
     /**
+     * Run a batch sharded over worker PROCESSES (see sim/pool.hpp):
+     * jobs are deduped by canonical key, dealt round-robin over the
+     * sorted key set to options.workers forked workers, and merged
+     * back in original batch order -- bit-for-bit identical to
+     * runBatch for any worker count.  Workers share the persistent
+     * cache under options.cacheDir, so a warm pooled sweep performs
+     * zero replays across all workers.  This session is used only to
+     * validate the batch; workers run fresh builtin-registry
+     * sessions.
+     */
+    PoolRun runBatchPooled(const std::vector<Job> &jobs,
+                           const PoolOptions &options) const;
+
+    /**
      * Core-model simulations this session actually performed (cache
      * hits and batch dedupe excluded).  A warm persistent cache makes
      * a repeated sweep keep this at zero.
@@ -169,6 +184,15 @@ class Session
     u64 simulationsPerformed() const
     {
         return simulations_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Analytical backends this session actually evaluated (persistent
+     * cache hits excluded, batch dedupe excluded).
+     */
+    u64 analysesPerformed() const
+    {
+        return analyses_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -197,6 +221,7 @@ class Session
     std::shared_ptr<ResultCache> cache_;
     std::shared_ptr<DiskResultCache> disk_cache_;
     mutable std::atomic<u64> simulations_{0};
+    mutable std::atomic<u64> analyses_{0};
 };
 
 /**

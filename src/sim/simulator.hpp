@@ -13,7 +13,13 @@
 #ifndef VEGETA_SIM_SIMULATOR_HPP
 #define VEGETA_SIM_SIMULATOR_HPP
 
+#include "sim/deprecated.hpp"
 #include "sim/session.hpp"
+
+VEGETA_SIM_DEPRECATION_NOTE(
+    "sim/simulator.hpp is a deprecated shim: include sim/session.hpp "
+    "and spell the facade Session (define "
+    "VEGETA_SIM_SILENCE_DEPRECATION to silence)")
 
 namespace vegeta::sim {
 

@@ -1,3 +1,5 @@
+// The shim's own implementation file is not a deprecated caller.
+#define VEGETA_SIM_SILENCE_DEPRECATION
 #include "sim/sweep.hpp"
 
 #include <thread>

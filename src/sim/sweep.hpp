@@ -13,7 +13,13 @@
 #ifndef VEGETA_SIM_SWEEP_HPP
 #define VEGETA_SIM_SWEEP_HPP
 
+#include "sim/deprecated.hpp"
 #include "sim/simulator.hpp"
+
+VEGETA_SIM_DEPRECATION_NOTE(
+    "sim/sweep.hpp is a deprecated shim: SweepRunner forwards to "
+    "Session::runBatch (define VEGETA_SIM_SILENCE_DEPRECATION to "
+    "silence)")
 
 namespace vegeta::sim {
 

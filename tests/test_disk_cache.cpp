@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "expect_identical.hpp"
 #include "sim/session.hpp"
 
 namespace vegeta::sim {
@@ -49,25 +50,6 @@ sampleResult(const std::string &tag, double util)
     return result;
 }
 
-void
-expectIdentical(const SimulationResult &a, const SimulationResult &b)
-{
-    EXPECT_EQ(a.workload, b.workload);
-    EXPECT_EQ(a.engine, b.engine);
-    EXPECT_EQ(a.layerN, b.layerN);
-    EXPECT_EQ(a.executedN, b.executedN);
-    EXPECT_EQ(a.outputForwarding, b.outputForwarding);
-    EXPECT_EQ(a.kernel, b.kernel);
-    EXPECT_EQ(a.coreCycles, b.coreCycles);
-    EXPECT_EQ(a.instructions, b.instructions);
-    EXPECT_EQ(a.engineInstructions, b.engineInstructions);
-    EXPECT_EQ(a.tileComputes, b.tileComputes);
-    // bit-for-bit: exact double equality, not a tolerance.
-    EXPECT_EQ(a.macUtilization, b.macUtilization);
-    EXPECT_EQ(a.cacheHits, b.cacheHits);
-    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
-}
-
 TEST(DiskCache, RoundTripsAcrossInstances)
 {
     const std::string dir = freshDir("roundtrip");
@@ -87,7 +69,7 @@ TEST(DiskCache, RoundTripsAcrossInstances)
     EXPECT_EQ(reopened.stats().loaded, 1u);
     const auto hit = reopened.find("key-a");
     ASSERT_TRUE(hit.has_value());
-    expectIdentical(*hit, original);
+    expectIdenticalSim(*hit, original);
     EXPECT_EQ(reopened.stats().hits, 1u);
 }
 
@@ -119,7 +101,7 @@ TEST(DiskCache, VersionMismatchInvalidatesWholeFile)
         buffer << is.rdbuf();
         text = buffer.str();
     }
-    text.replace(text.find("v1"), 2, "v9");
+    text.replace(text.find("v2"), 2, "v9");
     {
         std::ofstream os(file, std::ios::trunc);
         os << text;
@@ -178,9 +160,203 @@ TEST(DiskCache, TruncatedAndCorruptRecordsDegradeToMisses)
     EXPECT_EQ(reopened.stats().rejected, 4u);
     const auto hit = reopened.find("good-key");
     ASSERT_TRUE(hit.has_value());
-    expectIdentical(*hit, good);
+    expectIdenticalSim(*hit, good);
     EXPECT_FALSE(reopened.find("rotten-key").has_value());
     EXPECT_FALSE(reopened.find("trunc-key").has_value());
+}
+
+TEST(DiskCache, LegacyV1FileIsInvalidatedWholesale)
+{
+    const std::string dir = freshDir("legacy_v1");
+    fs::create_directories(dir);
+    {
+        // A file exactly as the pre-analytical v1 build wrote it
+        // (no type tag, checksum over the old record shape).  The
+        // version bump must invalidate it wholesale rather than
+        // guess at its records.
+        std::ofstream os(fs::path(dir) / "results.vgc");
+        os << "vegeta-result-cache v1\n";
+        os << "some-key\tw\tVEGETA-S-2-2\t2\t2\t1\toptimized\t12345"
+              "\t678\t90\t12\t3fb999999999999a\t3\t4\t"
+              "0123456789abcdef\n";
+    }
+    DiskResultCache cache(dir);
+    ASSERT_TRUE(cache.ok());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(cache.stats().versionMismatch);
+    EXPECT_FALSE(cache.find("some-key").has_value());
+    // The next insert rewrites the file under the v2 header.
+    cache.insert("k", sampleResult("w", 0.5));
+    DiskResultCache reopened(dir);
+    EXPECT_FALSE(reopened.stats().versionMismatch);
+    EXPECT_EQ(reopened.size(), 1u);
+}
+
+AnalyticalResult
+sampleAnalysis(const std::string &model)
+{
+    AnalyticalResult result;
+    result.model = model;
+    result.columns = {"design", "value"};
+    auto &first = result.row();
+    first.push_back(AnalyticalCell::text("VEGETA-S-16-2"));
+    // 0.1 exercises the bit-pattern round trip; precision -1 the
+    // signed field.
+    first.push_back(AnalyticalCell::number(0.1, 4));
+    auto &second = result.row();
+    second.push_back(AnalyticalCell::text("odd\ttext %25\nlines"));
+    second.push_back(AnalyticalCell::number(-3.25e-17, 0));
+    result.notes = {"a note", "another\twith tabs"};
+    return result;
+}
+
+TEST(DiskCache, AnalyticalResultsRoundTripAcrossInstances)
+{
+    const std::string dir = freshDir("analytical");
+    const AnalyticalResult original = sampleAnalysis("fig15");
+    {
+        DiskResultCache cache(dir);
+        ASSERT_TRUE(cache.ok());
+        EXPECT_FALSE(cache.findAnalysis("ana-key").has_value());
+        cache.insertAnalysis("ana-key", original);
+        // Simulation and analysis entries coexist in one file and
+        // never collide, even under the same key text.
+        cache.insert("ana-key", sampleResult("sim-under-same-key",
+                                             0.5));
+        EXPECT_EQ(cache.size(), 2u);
+    }
+    DiskResultCache reopened(dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.stats().loaded, 2u);
+    EXPECT_EQ(reopened.stats().simulationEntries, 1u);
+    EXPECT_EQ(reopened.stats().analysisEntries, 1u);
+    const auto hit = reopened.findAnalysis("ana-key");
+    ASSERT_TRUE(hit.has_value());
+    expectIdenticalAnalysis(*hit, original);
+    EXPECT_EQ(reopened.find("ana-key")->workload,
+              "sim-under-same-key");
+}
+
+TEST(DiskCache, SessionPersistsAnalyticalResults)
+{
+    const std::string dir = freshDir("session_analytical");
+
+    Session first;
+    first.attachDiskCache(dir);
+    auto builder = first.job()
+                       .model("fig15-unstructured")
+                       .param("degree", 0.95);
+    const auto job = builder.build();
+    ASSERT_TRUE(job.has_value()) << builder.error();
+    const auto cold = first.run(*job).analysis;
+    EXPECT_EQ(first.analysesPerformed(), 1u);
+
+    // A second session on the same directory serves the analysis
+    // from disk without evaluating the backend.
+    Session second;
+    second.attachDiskCache(dir);
+    const auto warm = second.run(*job).analysis;
+    expectIdenticalAnalysis(warm, cold);
+    EXPECT_EQ(second.analysesPerformed(), 0u);
+    EXPECT_EQ(second.diskCache()->stats().hits, 1u);
+}
+
+TEST(DiskCache, PruneKeepsTheMostRecentlyAppendedEntries)
+{
+    const std::string dir = freshDir("prune_entries");
+    DiskResultCache cache(dir);
+    for (int i = 0; i < 6; ++i)
+        cache.insert("k" + std::to_string(i),
+                     sampleResult("w" + std::to_string(i), 0.5));
+    cache.insertAnalysis("a0", sampleAnalysis("m0"));
+
+    const auto pruned = cache.prune(std::nullopt, 3);
+    EXPECT_EQ(pruned.kept, 3u);
+    EXPECT_EQ(pruned.dropped, 4u);
+    EXPECT_GT(pruned.fileBytes, 0u);
+
+    // Most-recently-appended survive: k4, k5, and the analysis.
+    EXPECT_FALSE(cache.find("k0").has_value());
+    EXPECT_FALSE(cache.find("k3").has_value());
+    EXPECT_TRUE(cache.find("k4").has_value());
+    EXPECT_TRUE(cache.find("k5").has_value());
+    EXPECT_TRUE(cache.findAnalysis("a0").has_value());
+
+    // The compaction persisted: a reopen sees only the kept set.
+    DiskResultCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 3u);
+    EXPECT_FALSE(reopened.find("k0").has_value());
+    EXPECT_TRUE(reopened.findAnalysis("a0").has_value());
+}
+
+TEST(DiskCache, PruneByBytesBoundsTheFile)
+{
+    const std::string dir = freshDir("prune_bytes");
+    DiskResultCache cache(dir);
+    for (int i = 0; i < 8; ++i)
+        cache.insert("k" + std::to_string(i),
+                     sampleResult("w" + std::to_string(i), 0.25));
+    const u64 before = cache.stats().fileBytes;
+    ASSERT_GT(before, 0u);
+
+    const u64 budget = before / 2;
+    const auto pruned = cache.prune(budget, std::nullopt);
+    EXPECT_LE(pruned.fileBytes, budget);
+    EXPECT_EQ(pruned.fileBytes, cache.stats().fileBytes);
+    EXPECT_GT(pruned.kept, 0u);
+    EXPECT_EQ(pruned.kept + pruned.dropped, 8u);
+    // Newest survive, oldest go.
+    EXPECT_TRUE(cache.find("k7").has_value());
+    EXPECT_FALSE(cache.find("k0").has_value());
+
+    // A no-op prune (already under budget) drops nothing.
+    const auto again = cache.prune(before, 8u);
+    EXPECT_EQ(again.dropped, 0u);
+    EXPECT_EQ(again.kept, pruned.kept);
+}
+
+TEST(DiskCache, PruneCompactsDuplicateAndGarbageLines)
+{
+    const std::string dir = freshDir("prune_compact");
+    std::string duplicate;
+    {
+        DiskResultCache cache(dir);
+        cache.insert("k0", sampleResult("w0", 0.5));
+        cache.insert("k1", sampleResult("w1", 0.5));
+    }
+    const fs::path file = fs::path(dir) / "results.vgc";
+    {
+        // Simulate a concurrent writer appending the same key again
+        // (load dedupes it, but the line stays on disk) plus a
+        // rejected garbage line.
+        std::ifstream is(file);
+        std::string header, record;
+        std::getline(is, header);
+        std::getline(is, record);
+        duplicate = record;
+    }
+    {
+        std::ofstream os(file, std::ios::app);
+        os << duplicate << "\n";
+        os << "garbage line that fails its checksum\n";
+    }
+
+    DiskResultCache cache(dir);
+    EXPECT_EQ(cache.size(), 2u);
+    const u64 bloated = cache.stats().fileBytes;
+
+    // Nothing needs dropping under this budget, but the file itself
+    // is over it: prune must still compact the dup/garbage away.
+    const auto pruned = cache.prune(bloated - 1, std::nullopt);
+    EXPECT_EQ(pruned.dropped, 0u);
+    EXPECT_EQ(pruned.kept, 2u);
+    EXPECT_LT(pruned.fileBytes, bloated);
+    EXPECT_TRUE(cache.find("k0").has_value());
+    EXPECT_TRUE(cache.find("k1").has_value());
+    DiskResultCache reopened(dir);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.stats().rejected, 0u);
 }
 
 TEST(DiskCache, GarbageFileIsAnEmptyCache)
@@ -237,7 +413,7 @@ TEST(DiskCache, TraceOutRunsStillWarmTheCache)
     Session second;
     second.attachDiskCache(dir);
     const auto warm = second.run(*request);
-    expectIdentical(warm, with_trace);
+    expectIdenticalSim(warm, with_trace);
     EXPECT_EQ(second.simulationsPerformed(), 0u);
 }
 
@@ -261,7 +437,7 @@ TEST(DiskCache, TwoSequentialSessionsShareResults)
     Session second;
     second.attachDiskCache(dir);
     const auto warm = second.run(*request);
-    expectIdentical(warm, cold);
+    expectIdenticalSim(warm, cold);
     EXPECT_EQ(second.simulationsPerformed(), 0u);
     EXPECT_EQ(second.diskCache()->stats().hits, 1u);
 }

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Process-pool executor tests: a pooled batch merges bit-for-bit
+ * identical to single-process runBatch at workers in {1, 2, 5}, a
+ * warm shared cache directory makes a repeated pooled run perform
+ * zero simulations across all workers, duplicate jobs fan out, and
+ * worker failures surface as clean per-worker errors.
+ *
+ * This binary is its own pool worker: main() routes the hidden
+ * "worker" argv token to poolWorkerMain before gtest ever runs,
+ * exactly like simulate_cli's hidden subcommand -- so the tests fork
+ * REAL worker processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "expect_identical.hpp"
+#include "sim/pool.hpp"
+#include "sim/session.hpp"
+
+namespace vegeta::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "vegeta_pool" / name;
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+/**
+ * A mixed batch small enough to fork repeatedly: trace simulations
+ * across engines/patterns (with a duplicate) plus analytical jobs.
+ */
+std::vector<Job>
+mixedBatch(const Session &session)
+{
+    std::vector<Job> jobs;
+    auto sim_job = [&](const char *engine, u32 pattern, bool of) {
+        auto builder = session.job()
+                           .gemm(kernels::GemmDims{32, 32, 128})
+                           .engine(engine)
+                           .pattern(pattern)
+                           .outputForwarding(of);
+        auto job = builder.build();
+        EXPECT_TRUE(job.has_value()) << builder.error();
+        jobs.push_back(*job);
+    };
+    sim_job("VEGETA-D-1-2", 4, false);
+    sim_job("VEGETA-S-2-2", 2, true);
+    {
+        auto builder = session.job().model("fig4-vector-vs-matrix");
+        auto job = builder.build();
+        EXPECT_TRUE(job.has_value()) << builder.error();
+        jobs.push_back(*job);
+    }
+    sim_job("VEGETA-S-2-2", 2, true); // duplicate of job 1
+    sim_job("VEGETA-S-16-2", 1, false);
+    {
+        auto builder = session.job()
+                           .model("fig15-unstructured")
+                           .param("degree", 0.95);
+        auto job = builder.build();
+        EXPECT_TRUE(job.has_value()) << builder.error();
+        jobs.push_back(*job);
+    }
+    sim_job("VEGETA-S-1-2", 2, false);
+    return jobs;
+}
+
+TEST(ProcessPool, MergesBitIdenticalToSingleProcess)
+{
+    const Session session;
+    const auto jobs = mixedBatch(session);
+    const auto reference = session.runBatch(jobs, 1);
+
+    for (const u32 workers : {1u, 2u, 5u}) {
+        PoolOptions options;
+        options.workers = workers;
+        options.threadsPerWorker = 2;
+        const auto pooled = session.runBatchPooled(jobs, options);
+        ASSERT_TRUE(pooled.ok) << pooled.error;
+        EXPECT_EQ(pooled.stats.uniqueJobs, jobs.size() - 1);
+        EXPECT_EQ(pooled.stats.workersSpawned,
+                  std::min<u32>(workers, jobs.size() - 1));
+        expectIdenticalBatches(pooled.results, reference);
+    }
+}
+
+TEST(ProcessPool, WarmSharedCacheRunsZeroSimulations)
+{
+    const std::string cache_dir = freshDir("warm_cache");
+    const Session session;
+    const auto jobs = mixedBatch(session);
+
+    PoolOptions options;
+    options.workers = 2;
+    options.cacheDir = cache_dir;
+
+    // Cold: every unique trace job simulates somewhere in the pool,
+    // every unique analysis evaluates, and the shared dir fills up.
+    const auto cold = session.runBatchPooled(jobs, options);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.stats.simulationsPerformed, 4u);
+    EXPECT_EQ(cold.stats.analysesPerformed, 2u);
+
+    // Warm, with a different worker count: zero replays, zero
+    // backend evaluations, bit-identical merge.
+    options.workers = 5;
+    const auto warm = session.runBatchPooled(jobs, options);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_EQ(warm.stats.simulationsPerformed, 0u);
+    EXPECT_EQ(warm.stats.analysesPerformed, 0u);
+    expectIdenticalBatches(warm.results, cold.results);
+}
+
+TEST(ProcessPool, EmptyBatchSpawnsNothing)
+{
+    const Session session;
+    PoolOptions options;
+    options.workers = 4;
+    const auto pooled = session.runBatchPooled({}, options);
+    ASSERT_TRUE(pooled.ok) << pooled.error;
+    EXPECT_TRUE(pooled.results.empty());
+    EXPECT_EQ(pooled.stats.workersSpawned, 0u);
+}
+
+TEST(ProcessPool, RejectsInvalidJobsBeforeSpawning)
+{
+    const Session session;
+    Job bad;
+    bad.kind = JobKind::Simulation;
+    bad.simulation.engine = "NOPE-9000";
+    bad.simulation.gemm = {32, 32, 64};
+    PoolOptions options;
+    options.workers = 2;
+    const auto pooled = session.runBatchPooled({bad}, options);
+    EXPECT_FALSE(pooled.ok);
+    EXPECT_NE(pooled.error.find("unknown engine"), std::string::npos);
+    EXPECT_EQ(pooled.stats.workersSpawned, 0u);
+}
+
+TEST(ProcessPool, FailedWorkerSurfacesACleanError)
+{
+    const Session session;
+    const auto jobs = mixedBatch(session);
+    PoolOptions options;
+    options.workers = 2;
+    // A "worker" that ignores its shard and exits non-zero.
+    options.workerCommand = {"/bin/false"};
+    const auto pooled = session.runBatchPooled(jobs, options);
+    EXPECT_FALSE(pooled.ok);
+    EXPECT_NE(pooled.error.find("worker"), std::string::npos);
+    EXPECT_TRUE(pooled.results.empty());
+}
+
+TEST(ProcessPool, ZeroWorkersIsAnError)
+{
+    const Session session;
+    const auto jobs = mixedBatch(session);
+    PoolOptions options;
+    options.workers = 0;
+    const auto pooled = session.runBatchPooled(jobs, options);
+    EXPECT_FALSE(pooled.ok);
+}
+
+TEST(PoolWorker, CorruptShardFileIsACleanWorkerError)
+{
+    const std::string dir = freshDir("corrupt_shard");
+    fs::create_directories(dir);
+    const std::string shard = dir + "/shard.jobs";
+    {
+        std::ofstream os(shard);
+        os << "vegeta-job-file v1\nnot a record\n";
+    }
+    // The worker entry rejects the shard outright (exit code, no
+    // result file) instead of running a partial batch.
+    EXPECT_NE(poolWorkerMain({"--jobs", shard, "--out",
+                              dir + "/shard.results"}),
+              0);
+    EXPECT_FALSE(fs::exists(dir + "/shard.results"));
+}
+
+TEST(PoolWorker, RejectsBadArguments)
+{
+    EXPECT_NE(poolWorkerMain({}), 0);
+    EXPECT_NE(poolWorkerMain({"--jobs"}), 0);
+    EXPECT_NE(poolWorkerMain({"--frobnicate"}), 0);
+    EXPECT_NE(poolWorkerMain({"--jobs", "x", "--out", "y",
+                              "--threads", "abc"}),
+              0);
+}
+
+} // namespace
+} // namespace vegeta::sim
+
+int
+main(int argc, char **argv)
+{
+    // The hidden pool-worker re-entry, exactly like simulate_cli's
+    // hidden `worker` subcommand: the ProcessPool tests fork this
+    // binary back into itself with "worker" as the first argument.
+    if (argc > 1 && std::string(argv[1]) == "worker")
+        return vegeta::sim::poolWorkerMain(
+            std::vector<std::string>(argv + 2, argv + argc));
+
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -12,6 +12,7 @@
 
 #include <filesystem>
 
+#include "expect_identical.hpp"
 #include "sim/sweep.hpp"
 
 namespace vegeta::sim {
@@ -26,57 +27,6 @@ freshDir(const std::string &name)
         fs::path(::testing::TempDir()) / "vegeta_session" / name;
     fs::remove_all(dir);
     return dir.string();
-}
-
-void
-expectIdenticalSim(const SimulationResult &a, const SimulationResult &b)
-{
-    EXPECT_EQ(a.workload, b.workload);
-    EXPECT_EQ(a.engine, b.engine);
-    EXPECT_EQ(a.layerN, b.layerN);
-    EXPECT_EQ(a.executedN, b.executedN);
-    EXPECT_EQ(a.outputForwarding, b.outputForwarding);
-    EXPECT_EQ(a.kernel, b.kernel);
-    EXPECT_EQ(a.coreCycles, b.coreCycles);
-    EXPECT_EQ(a.instructions, b.instructions);
-    EXPECT_EQ(a.engineInstructions, b.engineInstructions);
-    EXPECT_EQ(a.tileComputes, b.tileComputes);
-    EXPECT_EQ(a.macUtilization, b.macUtilization);
-    EXPECT_EQ(a.cacheHits, b.cacheHits);
-    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
-}
-
-void
-expectIdenticalAnalysis(const AnalyticalResult &a,
-                        const AnalyticalResult &b)
-{
-    EXPECT_EQ(a.model, b.model);
-    ASSERT_EQ(a.columns, b.columns);
-    ASSERT_EQ(a.rows.size(), b.rows.size());
-    for (std::size_t r = 0; r < a.rows.size(); ++r) {
-        ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
-        for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
-            EXPECT_EQ(a.rows[r][c].label, b.rows[r][c].label);
-            // bit-for-bit: exact double equality.
-            EXPECT_EQ(a.rows[r][c].value, b.rows[r][c].value);
-            EXPECT_EQ(a.rows[r][c].precision, b.rows[r][c].precision);
-        }
-    }
-    EXPECT_EQ(a.notes, b.notes);
-}
-
-void
-expectIdenticalBatches(const std::vector<JobResult> &a,
-                       const std::vector<JobResult> &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        ASSERT_EQ(a[i].kind, b[i].kind) << i;
-        if (a[i].kind == JobKind::Simulation)
-            expectIdenticalSim(a[i].simulation, b[i].simulation);
-        else
-            expectIdenticalAnalysis(a[i].analysis, b[i].analysis);
-    }
 }
 
 /**
@@ -325,18 +275,22 @@ TEST(Session, WarmDiskCacheSkipsEveryTraceReplay)
     const auto jobs = mixedBatch(cold);
     const auto cold_results = cold.runBatch(jobs, 4);
     EXPECT_EQ(cold.simulationsPerformed(), 3u);
+    EXPECT_EQ(cold.analysesPerformed(), 3u);
 
     // Warm run: a second session (fresh process in real life) runs
     // the same sweep against the same directory -- ZERO trace
-    // replays, and bit-identical output.
+    // replays, ZERO analytical backend evaluations, and bit-identical
+    // output.
     Session warm;
     warm.attachDiskCache(dir);
     const auto warm_results = warm.runBatch(jobs, 4);
     expectIdenticalBatches(warm_results, cold_results);
     EXPECT_EQ(warm.simulationsPerformed(), 0u);
+    EXPECT_EQ(warm.analysesPerformed(), 0u);
     const auto stats = warm.diskCache()->stats();
     EXPECT_EQ(stats.misses, 0u);
-    EXPECT_EQ(stats.hits, 3u);
+    // 3 unique trace jobs + 3 unique analytical jobs, all from disk.
+    EXPECT_EQ(stats.hits, 6u);
 }
 
 TEST(Session, RequestOverloadMatchesSweepRunnerShim)

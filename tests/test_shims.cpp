@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deprecated-shim pins: `Simulator` and `SweepRunner` stay thin
+ * wrappers that produce bit-identical results to the Session
+ * spelling, and the single compile-time deprecation path
+ * (sim/deprecated.hpp) can be silenced with one macro -- this TU
+ * defines it, so building the shim-pinning tests emits no notes.
+ */
+
+#define VEGETA_SIM_SILENCE_DEPRECATION
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expect_identical.hpp"
+
+namespace vegeta::sim {
+namespace {
+
+// The alias must stay an alias: shim callers get the real Session,
+// not a diverging copy of it.
+static_assert(std::is_same_v<Simulator, Session>,
+              "Simulator must remain an alias of Session");
+
+std::vector<SimulationRequest>
+smallGrid(const Session &session)
+{
+    std::vector<SimulationRequest> requests;
+    for (const char *engine :
+         {"VEGETA-D-1-2", "VEGETA-S-2-2", "VEGETA-S-16-2"}) {
+        for (const u32 pattern : {4u, 2u}) {
+            auto builder = session.request()
+                               .gemm(kernels::GemmDims{32, 32, 128})
+                               .engine(engine)
+                               .pattern(pattern);
+            const auto request = builder.build();
+            EXPECT_TRUE(request.has_value()) << builder.error();
+            requests.push_back(*request);
+        }
+    }
+    return requests;
+}
+
+TEST(Shims, SimulatorRunsIdenticallyToSession)
+{
+    const Session session;
+    const Simulator &simulator = session; // the alias IS the session
+    const auto requests = smallGrid(session);
+    for (const auto &request : requests)
+        expectIdenticalSim(simulator.run(request),
+                           session.run(request));
+}
+
+TEST(Shims, SweepRunnerMatchesRunBatchAtEveryThreadCount)
+{
+    const Session session;
+    const auto requests = smallGrid(session);
+    const auto reference = session.runBatch(requests, 1);
+    for (const u32 threads : {1u, 2u, 5u}) {
+        const auto shimmed =
+            SweepRunner(session, threads).run(requests);
+        ASSERT_EQ(shimmed.size(), reference.size());
+        for (std::size_t i = 0; i < shimmed.size(); ++i)
+            expectIdenticalSim(shimmed[i], reference[i]);
+    }
+}
+
+TEST(Shims, SweepRunnerDefaultsToHardwareConcurrency)
+{
+    const Session session;
+    EXPECT_GE(SweepRunner(session).threads(), 1u);
+    EXPECT_EQ(SweepRunner(session, 3).threads(), 3u);
+}
+
+} // namespace
+} // namespace vegeta::sim
