@@ -48,16 +48,19 @@
 #include "sim/pool.hpp"
 #include "sim/session.hpp"
 
+#include "trajectory.hpp"
+
 namespace {
 
 using namespace vegeta;
-using Clock = std::chrono::steady_clock;
-
-double
-seconds(Clock::time_point begin, Clock::time_point end)
-{
-    return std::chrono::duration<double>(end - begin).count();
-}
+using bench::Clock;
+using bench::calibrationMops;
+using bench::entryCommit;
+using bench::findJsonNumber;
+using bench::geomean;
+using bench::readFileText;
+using bench::seconds;
+using bench::trajectoryEntries;
 
 /** Current peak RSS in bytes (Linux ru_maxrss is in KiB). */
 u64
@@ -66,25 +69,6 @@ peakRssBytes()
     rusage usage{};
     getrusage(RUSAGE_SELF, &usage);
     return static_cast<u64>(usage.ru_maxrss) * 1024;
-}
-
-/**
- * Fixed-work integer loop (Mops/s): a machine-speed yardstick so a
- * committed baseline from one machine can gate CI runs on another.
- */
-double
-calibrationMops()
-{
-    volatile u64 sink = 0;
-    const u64 iters = 50'000'000;
-    u64 h = 0xcbf29ce484222325ull;
-    const auto t0 = Clock::now();
-    for (u64 i = 0; i < iters; ++i)
-        h = (h ^ i) * 0x100000001b3ull;
-    const auto t1 = Clock::now();
-    sink = h;
-    (void)sink;
-    return iters / seconds(t0, t1) / 1e6;
 }
 
 struct Point
@@ -152,126 +136,6 @@ measureBatch(const sim::Session &simulator, PointResult &out,
         out.batchUopsPerSec = std::max(
             out.batchUopsPerSec, trace.size() / seconds(t0, t1));
     }
-}
-
-double
-geomean(const std::vector<double> &values)
-{
-    if (values.empty())
-        return 0;
-    double log_sum = 0;
-    for (double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / values.size());
-}
-
-/** Minimal scan for `"key": <number>` in a JSON file. */
-bool
-findJsonNumber(const std::string &text, const std::string &key,
-               double *value)
-{
-    const std::string needle = "\"" + key + "\":";
-    const auto pos = text.find(needle);
-    if (pos == std::string::npos)
-        return false;
-    *value = std::strtod(text.c_str() + pos + needle.size(), nullptr);
-    return true;
-}
-
-std::string
-readFileText(const std::string &path)
-{
-    std::ifstream is(path);
-    if (!is)
-        return "";
-    std::stringstream buffer;
-    buffer << is.rdbuf();
-    return buffer.str();
-}
-
-/** `git rev-parse --short HEAD`, or "local" off a checkout. */
-std::string
-gitShortHead()
-{
-    FILE *pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
-    if (!pipe)
-        return "local";
-    char buf[64] = {0};
-    const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
-    pclose(pipe);
-    if (!got)
-        return "local";
-    std::string head(buf);
-    while (!head.empty() &&
-           (head.back() == '\n' || head.back() == '\r'))
-        head.pop_back();
-    return head.empty() ? "local" : head;
-}
-
-/**
- * The trajectory's entry lines (one compact JSON object per line,
- * oldest first).  An old single-point file converts into one entry
- * keyed "pre-trajectory"; anything unrecognizable yields no entries
- * (the file is rewritten from scratch).
- */
-std::vector<std::string>
-trajectoryEntries(const std::string &text)
-{
-    std::vector<std::string> entries;
-    if (text.find("\"bench\": \"replay_trajectory\"") !=
-        std::string::npos) {
-        std::istringstream is(text);
-        std::string line;
-        while (std::getline(is, line)) {
-            const auto start = line.find_first_not_of(" \t");
-            if (start == std::string::npos ||
-                line.compare(start, 10, "{\"commit\":") != 0)
-                continue;
-            auto end = line.find_last_of('}');
-            if (end == std::string::npos)
-                continue;
-            entries.push_back(line.substr(start, end - start + 1));
-        }
-        return entries;
-    }
-    if (text.find("\"bench\": \"replay_throughput\"") !=
-        std::string::npos) {
-        // Old single-point format: compact it into one entry line.
-        std::string flat;
-        flat.reserve(text.size());
-        bool in_space = false;
-        for (const char c : text) {
-            if (c == '\n' || c == '\r' || c == ' ' || c == '\t') {
-                in_space = true;
-                continue;
-            }
-            if (in_space && !flat.empty() && flat.back() != '{' &&
-                flat.back() != '[' && c != '}' && c != ']')
-                flat += ' ';
-            in_space = false;
-            flat += c;
-        }
-        const auto brace = flat.find('{');
-        if (brace != std::string::npos)
-            entries.push_back("{\"commit\": \"pre-trajectory\", " +
-                              flat.substr(brace + 1));
-    }
-    return entries;
-}
-
-/** The commit key of an entry line ("" if unparsable). */
-std::string
-entryCommit(const std::string &entry)
-{
-    const std::string needle = "\"commit\": \"";
-    const auto pos = entry.find(needle);
-    if (pos == std::string::npos)
-        return "";
-    const auto start = pos + needle.size();
-    const auto end = entry.find('"', start);
-    if (end == std::string::npos)
-        return "";
-    return entry.substr(start, end - start);
 }
 
 } // namespace
@@ -447,6 +311,10 @@ main(int argc, char **argv)
         sim::PoolOptions options;
         options.workers = workers;
         options.threadsPerWorker = 1;
+        // This row measures the REAL process pool; the batch-size
+        // planner would otherwise route this sub-crossover grid to
+        // its in-process fallback.
+        options.minPooledJobs = 1;
         double best_secs = 0;
         u64 pool_uops = 0;
         const int pool_reps = smoke ? 1 : 2;
@@ -480,7 +348,7 @@ main(int argc, char **argv)
     // One trajectory entry, compact (a single line) so the committed
     // file stays an append-only, diff-friendly series.
     if (commit.empty())
-        commit = gitShortHead();
+        commit = bench::gitShortHead();
     std::ostringstream entry;
     entry << "{\"commit\": \"" << commit << "\", \"mode\": \""
           << (smoke ? "smoke" : "full")
@@ -509,7 +377,9 @@ main(int argc, char **argv)
               << ", \"seconds\": " << pool_points[i].seconds
               << ", \"uops_per_sec\": " << pool_points[i].uopsPerSec
               << "}";
-    entry << "], \"memory_probe_uops\": " << big.uops
+    entry << "], \"pool_crossover_unique_jobs\": "
+          << sim::defaultPoolCrossoverJobs()
+          << ", \"memory_probe_uops\": " << big.uops
           << ", \"stream_peak_rss_bytes\": " << stream_peak_rss
           << ", \"batch_peak_rss_bytes\": " << batch_peak_rss << "}";
 
@@ -519,32 +389,28 @@ main(int argc, char **argv)
     const std::string baseline_text =
         baseline_path.empty() ? "" : readFileText(baseline_path);
 
-    // Merge with whatever trajectory is already at --out: keep every
-    // entry except one with the same commit key (replaced in place so
-    // re-runs do not bloat the series), then append this run's.
-    std::vector<std::string> entries =
-        trajectoryEntries(readFileText(out_path));
-    entries.erase(std::remove_if(entries.begin(), entries.end(),
-                                 [&](const std::string &e) {
-                                     return entryCommit(e) == commit;
-                                 }),
-                  entries.end());
-    entries.push_back(entry.str());
-
-    std::ofstream os(out_path);
-    if (!os) {
+    // Replace only this bench's fields: bench_service may have
+    // written a "service" row family into the same commit's entry,
+    // which a replay re-run must carry over, not clobber.
+    std::string merged_entry = entry.str();
+    for (const auto &old : trajectoryEntries(readFileText(out_path))) {
+        if (entryCommit(old) != commit)
+            continue;
+        const std::string service =
+            bench::extractEntryField(old, "service");
+        if (!service.empty())
+            merged_entry = bench::upsertEntryField(merged_entry,
+                                                   "service", service);
+    }
+    std::size_t total_entries = 0;
+    if (!bench::mergeTrajectoryEntry(out_path, commit, merged_entry,
+                                     &total_entries)) {
         std::cerr << "cannot write " << out_path << "\n";
         return 2;
     }
-    os << "{\n  \"bench\": \"replay_trajectory\",\n  \"entries\": [\n";
-    for (std::size_t i = 0; i < entries.size(); ++i)
-        os << "    " << entries[i]
-           << (i + 1 < entries.size() ? "," : "") << "\n";
-    os << "  ]\n}\n";
-    os.close();
     std::printf("wrote %s (%zu entries; geomean: batch %.2f, stream "
                 "%.2f Muops/s)\n",
-                out_path.c_str(), entries.size(), batch_geomean / 1e6,
+                out_path.c_str(), total_entries, batch_geomean / 1e6,
                 stream_geomean / 1e6);
 
     if (!baseline_path.empty()) {

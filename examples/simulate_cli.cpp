@@ -8,8 +8,9 @@
  *   simulate_cli run     one trace simulation (or trace replay)
  *   simulate_cli analyze one analytical model evaluation
  *   simulate_cli sweep   a (workload x pattern x engine) grid batch
+ *   simulate_cli serve   the long-lived simulation service daemon
  *   simulate_cli list    registered workloads/engines/models
- *   simulate_cli cache   persistent result-cache stats / clear
+ *   simulate_cli cache   persistent result-cache stats/clear/merge
  *
  * `run` and `sweep` accept --cache-dir DIR to attach the Session's
  * persistent result cache; `cache stats` prints its counters as JSON
@@ -22,6 +23,11 @@
  * garbage or negative values are errors, never silently-zero atoi
  * results.
  *
+ * `serve` keeps one warm Session (and optional pre-forked persistent
+ * workers) behind a unix/TCP socket; `run --connect ADDR` and `sweep
+ * --connect ADDR` send the same work there instead of simulating
+ * locally, with byte-identical stdout (sim/server, sim/client).
+ *
  * Flag-style invocations without a subcommand (`simulate_cli
  * --workload ...`) are deprecated but still route to `run`.
  */
@@ -32,9 +38,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "cpu/trace_io.hpp"
+#include "sim/client.hpp"
 #include "sim/pool.hpp"
 #include "sim/serial.hpp"
+#include "sim/server.hpp"
 #include "sim/session.hpp"
 
 namespace {
@@ -57,9 +67,10 @@ usage(std::ostream &os)
           "  run      simulate one workload/GEMM, or replay a trace\n"
           "  analyze  evaluate an analytical model\n"
           "  sweep    run a workload x pattern x engine grid\n"
+          "  serve    run the long-lived simulation service daemon\n"
           "  list     list workloads, engines, and models\n"
           "  cache    persistent-cache maintenance "
-          "(stats|clear|prune)\n"
+          "(stats|clear|prune|merge)\n"
           "\n"
           "run options:\n"
           "  --workload NAME     a Table IV layer (default GPT-L1)\n"
@@ -72,6 +83,8 @@ usage(std::ostream &os)
           "  --trace-out FILE    save the generated trace\n"
           "  --trace-in FILE     replay a saved trace\n"
           "  --cache-dir DIR     attach the persistent result cache\n"
+          "  --connect ADDR      run on a serve daemon instead of\n"
+          "                      locally (byte-identical output)\n"
           "  --csv | --json      machine-readable output\n"
           "\n"
           "analyze options:\n"
@@ -95,10 +108,29 @@ usage(std::ostream &os)
           "                      (byte-identical to single-process)\n"
           "  --cache-dir DIR     attach the persistent result cache\n"
           "                      (shared by all pool workers)\n"
+          "  --connect ADDR      run on a serve daemon instead of\n"
+          "                      locally (byte-identical output)\n"
           "  --csv | --json      machine-readable output\n"
           "\n"
+          "serve options:\n"
+          "  --socket PATH       listen on a unix-domain socket\n"
+          "  --port N            listen on 127.0.0.1:N (0 = pick an\n"
+          "                      ephemeral port)\n"
+          "  --service-workers K persistent pre-forked worker\n"
+          "                      processes (default 0 = in-process)\n"
+          "  --threads N         simulation threads (per worker)\n"
+          "  --queue-depth N     pending batches per client before\n"
+          "                      backpressure (default 4)\n"
+          "  --cache-dir DIR     persistent result cache for the\n"
+          "                      service\n"
+          "\n"
+          "  ADDR for --connect is unix:PATH, tcp:HOST:PORT, a bare\n"
+          "  port number (127.0.0.1), or a bare socket path.\n"
+          "\n"
           "cache options:\n"
-          "  stats | clear | prune   action\n"
+          "  stats | clear | prune   action (needs --cache-dir)\n"
+          "  merge DST SRC...    fold SRC cache dirs into DST\n"
+          "                      (first insert wins)\n"
           "  --cache-dir DIR     cache directory (required)\n"
           "  --max-bytes N       prune: keep newest entries <= N "
           "bytes\n"
@@ -199,13 +231,38 @@ reportDiskCache(const sim::Session &session)
     }
 }
 
+/**
+ * Run a batch on a serve daemon at @p address; nullopt (with the
+ * reason already printed) when the server is unreachable, refuses
+ * the batch, or answers with a different wire version.
+ */
+std::optional<sim::ClientRun>
+runOnServer(const std::string &address,
+            const std::vector<sim::Job> &jobs)
+{
+    sim::ClientOptions options;
+    options.address = address;
+    sim::SimClient client(options);
+    std::string error;
+    if (!client.connect(&error)) {
+        std::cerr << "error: " << error << "\n";
+        return std::nullopt;
+    }
+    auto run = client.runBatch(jobs, &error);
+    if (!run) {
+        std::cerr << "error: " << error << "\n";
+        return std::nullopt;
+    }
+    return run;
+}
+
 int
 cmdRun(Args args)
 {
     std::string workload_name, gemm_text;
     bool have_workload = false, have_gemm = false;
     std::string engine_name = "VEGETA-S-16-2";
-    std::string trace_out, trace_in, cache_dir;
+    std::string trace_out, trace_in, cache_dir, connect_addr;
     u32 pattern = 2;
     u32 cblocking = 3;
     bool of = true;
@@ -247,6 +304,8 @@ cmdRun(Args args)
             trace_in = args.value(arg);
         } else if (arg == "--cache-dir") {
             cache_dir = args.value(arg);
+        } else if (arg == "--connect") {
+            connect_addr = args.value(arg);
         } else if (arg == "--help") {
             usage(std::cout);
             return 0;
@@ -254,6 +313,15 @@ cmdRun(Args args)
             std::cerr << "error: unknown run option " << arg << "\n";
             return 1;
         }
+    }
+
+    if (!connect_addr.empty() &&
+        (!trace_in.empty() || !trace_out.empty() ||
+         !cache_dir.empty())) {
+        std::cerr << "error: --connect cannot be combined with "
+                     "--trace-in/--trace-out/--cache-dir (the server "
+                     "owns traces and cache)\n";
+        return 1;
     }
 
     sim::Session session;
@@ -288,7 +356,14 @@ cmdRun(Args args)
     }
 
     sim::SimulationResult result;
-    if (!trace_in.empty()) {
+    if (!connect_addr.empty()) {
+        const auto remote = runOnServer(connect_addr, {*job});
+        if (!remote)
+            return 2;
+        result = remote->results[0].simulation;
+        std::cerr << "run: " << remote->simulationsPerformed
+                  << " simulated by server\n";
+    } else if (!trace_in.empty()) {
         const auto trace = cpu::readTraceFile(trace_in);
         if (!trace) {
             std::cerr << "cannot read trace: " << trace_in << "\n";
@@ -436,7 +511,7 @@ cmdSweep(Args args)
     std::vector<u32> patterns;
     u32 threads = 0;
     u32 workers = 0;
-    std::string cache_dir;
+    std::string cache_dir, connect_addr;
     OutputFormat format = OutputFormat::Text;
 
     while (!args.done()) {
@@ -471,6 +546,8 @@ cmdSweep(Args args)
             workers = *parsed;
         } else if (arg == "--cache-dir") {
             cache_dir = args.value(arg);
+        } else if (arg == "--connect") {
+            connect_addr = args.value(arg);
         } else if (arg == "--csv") {
             format = OutputFormat::Csv;
         } else if (arg == "--json") {
@@ -482,6 +559,14 @@ cmdSweep(Args args)
             std::cerr << "error: unknown sweep option " << arg << "\n";
             return 1;
         }
+    }
+
+    if (!connect_addr.empty() &&
+        (workers > 0 || threads > 0 || !cache_dir.empty())) {
+        std::cerr << "error: --connect cannot be combined with "
+                     "--workers/--threads/--cache-dir (the server "
+                     "decides its own execution)\n";
+        return 1;
     }
 
     sim::Session session;
@@ -542,7 +627,22 @@ cmdSweep(Args args)
 
     std::vector<sim::SimulationResult> results;
     u64 simulated = 0;
-    if (workers > 0) {
+    if (!connect_addr.empty()) {
+        // Service path: ship the grid to a serve daemon.  Results
+        // are bit-identical to the local batch, so stdout matches a
+        // local sweep byte for byte.
+        std::vector<sim::Job> jobs;
+        jobs.reserve(grid.size());
+        for (const auto &request : grid)
+            jobs.push_back(sim::Job::simulate(request));
+        const auto remote = runOnServer(connect_addr, jobs);
+        if (!remote)
+            return 2;
+        results.reserve(remote->results.size());
+        for (const auto &result : remote->results)
+            results.push_back(result.simulation);
+        simulated = remote->simulationsPerformed;
+    } else if (workers > 0) {
         // Pooled path: shard the grid over forked worker processes
         // re-entering this binary via the hidden `worker` subcommand.
         // The merged batch is byte-identical to the in-process sweep.
@@ -554,6 +654,10 @@ cmdSweep(Args args)
         options.workers = workers;
         options.cacheDir = cache_dir;
         options.threadsPerWorker = threads;
+        // An explicit --workers N is a demand, not a hint: bypass
+        // the batch-size planner so small sweeps still shard exactly
+        // as requested.
+        options.minPooledJobs = 1;
         const auto pooled = session.runBatchPooled(jobs, options);
         if (!pooled.ok) {
             std::cerr << "error: pooled sweep failed: " << pooled.error
@@ -582,14 +686,91 @@ cmdSweep(Args args)
     }
     std::cerr << "sweep: " << grid.size() << " requests, " << simulated
               << " simulated";
-    if (workers > 0)
+    if (!connect_addr.empty())
+        std::cerr << " by server";
+    else if (workers > 0)
         std::cerr << " across " << workers << " workers";
     std::cerr << "\n";
-    // In pooled mode the cache traffic happened in the workers; the
-    // parent's view would read 0/0 regardless, so say nothing.
-    if (workers == 0)
+    // In pooled/service mode the cache traffic happened elsewhere;
+    // the parent's view would read 0/0 regardless, so say nothing.
+    if (workers == 0 && connect_addr.empty())
         reportDiskCache(session);
     return 0;
+}
+
+int
+cmdServe(Args args)
+{
+    sim::ServerOptions options;
+    bool have_socket = false;
+
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--socket") {
+            options.socketPath = args.value(arg);
+            have_socket = true;
+        } else if (arg == "--port") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed > 65535) {
+                std::cerr << "error: --port expects 0..65535, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.port = *parsed;
+            options.useTcp = true;
+        } else if (arg == "--service-workers") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed) {
+                std::cerr << "error: --service-workers expects a "
+                             "non-negative integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.serviceWorkers = *parsed;
+        } else if (arg == "--threads") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --threads expects a positive "
+                             "integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.threads = *parsed;
+        } else if (arg == "--queue-depth") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --queue-depth expects a positive "
+                             "integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.queueDepth = *parsed;
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = args.value(arg);
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "error: unknown serve option " << arg << "\n";
+            return 1;
+        }
+    }
+
+    if (have_socket && options.useTcp) {
+        std::cerr << "error: serve listens on --socket PATH or "
+                     "--port N, not both\n";
+        return 1;
+    }
+    if (!have_socket && !options.useTcp) {
+        std::cerr << "error: serve needs --socket PATH or --port N "
+                     "(--port 0 picks an ephemeral port)\n";
+        return 1;
+    }
+    return sim::SimServer::serveMain(options);
 }
 
 int
@@ -694,6 +875,7 @@ int
 cmdCache(Args args)
 {
     std::string action, cache_dir;
+    std::vector<std::string> merge_dirs;
     std::optional<u64> max_bytes, max_entries;
     while (!args.done()) {
         const std::string arg = args.take();
@@ -716,17 +898,71 @@ cmdCache(Args args)
             return 0;
         } else if (!arg.empty() && arg[0] != '-' && action.empty()) {
             action = arg;
+        } else if (!arg.empty() && arg[0] != '-' &&
+                   action == "merge") {
+            merge_dirs.push_back(arg);
         } else {
             std::cerr << "error: unknown cache option " << arg << "\n";
             return 1;
         }
     }
-    if (action != "stats" && action != "clear" && action != "prune") {
-        std::cerr << "error: cache expects 'stats', 'clear', or "
-                     "'prune' (got '"
+    if (action != "stats" && action != "clear" && action != "prune" &&
+        action != "merge") {
+        std::cerr << "error: cache expects 'stats', 'clear', "
+                     "'prune', or 'merge' (got '"
                   << action << "')\n";
         return 1;
     }
+
+    if (action == "merge") {
+        if (!cache_dir.empty()) {
+            std::cerr << "error: cache merge takes positional "
+                         "directories (merge DST SRC...), not "
+                         "--cache-dir\n";
+            return 1;
+        }
+        if (merge_dirs.size() < 2) {
+            std::cerr << "error: cache merge needs a destination and "
+                         "at least one source: merge DST SRC...\n";
+            return 1;
+        }
+        // Sources must already exist: merging FROM a typo'd path
+        // must not silently create an empty cache and "succeed".
+        for (std::size_t i = 1; i < merge_dirs.size(); ++i) {
+            if (!std::filesystem::is_directory(merge_dirs[i])) {
+                std::cerr << "error: source cache dir does not "
+                             "exist: "
+                          << merge_dirs[i] << "\n";
+                return 2;
+            }
+        }
+        sim::DiskResultCache dst(merge_dirs[0]);
+        if (!dst.ok()) {
+            std::cerr << "cannot open cache dir: " << merge_dirs[0]
+                      << "\n";
+            return 2;
+        }
+        u64 added = 0, skipped = 0;
+        for (std::size_t i = 1; i < merge_dirs.size(); ++i) {
+            const sim::DiskResultCache src(merge_dirs[i]);
+            if (!src.ok()) {
+                std::cerr << "cannot open cache dir: "
+                          << merge_dirs[i] << "\n";
+                return 2;
+            }
+            const auto merged = dst.mergeFrom(src);
+            added += merged.added;
+            skipped += merged.skipped;
+        }
+        std::cout << "{\"path\": \""
+                  << sim::jsonEscape(dst.filePath())
+                  << "\", \"sources\": " << merge_dirs.size() - 1
+                  << ", \"added_entries\": " << added
+                  << ", \"skipped_entries\": " << skipped
+                  << ", \"total_entries\": " << dst.size() << "}\n";
+        return 0;
+    }
+
     if (cache_dir.empty()) {
         std::cerr << "error: cache needs --cache-dir DIR\n";
         return 1;
@@ -735,6 +971,35 @@ cmdCache(Args args)
         std::cerr << "error: cache prune needs --max-bytes and/or "
                      "--max-entries\n";
         return 1;
+    }
+
+    // `stats` and `prune` inspect an EXISTING cache; creating an
+    // empty one at a mistyped path and reporting zero entries would
+    // hide the typo.  (`clear` keeps its create-then-empty behavior:
+    // clearing a cache that never existed is a legitimate no-op.)
+    if (action == "stats" || action == "prune") {
+        std::error_code ec;
+        const auto status = std::filesystem::status(cache_dir, ec);
+        if (ec || !std::filesystem::exists(status)) {
+            std::cerr << "error: cache dir does not exist: "
+                      << cache_dir
+                      << " (a run/sweep with --cache-dir creates "
+                         "it)\n";
+            return 2;
+        }
+        if (!std::filesystem::is_directory(status)) {
+            std::cerr << "error: not a directory: " << cache_dir
+                      << "\n";
+            return 2;
+        }
+        const auto file =
+            std::filesystem::path(cache_dir) / "results.vgc";
+        if (std::filesystem::exists(file) &&
+            ::access(file.c_str(), R_OK) != 0) {
+            std::cerr << "error: cache file not readable: "
+                      << file.string() << "\n";
+            return 2;
+        }
     }
 
     sim::DiskResultCache cache(cache_dir);
@@ -802,6 +1067,8 @@ main(int argc, char **argv)
         return cmdAnalyze(std::move(args));
     if (command == "sweep")
         return cmdSweep(std::move(args));
+    if (command == "serve")
+        return cmdServe(std::move(args));
     if (command == "list")
         return cmdList(std::move(args));
     if (command == "cache")

@@ -357,6 +357,66 @@ DiskResultCache::prune(std::optional<u64> max_bytes,
     return pruned;
 }
 
+DiskCacheMerge
+DiskResultCache::mergeFrom(const DiskResultCache &source)
+{
+    // Snapshot the source under ITS lock, then merge under ours --
+    // the two locks are never held together, so two caches merging
+    // from each other cannot deadlock.
+    std::vector<std::pair<RecordKind, std::string>> src_order;
+    std::unordered_map<std::string, SimulationResult> src_entries;
+    std::unordered_map<std::string, AnalyticalResult> src_analyses;
+    {
+        std::lock_guard<std::mutex> lock(source.mutex_);
+        src_order = source.order_;
+        src_entries = source.entries_;
+        src_analyses = source.analyses_;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    DiskCacheMerge merge;
+    std::string appended;
+    for (const auto &[kind, key] : src_order) {
+        bool inserted = false;
+        if (kind == RecordKind::Simulation) {
+            const auto it = src_entries.find(key);
+            if (it == src_entries.end())
+                continue;
+            inserted = entries_.emplace(key, it->second).second;
+        } else {
+            const auto it = src_analyses.find(key);
+            if (it == src_analyses.end())
+                continue;
+            inserted = analyses_.emplace(key, it->second).second;
+        }
+        if (!inserted) {
+            ++merge.skipped;
+            continue;
+        }
+        order_.emplace_back(kind, key);
+        ++merge.added;
+        ++insertions_;
+        appended += formatEntryLocked(kind, key);
+        appended += '\n';
+    }
+    if (merge.added == 0)
+        return merge;
+    if (needs_rewrite_) {
+        if (rewriteLocked())
+            needs_rewrite_ = false;
+        return merge;
+    }
+    LockedFile file(file_);
+    if (file.ok()) {
+        std::string text;
+        if (file.size() == 0)
+            text = std::string(formatHeader()) + '\n';
+        text += appended;
+        file.append(text);
+    }
+    return merge;
+}
+
 u64
 DiskResultCache::fileBytesLocked() const
 {

@@ -65,6 +65,13 @@ struct DiskCachePrune
     u64 fileBytes = 0; ///< backing-file size after compaction
 };
 
+/** What one mergeFrom() call added and skipped. */
+struct DiskCacheMerge
+{
+    u64 added = 0;   ///< entries new to the destination
+    u64 skipped = 0; ///< entries the destination already had
+};
+
 /**
  * Thread-safe persistent map from canonical request keys to results,
  * backed by `<directory>/results.vgc`.  The file is read once on
@@ -119,6 +126,15 @@ class DiskResultCache
      */
     DiskCachePrune prune(std::optional<u64> max_bytes,
                          std::optional<u64> max_entries);
+
+    /**
+     * Union another cache into this one, first-insert-wins: every
+     * entry of @p source whose key this cache does not hold yet is
+     * appended (in the source's append order); keys already present
+     * keep THIS cache's result, exactly like a concurrent writer
+     * losing the insert race.  Persisted with one locked append.
+     */
+    DiskCacheMerge mergeFrom(const DiskResultCache &source);
 
     DiskCacheStats stats() const;
 

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <functional>
+#include <sstream>
 
 #include "sim/serial.hpp"
 
@@ -210,19 +211,16 @@ footerLine(const std::vector<u64> &numbers)
  * footer numbers are returned through @p footer_numbers.
  */
 bool
-readRecordFile(const std::string &path, const char *header,
-               const std::function<bool(FieldReader &)> &on_record,
-               std::vector<u64> *footer_numbers, std::string *error)
+readRecordStream(std::istream &is, const char *header,
+                 const std::function<bool(FieldReader &)> &on_record,
+                 std::vector<u64> *footer_numbers, std::string *error)
 {
     auto fail = [&](const std::string &reason) {
         if (error)
-            *error = path + ": " + reason;
+            *error = reason;
         return false;
     };
 
-    std::ifstream is(path);
-    if (!is)
-        return fail("cannot open");
     std::string line;
     if (!std::getline(is, line) || line != header)
         return fail("bad or missing header");
@@ -260,6 +258,28 @@ readRecordFile(const std::string &path, const char *header,
     }
     if (!saw_footer)
         return fail("truncated (no footer)");
+    return true;
+}
+
+/** readRecordStream over a file, errors prefixed with the path. */
+bool
+readRecordFile(const std::string &path, const char *header,
+               const std::function<bool(FieldReader &)> &on_record,
+               std::vector<u64> *footer_numbers, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        if (error)
+            *error = path + ": cannot open";
+        return false;
+    }
+    std::string reason;
+    if (!readRecordStream(is, header, on_record, footer_numbers,
+                          &reason)) {
+        if (error)
+            *error = path + ": " + reason;
+        return false;
+    }
     return true;
 }
 
@@ -304,16 +324,47 @@ parseJob(const std::string &line)
     return job;
 }
 
+std::string
+encodeJobBatch(const std::vector<Job> &jobs)
+{
+    std::string text = jobFileHeader();
+    text += '\n';
+    for (const auto &job : jobs) {
+        text += serializeJob(job);
+        text += '\n';
+    }
+    text += footerLine({jobs.size()});
+    text += '\n';
+    return text;
+}
+
+std::optional<std::vector<Job>>
+decodeJobBatch(const std::string &text, std::string *error)
+{
+    std::istringstream is(text);
+    std::vector<Job> jobs;
+    const bool ok = readRecordStream(
+        is, jobFileHeader(),
+        [&](FieldReader &reader) {
+            Job job;
+            if (!readJob(reader, &job))
+                return false;
+            jobs.push_back(std::move(job));
+            return true;
+        },
+        nullptr, error);
+    if (!ok)
+        return std::nullopt;
+    return jobs;
+}
+
 bool
 writeJobFile(const std::string &path, const std::vector<Job> &jobs)
 {
     std::ofstream os(path, std::ios::trunc);
     if (!os)
         return false;
-    os << jobFileHeader() << '\n';
-    for (const auto &job : jobs)
-        os << serializeJob(job) << '\n';
-    os << footerLine({jobs.size()}) << '\n';
+    os << encodeJobBatch(jobs);
     os.flush();
     return static_cast<bool>(os);
 }
@@ -337,23 +388,75 @@ readJobFile(const std::string &path, std::string *error)
     return jobs;
 }
 
+std::string
+encodeWorkerOutput(const WorkerOutput &output)
+{
+    std::string text = resultFileHeader();
+    text += '\n';
+    for (const auto &[key, result] : output.results) {
+        FieldWriter writer;
+        writer.str(key);
+        appendJobResult(writer, result);
+        text += writer.line();
+        text += '\n';
+    }
+    text += footerLine({output.results.size(),
+                        output.simulationsPerformed,
+                        output.analysesPerformed});
+    text += '\n';
+    return text;
+}
+
+namespace {
+
+/** The shared record/footer half of the WorkerOutput decoders. */
+bool
+readWorkerOutputStream(std::istream &is, WorkerOutput *output,
+                       std::string *error)
+{
+    std::vector<u64> footer;
+    const bool ok = readRecordStream(
+        is, resultFileHeader(),
+        [&](FieldReader &reader) {
+            const std::string key = reader.str();
+            JobResult result;
+            if (!readJobResult(reader, &result) || !reader.done())
+                return false;
+            output->results.emplace_back(key, std::move(result));
+            return true;
+        },
+        &footer, error);
+    if (!ok)
+        return false;
+    if (footer.size() != 3) {
+        if (error)
+            *error = "corrupt footer";
+        return false;
+    }
+    output->simulationsPerformed = footer[1];
+    output->analysesPerformed = footer[2];
+    return true;
+}
+
+} // namespace
+
+std::optional<WorkerOutput>
+decodeWorkerOutput(const std::string &text, std::string *error)
+{
+    std::istringstream is(text);
+    WorkerOutput output;
+    if (!readWorkerOutputStream(is, &output, error))
+        return std::nullopt;
+    return output;
+}
+
 bool
 writeResultFile(const std::string &path, const WorkerOutput &output)
 {
     std::ofstream os(path, std::ios::trunc);
     if (!os)
         return false;
-    os << resultFileHeader() << '\n';
-    for (const auto &[key, result] : output.results) {
-        FieldWriter writer;
-        writer.str(key);
-        appendJobResult(writer, result);
-        os << writer.line() << '\n';
-    }
-    os << footerLine({output.results.size(),
-                      output.simulationsPerformed,
-                      output.analysesPerformed})
-       << '\n';
+    os << encodeWorkerOutput(output);
     os.flush();
     return static_cast<bool>(os);
 }
@@ -361,28 +464,19 @@ writeResultFile(const std::string &path, const WorkerOutput &output)
 std::optional<WorkerOutput>
 readResultFile(const std::string &path, std::string *error)
 {
-    WorkerOutput output;
-    std::vector<u64> footer;
-    const bool ok = readRecordFile(
-        path, resultFileHeader(),
-        [&](FieldReader &reader) {
-            const std::string key = reader.str();
-            JobResult result;
-            if (!readJobResult(reader, &result) || !reader.done())
-                return false;
-            output.results.emplace_back(key, std::move(result));
-            return true;
-        },
-        &footer, error);
-    if (!ok)
-        return std::nullopt;
-    if (footer.size() != 3) {
+    std::ifstream is(path);
+    if (!is) {
         if (error)
-            *error = path + ": corrupt footer";
+            *error = path + ": cannot open";
         return std::nullopt;
     }
-    output.simulationsPerformed = footer[1];
-    output.analysesPerformed = footer[2];
+    WorkerOutput output;
+    std::string reason;
+    if (!readWorkerOutputStream(is, &output, &reason)) {
+        if (error)
+            *error = path + ": " + reason;
+        return std::nullopt;
+    }
     return output;
 }
 

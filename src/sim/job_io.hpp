@@ -39,6 +39,22 @@ std::string serializeJob(const Job &job);
 /** Parse a serializeJob line (nullopt on any corruption). */
 std::optional<Job> parseJob(const std::string &line);
 
+/**
+ * A job batch as one self-delimiting text block: the job-file header,
+ * one record per job, and the checksummed end-count footer.  This is
+ * both the byte content of a pool shard file and the payload of a
+ * wire `batch` frame -- the two transports ship identical bytes.
+ */
+std::string encodeJobBatch(const std::vector<Job> &jobs);
+
+/**
+ * Decode an encodeJobBatch block.  Any defect -- wrong header,
+ * corrupt or truncated record, bad footer count -- yields nullopt
+ * with a one-line reason in @p error.
+ */
+std::optional<std::vector<Job>>
+decodeJobBatch(const std::string &text, std::string *error);
+
 /** Write a shard of jobs; false when the file cannot be written. */
 bool writeJobFile(const std::string &path,
                   const std::vector<Job> &jobs);
@@ -63,6 +79,17 @@ struct WorkerOutput
     /** Analytical backends the worker actually evaluated. */
     u64 analysesPerformed = 0;
 };
+
+/**
+ * A worker's output as one self-delimiting text block (result-file
+ * header, key+result records, counter footer) -- the byte content of
+ * a pool result file and the payload of a wire `results` frame.
+ */
+std::string encodeWorkerOutput(const WorkerOutput &output);
+
+/** Decode an encodeWorkerOutput block (error contract as above). */
+std::optional<WorkerOutput>
+decodeWorkerOutput(const std::string &text, std::string *error);
 
 /** Write a worker's results; false when the file cannot be written. */
 bool writeResultFile(const std::string &path,

@@ -83,6 +83,17 @@ currentExecutablePath()
     return buf;
 }
 
+u32
+defaultPoolCrossoverJobs()
+{
+    // Measured on the committed BENCH_replay trajectory: the 45-job
+    // figure-13 grid consistently loses to a single process once
+    // fork/exec and shard-file costs are charged, while batches in
+    // the low hundreds amortize them.  Conservative on purpose --
+    // the in-process fallback is never slower on batches this size.
+    return 128;
+}
+
 ProcessPool::ProcessPool(PoolOptions options)
     : options_(std::move(options))
 {
@@ -129,6 +140,31 @@ ProcessPool::run(const Session &session,
         unique.emplace(keys.back(), i);
     }
     out.stats.uniqueJobs = unique.size();
+
+    // Batch-size planner: small batches skip the process pool
+    // entirely.  A fresh builtin Session with the same caches the
+    // workers would attach keeps the result (and the cache file)
+    // bit-identical to the sharded path.
+    const u32 min_pooled = options_.minPooledJobs == 0
+                               ? defaultPoolCrossoverJobs()
+                               : options_.minPooledJobs;
+    if (unique.size() < min_pooled) {
+        Session local;
+        local.enableCache();
+        if (!options_.cacheDir.empty()) {
+            const auto disk =
+                local.attachDiskCache(options_.cacheDir);
+            if (!disk->ok())
+                return fail("cannot open cache dir: " +
+                            options_.cacheDir);
+        }
+        out.results = local.runBatch(jobs, options_.threadsPerWorker);
+        out.stats.simulationsPerformed = local.simulationsPerformed();
+        out.stats.analysesPerformed = local.analysesPerformed();
+        out.stats.usedProcessPool = false;
+        out.ok = true;
+        return out;
+    }
 
     const u32 workers = std::min<u32>(
         options_.workers, static_cast<u32>(unique.size()));

@@ -76,6 +76,18 @@ struct PoolOptions
 
     /** Keep the shard/result files for debugging. */
     bool keepFiles = false;
+
+    /**
+     * Batch-size planner: batches with fewer UNIQUE jobs than this
+     * run on an in-process fallback (a fresh builtin Session with
+     * the same caches the workers would attach) instead of paying
+     * fork/exec + shard-file overhead that the committed trajectory
+     * shows losing on small batches.  0 picks the measured default
+     * crossover (defaultPoolCrossoverJobs()); 1 means "always use
+     * the process pool" -- what an explicit user demand for workers
+     * should pass.  Either path returns bit-identical results.
+     */
+    u32 minPooledJobs = 0;
 };
 
 /** What one pooled batch did (aggregated across workers). */
@@ -83,6 +95,10 @@ struct PoolStats
 {
     u32 workersSpawned = 0;
     u64 uniqueJobs = 0;
+
+    /** False when the batch-size planner ran the batch in-process
+     *  instead of sharding it over worker processes. */
+    bool usedProcessPool = true;
 
     /** Core-model simulations actually performed (cache hits and
      *  dedupe excluded) -- zero on a warm shared cache. */
@@ -138,6 +154,15 @@ int poolWorkerMain(const std::vector<std::string> &args);
 
 /** This process's executable path (/proc/self/exe; "" on failure). */
 std::string currentExecutablePath();
+
+/**
+ * The built-in planner crossover: below this many unique jobs a
+ * pooled batch is cheaper to run in-process than to shard over
+ * fork/exec'd workers (PoolOptions::minPooledJobs == 0 uses this).
+ * The service bench records the value alongside its timings so a
+ * future re-measurement has the old figure next to the new one.
+ */
+u32 defaultPoolCrossoverJobs();
 
 } // namespace vegeta::sim
 

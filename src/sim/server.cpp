@@ -1,0 +1,907 @@
+#include "sim/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/job_io.hpp"
+#include "sim/session.hpp"
+#include "sim/wire.hpp"
+
+namespace vegeta::sim {
+
+namespace {
+
+/** A pre-forked persistent worker and its feeding pipes. */
+struct ServiceWorker
+{
+    pid_t pid = -1;
+    int inFd = -1;  ///< parent writes batches here
+    int outFd = -1; ///< parent reads results here
+};
+
+/** One connected client. */
+struct ClientConn
+{
+    int fd = -1;
+    std::thread reader;
+    std::mutex writeMutex; ///< reader (errors) vs dispatcher (results)
+    std::deque<std::vector<Job>> queue; ///< guarded by Impl::mutex
+    bool done = false; ///< reader exited; guarded by Impl::mutex
+};
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+struct SimServer::Impl
+{
+    explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+
+    ServerOptions options;
+
+    Session session; ///< warm across every request (in-process mode)
+
+    int listenFd = -1;
+    u32 boundPort = 0;
+    std::string boundAddress;
+    /** True once WE bound the unix socket path: only then may stop()
+     *  unlink it (a failed start must not delete a live server's
+     *  socket file). */
+    bool ownsSocketFile = false;
+    int wakePipe[2] = {-1, -1}; ///< unblocks the accept poll on stop
+
+    std::vector<ServiceWorker> workers;
+    u32 workerThreads = 0;
+
+    std::thread acceptThread;
+    std::thread dispatchThread;
+
+    mutable std::mutex mutex;
+    std::condition_variable workCv;  ///< dispatcher: work arrived
+    std::condition_variable spaceCv; ///< readers: queue slot freed
+    std::vector<std::shared_ptr<ClientConn>> conns;
+    std::size_t rrCursor = 0; ///< round-robin scan position
+    bool stopping = false;
+    bool started = false;
+
+    ServerStats statsData; ///< guarded by mutex
+
+    bool start(std::string *error);
+    void stop();
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<ClientConn> conn);
+    void dispatchLoop();
+
+    bool forkWorkers(std::string *error);
+    bool bindSocket(std::string *error);
+
+    struct ExecOutcome
+    {
+        bool ok = false;
+        std::string error;
+        WorkerOutput output;
+    };
+    ExecOutcome executeBatch(const std::vector<Job> &jobs);
+
+    void sendError(ClientConn &conn, const std::string &message);
+};
+
+// --- lifecycle --------------------------------------------------------
+
+SimServer::SimServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options)))
+{
+}
+
+SimServer::~SimServer()
+{
+    stop();
+}
+
+bool
+SimServer::start(std::string *error)
+{
+    return impl_->start(error);
+}
+
+void
+SimServer::stop()
+{
+    impl_->stop();
+}
+
+bool
+SimServer::running() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->started && !impl_->stopping;
+}
+
+std::string
+SimServer::address() const
+{
+    return impl_->boundAddress;
+}
+
+u32
+SimServer::port() const
+{
+    return impl_->boundPort;
+}
+
+ServerStats
+SimServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->statsData;
+}
+
+bool
+SimServer::Impl::start(std::string *error)
+{
+    auto fail = [&](const std::string &reason) {
+        if (error)
+            *error = reason;
+        return false;
+    };
+    if (started)
+        return fail("server already started");
+    if (options.queueDepth == 0)
+        return fail("queue depth must be at least 1");
+    if (!options.socketPath.empty() && options.useTcp)
+        return fail("choose a unix socket OR tcp, not both");
+
+    // Writes to dead clients/workers must be errors, not process
+    // death; sockets use MSG_NOSIGNAL but the worker pipes cannot.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    // Fork the persistent workers FIRST: this process has no threads
+    // yet, so the children are plain single-threaded copies.
+    if (!forkWorkers(error))
+        return false;
+
+    if (!bindSocket(error)) {
+        stop();
+        return false;
+    }
+
+    if (::pipe(wakePipe) != 0) {
+        stop();
+        return fail("cannot create wake pipe");
+    }
+
+    // In-process execution wants warm caches; worker mode only uses
+    // this session to validate batches (workers own their caches).
+    if (options.serviceWorkers == 0) {
+        session.enableCache();
+        if (!options.cacheDir.empty()) {
+            const auto disk = session.attachDiskCache(options.cacheDir);
+            if (!disk->ok()) {
+                stop();
+                return fail("cannot open cache dir: " +
+                            options.cacheDir);
+            }
+        }
+    }
+
+    started = true;
+    stopping = false;
+    acceptThread = std::thread([this]() { acceptLoop(); });
+    dispatchThread = std::thread([this]() { dispatchLoop(); });
+    return true;
+}
+
+bool
+SimServer::Impl::forkWorkers(std::string *error)
+{
+    for (u32 w = 0; w < options.serviceWorkers; ++w) {
+        int to_child[2], to_parent[2];
+        if (::pipe(to_child) != 0)
+            goto pipe_error;
+        if (::pipe(to_parent) != 0) {
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            goto pipe_error;
+        }
+        {
+            const pid_t pid = ::fork();
+            if (pid < 0) {
+                ::close(to_child[0]);
+                ::close(to_child[1]);
+                ::close(to_parent[0]);
+                ::close(to_parent[1]);
+                if (error)
+                    *error = "cannot fork service worker";
+                return false;
+            }
+            if (pid == 0) {
+                // Child: keep only this worker's two pipe ends.
+                ::close(to_child[1]);
+                ::close(to_parent[0]);
+                for (const auto &other : workers) {
+                    ::close(other.inFd);
+                    ::close(other.outFd);
+                }
+                u32 threads = options.threads;
+                if (threads == 0) {
+                    const unsigned hw =
+                        std::thread::hardware_concurrency();
+                    threads = std::max(
+                        1u, static_cast<u32>(hw) /
+                                options.serviceWorkers);
+                }
+                ::_exit(serviceWorkerLoop(to_child[0], to_parent[1],
+                                          options.cacheDir, threads));
+            }
+            ::close(to_child[0]);
+            ::close(to_parent[1]);
+            workers.push_back({pid, to_child[1], to_parent[0]});
+        }
+        continue;
+    pipe_error:
+        if (error)
+            *error = "cannot create service worker pipes";
+        return false;
+    }
+    return true;
+}
+
+bool
+SimServer::Impl::bindSocket(std::string *error)
+{
+    auto fail = [&](const std::string &reason) {
+        if (error)
+            *error = reason;
+        return false;
+    };
+
+    if (!options.socketPath.empty()) {
+        if (options.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+            return fail("socket path too long: " + options.socketPath);
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            return fail("cannot create unix socket");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, options.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            if (errno != EADDRINUSE)
+                return fail("cannot bind " + options.socketPath +
+                            ": " + std::strerror(errno));
+            // A stale socket file from a dead server binds again
+            // after an unlink; a LIVE server answers a probe connect
+            // and is an error.
+            const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            const bool live =
+                probe >= 0 &&
+                ::connect(probe,
+                          reinterpret_cast<const sockaddr *>(&addr),
+                          sizeof(addr)) == 0;
+            if (probe >= 0)
+                ::close(probe);
+            if (live)
+                return fail("a server is already listening on " +
+                            options.socketPath);
+            ::unlink(options.socketPath.c_str());
+            if (::bind(listenFd,
+                       reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr)) != 0)
+                return fail("cannot bind " + options.socketPath +
+                            ": " + std::strerror(errno));
+        }
+        ownsSocketFile = true;
+        boundAddress = "unix:" + options.socketPath;
+    } else {
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            return fail("cannot create tcp socket");
+        const int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<unsigned short>(options.port));
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::bind(listenFd,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            return fail("cannot bind 127.0.0.1:" +
+                        std::to_string(options.port) + ": " +
+                        std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort = ntohs(bound.sin_port);
+        boundAddress =
+            "tcp:127.0.0.1:" + std::to_string(boundPort);
+    }
+    if (::listen(listenFd, 64) != 0)
+        return fail("cannot listen on " + boundAddress);
+    return true;
+}
+
+void
+SimServer::Impl::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping && !started)
+            return;
+        stopping = true;
+    }
+    workCv.notify_all();
+    spaceCv.notify_all();
+    if (wakePipe[1] >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wakePipe[1], &byte, 1);
+    }
+    if (acceptThread.joinable())
+        acceptThread.join();
+    closeFd(listenFd);
+    if (ownsSocketFile) {
+        ::unlink(options.socketPath.c_str());
+        ownsSocketFile = false;
+    }
+
+    // Wake readers blocked in readFrame, then wait for everything
+    // in flight; only then is it safe to close the descriptors.
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const auto &conn : conns)
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    if (dispatchThread.joinable())
+        dispatchThread.join();
+    std::vector<std::shared_ptr<ClientConn>> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        drained.swap(conns);
+    }
+    for (const auto &conn : drained) {
+        if (conn->reader.joinable())
+            conn->reader.join();
+        closeFd(conn->fd);
+    }
+
+    // EOF on the feed pipe is a worker's shutdown signal; reap every
+    // child so no zombie or orphan outlives the server.
+    for (auto &worker : workers) {
+        closeFd(worker.inFd);
+        closeFd(worker.outFd);
+    }
+    for (auto &worker : workers) {
+        if (worker.pid > 0) {
+            int status = 0;
+            ::waitpid(worker.pid, &status, 0);
+            worker.pid = -1;
+        }
+    }
+    workers.clear();
+    closeFd(wakePipe[0]);
+    closeFd(wakePipe[1]);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        started = false;
+    }
+}
+
+// --- accept / read / dispatch ----------------------------------------
+
+void
+SimServer::Impl::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0},
+                         {wakePipe[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (stopping)
+                return;
+        }
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int client = ::accept(listenFd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        auto conn = std::make_shared<ClientConn>();
+        conn->fd = client;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (stopping) {
+                ::close(client);
+                return;
+            }
+            ++statsData.connections;
+            conns.push_back(conn);
+        }
+        conn->reader =
+            std::thread([this, conn]() { readerLoop(conn); });
+    }
+}
+
+void
+SimServer::Impl::sendError(ClientConn &conn,
+                           const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(conn.writeMutex);
+    std::string ignored;
+    wire::writeFrame(conn.fd, wire::FrameType::Error, message,
+                     &ignored);
+}
+
+void
+SimServer::Impl::readerLoop(std::shared_ptr<ClientConn> conn)
+{
+    auto finish = [&]() {
+        std::lock_guard<std::mutex> lock(mutex);
+        conn->done = true;
+        workCv.notify_all(); // let the dispatcher reap
+    };
+    auto protocolError = [&](const std::string &message) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++statsData.protocolErrors;
+        }
+        sendError(*conn, message);
+        finish();
+    };
+
+    // Handshake: both sides must speak the same wire revision AND
+    // record formats before any batch crosses the connection.
+    wire::Frame hello;
+    std::string error;
+    if (!wire::readFrame(conn->fd, &hello, options.clientTimeoutMs,
+                         &error)) {
+        protocolError("handshake failed: " + error);
+        return;
+    }
+    if (hello.type != wire::FrameType::Hello ||
+        hello.payload != wire::helloPayload()) {
+        std::string got = hello.payload.substr(0, 120);
+        protocolError("wire version mismatch: server speaks '" +
+                      wire::helloPayload() + "', client sent '" + got +
+                      "'");
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        if (!wire::writeFrame(conn->fd, wire::FrameType::HelloAck,
+                              wire::helloPayload(), &error)) {
+            finish();
+            return;
+        }
+    }
+
+    for (;;) {
+        wire::Frame frame;
+        bool clean_eof = false;
+        if (!wire::readFrame(conn->fd, &frame, -1, &error,
+                             &clean_eof)) {
+            if (clean_eof)
+                finish();
+            else
+                protocolError("bad frame: " + error);
+            return;
+        }
+        if (frame.type == wire::FrameType::Bye) {
+            finish();
+            return;
+        }
+        if (frame.type != wire::FrameType::Batch) {
+            protocolError(std::string("unexpected frame: ") +
+                          wire::frameTypeName(frame.type));
+            return;
+        }
+        auto jobs = decodeJobBatch(frame.payload, &error);
+        if (!jobs) {
+            protocolError("corrupt batch: " + error);
+            return;
+        }
+        for (std::size_t i = 0; i < jobs->size(); ++i) {
+            if (const auto bad = session.jobError((*jobs)[i])) {
+                sendError(*conn, "job " + std::to_string(i) + ": " +
+                                     *bad);
+                jobs.reset();
+                break;
+            }
+        }
+        if (!jobs)
+            continue; // rejected batch; the connection stays usable
+
+        // Bounded queue: when this client already has queueDepth
+        // batches pending the reader parks here, which stops reading
+        // its socket -- backpressure, not unbounded buffering.
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            spaceCv.wait(lock, [&]() {
+                return stopping ||
+                       conn->queue.size() < options.queueDepth;
+            });
+            if (stopping) {
+                conn->done = true;
+                return;
+            }
+            statsData.jobs += jobs->size();
+            conn->queue.push_back(std::move(*jobs));
+        }
+        workCv.notify_all();
+    }
+}
+
+void
+SimServer::Impl::dispatchLoop()
+{
+    for (;;) {
+        std::shared_ptr<ClientConn> conn;
+        std::vector<Job> jobs;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            for (;;) {
+                if (stopping)
+                    return;
+                // Reap connections whose reader is gone and whose
+                // queue is drained (a daemon must not accumulate
+                // dead clients).
+                for (std::size_t i = 0; i < conns.size();) {
+                    if (conns[i]->done && conns[i]->queue.empty()) {
+                        if (conns[i]->reader.joinable())
+                            conns[i]->reader.join();
+                        closeFd(conns[i]->fd);
+                        conns.erase(conns.begin() +
+                                    static_cast<std::ptrdiff_t>(i));
+                        if (rrCursor > i)
+                            --rrCursor;
+                    } else {
+                        ++i;
+                    }
+                }
+                // Round-robin: resume the scan one past the client
+                // served last, so a client with a deep queue cannot
+                // starve the others.
+                if (!conns.empty()) {
+                    for (std::size_t step = 0; step < conns.size();
+                         ++step) {
+                        const std::size_t i =
+                            (rrCursor + step) % conns.size();
+                        if (!conns[i]->queue.empty()) {
+                            conn = conns[i];
+                            jobs =
+                                std::move(conns[i]->queue.front());
+                            conns[i]->queue.pop_front();
+                            rrCursor = (i + 1) % conns.size();
+                            break;
+                        }
+                    }
+                }
+                if (conn)
+                    break;
+                workCv.wait(lock);
+            }
+        }
+        spaceCv.notify_all();
+
+        const ExecOutcome outcome = executeBatch(jobs);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++statsData.batches;
+            statsData.simulationsPerformed +=
+                outcome.output.simulationsPerformed;
+            statsData.analysesPerformed +=
+                outcome.output.analysesPerformed;
+        }
+        std::string error;
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        if (outcome.ok)
+            wire::writeFrame(conn->fd, wire::FrameType::Results,
+                             encodeWorkerOutput(outcome.output),
+                             &error);
+        else
+            wire::writeFrame(conn->fd, wire::FrameType::Error,
+                             outcome.error, &error);
+        // A failed write means the client vanished; its reader will
+        // notice the close and the connection gets reaped above.
+    }
+}
+
+SimServer::Impl::ExecOutcome
+SimServer::Impl::executeBatch(const std::vector<Job> &jobs)
+{
+    ExecOutcome outcome;
+
+    // Dedupe by canonical key exactly like runBatch/ProcessPool: the
+    // response carries one record per unique key (sorted, so worker
+    // sharding is a pure function of the batch) and the client fans
+    // results back out to its own job order.
+    std::map<std::string, std::size_t> unique;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        unique.emplace(jobKey(jobs[i]), i);
+
+    if (workers.empty()) {
+        const u64 sims0 = session.simulationsPerformed();
+        const u64 anas0 = session.analysesPerformed();
+        const auto results =
+            session.runBatch(jobs, options.threads);
+        outcome.output.simulationsPerformed =
+            session.simulationsPerformed() - sims0;
+        outcome.output.analysesPerformed =
+            session.analysesPerformed() - anas0;
+        outcome.output.results.reserve(unique.size());
+        for (const auto &[key, index] : unique)
+            outcome.output.results.emplace_back(key, results[index]);
+        outcome.ok = true;
+        return outcome;
+    }
+
+    // Persistent-worker mode: deal the sorted unique keys
+    // round-robin over the pre-forked workers and feed each its
+    // slice as ONE wire frame down its pipe -- no files, no forks.
+    const u32 used = std::min<u32>(
+        static_cast<u32>(workers.size()),
+        static_cast<u32>(std::max<std::size_t>(1, unique.size())));
+    std::vector<std::vector<Job>> slices(used);
+    std::vector<std::vector<std::string>> slice_keys(used);
+    {
+        u32 next = 0;
+        for (const auto &[key, index] : unique) {
+            slices[next].push_back(jobs[index]);
+            slice_keys[next].push_back(key);
+            next = (next + 1) % used;
+        }
+    }
+    std::string error;
+    for (u32 w = 0; w < used; ++w) {
+        if (!wire::writeFrame(workers[w].inFd,
+                              wire::FrameType::Batch,
+                              encodeJobBatch(slices[w]), &error)) {
+            outcome.error =
+                "service worker " + std::to_string(w) +
+                " unreachable: " + error;
+            return outcome;
+        }
+    }
+    std::unordered_map<std::string, JobResult> by_key;
+    by_key.reserve(unique.size());
+    for (u32 w = 0; w < used; ++w) {
+        wire::Frame frame;
+        if (!wire::readFrame(workers[w].outFd, &frame, -1, &error)) {
+            outcome.error = "service worker " + std::to_string(w) +
+                            " died: " + error;
+            return outcome;
+        }
+        if (frame.type == wire::FrameType::Error) {
+            outcome.error = "service worker " + std::to_string(w) +
+                            ": " + frame.payload;
+            return outcome;
+        }
+        if (frame.type != wire::FrameType::Results) {
+            outcome.error = "service worker " + std::to_string(w) +
+                            ": unexpected frame";
+            return outcome;
+        }
+        auto output = decodeWorkerOutput(frame.payload, &error);
+        if (!output) {
+            outcome.error = "service worker " + std::to_string(w) +
+                            ": " + error;
+            return outcome;
+        }
+        outcome.output.simulationsPerformed +=
+            output->simulationsPerformed;
+        outcome.output.analysesPerformed +=
+            output->analysesPerformed;
+        for (auto &[key, result] : output->results)
+            by_key.emplace(key, std::move(result));
+        for (const auto &key : slice_keys[w]) {
+            if (!by_key.count(key)) {
+                outcome.error = "service worker " +
+                                std::to_string(w) +
+                                ": missing result";
+                return outcome;
+            }
+        }
+    }
+    outcome.output.results.reserve(unique.size());
+    for (const auto &[key, index] : unique) {
+        (void)index;
+        outcome.output.results.emplace_back(
+            key, std::move(by_key.find(key)->second));
+    }
+    outcome.ok = true;
+    return outcome;
+}
+
+// --- the persistent worker -------------------------------------------
+
+int
+serviceWorkerLoop(int in_fd, int out_fd, const std::string &cache_dir,
+                  u32 threads)
+{
+    Session session;
+    session.enableCache();
+    if (!cache_dir.empty()) {
+        const auto disk = session.attachDiskCache(cache_dir);
+        if (!disk->ok()) {
+            std::cerr << "service worker: cannot open cache dir: "
+                      << cache_dir << "\n";
+            return 4;
+        }
+    }
+
+    for (;;) {
+        wire::Frame frame;
+        std::string error;
+        bool clean_eof = false;
+        if (!wire::readFrame(in_fd, &frame, -1, &error,
+                             &clean_eof)) {
+            if (clean_eof)
+                return 0; // parent closed the feed: clean shutdown
+            std::cerr << "service worker: " << error << "\n";
+            return 3;
+        }
+        if (frame.type == wire::FrameType::Bye)
+            return 0;
+        if (frame.type != wire::FrameType::Batch) {
+            std::cerr << "service worker: unexpected frame\n";
+            return 3;
+        }
+        auto jobs = decodeJobBatch(frame.payload, &error);
+        bool bad_job = false;
+        if (jobs) {
+            for (const auto &job : *jobs) {
+                if (const auto reason = session.jobError(job)) {
+                    error = "bad job: " + *reason;
+                    bad_job = true;
+                    break;
+                }
+            }
+        }
+        if (!jobs || bad_job) {
+            // One frame in, one frame out: the pipe stays aligned
+            // even for a rejected batch.
+            if (!wire::writeFrame(out_fd, wire::FrameType::Error,
+                                  error, &error))
+                return 3;
+            continue;
+        }
+
+        const u64 sims0 = session.simulationsPerformed();
+        const u64 anas0 = session.analysesPerformed();
+        const auto results = session.runBatch(*jobs, threads);
+
+        WorkerOutput output;
+        output.results.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            output.results.emplace_back(jobKey((*jobs)[i]),
+                                        results[i]);
+        output.simulationsPerformed =
+            session.simulationsPerformed() - sims0;
+        output.analysesPerformed =
+            session.analysesPerformed() - anas0;
+        if (!wire::writeFrame(out_fd, wire::FrameType::Results,
+                              encodeWorkerOutput(output), &error)) {
+            std::cerr << "service worker: " << error << "\n";
+            return 3;
+        }
+    }
+}
+
+// --- CLI entry --------------------------------------------------------
+
+namespace {
+
+volatile sig_atomic_t g_signal_seen = 0;
+int g_signal_pipe_wr = -1;
+
+void
+onStopSignal(int sig)
+{
+    g_signal_seen = sig;
+    if (g_signal_pipe_wr >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(g_signal_pipe_wr, &byte, 1);
+    }
+}
+
+} // namespace
+
+int
+SimServer::serveMain(const ServerOptions &options)
+{
+    int signal_pipe[2];
+    if (::pipe(signal_pipe) != 0) {
+        std::cerr << "serve: cannot create signal pipe\n";
+        return 2;
+    }
+    g_signal_pipe_wr = signal_pipe[1];
+    g_signal_seen = 0;
+
+    struct sigaction action = {};
+    action.sa_handler = onStopSignal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    SimServer server(options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "serve: " << error << "\n";
+        ::close(signal_pipe[0]);
+        ::close(signal_pipe[1]);
+        g_signal_pipe_wr = -1;
+        return 2;
+    }
+    std::cerr << "serve: listening on " << server.address()
+              << " (service workers: " << options.serviceWorkers
+              << ", cache: "
+              << (options.cacheDir.empty() ? std::string("off")
+                                           : options.cacheDir)
+              << ")\n";
+
+    // Sleep until SIGTERM/SIGINT; the self-pipe makes the wakeup
+    // race-free even when the signal lands before the poll.
+    for (;;) {
+        pollfd pfd{signal_pipe[0], POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, -1);
+        if (rc > 0 || (rc < 0 && errno != EINTR))
+            break;
+        if (g_signal_seen != 0)
+            break;
+    }
+
+    const auto stats = server.stats();
+    server.stop();
+    std::cerr << "serve: shut down cleanly ("
+              << stats.connections << " connections, "
+              << stats.batches << " batches, " << stats.jobs
+              << " jobs, " << stats.simulationsPerformed
+              << " simulations performed)\n";
+    ::close(signal_pipe[0]);
+    ::close(signal_pipe[1]);
+    g_signal_pipe_wr = -1;
+    return 0;
+}
+
+} // namespace vegeta::sim

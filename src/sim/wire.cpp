@@ -1,0 +1,277 @@
+#include "sim/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "sim/job_io.hpp"
+#include "sim/serial.hpp"
+
+namespace vegeta::sim::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char *kMagic = "vgw1";
+
+/** Longest legal header line (magic + type + len + checksum + \n). */
+constexpr std::size_t kMaxHeaderBytes = 64;
+
+/** poll() until fd is readable or the deadline passes. */
+bool
+waitReadable(int fd, const Clock::time_point *deadline,
+             std::string *error)
+{
+    for (;;) {
+        int timeout_ms = -1;
+        if (deadline) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(*deadline - Clock::now());
+            if (left.count() <= 0) {
+                if (error)
+                    *error = "read timed out";
+                return false;
+            }
+            timeout_ms = static_cast<int>(left.count());
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return true;
+        if (rc == 0) {
+            if (error)
+                *error = "read timed out";
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        if (error)
+            *error = std::string("poll failed: ") +
+                     std::strerror(errno);
+        return false;
+    }
+}
+
+/**
+ * Read exactly @p size bytes.  Returns the byte count read; a short
+ * count means EOF (0 bytes on a clean close), negative means error
+ * or timeout.
+ */
+ssize_t
+readFull(int fd, char *data, std::size_t size,
+         const Clock::time_point *deadline, std::string *error)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        if (!waitReadable(fd, deadline, error))
+            return -1;
+        const ssize_t n = ::read(fd, data + got, size - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("read failed: ") +
+                         std::strerror(errno);
+            return -1;
+        }
+        if (n == 0)
+            return static_cast<ssize_t>(got);
+        got += static_cast<std::size_t>(n);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+/** Write all bytes; sockets use send(MSG_NOSIGNAL), pipes write(). */
+bool
+writeFull(int fd, const char *data, std::size_t size,
+          std::string *error)
+{
+    bool use_send = true;
+    while (size > 0) {
+        ssize_t n;
+        if (use_send) {
+            n = ::send(fd, data, size, MSG_NOSIGNAL);
+            if (n < 0 && errno == ENOTSOCK) {
+                use_send = false;
+                continue;
+            }
+        } else {
+            n = ::write(fd, data, size);
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("write failed: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+parseFrameType(const std::string &token, FrameType *type)
+{
+    for (const FrameType t :
+         {FrameType::Hello, FrameType::HelloAck, FrameType::Batch,
+          FrameType::Results, FrameType::Error, FrameType::Bye}) {
+        if (token == frameTypeName(t)) {
+            *type = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello:
+        return "hello";
+      case FrameType::HelloAck:
+        return "helloack";
+      case FrameType::Batch:
+        return "batch";
+      case FrameType::Results:
+        return "results";
+      case FrameType::Error:
+        return "error";
+      case FrameType::Bye:
+        return "bye";
+    }
+    return "error";
+}
+
+std::string
+helloPayload()
+{
+    // The wire revision AND both record-format versions: bumping any
+    // persistent format automatically fails old<->new handshakes.
+    std::string payload = "vegeta-wire v1";
+    payload += '\t';
+    payload += jobFileHeader();
+    payload += '\t';
+    payload += resultFileHeader();
+    return payload;
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    std::string frame = kMagic;
+    frame += ' ';
+    frame += frameTypeName(type);
+    frame += ' ';
+    frame += std::to_string(payload.size());
+    frame += ' ';
+    frame += serial::hex16(serial::checksum(payload));
+    frame += '\n';
+    frame += payload;
+    return frame;
+}
+
+bool
+writeFrame(int fd, FrameType type, const std::string &payload,
+           std::string *error)
+{
+    const std::string frame = encodeFrame(type, payload);
+    return writeFull(fd, frame.data(), frame.size(), error);
+}
+
+bool
+readFrame(int fd, Frame *frame, int timeout_ms, std::string *error,
+          bool *clean_eof)
+{
+    if (clean_eof)
+        *clean_eof = false;
+    Clock::time_point deadline_storage;
+    const Clock::time_point *deadline = nullptr;
+    if (timeout_ms >= 0) {
+        deadline_storage =
+            Clock::now() + std::chrono::milliseconds(timeout_ms);
+        deadline = &deadline_storage;
+    }
+
+    auto fail = [&](const std::string &reason) {
+        if (error)
+            *error = reason;
+        return false;
+    };
+
+    // Header: byte-at-a-time up to the newline (it is tiny and this
+    // never reads past the frame into the next one).
+    std::string header;
+    for (;;) {
+        char c;
+        const ssize_t n = readFull(fd, &c, 1, deadline, error);
+        if (n < 0)
+            return false;
+        if (n == 0) {
+            if (header.empty() && clean_eof)
+                *clean_eof = true;
+            return fail(header.empty() ? "connection closed"
+                                       : "truncated frame header");
+        }
+        if (c == '\n')
+            break;
+        header += c;
+        if (header.size() > kMaxHeaderBytes)
+            return fail("oversized frame header");
+    }
+
+    // Strict "vgw1 <type> <len> <checksum>" parse.
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= header.size()) {
+        const std::size_t space = header.find(' ', start);
+        if (space == std::string::npos) {
+            tokens.push_back(header.substr(start));
+            break;
+        }
+        tokens.push_back(header.substr(start, space - start));
+        start = space + 1;
+    }
+    if (tokens.size() != 4 || tokens[0] != kMagic)
+        return fail("malformed frame header");
+    FrameType type;
+    if (!parseFrameType(tokens[1], &type))
+        return fail("unknown frame type: " + tokens[1]);
+    u64 length = 0;
+    if (!serial::parseU64(tokens[2], &length) ||
+        length > kMaxFramePayload)
+        return fail("bad frame length");
+    u64 sum = 0;
+    if (tokens[3].size() != 16 ||
+        !serial::parseHexU64(tokens[3], &sum))
+        return fail("bad frame checksum field");
+
+    std::string payload(length, '\0');
+    if (length > 0) {
+        const ssize_t n = readFull(fd, payload.data(), payload.size(),
+                                   deadline, error);
+        if (n < 0)
+            return false;
+        if (static_cast<u64>(n) != length)
+            return fail("truncated frame payload");
+    }
+    if (serial::checksum(payload) != sum)
+        return fail("frame payload checksum mismatch");
+
+    frame->type = type;
+    frame->payload = std::move(payload);
+    return true;
+}
+
+} // namespace vegeta::sim::wire

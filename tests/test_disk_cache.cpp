@@ -238,6 +238,89 @@ TEST(DiskCache, AnalyticalResultsRoundTripAcrossInstances)
               "sim-under-same-key");
 }
 
+TEST(DiskCache, MergeFromUnionsFirstInsertWins)
+{
+    const std::string dst_dir = freshDir("merge_dst");
+    const std::string src_dir = freshDir("merge_src");
+    {
+        DiskResultCache dst(dst_dir);
+        dst.insert("shared", sampleResult("dst-version", 0.25));
+        dst.insert("dst-only", sampleResult("dst", 0.5));
+    }
+    {
+        DiskResultCache src(src_dir);
+        src.insert("shared", sampleResult("src-version", 0.75));
+        src.insert("src-only", sampleResult("src", 0.1));
+        src.insertAnalysis("src-analysis", sampleAnalysis("fig15"));
+    }
+
+    DiskResultCache dst(dst_dir);
+    DiskResultCache src(src_dir);
+    const auto merge = dst.mergeFrom(src);
+    EXPECT_EQ(merge.added, 2u);   // src-only + src-analysis
+    EXPECT_EQ(merge.skipped, 1u); // "shared": dst already has it
+    EXPECT_EQ(dst.size(), 4u);
+    // First insert wins across caches too: the destination's value
+    // survives the merge.
+    EXPECT_EQ(dst.find("shared")->workload, "dst-version");
+    EXPECT_EQ(dst.find("src-only")->workload, "src");
+    ASSERT_TRUE(dst.findAnalysis("src-analysis").has_value());
+
+    // The union persisted: a reopened destination sees everything,
+    // bit-identical, and the source is untouched.
+    DiskResultCache reopened(dst_dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.stats().loaded, 4u);
+    expectIdenticalSim(*reopened.find("src-only"),
+                       *src.find("src-only"));
+    expectIdenticalAnalysis(*reopened.findAnalysis("src-analysis"),
+                            *src.findAnalysis("src-analysis"));
+    DiskResultCache src_reopened(src_dir);
+    EXPECT_EQ(src_reopened.size(), 3u);
+    EXPECT_EQ(src_reopened.find("shared")->workload, "src-version");
+}
+
+TEST(DiskCache, MergeFromEmptySourceAddsNothing)
+{
+    const std::string dst_dir = freshDir("merge_empty_dst");
+    const std::string src_dir = freshDir("merge_empty_src");
+    DiskResultCache dst(dst_dir);
+    dst.insert("k", sampleResult("w", 0.5));
+    DiskResultCache src(src_dir);
+    const auto merge = dst.mergeFrom(src);
+    EXPECT_EQ(merge.added, 0u);
+    EXPECT_EQ(merge.skipped, 0u);
+    EXPECT_EQ(dst.size(), 1u);
+}
+
+TEST(DiskCache, MergeChainsAcrossSeveralSources)
+{
+    // The CLI's `cache merge DST SRC...` shape: fold several sweep
+    // shards into one, then merge the union into a populated cache.
+    const std::string a_dir = freshDir("merge_chain_a");
+    const std::string b_dir = freshDir("merge_chain_b");
+    const std::string dst_dir = freshDir("merge_chain_dst");
+    {
+        DiskResultCache a(a_dir);
+        a.insert("ka", sampleResult("a", 0.1));
+        a.insert("shared", sampleResult("a-shared", 0.2));
+        DiskResultCache b(b_dir);
+        b.insert("kb", sampleResult("b", 0.3));
+        b.insert("shared", sampleResult("b-shared", 0.4));
+    }
+    DiskResultCache dst(dst_dir);
+    DiskResultCache a(a_dir);
+    DiskResultCache b(b_dir);
+    const auto first = dst.mergeFrom(a);
+    EXPECT_EQ(first.added, 2u);
+    const auto second = dst.mergeFrom(b);
+    EXPECT_EQ(second.added, 1u);
+    EXPECT_EQ(second.skipped, 1u); // "shared" came from a first
+    EXPECT_EQ(dst.find("shared")->workload, "a-shared");
+    DiskResultCache reopened(dst_dir);
+    EXPECT_EQ(reopened.size(), 3u);
+}
+
 TEST(DiskCache, SessionPersistsAnalyticalResults)
 {
     const std::string dir = freshDir("session_analytical");

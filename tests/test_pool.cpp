@@ -85,8 +85,11 @@ TEST(ProcessPool, MergesBitIdenticalToSingleProcess)
         PoolOptions options;
         options.workers = workers;
         options.threadsPerWorker = 2;
+        options.minPooledJobs = 1; // pin the REAL pool: this test
+                                   // is about the sharded path
         const auto pooled = session.runBatchPooled(jobs, options);
         ASSERT_TRUE(pooled.ok) << pooled.error;
+        EXPECT_TRUE(pooled.stats.usedProcessPool);
         EXPECT_EQ(pooled.stats.uniqueJobs, jobs.size() - 1);
         EXPECT_EQ(pooled.stats.workersSpawned,
                   std::min<u32>(workers, jobs.size() - 1));
@@ -103,6 +106,7 @@ TEST(ProcessPool, WarmSharedCacheRunsZeroSimulations)
     PoolOptions options;
     options.workers = 2;
     options.cacheDir = cache_dir;
+    options.minPooledJobs = 1; // exercise real multi-process sharing
 
     // Cold: every unique trace job simulates somewhere in the pool,
     // every unique analysis evaluates, and the shared dir fills up.
@@ -119,6 +123,74 @@ TEST(ProcessPool, WarmSharedCacheRunsZeroSimulations)
     EXPECT_EQ(warm.stats.simulationsPerformed, 0u);
     EXPECT_EQ(warm.stats.analysesPerformed, 0u);
     expectIdenticalBatches(warm.results, cold.results);
+}
+
+TEST(ProcessPool, PlannerFallsBackInProcessBelowCrossover)
+{
+    // 6 unique jobs is far below the measured fork/exec crossover:
+    // the default planner must run the batch in-process -- same
+    // results, zero worker processes.
+    const Session session;
+    const auto jobs = mixedBatch(session);
+    const auto reference = session.runBatch(jobs, 1);
+
+    PoolOptions options;
+    options.workers = 4; // ignored by the fallback
+    ASSERT_LT(jobs.size(), defaultPoolCrossoverJobs());
+    const auto planned = session.runBatchPooled(jobs, options);
+    ASSERT_TRUE(planned.ok) << planned.error;
+    EXPECT_FALSE(planned.stats.usedProcessPool);
+    EXPECT_EQ(planned.stats.workersSpawned, 0u);
+    EXPECT_EQ(planned.stats.uniqueJobs, jobs.size() - 1);
+    EXPECT_EQ(planned.stats.simulationsPerformed, 4u);
+    EXPECT_EQ(planned.stats.analysesPerformed, 2u);
+    expectIdenticalBatches(planned.results, reference);
+}
+
+TEST(ProcessPool, PlannerFallbackSharesTheDiskCacheBothWays)
+{
+    // A cache written by the in-process fallback warms a later true
+    // pooled run, and vice versa: the planner changes WHERE the batch
+    // executes, never what the shared cache contains.
+    const std::string cache_dir = freshDir("planner_cache");
+    const Session session;
+    const auto jobs = mixedBatch(session);
+
+    PoolOptions fallback;
+    fallback.workers = 2;
+    fallback.cacheDir = cache_dir;
+    const auto cold = session.runBatchPooled(jobs, fallback);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    ASSERT_FALSE(cold.stats.usedProcessPool);
+    EXPECT_EQ(cold.stats.simulationsPerformed, 4u);
+
+    PoolOptions pooled = fallback;
+    pooled.minPooledJobs = 1;
+    const auto warm = session.runBatchPooled(jobs, pooled);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    ASSERT_TRUE(warm.stats.usedProcessPool);
+    EXPECT_EQ(warm.stats.simulationsPerformed, 0u);
+    EXPECT_EQ(warm.stats.analysesPerformed, 0u);
+    expectIdenticalBatches(warm.results, cold.results);
+}
+
+TEST(ProcessPool, ExplicitMinPooledJobsThresholdRespected)
+{
+    const Session session;
+    const auto jobs = mixedBatch(session); // 6 unique
+    PoolOptions options;
+    options.workers = 2;
+
+    options.minPooledJobs = 7; // just above the unique count
+    auto run = session.runBatchPooled(jobs, options);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_FALSE(run.stats.usedProcessPool);
+
+    options.minPooledJobs = 6; // exactly the unique count: pool
+    run = session.runBatchPooled(jobs, options);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_TRUE(run.stats.usedProcessPool);
+    EXPECT_EQ(run.stats.workersSpawned, 2u);
 }
 
 TEST(ProcessPool, EmptyBatchSpawnsNothing)
@@ -153,6 +225,7 @@ TEST(ProcessPool, FailedWorkerSurfacesACleanError)
     const auto jobs = mixedBatch(session);
     PoolOptions options;
     options.workers = 2;
+    options.minPooledJobs = 1; // force the pool so the fake worker runs
     // A "worker" that ignores its shard and exits non-zero.
     options.workerCommand = {"/bin/false"};
     const auto pooled = session.runBatchPooled(jobs, options);

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Edge-case tests for the shared record serialization (sim/serial):
+ * hostile strings through escape/unescape, checksum rejection,
+ * FieldReader short-read and sticky-fail behavior, and empty-record
+ * round-trips.  These are the paths a corrupt cache file or a
+ * truncated wire frame exercises, where the only acceptable outcomes
+ * are "bit-identical value" or "clean failure".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "sim/serial.hpp"
+
+namespace vegeta::sim::serial {
+namespace {
+
+// --- escape / unescape ----------------------------------------------
+
+TEST(SerialEscape, HostileStringsRoundTrip)
+{
+    const std::string hostile[] = {
+        "",
+        "plain value",
+        "tab\there",
+        "newline\nhere",
+        "carriage\rreturn",
+        "percent % sign",
+        "back\\slash \\\\ doubled",
+        "all\tof\nthem\r%\\together",
+        "trailing tab\t",
+        "\nleading newline",
+        "%41 looks escaped but is literal",
+        std::string("embedded\0null", 13),
+    };
+    for (const auto &text : hostile) {
+        const std::string escaped = escape(text);
+        // The escaped form must be safe to embed in a tab-separated,
+        // newline-terminated record.
+        EXPECT_EQ(escaped.find('\t'), std::string::npos) << text;
+        EXPECT_EQ(escaped.find('\n'), std::string::npos) << text;
+        EXPECT_EQ(escaped.find('\r'), std::string::npos) << text;
+        std::string back;
+        ASSERT_TRUE(unescape(escaped, &back)) << escaped;
+        EXPECT_EQ(back, text);
+    }
+}
+
+TEST(SerialEscape, MalformedPercentSequencesRejected)
+{
+    std::string out;
+    EXPECT_FALSE(unescape("%", &out));
+    EXPECT_FALSE(unescape("%0", &out));
+    EXPECT_FALSE(unescape("trailing%", &out));
+    EXPECT_FALSE(unescape("%zz", &out));
+    EXPECT_FALSE(unescape("%0g", &out));
+    EXPECT_FALSE(unescape("ok%then%", &out));
+}
+
+TEST(SerialEscape, EscapedFieldSurvivesRecordRoundTrip)
+{
+    // A field with every separator character travels through a full
+    // FieldWriter record -> checkedFields -> FieldReader cycle.
+    const std::string nasty = "a\tb\nc\rd%e\\f";
+    FieldWriter writer;
+    writer.raw("probe").str(nasty).num(7);
+    const auto fields = checkedFields(writer.line());
+    ASSERT_TRUE(fields.has_value());
+    FieldReader reader(*fields);
+    EXPECT_EQ(reader.raw(), "probe");
+    EXPECT_EQ(reader.str(), nasty);
+    EXPECT_EQ(reader.num(), 7u);
+    EXPECT_TRUE(reader.done());
+}
+
+// --- checksums -------------------------------------------------------
+
+TEST(SerialChecksum, SingleFlippedByteRejectsRecord)
+{
+    FieldWriter writer;
+    writer.raw("rec").num(123456789).bits(0.1);
+    const std::string line = writer.line();
+    ASSERT_TRUE(checkedFields(line).has_value());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        std::string corrupt = line;
+        corrupt[i] = corrupt[i] == 'x' ? 'y' : 'x';
+        if (corrupt == line)
+            continue;
+        EXPECT_FALSE(checkedFields(corrupt).has_value())
+            << "flip at " << i << " accepted: " << corrupt;
+    }
+}
+
+TEST(SerialChecksum, MissingOrTruncatedChecksumRejected)
+{
+    FieldWriter writer;
+    writer.raw("rec").num(42);
+    const std::string line = writer.line();
+    const auto last_tab = line.find_last_of('\t');
+    ASSERT_NE(last_tab, std::string::npos);
+    // Record body alone, without its checksum field.
+    EXPECT_FALSE(checkedFields(line.substr(0, last_tab)).has_value());
+    // Checksum field cut short mid-hex.
+    EXPECT_FALSE(
+        checkedFields(line.substr(0, line.size() - 3)).has_value());
+    // Empty line and lone field.
+    EXPECT_FALSE(checkedFields("").has_value());
+    EXPECT_FALSE(checkedFields("solo").has_value());
+}
+
+TEST(SerialChecksum, ChecksumCoversFieldOrder)
+{
+    // Swapping two fields changes the checksum input, so a reordered
+    // record must not validate against the original checksum.
+    FieldWriter writer;
+    writer.raw("a").raw("b");
+    const std::string line = writer.line();
+    const auto fields = splitTabs(line);
+    ASSERT_EQ(fields.size(), 3u);
+    const std::string swapped =
+        fields[1] + "\t" + fields[0] + "\t" + fields[2];
+    EXPECT_FALSE(checkedFields(swapped).has_value());
+}
+
+// --- FieldReader short reads and sticky failure ----------------------
+
+TEST(SerialReader, ShortReadFailsEveryTypedAccessor)
+{
+    // Reading past the end must fail for each accessor type and
+    // return a safe zero value, not throw or read garbage.
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.raw(), "");
+        EXPECT_FALSE(reader.ok());
+    }
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.str(), "");
+        EXPECT_FALSE(reader.ok());
+    }
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.num(), 0u);
+        EXPECT_FALSE(reader.ok());
+    }
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.signedNum(), 0);
+        EXPECT_FALSE(reader.ok());
+    }
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.hex(), 0u);
+        EXPECT_FALSE(reader.ok());
+    }
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.bits(), 0.0);
+        EXPECT_FALSE(reader.ok());
+    }
+    {
+        FieldReader reader({});
+        EXPECT_EQ(reader.num32(), 0u);
+        EXPECT_FALSE(reader.ok());
+    }
+}
+
+TEST(SerialReader, FailureIsSticky)
+{
+    // One bad field poisons the reader: subsequent valid fields still
+    // read as failed, so a caller checking ok() once at the end
+    // cannot mistake a half-parsed record for a good one.
+    FieldReader reader({"not-a-number", "17"});
+    EXPECT_EQ(reader.num(), 0u);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.num(), 0u);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_FALSE(reader.done());
+}
+
+TEST(SerialReader, TrailingFieldsFailDone)
+{
+    FieldReader reader({"a", "b"});
+    EXPECT_EQ(reader.raw(), "a");
+    EXPECT_TRUE(reader.ok());
+    EXPECT_FALSE(reader.done());
+    EXPECT_EQ(reader.remaining(), 1u);
+}
+
+TEST(SerialReader, StrictNumericParsers)
+{
+    u64 u = 0;
+    EXPECT_FALSE(parseU64("", &u));
+    EXPECT_FALSE(parseU64("+1", &u));
+    EXPECT_FALSE(parseU64("-1", &u));
+    EXPECT_FALSE(parseU64("1 ", &u));
+    EXPECT_FALSE(parseU64("0x10", &u));
+    EXPECT_TRUE(parseU64("18446744073709551615", &u));
+    EXPECT_EQ(u, std::numeric_limits<u64>::max());
+    // One past max must overflow-reject, not wrap.
+    EXPECT_FALSE(parseU64("18446744073709551616", &u));
+
+    i64 s = 0;
+    EXPECT_FALSE(parseI64("", &s));
+    EXPECT_FALSE(parseI64("-", &s));
+    EXPECT_FALSE(parseI64("--1", &s));
+    EXPECT_TRUE(parseI64("-42", &s));
+    EXPECT_EQ(s, -42);
+
+    u64 h = 0;
+    EXPECT_FALSE(parseHexU64("", &h));
+    EXPECT_FALSE(parseHexU64("xyz", &h));
+    EXPECT_TRUE(parseHexU64("deadbeef", &h));
+    EXPECT_EQ(h, 0xdeadbeefull);
+}
+
+TEST(SerialReader, Num32RejectsOverflow)
+{
+    FieldReader reader({"4294967296"}); // 2^32, one past u32 max
+    EXPECT_EQ(reader.num32(), 0u);
+    EXPECT_FALSE(reader.ok());
+
+    FieldReader fits({"4294967295"});
+    EXPECT_EQ(fits.num32(), 4294967295u);
+    EXPECT_TRUE(fits.ok());
+    EXPECT_TRUE(fits.done());
+}
+
+// --- doubles as raw bit patterns -------------------------------------
+
+TEST(SerialDouble, BitExactRoundTripIncludingSpecials)
+{
+    const double values[] = {
+        0.0,
+        -0.0,
+        0.1,
+        -3.25e-17,
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+    };
+    for (const double value : values) {
+        double back = 1234.5;
+        ASSERT_TRUE(parseDoubleBits(doubleBits(value), &back));
+        EXPECT_EQ(std::memcmp(&back, &value, sizeof value), 0)
+            << value;
+    }
+    // NaN round-trips to a NaN with the same payload bits.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    double back = 0;
+    ASSERT_TRUE(parseDoubleBits(doubleBits(nan), &back));
+    EXPECT_TRUE(std::isnan(back));
+}
+
+// --- empty records ---------------------------------------------------
+
+TEST(SerialRecord, EmptyStringFieldsRoundTrip)
+{
+    // A record of nothing but empty strings still checksums and
+    // round-trips: emptiness is data, not absence.
+    FieldWriter writer;
+    writer.str("").str("").str("");
+    const auto fields = checkedFields(writer.line());
+    ASSERT_TRUE(fields.has_value());
+    FieldReader reader(*fields);
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_TRUE(reader.done());
+}
+
+TEST(SerialRecord, EmptyResultVectorsRoundTrip)
+{
+    // An AnalyticalResult with empty collections survives the
+    // count-prefixed encoding.
+    AnalyticalResult original;
+    original.model = "";
+    FieldWriter writer;
+    appendAnalyticalResult(writer, original);
+    const auto fields = checkedFields(writer.line());
+    ASSERT_TRUE(fields.has_value());
+    FieldReader reader(*fields);
+    AnalyticalResult decoded;
+    decoded.model = "poison"; // must be overwritten by the read
+    ASSERT_TRUE(readAnalyticalResult(reader, &decoded));
+    EXPECT_TRUE(reader.done());
+    EXPECT_EQ(decoded.model, "");
+    EXPECT_TRUE(decoded.rows.empty());
+}
+
+TEST(SerialRecord, TruncatedSimulationResultFailsCleanly)
+{
+    SimulationResult result;
+    result.workload = "wl";
+    result.engine = "eng";
+    result.macUtilization = 0.625;
+    FieldWriter writer;
+    appendSimulationResult(writer, result);
+    const auto fields = checkedFields(writer.line());
+    ASSERT_TRUE(fields.has_value());
+
+    // Progressive truncation: every prefix must fail the read, never
+    // yield a half-filled result that claims ok.
+    for (std::size_t keep = 0; keep < fields->size(); ++keep) {
+        std::vector<std::string> prefix(fields->begin(),
+                                        fields->begin() + keep);
+        FieldReader reader(std::move(prefix));
+        SimulationResult out;
+        EXPECT_FALSE(readSimulationResult(reader, &out))
+            << "prefix of " << keep << " fields parsed";
+    }
+    FieldReader full(*fields);
+    SimulationResult out;
+    ASSERT_TRUE(readSimulationResult(full, &out));
+    EXPECT_TRUE(full.done());
+    EXPECT_EQ(out.workload, "wl");
+    EXPECT_EQ(out.macUtilization, 0.625);
+}
+
+} // namespace
+} // namespace vegeta::sim::serial

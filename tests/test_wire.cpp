@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Wire-framing tests (sim/wire): frames round-trip over real pipes,
+ * every corruption mode (bad magic, unknown type, garbage length,
+ * oversize length, checksum mismatch, truncated payload) parses to a
+ * clean error, EOF before the first header byte is distinguishable
+ * from damage, and the handshake payload pins the wire AND record
+ * format versions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "sim/job_io.hpp"
+#include "sim/wire.hpp"
+
+namespace vegeta::sim::wire {
+namespace {
+
+/** A pipe pair that closes whatever is still open at scope exit. */
+struct Pipe
+{
+    int fds[2] = {-1, -1};
+
+    Pipe() { EXPECT_EQ(pipe(fds), 0); }
+
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+
+    void closeRead()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+
+    void closeWrite()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+void
+writeRaw(int fd, const std::string &bytes)
+{
+    ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(Wire, FramesRoundTripOverAPipe)
+{
+    Pipe p;
+    const std::string payloads[] = {
+        "",
+        "short",
+        std::string("binary\0бинарный\tstuff\n", 28),
+        std::string(70'000, 'x'), // bigger than one pipe buffer
+    };
+    const FrameType types[] = {FrameType::Hello, FrameType::Batch,
+                               FrameType::Results, FrameType::Bye};
+    // Writer thread: a >64KiB payload cannot fit the pipe buffer, so
+    // write and read must proceed concurrently.
+    std::thread writer([&]() {
+        for (std::size_t i = 0; i < std::size(payloads); ++i) {
+            std::string error;
+            EXPECT_TRUE(
+                writeFrame(p.fds[1], types[i], payloads[i], &error))
+                << error;
+        }
+        p.closeWrite();
+    });
+    for (std::size_t i = 0; i < std::size(payloads); ++i) {
+        Frame frame;
+        std::string error;
+        ASSERT_TRUE(readFrame(p.fds[0], &frame, 5'000, &error))
+            << error;
+        EXPECT_EQ(frame.type, types[i]);
+        EXPECT_EQ(frame.payload, payloads[i]);
+    }
+    // After the last frame the writer closed: clean EOF, not damage.
+    Frame frame;
+    std::string error;
+    bool clean_eof = false;
+    EXPECT_FALSE(
+        readFrame(p.fds[0], &frame, 5'000, &error, &clean_eof));
+    EXPECT_TRUE(clean_eof);
+    writer.join();
+}
+
+TEST(Wire, CorruptHeadersRejectCleanly)
+{
+    const std::string good = encodeFrame(FrameType::Batch, "payload");
+    const std::string corrupt[] = {
+        "xgw1 batch 7 0000000000000000\n" + good.substr(good.find('\n') + 1),
+        "vgw1 frobnicate 7 0000000000000000\npayload",
+        "vgw1 batch seven 0000000000000000\npayload",
+        "vgw1 batch -7 0000000000000000\npayload",
+        "vgw1 batch 7 zzzz\npayload",
+        "vgw1 batch 7\npayload",                       // missing field
+        "vgw1 batch 7 0000000000000000 extra\npayload", // trailing junk
+    };
+    for (const auto &bytes : corrupt) {
+        Pipe p;
+        writeRaw(p.fds[1], bytes);
+        p.closeWrite();
+        Frame frame;
+        std::string error;
+        bool clean_eof = false;
+        EXPECT_FALSE(
+            readFrame(p.fds[0], &frame, 1'000, &error, &clean_eof))
+            << bytes;
+        EXPECT_FALSE(clean_eof) << bytes;
+        EXPECT_FALSE(error.empty()) << bytes;
+    }
+}
+
+TEST(Wire, OversizePayloadLengthRejectedBeforeReading)
+{
+    // A garbage length far past kMaxFramePayload must be rejected
+    // from the header alone -- no attempt to allocate or read it.
+    Pipe p;
+    writeRaw(p.fds[1], "vgw1 batch 999999999999 0000000000000000\n");
+    p.closeWrite();
+    Frame frame;
+    std::string error;
+    EXPECT_FALSE(readFrame(p.fds[0], &frame, 1'000, &error));
+    EXPECT_NE(error.find("length"), std::string::npos) << error;
+}
+
+TEST(Wire, ChecksumMismatchRejects)
+{
+    std::string bytes = encodeFrame(FrameType::Results, "payload");
+    // Flip one payload byte after the header line: the checksum in
+    // the (untouched) header no longer matches.
+    bytes.back() = bytes.back() == 'd' ? 'D' : 'd';
+    Pipe p;
+    writeRaw(p.fds[1], bytes);
+    p.closeWrite();
+    Frame frame;
+    std::string error;
+    EXPECT_FALSE(readFrame(p.fds[0], &frame, 1'000, &error));
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(Wire, TruncatedPayloadIsErrorNotCleanEof)
+{
+    const std::string good = encodeFrame(FrameType::Batch, "payload");
+    Pipe p;
+    writeRaw(p.fds[1], good.substr(0, good.size() - 3));
+    p.closeWrite();
+    Frame frame;
+    std::string error;
+    bool clean_eof = false;
+    EXPECT_FALSE(
+        readFrame(p.fds[0], &frame, 1'000, &error, &clean_eof));
+    EXPECT_FALSE(clean_eof);
+}
+
+TEST(Wire, ReadTimesOutOnASilentPeer)
+{
+    Pipe p; // nothing ever written
+    Frame frame;
+    std::string error;
+    bool clean_eof = false;
+    EXPECT_FALSE(
+        readFrame(p.fds[0], &frame, 50, &error, &clean_eof));
+    EXPECT_FALSE(clean_eof);
+    EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+}
+
+TEST(Wire, ReadStopsExactlyAtFrameBoundary)
+{
+    // Two frames written back-to-back: reading the first must not
+    // consume a single byte of the second.
+    Pipe p;
+    writeRaw(p.fds[1], encodeFrame(FrameType::Batch, "first") +
+                           encodeFrame(FrameType::Results, "second"));
+    p.closeWrite();
+    Frame frame;
+    std::string error;
+    ASSERT_TRUE(readFrame(p.fds[0], &frame, 1'000, &error)) << error;
+    EXPECT_EQ(frame.payload, "first");
+    ASSERT_TRUE(readFrame(p.fds[0], &frame, 1'000, &error)) << error;
+    EXPECT_EQ(frame.type, FrameType::Results);
+    EXPECT_EQ(frame.payload, "second");
+}
+
+TEST(Wire, HelloPayloadPinsWireAndRecordVersions)
+{
+    // The handshake must change whenever the wire revision OR either
+    // record format revs: that is the property that keeps mismatched
+    // builds from silently misreading each other's records.
+    const std::string hello = helloPayload();
+    EXPECT_NE(hello.find("vegeta-wire"), std::string::npos);
+    EXPECT_NE(hello.find(jobFileHeader()), std::string::npos);
+    EXPECT_NE(hello.find(resultFileHeader()), std::string::npos);
+}
+
+TEST(Wire, FrameTypeNamesAreDistinct)
+{
+    const FrameType all[] = {FrameType::Hello,   FrameType::HelloAck,
+                             FrameType::Batch,   FrameType::Results,
+                             FrameType::Error,   FrameType::Bye};
+    for (const auto a : all) {
+        for (const auto b : all) {
+            if (a != b) {
+                EXPECT_STRNE(frameTypeName(a), frameTypeName(b));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace vegeta::sim::wire
