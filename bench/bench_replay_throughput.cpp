@@ -45,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "cpu/lane_replayer.hpp"
+#include "engine/config.hpp"
 #include "sim/pool.hpp"
 #include "sim/session.hpp"
 
@@ -256,6 +258,72 @@ main(int argc, char **argv)
     const double batch_geomean = geomean(batch_rates);
     const double stream_geomean = geomean(stream_rates);
 
+    // Lane-batched replay rows: K copies of each point's trace on a
+    // K-lane LaneReplayer, so the row family shows how interleaving K
+    // independent streams through one hot loop scales on THIS host
+    // (K=1 doubles as the strip-scheduler overhead check against the
+    // single-stream batch row).  Session::defaultLaneWidth() is read
+    // off this trajectory.
+    struct LanePoint
+    {
+        u32 lanes;
+        double uopsPerSec;
+        double speedupVsSingle;
+    };
+    std::vector<LanePoint> lane_points;
+    {
+        // The smaller GEMM size keeps the K=8 row affordable while
+        // still covering all three sparsity patterns + dense.
+        const std::size_t lane_point_count =
+            std::min<std::size_t>(points.size(), 4);
+        std::vector<cpu::Trace> lane_traces;
+        std::vector<engine::EngineConfig> lane_engines;
+        for (std::size_t p = 0; p < lane_point_count; ++p) {
+            const auto request = requestFor(simulator, points[p]);
+            cpu::Trace trace;
+            simulator.run(request, &trace);
+            lane_traces.push_back(std::move(trace));
+            const auto engine_config =
+                engine::configByName(points[p].engine);
+            VEGETA_ASSERT(engine_config.has_value(),
+                          "unknown bench engine");
+            lane_engines.push_back(*engine_config);
+        }
+        const int lane_reps = smoke ? 1 : 2;
+        for (const u32 k : {1u, 2u, 4u, 8u}) {
+            std::vector<double> rates;
+            for (std::size_t p = 0; p < lane_traces.size(); ++p) {
+                const std::vector<cpu::LaneReplayer::LaneSpec> specs(
+                    k, {{}, lane_engines[p]});
+                cpu::LaneReplayer replayer(specs);
+                const std::vector<const cpu::Trace *> lanes(
+                    k, &lane_traces[p]);
+                double best = 0;
+                for (int r = 0; r < lane_reps; ++r) {
+                    const auto t0 = Clock::now();
+                    const auto lane_results = replayer.replay(lanes);
+                    const auto t1 = Clock::now();
+                    u64 uops = 0;
+                    for (const auto &res : lane_results) {
+                        uops += res.retiredOps;
+                        VEGETA_ASSERT(
+                            res.totalCycles ==
+                                lane_results[0].totalCycles,
+                            "identical lanes must finish in "
+                            "identical cycles");
+                    }
+                    best = std::max(best, uops / seconds(t0, t1));
+                }
+                rates.push_back(best);
+            }
+            const double rate = geomean(rates);
+            lane_points.push_back({k, rate, rate / batch_geomean});
+            std::printf("lanes: K=%u  %7.2f Muops/s  (%.2fx single-"
+                        "stream batch)\n",
+                        k, rate / 1e6, rate / batch_geomean);
+        }
+    }
+
     // Threaded sweep over the Figure 13 grid of the quick workloads.
     const std::vector<std::string> grid_workloads =
         smoke ? std::vector<std::string>{"quick-small"}
@@ -345,6 +413,73 @@ main(int argc, char **argv)
                     best_secs, pool_uops / best_secs / 1e6);
     }
 
+    // Measured pool crossover: the smallest unique-job batch where
+    // sharding over 2 worker processes actually beats running the
+    // batch in-process.  defaultPoolCrossoverJobs() is pinned to this
+    // measurement's committed trajectory value (0 = the pool never
+    // won at any tested size on this host).
+    u32 measured_crossover = 0;
+    {
+        const std::vector<std::size_t> batch_sizes =
+            smoke ? std::vector<std::size_t>{2, 4}
+                  : std::vector<std::size_t>{2, 4, 8, 16};
+        const int crossover_reps = smoke ? 1 : 2;
+        for (const std::size_t size : batch_sizes) {
+            if (size > pool_jobs.size())
+                break;
+            const std::vector<sim::Job> subset(
+                pool_jobs.begin(),
+                pool_jobs.begin() +
+                    static_cast<std::ptrdiff_t>(size));
+            double inproc_secs = 0, pooled_secs = 0;
+            for (int r = 0; r < crossover_reps; ++r) {
+                // Fresh session per rep: its in-memory result cache
+                // must not turn later reps into lookups.
+                const auto t0 = Clock::now();
+                const sim::Session cold;
+                cold.runBatch(subset, 1);
+                const auto t1 = Clock::now();
+                const double secs = seconds(t0, t1);
+                if (inproc_secs == 0 || secs < inproc_secs)
+                    inproc_secs = secs;
+            }
+            sim::PoolOptions options;
+            options.workers = 2;
+            options.threadsPerWorker = 1;
+            options.minPooledJobs = 1; // force the real pool
+            for (int r = 0; r < crossover_reps; ++r) {
+                const auto t0 = Clock::now();
+                const auto pooled =
+                    simulator.runBatchPooled(subset, options);
+                const auto t1 = Clock::now();
+                if (!pooled.ok) {
+                    std::cerr << "crossover pool run failed: "
+                              << pooled.error << "\n";
+                    return 2;
+                }
+                const double secs = seconds(t0, t1);
+                if (pooled_secs == 0 || secs < pooled_secs)
+                    pooled_secs = secs;
+            }
+            std::printf("crossover: %3zu jobs  in-process %.3fs  "
+                        "pooled %.3fs\n",
+                        size, inproc_secs, pooled_secs);
+            if (pooled_secs < inproc_secs) {
+                measured_crossover = static_cast<u32>(size);
+                break;
+            }
+        }
+        if (measured_crossover != 0)
+            std::printf("crossover: pool wins from %u unique jobs "
+                        "(planner default %u)\n",
+                        measured_crossover,
+                        sim::defaultPoolCrossoverJobs());
+        else
+            std::printf("crossover: pool never won at tested sizes "
+                        "(planner default %u)\n",
+                        sim::defaultPoolCrossoverJobs());
+    }
+
     // One trajectory entry, compact (a single line) so the committed
     // file stays an append-only, diff-friendly series.
     if (commit.empty())
@@ -366,7 +501,14 @@ main(int argc, char **argv)
     }
     entry << "], \"single_stream_uops_per_sec_geomean\": "
           << batch_geomean << ", \"stream_uops_per_sec_geomean\": "
-          << stream_geomean << ", \"sweep\": {\"requests\": "
+          << stream_geomean << ", \"lane_replay\": [";
+    for (std::size_t i = 0; i < lane_points.size(); ++i)
+        entry << (i ? ", " : "") << "{\"lanes\": "
+              << lane_points[i].lanes << ", \"uops_per_sec\": "
+              << lane_points[i].uopsPerSec
+              << ", \"speedup_vs_single\": "
+              << lane_points[i].speedupVsSingle << "}";
+    entry << "], \"sweep\": {\"requests\": "
           << grid.size() << ", \"threads\": " << sweep_threads
           << ", \"seconds\": " << sweep_secs
           << ", \"uops_per_sec\": " << sweep_uops / sweep_secs
@@ -379,6 +521,8 @@ main(int argc, char **argv)
               << "}";
     entry << "], \"pool_crossover_unique_jobs\": "
           << sim::defaultPoolCrossoverJobs()
+          << ", \"pool_crossover_measured_jobs\": "
+          << measured_crossover
           << ", \"memory_probe_uops\": " << big.uops
           << ", \"stream_peak_rss_bytes\": " << stream_peak_rss
           << ", \"batch_peak_rss_bytes\": " << batch_peak_rss << "}";

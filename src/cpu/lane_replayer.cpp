@@ -1,0 +1,734 @@
+#include "cpu/lane_replayer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vegeta::cpu {
+
+namespace {
+
+u64
+ringSize(u64 min_entries)
+{
+    u64 size = 1;
+    while (size < min_entries)
+        size *= 2;
+    return size;
+}
+
+std::vector<CacheConfig>
+cacheConfigs(const std::vector<LaneReplayer::LaneSpec> &lanes)
+{
+    std::vector<CacheConfig> configs;
+    configs.reserve(lanes.size());
+    for (const auto &lane : lanes)
+        configs.push_back(lane.core.cache);
+    return configs;
+}
+
+} // namespace
+
+LaneReplayer::LaneReplayer(const std::vector<LaneSpec> &lanes)
+    : num_lanes_(static_cast<u32>(lanes.size())),
+      cache_(cacheConfigs(lanes))
+{
+    VEGETA_ASSERT(!lanes.empty(),
+                  "lane replayer needs at least 1 lane");
+
+    cores_.reserve(num_lanes_);
+    engine_configs_.reserve(num_lanes_);
+    engines_.reserve(num_lanes_);
+    sinks_.reserve(num_lanes_);
+
+    u64 max_window = 0;
+    u32 max_lb = 0;
+    for (const LaneSpec &lane : lanes) {
+        const CoreConfig &core = lane.core;
+        VEGETA_ASSERT(core.fetchWidth > 0 && core.retireWidth > 0 &&
+                          core.robEntries > 0,
+                      "degenerate core configuration");
+        VEGETA_ASSERT(core.loadBufferEntries > 0,
+                      "degenerate load buffer");
+        VEGETA_ASSERT(core.numAlus > 0 && core.numAlus <= kMaxUnits &&
+                          core.numLsuPorts > 0 &&
+                          core.numLsuPorts <= kMaxUnits &&
+                          core.numVectorFus > 0 &&
+                          core.numVectorFus <= kMaxUnits,
+                      "resource pools support 1..16 units");
+        max_window = std::max<u64>(
+            max_window, std::max<u64>({core.fetchWidth,
+                                       core.retireWidth,
+                                       core.robEntries}));
+        max_lb = std::max(max_lb, core.loadBufferEntries);
+
+        cores_.push_back(core);
+        engine_configs_.push_back(lane.engine);
+        engines_.emplace_back(lane.engine, core.outputForwarding);
+
+        alu_units_.push_back(core.numAlus);
+        lsu_units_.push_back(core.numLsuPorts);
+        vec_units_.push_back(core.numVectorFus);
+        fetch_width_.push_back(core.fetchWidth);
+        retire_width_.push_back(core.retireWidth);
+        rob_entries_.push_back(core.robEntries);
+        front_end_depth_.push_back(core.frontEndDepth);
+        vector_fma_latency_.push_back(core.vectorFmaLatency);
+        engine_clock_divider_.push_back(core.engineClockDivider);
+        lb_entries_.push_back(core.loadBufferEntries);
+    }
+
+    // One stride for every lane: a ring larger than a lane's own
+    // window is behaviourally identical (slots are rewritten before
+    // the op-index guards let them be read again).
+    ring_stride_ = ringSize(max_window + 1);
+    ring_mask_ = ring_stride_ - 1;
+    dispatch_ring_.assign(std::size_t{ring_stride_} * num_lanes_, 0);
+    retire_ring_.assign(std::size_t{ring_stride_} * num_lanes_, 0);
+
+    lb_stride_ = max_lb;
+    load_buffer_.assign(std::size_t{lb_stride_} * num_lanes_, 0);
+    lb_fills_.assign(num_lanes_, 0);
+    lb_cursor_.assign(num_lanes_, 0);
+
+    alu_free_.assign(std::size_t{kMaxUnits} * num_lanes_, 0);
+    lsu_free_.assign(std::size_t{kMaxUnits} * num_lanes_, 0);
+    vec_free_.assign(std::size_t{kMaxUnits} * num_lanes_, 0);
+
+    rename_ready_.assign(std::size_t{isa::kNumDepRegs} * num_lanes_,
+                         0);
+    rename_engine_.assign(std::size_t{isa::kNumDepRegs} * num_lanes_,
+                          0);
+
+    vector_chains_.resize(num_lanes_);
+    store_line_ready_.resize(num_lanes_);
+    stored_line_min_.assign(num_lanes_, ~u64{0});
+    stored_line_max_.assign(num_lanes_, 0);
+
+    ops_.assign(num_lanes_, 0);
+    last_retire_.assign(num_lanes_, 0);
+    kind_counts_.assign(std::size_t{8} * num_lanes_, 0);
+    engine_instructions_.assign(num_lanes_, 0);
+    engine_last_finish_.assign(num_lanes_, 0);
+    effectual_macs_.assign(num_lanes_, 0);
+
+    for (u32 lane = 0; lane < num_lanes_; ++lane)
+        sinks_.emplace_back(this, lane);
+}
+
+Cycles
+LaneReplayer::toEngineCycles(u32 lane, Cycles core) const
+{
+    // Round up: an engine instruction can begin at the next engine
+    // clock edge at or after the core-cycle issue.
+    const u32 div = engine_clock_divider_[lane];
+    return (core + div - 1) / div;
+}
+
+Cycles
+LaneReplayer::toCoreCycles(u32 lane, Cycles eng) const
+{
+    return eng * engine_clock_divider_[lane];
+}
+
+Cycles
+LaneReplayer::acquireUnit(std::vector<Cycles> &pool, u32 lane,
+                          u32 units, Cycles earliest)
+{
+    Cycles *strip = pool.data() + std::size_t{lane} * kMaxUnits;
+    u32 best = 0;
+    for (u32 u = 1; u < units; ++u)
+        if (strip[u] < strip[best])
+            best = u;
+    const Cycles start = std::max(earliest, strip[best]);
+    strip[best] = start + 1;
+    return start;
+}
+
+bool
+LaneReplayer::probeRange(u32 lane, u64 first, u64 count, Cycles *out)
+{
+    // Cache probes take no input from the port/load-buffer chain, so
+    // issuing all of a range's probes here, in range order, evolves
+    // the cache state exactly as the serial issue loop would -- but
+    // as one specialized span (probeSpan) instead of a chain of tag
+    // scans threaded through the issue serialization.  Most of the
+    // replay's time is these probes.  Only the scratch size bounds
+    // the batch; oversized ranges (no real kernel emits one) fall
+    // back to probing inside the serial loop.
+    if (count > kProbeBatch)
+        return false;
+    cache_.probeSpan(lane, first * u64{kLineBytes}, kLineBytes, count,
+                     out);
+    return true;
+}
+
+Cycles
+LaneReplayer::issueLineRange(u32 lane, Cycles earliest, Addr addr,
+                             u64 bytes)
+{
+    // Span from the first to the last touched line: a 64 B load at
+    // line offset 32 touches two lines, which a ceil(bytes / 64)
+    // would undercount for unaligned addresses.
+    const u64 first = addr / kLineBytes;
+    const u64 last = (addr + std::max<u64>(bytes, 1) - 1) / kLineBytes;
+    const bool may_alias_store = first <= stored_line_max_[lane] &&
+                                 last >= stored_line_min_[lane];
+
+    // Phase 1: cache probes, independent of the issue serialization.
+    Cycles probe[kProbeBatch];
+    const bool batched = probeRange(lane, first, last - first + 1,
+                                    probe);
+
+    // Load-buffer ring state lives in locals across the range loop:
+    // the member stores would otherwise force a reload per line (a
+    // tile load is up to 64 of them).
+    const u32 lb_entries = lb_entries_[lane];
+    u64 lb_fills = lb_fills_[lane];
+    u32 lb_cursor = lb_cursor_[lane];
+    Cycles *lb = load_buffer_.data() + std::size_t{lane} * lb_stride_;
+    const FlatCycleMap &stores = store_line_ready_[lane];
+    const u32 lsu_units = lsu_units_[lane];
+
+    // Phase 2: the serial issue loop (port contention + load-buffer
+    // occupancy + store forwarding).
+    Cycles complete = earliest;
+    for (u64 line = first; line <= last; ++line) {
+        // A new line fill needs a free load-buffer entry: wait for
+        // the entry allocated lb_entries fills ago, whose completion
+        // time still sits in the ring slot about to be overwritten.
+        Cycles line_earliest = earliest;
+        if (lb_fills >= lb_entries)
+            line_earliest = std::max(line_earliest, lb[lb_cursor]);
+        if (may_alias_store) {
+            if (const Cycles *st = stores.find(line))
+                line_earliest = std::max(line_earliest, *st);
+        }
+        const Cycles port =
+            acquireUnit(lsu_free_, lane, lsu_units, line_earliest);
+        const Cycles latency =
+            batched ? probe[line - first]
+                    : cache_.accessLine(lane, line * u64{kLineBytes});
+        const Cycles line_done = port + latency;
+        lb[lb_cursor] = line_done;
+        if (++lb_cursor == lb_entries)
+            lb_cursor = 0;
+        ++lb_fills;
+        complete = std::max(complete, line_done);
+    }
+    lb_fills_[lane] = lb_fills;
+    lb_cursor_[lane] = lb_cursor;
+    return complete;
+}
+
+void
+LaneReplayer::recordStoreRange(u32 lane, Cycles data_ready, Addr addr,
+                               u64 bytes)
+{
+    const u64 first = addr / kLineBytes;
+    const u64 last = (addr + std::max<u64>(bytes, 1) - 1) / kLineBytes;
+    stored_line_min_[lane] = std::min(stored_line_min_[lane], first);
+    stored_line_max_[lane] = std::max(stored_line_max_[lane], last);
+    FlatCycleMap &stores = store_line_ready_[lane];
+    for (u64 line = first; line <= last; ++line)
+        stores.insertOrAssign(line, data_ready);
+}
+
+void
+LaneReplayer::resetLane(u32 lane)
+{
+    cache_.resetLane(lane);
+    engines_[lane].reset();
+    std::fill_n(alu_free_.begin() + std::size_t{lane} * kMaxUnits,
+                kMaxUnits, 0);
+    std::fill_n(lsu_free_.begin() + std::size_t{lane} * kMaxUnits,
+                kMaxUnits, 0);
+    std::fill_n(vec_free_.begin() + std::size_t{lane} * kMaxUnits,
+                kMaxUnits, 0);
+    // The rings and load buffer need no clearing: every slot is
+    // written before the op-index guards allow it to be read again.
+    lb_fills_[lane] = 0;
+    lb_cursor_[lane] = 0;
+    std::fill_n(rename_ready_.begin() +
+                    std::size_t{lane} * isa::kNumDepRegs,
+                isa::kNumDepRegs, 0);
+    std::fill_n(rename_engine_.begin() +
+                    std::size_t{lane} * isa::kNumDepRegs,
+                isa::kNumDepRegs, u8{0});
+    vector_chains_[lane].clear();
+    store_line_ready_[lane].clear();
+    stored_line_min_[lane] = ~u64{0};
+    stored_line_max_[lane] = 0;
+    ops_[lane] = 0;
+    last_retire_[lane] = 0;
+    std::fill_n(kind_counts_.begin() + std::size_t{lane} * 8, 8,
+                u64{0});
+    engine_instructions_[lane] = 0;
+    engine_last_finish_[lane] = 0;
+    effectual_macs_[lane] = 0;
+}
+
+void
+LaneReplayer::reset()
+{
+    for (u32 lane = 0; lane < num_lanes_; ++lane)
+        resetLane(lane);
+}
+
+Cycles
+LaneReplayer::dispatchOp(u32 lane, const TraceOp &op)
+{
+    // The entry point of every op, however it reaches the scheduler:
+    // reject ops that would index outside the fixed kind/register
+    // tables (step() is a public sink fed by arbitrary producers).
+    VEGETA_ASSERT(static_cast<u32>(op.kind) < 8,
+                  "trace op with invalid kind");
+    VEGETA_ASSERT(lane < num_lanes_, "lane index out of range");
+    const u64 i = ops_[lane]++;
+    ++kind_counts_[std::size_t{lane} * 8 + static_cast<u32>(op.kind)];
+
+    Cycles *dispatch = dispatch_ring_.data() +
+                       std::size_t{lane} * ring_stride_;
+    const Cycles *retire = retire_ring_.data() +
+                           std::size_t{lane} * ring_stride_;
+
+    // Dispatch: fetch width, program order, ROB space.
+    Cycles d = front_end_depth_[lane];
+    if (i > 0)
+        d = std::max(d, dispatch[(i - 1) & ring_mask_]);
+    if (i >= fetch_width_[lane])
+        d = std::max(d,
+                     dispatch[(i - fetch_width_[lane]) & ring_mask_] +
+                         1);
+    if (i >= rob_entries_[lane])
+        d = std::max(d, retire[(i - rob_entries_[lane]) & ring_mask_]);
+    dispatch[i & ring_mask_] = d;
+    return d;
+}
+
+void
+LaneReplayer::retireOp(u32 lane, u64 i, Cycles complete)
+{
+    Cycles *retire = retire_ring_.data() +
+                     std::size_t{lane} * ring_stride_;
+
+    // In-order retirement, retireWidth per cycle.
+    Cycles r = complete;
+    if (i > 0)
+        r = std::max(r, retire[(i - 1) & ring_mask_]);
+    if (i >= retire_width_[lane])
+        r = std::max(
+            r, retire[(i - retire_width_[lane]) & ring_mask_] + 1);
+    retire[i & ring_mask_] = r;
+    last_retire_[lane] = r;
+}
+
+void
+LaneReplayer::step(u32 lane, const TraceOp &op)
+{
+    const Cycles d = dispatchOp(lane, op);
+    const u64 i = ops_[lane] - 1;
+
+    Cycles *rename_ready = rename_ready_.data() +
+                           std::size_t{lane} * isa::kNumDepRegs;
+    u8 *rename_engine = rename_engine_.data() +
+                        std::size_t{lane} * isa::kNumDepRegs;
+
+    Cycles complete = d;
+    switch (op.kind) {
+      case UopKind::Alu:
+      case UopKind::Branch: {
+        complete =
+            acquireUnit(alu_free_, lane, alu_units_[lane], d) + 1;
+        break;
+      }
+      case UopKind::Load: {
+        complete = issueLineRange(lane, d, op.addr, op.bytes);
+        break;
+      }
+      case UopKind::Store: {
+        // Stores retire from the store queue post-commit; occupy a
+        // port for address generation only.
+        complete =
+            acquireUnit(lsu_free_, lane, lsu_units_[lane], d) + 1;
+        recordStoreRange(lane, complete, op.addr, op.bytes);
+        break;
+      }
+      case UopKind::VectorFma: {
+        Cycles ready = d;
+        if (op.chain != 0) {
+            if (const Cycles *it = vector_chains_[lane].find(op.chain))
+                ready = std::max(ready, *it);
+        }
+        complete = acquireUnit(vec_free_, lane, vec_units_[lane],
+                               ready) +
+                   vector_fma_latency_[lane];
+        if (op.chain != 0)
+            vector_chains_[lane].insertOrAssign(op.chain, complete);
+        break;
+      }
+      case UopKind::TileLoad: {
+        const u32 bytes =
+            op.tile.op == isa::Opcode::TileLoadM
+                ? isa::kMregBytes + isa::kMregDescBytes
+                : isa::regClassBytes(op.tile.dst.cls);
+        complete = issueLineRange(lane, d, op.tile.addr, bytes);
+        for (u32 reg : op.tile.writeRegList()) {
+            rename_ready[reg] = complete;
+            rename_engine[reg] = 0;
+            engines_[lane].invalidateReg(reg);
+        }
+        break;
+      }
+      case UopKind::TileStore: {
+        Cycles ready = d;
+        for (u32 reg : op.tile.readRegList()) {
+            Cycles reg_ready = rename_ready[reg];
+            if (rename_engine[reg])
+                reg_ready = std::max(
+                    reg_ready,
+                    toCoreCycles(lane,
+                                 engines_[lane].regReadyFull(reg)));
+            ready = std::max(ready, reg_ready);
+        }
+        complete =
+            issueLineRange(lane, ready, op.tile.addr, isa::kTregBytes);
+        recordStoreRange(lane, complete, op.tile.addr,
+                         isa::kTregBytes);
+        break;
+      }
+      case UopKind::TileCompute: {
+        // Non-engine (load-produced) operand readiness; engine-
+        // produced operands are sequenced inside PipelineModel,
+        // including output forwarding on the accumulator.
+        Cycles ready = d;
+        for (u32 reg : op.tile.readRegList()) {
+            if (!rename_engine[reg])
+                ready = std::max(ready, rename_ready[reg]);
+        }
+        const engine::ScheduledOp sched = engines_[lane].issue(
+            op.tile, toEngineCycles(lane, ready));
+        complete = toCoreCycles(lane, sched.finish);
+        for (u32 reg : op.tile.writeRegList()) {
+            rename_ready[reg] = complete;
+            rename_engine[reg] = 1;
+        }
+        ++engine_instructions_[lane];
+        engine_last_finish_[lane] =
+            std::max(engine_last_finish_[lane], complete);
+        effectual_macs_[lane] += isa::effectualMacs(op.tile.op);
+        break;
+      }
+    }
+
+    retireOp(lane, i, complete);
+}
+
+void
+LaneReplayer::beginLineOp(u32 lane, const TraceOp &op, LineJob &job)
+{
+    const Cycles d = dispatchOp(lane, op);
+
+    job.lane = lane;
+    job.kind = op.kind;
+    job.op = &op;
+
+    // Per-kind operand readiness and range, exactly as step() computes
+    // them before its issueLineRange call.
+    Cycles earliest = d;
+    Addr addr = 0;
+    u64 bytes = 1;
+    switch (op.kind) {
+      case UopKind::Load: {
+        addr = op.addr;
+        bytes = op.bytes;
+        break;
+      }
+      case UopKind::TileLoad: {
+        addr = op.tile.addr;
+        bytes = op.tile.op == isa::Opcode::TileLoadM
+                    ? isa::kMregBytes + isa::kMregDescBytes
+                    : isa::regClassBytes(op.tile.dst.cls);
+        break;
+      }
+      case UopKind::TileStore: {
+        const Cycles *rename_ready =
+            rename_ready_.data() + std::size_t{lane} * isa::kNumDepRegs;
+        const u8 *rename_engine =
+            rename_engine_.data() +
+            std::size_t{lane} * isa::kNumDepRegs;
+        for (u32 reg : op.tile.readRegList()) {
+            Cycles reg_ready = rename_ready[reg];
+            if (rename_engine[reg])
+                reg_ready = std::max(
+                    reg_ready,
+                    toCoreCycles(lane,
+                                 engines_[lane].regReadyFull(reg)));
+            earliest = std::max(earliest, reg_ready);
+        }
+        addr = op.tile.addr;
+        bytes = isa::kTregBytes;
+        break;
+      }
+      default:
+        VEGETA_ASSERT(false, "beginLineOp on a non-line-range op");
+    }
+
+    job.line = addr / kLineBytes;
+    job.first = job.line;
+    job.last = (addr + std::max<u64>(bytes, 1) - 1) / kLineBytes;
+    job.earliest = earliest;
+    job.complete = earliest;
+    job.may_alias = job.line <= stored_line_max_[lane] &&
+                    job.last >= stored_line_min_[lane];
+    job.lb_fills = lb_fills_[lane];
+    job.lb_cursor = lb_cursor_[lane];
+    job.lb_entries = lb_entries_[lane];
+    // Batch the range's cache probes up front (they commute with the
+    // serial issue loop, see probeRange): the parked job then carries
+    // its line latencies, and the strip loop is free of tag scans.
+    job.batched =
+        probeRange(lane, job.first, job.last - job.first + 1,
+                   job.probe);
+}
+
+void
+LaneReplayer::lineStep(LineJob &job)
+{
+    // One iteration of issueLineRange's loop, with the load-buffer
+    // ring state carried in the job (no other op of the lane can run
+    // while it is parked, so the members stay coherent).
+    const u32 lane = job.lane;
+    Cycles *lb = load_buffer_.data() + std::size_t{lane} * lb_stride_;
+
+    Cycles line_earliest = job.earliest;
+    if (job.lb_fills >= job.lb_entries)
+        line_earliest = std::max(line_earliest, lb[job.lb_cursor]);
+    if (job.may_alias) {
+        if (const Cycles *st = store_line_ready_[lane].find(job.line))
+            line_earliest = std::max(line_earliest, *st);
+    }
+    const Cycles port =
+        acquireUnit(lsu_free_, lane, lsu_units_[lane], line_earliest);
+    const Cycles latency =
+        job.batched
+            ? job.probe[job.line - job.first]
+            : cache_.accessLine(lane, job.line * u64{kLineBytes});
+    const Cycles line_done = port + latency;
+    lb[job.lb_cursor] = line_done;
+    if (++job.lb_cursor == job.lb_entries)
+        job.lb_cursor = 0;
+    ++job.lb_fills;
+    job.complete = std::max(job.complete, line_done);
+    ++job.line;
+}
+
+void
+LaneReplayer::lineRun(LineJob &job)
+{
+    // issueLineRange's serial loop over the job's remaining lines,
+    // with the ring state in locals.  Used when a job is the only one
+    // left in the strip (K = 1 packs and every pack's tail): stepping
+    // it one line per pass would pay the per-line job loads/stores
+    // with no other lane's work to overlap.
+    const u32 lane = job.lane;
+    Cycles *lb = load_buffer_.data() + std::size_t{lane} * lb_stride_;
+    const FlatCycleMap &stores = store_line_ready_[lane];
+    const u32 lsu_units = lsu_units_[lane];
+    const u32 lb_entries = job.lb_entries;
+    u64 lb_fills = job.lb_fills;
+    u32 lb_cursor = job.lb_cursor;
+    Cycles complete = job.complete;
+    for (u64 line = job.line; line <= job.last; ++line) {
+        Cycles line_earliest = job.earliest;
+        if (lb_fills >= lb_entries)
+            line_earliest = std::max(line_earliest, lb[lb_cursor]);
+        if (job.may_alias) {
+            if (const Cycles *st = stores.find(line))
+                line_earliest = std::max(line_earliest, *st);
+        }
+        const Cycles port =
+            acquireUnit(lsu_free_, lane, lsu_units, line_earliest);
+        const Cycles latency =
+            job.batched
+                ? job.probe[line - job.first]
+                : cache_.accessLine(lane, line * u64{kLineBytes});
+        const Cycles line_done = port + latency;
+        lb[lb_cursor] = line_done;
+        if (++lb_cursor == lb_entries)
+            lb_cursor = 0;
+        ++lb_fills;
+        complete = std::max(complete, line_done);
+    }
+    job.lb_fills = lb_fills;
+    job.lb_cursor = lb_cursor;
+    job.complete = complete;
+    job.line = job.last + 1;
+}
+
+void
+LaneReplayer::finishLineOp(LineJob &job)
+{
+    const u32 lane = job.lane;
+    const TraceOp &op = *job.op;
+    lb_fills_[lane] = job.lb_fills;
+    lb_cursor_[lane] = job.lb_cursor;
+
+    switch (job.kind) {
+      case UopKind::TileLoad: {
+        Cycles *rename_ready =
+            rename_ready_.data() + std::size_t{lane} * isa::kNumDepRegs;
+        u8 *rename_engine = rename_engine_.data() +
+                            std::size_t{lane} * isa::kNumDepRegs;
+        for (u32 reg : op.tile.writeRegList()) {
+            rename_ready[reg] = job.complete;
+            rename_engine[reg] = 0;
+            engines_[lane].invalidateReg(reg);
+        }
+        break;
+      }
+      case UopKind::TileStore: {
+        recordStoreRange(lane, job.complete, op.tile.addr,
+                         isa::kTregBytes);
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Safe to use ops_[lane] - 1: the op was dispatched by beginLineOp
+    // and no other op of this lane has run since.
+    retireOp(lane, ops_[lane] - 1, job.complete);
+}
+
+void
+LaneReplayer::runLineJobs(std::vector<LineJob> &slots,
+                          std::vector<u32> &strip)
+{
+    // Strip execution: one line per parked lane per pass, so each
+    // lane's serial issue chain (load-buffer wait, port acquire)
+    // overlaps the other lanes' in the host's OoO window.  Jobs stay
+    // in their fixed per-lane slot; the strip is an index list and
+    // compaction moves 4-byte lane ids, never the jobs.
+    std::size_t active = strip.size();
+    while (active > 0) {
+        if (active == 1) {
+            // A lone job has no one to overlap with: finish it in the
+            // inline serial loop instead of per-line passes.
+            LineJob &job = slots[strip[0]];
+            lineRun(job);
+            finishLineOp(job);
+            return;
+        }
+        std::size_t keep = 0;
+        for (std::size_t j = 0; j < active; ++j) {
+            LineJob &job = slots[strip[j]];
+            lineStep(job);
+            if (job.line <= job.last)
+                strip[keep++] = strip[j];
+            else
+                finishLineOp(job);
+        }
+        active = keep;
+    }
+}
+
+SimResult
+LaneReplayer::finishLane(u32 lane)
+{
+    SimResult result;
+    if (ops_[lane] > 0) {
+        result.totalCycles = last_retire_[lane];
+        result.retiredOps = ops_[lane];
+        const u64 *counts = kind_counts_.data() + std::size_t{lane} * 8;
+        for (u32 k = 0; k < 8; ++k)
+            if (counts[k] > 0)
+                result.kindCounts[static_cast<UopKind>(k)] = counts[k];
+        result.engineInstructions = engine_instructions_[lane];
+        result.engineLastFinish = engine_last_finish_[lane];
+        result.cacheHits = cache_.hits(lane);
+        result.cacheMisses = cache_.misses(lane);
+        if (result.totalCycles > 0) {
+            const double engine_cycles =
+                static_cast<double>(result.totalCycles) /
+                engine_clock_divider_[lane];
+            result.macUtilization =
+                static_cast<double>(effectual_macs_[lane]) /
+                (engine_cycles * engine::kTotalMacs);
+        }
+    }
+    resetLane(lane);
+    return result;
+}
+
+std::vector<SimResult>
+LaneReplayer::replay(const std::vector<const Trace *> &traces)
+{
+    VEGETA_ASSERT(traces.size() == num_lanes_,
+                  "replay needs exactly one trace per lane, got ",
+                  traces.size(), " traces for ", num_lanes_,
+                  " lanes");
+
+    // Park-and-strip interleaving.  Per round, every unfinished lane
+    // advances through its cheap ops (step()) until it reaches a
+    // line-range op (Load / TileLoad / TileStore), which is dispatched
+    // and *parked* as a LineJob; the parked jobs' per-line loops then
+    // run as an interleaved strip, one line per lane per pass
+    // (runLineJobs).  The line loops are where replay spends most of
+    // its time, and a single op's loop is serial -- load-buffer wait,
+    // port acquire, tag probe -- so interleaving at op granularity
+    // would leave each loop's chain unoverlapped.  Per-lane op order
+    // is exactly program order throughout, and lanes share no state,
+    // so results stay bit-identical to sequential single-stream runs.
+    std::vector<u32> active;
+    std::vector<std::size_t> cursor(num_lanes_, 0);
+    std::vector<LineJob> slots(num_lanes_);
+    std::vector<u32> strip;
+    active.reserve(num_lanes_);
+    strip.reserve(num_lanes_);
+    for (u32 lane = 0; lane < num_lanes_; ++lane) {
+        resetLane(lane);
+        if (!traces[lane]->empty())
+            active.push_back(lane);
+    }
+
+    while (!active.empty()) {
+        strip.clear();
+        std::size_t keep = 0;
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            const u32 lane = active[a];
+            const Trace &trace = *traces[lane];
+            while (cursor[lane] < trace.size()) {
+                const TraceOp &op = trace[cursor[lane]++];
+                if (isLineRangeOp(op.kind)) {
+                    beginLineOp(lane, op, slots[lane]);
+                    strip.push_back(lane);
+                    break;
+                }
+                step(lane, op);
+            }
+            if (cursor[lane] < trace.size())
+                active[keep++] = lane;
+        }
+        active.resize(keep);
+        runLineJobs(slots, strip);
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(num_lanes_);
+    for (u32 lane = 0; lane < num_lanes_; ++lane)
+        results.push_back(finishLane(lane));
+    return results;
+}
+
+std::vector<SimResult>
+LaneReplayer::replay(const std::vector<Trace> &traces)
+{
+    std::vector<const Trace *> pointers;
+    pointers.reserve(traces.size());
+    for (const Trace &trace : traces)
+        pointers.push_back(&trace);
+    return replay(pointers);
+}
+
+} // namespace vegeta::cpu

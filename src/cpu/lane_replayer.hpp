@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Struct-of-arrays replay core: K independent traces per core in
+ * interleaved lanes.
+ *
+ * The single-stream replayer (TraceCpu) is limited by its dependence
+ * chains, not by work: every op's dispatch reads the previous op's
+ * dispatch, the cache probe chases the tag bank, the rename array and
+ * cycle maps are serial loads.  One trace cannot fill a modern host
+ * core.  LaneReplayer restructures the whole per-op state as parallel
+ * arrays indexed by lane -- dispatch/retire rings, the flat rename
+ * array, load-buffer ring, resource pools, FlatCycleMap probes, and
+ * the cache tag banks (LaneCacheModel) all live in contiguous
+ * lane-major storage -- and round-robins K *independent* traces
+ * through one hot loop.  Each lane's dependent loads then overlap the
+ * other lanes' work in the host's out-of-order window, which is where
+ * the throughput comes from; no cross-lane state exists at all.
+ *
+ * Bit-exactness contract: a lane is a faithful port of TraceCpu's
+ * scheduler over lane-indexed state, and lanes share nothing, so
+ * replaying K traces lane-batched produces results bit-identical to K
+ * sequential single-stream replays -- for every K, every interleaving
+ * order, and heterogeneous per-lane core/engine configurations
+ * (golden-cycle and equivalence tests pin this, including hex-float
+ * macUtilization).  TraceCpu itself is a thin wrapper over a one-lane
+ * LaneReplayer, so the single-stream path cannot drift.
+ */
+
+#ifndef VEGETA_CPU_LANE_REPLAYER_HPP
+#define VEGETA_CPU_LANE_REPLAYER_HPP
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "cpu/cache.hpp"
+#include "cpu/flat_map.hpp"
+#include "cpu/trace_sink.hpp"
+#include "engine/pipeline.hpp"
+
+namespace vegeta::cpu {
+
+/** Core parameters (defaults follow Section VI-B). */
+struct CoreConfig
+{
+    u32 fetchWidth = 4;
+    u32 retireWidth = 4;
+    u32 robEntries = 97;
+    u32 loadBufferEntries = 96;
+    u32 frontEndDepth = 16; ///< 16-stage pipeline fill
+    u32 numAlus = 4;
+    u32 numLsuPorts = 2;
+    u32 numVectorFus = 2;
+    Cycles vectorFmaLatency = 4;
+    /** Core-to-engine clock ratio (2 GHz core / 0.5 GHz engine). */
+    u32 engineClockDivider = 4;
+    bool outputForwarding = false;
+    CacheConfig cache;
+};
+
+/** Simulation outputs. */
+struct SimResult
+{
+    Cycles totalCycles = 0; ///< core cycles until last retirement
+    u64 retiredOps = 0;
+    std::map<UopKind, u64> kindCounts;
+    u64 engineInstructions = 0;
+    Cycles engineLastFinish = 0; ///< core cycle of last engine finish
+    u64 cacheHits = 0;
+    u64 cacheMisses = 0;
+
+    /** Engine MAC utilization over the whole run (0..1). */
+    double macUtilization = 0.0;
+};
+
+/** K-lane struct-of-arrays trace replayer. */
+class LaneReplayer
+{
+  public:
+    /** One lane's configuration; lanes may be heterogeneous. */
+    struct LaneSpec
+    {
+        CoreConfig core;
+        engine::EngineConfig engine;
+    };
+
+    explicit LaneReplayer(const std::vector<LaneSpec> &lanes);
+
+    /** Number of lanes (fixed at construction). */
+    u32 lanes() const { return num_lanes_; }
+
+    /** Schedule the next op of @p lane's stream. */
+    void step(u32 lane, const TraceOp &op);
+
+    /**
+     * Statistics of the stream @p lane stepped since its last reset;
+     * leaves the lane reset for its next stream.
+     */
+    SimResult finishLane(u32 lane);
+
+    /** Reset one lane to a cold pipeline, discarding partial state. */
+    void resetLane(u32 lane);
+
+    /** Reset every lane. */
+    void reset();
+
+    /**
+     * The lane's streaming facade: kernels emit uops straight into
+     * lane contexts through the TraceSink interface.
+     */
+    TraceSink &sink(u32 lane) { return sinks_[lane]; }
+
+    /**
+     * Replay traces[i] on lane i (one trace per lane) by round-robin
+     * interleaving: each pass steps one ready op per unfinished lane,
+     * so every lane's dependence chains overlap the others'.  Lanes
+     * that finish early drop out of the rotation.  results[i] is
+     * bit-identical to TraceCpu(lanes[i]).run(*traces[i]).
+     */
+    std::vector<SimResult>
+    replay(const std::vector<const Trace *> &traces);
+
+    /** Convenience overload over owned traces. */
+    std::vector<SimResult> replay(const std::vector<Trace> &traces);
+
+    const CoreConfig &coreConfig(u32 lane) const
+    {
+        return cores_[lane];
+    }
+    const engine::EngineConfig &engineConfig(u32 lane) const
+    {
+        return engine_configs_[lane];
+    }
+
+  private:
+    /** Line size memory traffic splits at (Section V-F). */
+    static constexpr u32 kLineBytes = 64;
+    /** Widest supported functional-unit pool (flattened stride). */
+    static constexpr u32 kMaxUnits = 16;
+    /** Longest line range whose cache probes are batch-hoisted. */
+    static constexpr u32 kProbeBatch = 64;
+
+    class LaneSink final : public TraceSink
+    {
+      public:
+        LaneSink() = default;
+        LaneSink(LaneReplayer *owner, u32 lane)
+            : owner_(owner), lane_(lane)
+        {
+        }
+
+        void
+        emit(const TraceOp &op) override
+        {
+            owner_->step(lane_, op);
+        }
+
+      private:
+        LaneReplayer *owner_ = nullptr;
+        u32 lane_ = 0;
+    };
+
+    /**
+     * One parked line-range op (Load / TileLoad / TileStore) whose
+     * per-line loop is being executed in the interleaved strip: the
+     * replay driver advances every lane to its next line-range op,
+     * then steps the parked jobs one line per lane per pass, so each
+     * lane's serial acquire/probe/tag chain overlaps the others'.
+     */
+    struct LineJob
+    {
+        u32 lane = 0;
+        UopKind kind = UopKind::Load;
+        const TraceOp *op = nullptr;
+        u64 line = 0;  ///< next line index to issue
+        u64 first = 0; ///< first line of the range (probe[] base)
+        u64 last = 0;  ///< final line index of the range
+        Cycles earliest = 0;
+        Cycles complete = 0;
+        bool may_alias = false;
+        bool batched = false; ///< probe[] holds the line latencies
+        // Lane's load-buffer ring state, carried in the job while it
+        // is parked (no other op of the lane can run in between).
+        u64 lb_fills = 0;
+        u32 lb_cursor = 0;
+        u32 lb_entries = 0;
+        /** Batch-hoisted cache latencies, indexed by line - first. */
+        Cycles probe[kProbeBatch];
+    };
+
+    Cycles toEngineCycles(u32 lane, Cycles core) const;
+    Cycles toCoreCycles(u32 lane, Cycles eng) const;
+
+    /** Dispatch accounting shared by step() and the strip driver. */
+    Cycles dispatchOp(u32 lane, const TraceOp &op);
+    /** Retirement accounting shared by step() and the strip driver. */
+    void retireOp(u32 lane, u64 i, Cycles complete);
+
+    /** True for kinds whose execution is a cache-line range loop. */
+    static bool
+    isLineRangeOp(UopKind kind)
+    {
+        return kind == UopKind::Load || kind == UopKind::TileLoad ||
+               kind == UopKind::TileStore;
+    }
+
+    /** Dispatch + operand readiness of one line-range op. */
+    void beginLineOp(u32 lane, const TraceOp &op, LineJob &job);
+    /** One line iteration of a parked job. */
+    void lineStep(LineJob &job);
+    /** Every remaining line of a parked job in one tight loop. */
+    void lineRun(LineJob &job);
+    /** Post-range bookkeeping (rename/store-range) + retirement. */
+    void finishLineOp(LineJob &job);
+    /** Interleaved strip execution of the parked jobs in @p strip. */
+    void runLineJobs(std::vector<LineJob> &slots,
+                     std::vector<u32> &strip);
+
+    /**
+     * Cache-probe every line of [first, first + count) into out[];
+     * returns false (leaving the cache untouched) when the range is
+     * too long for the probes to commute with the serial loop.
+     */
+    bool probeRange(u32 lane, u64 first, u64 count, Cycles *out);
+
+    /**
+     * Acquire the earliest-free unit of one lane's strip in a
+     * flattened pool ([lane * kMaxUnits + unit]); each issue occupies
+     * the unit for 1 cycle.
+     */
+    Cycles acquireUnit(std::vector<Cycles> &pool, u32 lane, u32 units,
+                       Cycles earliest);
+
+    /** Issue [addr, addr+bytes) line by line; returns completion. */
+    Cycles issueLineRange(u32 lane, Cycles earliest, Addr addr,
+                          u64 bytes);
+    /** Mark every line of [addr, addr+bytes) store-owned. */
+    void recordStoreRange(u32 lane, Cycles data_ready, Addr addr,
+                          u64 bytes);
+
+    u32 num_lanes_ = 0;
+    std::vector<CoreConfig> cores_;
+    std::vector<engine::EngineConfig> engine_configs_;
+
+    /** All lanes' L1 tag banks in one contiguous array. */
+    LaneCacheModel cache_;
+    /** One engine scheduler per lane (its reg state is flat arrays). */
+    std::vector<engine::PipelineModel> engines_;
+
+    // Functional-unit pools, flattened lane-major with a kMaxUnits
+    // stride; unit counts per lane ride in parallel arrays.
+    std::vector<Cycles> alu_free_;
+    std::vector<Cycles> lsu_free_;
+    std::vector<Cycles> vec_free_;
+    std::vector<u32> alu_units_;
+    std::vector<u32> lsu_units_;
+    std::vector<u32> vec_units_;
+
+    // Hot per-lane scheduler parameters, copied out of cores_[lane]
+    // into parallel arrays so the step loop never chases the config
+    // struct.
+    std::vector<u32> fetch_width_;
+    std::vector<u32> retire_width_;
+    std::vector<u32> rob_entries_;
+    std::vector<Cycles> front_end_depth_;
+    std::vector<Cycles> vector_fma_latency_;
+    std::vector<u32> engine_clock_divider_;
+
+    // Dispatch/retire windows: per lane, the scheduler looks back at
+    // most max(fetchWidth, retireWidth, robEntries) ops.  All lanes
+    // share one power-of-two stride (the widest lane's ring size), so
+    // slot (lane, i) lives at [lane * ring_stride_ + (i & ring_mask_)].
+    std::vector<Cycles> dispatch_ring_;
+    std::vector<Cycles> retire_ring_;
+    u64 ring_stride_ = 0;
+    u64 ring_mask_ = 0;
+
+    // Load-buffer rings, lane-major with a uniform stride of the
+    // widest lane's loadBufferEntries; each lane wraps at its own
+    // entry count.
+    std::vector<Cycles> load_buffer_;
+    u32 lb_stride_ = 0;
+    std::vector<u32> lb_entries_;
+    std::vector<u64> lb_fills_;
+    std::vector<u32> lb_cursor_;
+
+    // Rename table over the 16-entry physical dep-id space, flattened
+    // lane-major ([lane * isa::kNumDepRegs + reg]) and split into
+    // parallel ready/engine-produced arrays.
+    std::vector<Cycles> rename_ready_;
+    std::vector<u8> rename_engine_;
+
+    std::vector<FlatCycleMap> vector_chains_;
+    /** Store-to-load memory dependence at cache-line granularity. */
+    std::vector<FlatCycleMap> store_line_ready_;
+    // Per-lane bounding box of all stored lines: loads outside it
+    // (the bulk of A/B tile traffic) skip the dependence probe.
+    std::vector<u64> stored_line_min_;
+    std::vector<u64> stored_line_max_;
+
+    // Per-lane statistics; kind counts flattened lane-major with a
+    // stride of 8 (the UopKind space).
+    std::vector<u64> ops_;
+    std::vector<Cycles> last_retire_;
+    std::vector<u64> kind_counts_;
+    std::vector<u64> engine_instructions_;
+    std::vector<Cycles> engine_last_finish_;
+    std::vector<u64> effectual_macs_;
+
+    std::vector<LaneSink> sinks_;
+};
+
+} // namespace vegeta::cpu
+
+#endif // VEGETA_CPU_LANE_REPLAYER_HPP

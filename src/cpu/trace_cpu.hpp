@@ -17,61 +17,23 @@
  *
  * The replayer is a streaming consumer: feed ops one at a time with
  * step() (or as a TraceSink via emit()) and collect statistics with
- * finish().  Kernels can therefore emit uops straight into the model
- * with no intermediate cpu::Trace, and the per-op state is all O(1):
- * dispatch/retire windows and the load buffer are fixed-size rings,
- * register renaming is a 16-entry array, and store-line / FMA-chain
- * dependences live in open-addressed flat maps.  Nothing on the
- * per-op path allocates.
+ * finish().  The scheduler itself lives in cpu::LaneReplayer
+ * (lane_replayer.hpp), the struct-of-arrays core that replays K
+ * independent traces in interleaved lanes; TraceCpu is its one-lane
+ * facade, so single-stream and lane-batched replay share every line
+ * of scheduling code and cannot drift apart (CoreConfig and SimResult
+ * are defined alongside the core).  Nothing on the per-op path
+ * allocates.
  */
 
 #ifndef VEGETA_CPU_TRACE_CPU_HPP
 #define VEGETA_CPU_TRACE_CPU_HPP
 
-#include <array>
-#include <map>
-
-#include "cpu/cache.hpp"
-#include "cpu/flat_map.hpp"
-#include "cpu/trace_sink.hpp"
-#include "engine/pipeline.hpp"
+#include "cpu/lane_replayer.hpp"
 
 namespace vegeta::cpu {
 
-/** Core parameters (defaults follow Section VI-B). */
-struct CoreConfig
-{
-    u32 fetchWidth = 4;
-    u32 retireWidth = 4;
-    u32 robEntries = 97;
-    u32 loadBufferEntries = 96;
-    u32 frontEndDepth = 16; ///< 16-stage pipeline fill
-    u32 numAlus = 4;
-    u32 numLsuPorts = 2;
-    u32 numVectorFus = 2;
-    Cycles vectorFmaLatency = 4;
-    /** Core-to-engine clock ratio (2 GHz core / 0.5 GHz engine). */
-    u32 engineClockDivider = 4;
-    bool outputForwarding = false;
-    CacheConfig cache;
-};
-
-/** Simulation outputs. */
-struct SimResult
-{
-    Cycles totalCycles = 0; ///< core cycles until last retirement
-    u64 retiredOps = 0;
-    std::map<UopKind, u64> kindCounts;
-    u64 engineInstructions = 0;
-    Cycles engineLastFinish = 0; ///< core cycle of last engine finish
-    u64 cacheHits = 0;
-    u64 cacheMisses = 0;
-
-    /** Engine MAC utilization over the whole run (0..1). */
-    double macUtilization = 0.0;
-};
-
-/** The trace-driven core: a streaming replayer. */
+/** The trace-driven core: a streaming replayer (one lane). */
 class TraceCpu final : public TraceSink
 {
   public:
@@ -81,128 +43,50 @@ class TraceCpu final : public TraceSink
      * Begin a fresh simulation from a cold pipeline, discarding any
      * partially-stepped stream.  Keeps every allocation.
      */
-    void reset();
+    void
+    reset()
+    {
+        lanes_.resetLane(0);
+    }
 
     /** Schedule the next op of the stream. */
-    void step(const TraceOp &op);
+    void
+    step(const TraceOp &op)
+    {
+        lanes_.step(0, op);
+    }
 
     /** TraceSink: kernels emit uops straight into the scheduler. */
     void
     emit(const TraceOp &op) override
     {
-        step(op);
+        lanes_.step(0, op);
     }
 
     /**
      * Statistics of the stream stepped since the last reset; leaves
      * the model reset for the next stream.
      */
-    SimResult finish();
+    SimResult
+    finish()
+    {
+        return lanes_.finishLane(0);
+    }
 
     /** Batch convenience: reset, step every op, finish. */
     SimResult run(const Trace &trace);
 
-    const CoreConfig &coreConfig() const { return core_; }
+    const CoreConfig &coreConfig() const
+    {
+        return lanes_.coreConfig(0);
+    }
     const engine::EngineConfig &engineConfig() const
     {
-        return engine_config_;
+        return lanes_.engineConfig(0);
     }
 
   private:
-    /** Line size memory traffic splits at (Section V-F). */
-    static constexpr u32 kLineBytes = 64;
-
-    /** N identical fully-pipelined units; each issue occupies 1 cycle. */
-    class ResourcePool
-    {
-      public:
-        static constexpr u32 kMaxUnits = 16;
-
-        explicit ResourcePool(u32 units) : units_(units)
-        {
-            VEGETA_ASSERT(units > 0 && units <= kMaxUnits,
-                          "resource pool supports 1..16 units, got ",
-                          units);
-            next_free_.fill(0);
-        }
-
-        Cycles
-        acquire(Cycles earliest)
-        {
-            u32 best = 0;
-            for (u32 u = 1; u < units_; ++u)
-                if (next_free_[u] < next_free_[best])
-                    best = u;
-            const Cycles start = std::max(earliest, next_free_[best]);
-            next_free_[best] = start + 1;
-            return start;
-        }
-
-        void
-        reset()
-        {
-            next_free_.fill(0);
-        }
-
-      private:
-        u32 units_;
-        /** Inline storage: acquire() runs once per op / line fill. */
-        std::array<Cycles, kMaxUnits> next_free_;
-    };
-
-    struct RegInfo
-    {
-        Cycles ready = 0;
-        bool engineProduced = false;
-    };
-
-    Cycles toEngineCycles(Cycles core) const;
-    Cycles toCoreCycles(Cycles engine) const;
-
-    /** Issue [addr, addr+bytes) line by line; returns completion. */
-    Cycles issueLineRange(Cycles earliest, Addr addr, u64 bytes);
-    /** Mark every line of [addr, addr+bytes) store-owned. */
-    void recordStoreRange(Cycles data_ready, Addr addr, u64 bytes);
-
-    CoreConfig core_;
-    engine::EngineConfig engine_config_;
-
-    CacheModel cache_;
-    engine::PipelineModel engine_;
-    ResourcePool alus_;
-    ResourcePool lsu_;
-    ResourcePool vectors_;
-
-    // Dispatch/retire windows: the scheduler looks back at most
-    // max(fetchWidth, retireWidth, robEntries) ops, so the full-trace
-    // vectors of the seed collapse into two rings of that depth.
-    std::vector<Cycles> dispatch_ring_;
-    std::vector<Cycles> retire_ring_;
-    u64 ring_mask_ = 0; ///< rings are power-of-two sized
-
-    /** Completion times of the last loadBufferEntries line fills. */
-    std::vector<Cycles> load_buffer_;
-    u64 load_buffer_fills_ = 0;
-    u32 load_buffer_cursor_ = 0; ///< fills % entries, kept by wrap
-
-    /** Rename table over the 16-entry physical dep-id space. */
-    std::array<RegInfo, isa::kNumDepRegs> rename_{};
-
-    FlatCycleMap vector_chains_;
-    /** Store-to-load memory dependence at cache-line granularity. */
-    FlatCycleMap store_line_ready_;
-    // Bounding box of all stored lines: loads outside it (the bulk of
-    // A/B tile traffic, which lives in regions never stored to) skip
-    // the dependence probe entirely.
-    u64 stored_line_min_ = ~u64{0};
-    u64 stored_line_max_ = 0;
-
-    u64 ops_ = 0;
-    Cycles last_retire_ = 0;
-    std::array<u64, 8> kind_counts_{};
-    u64 engine_instructions_ = 0;
-    Cycles engine_last_finish_ = 0;
-    u64 effectual_macs_ = 0;
+    LaneReplayer lanes_;
 };
 
 } // namespace vegeta::cpu

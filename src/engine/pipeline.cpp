@@ -55,22 +55,25 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
     };
 
     for (u32 reg : instr.readRegList()) {
-        if (!reg_full_valid_[reg])
+        const Cycles full_ready = reg_full_ready_[reg];
+        if (full_ready == 0) // sentinel: never engine-written
             continue;
         if (is_accumulate(reg)) {
             // The C operand is not needed until the FF stage begins
             // (Figure 10c: the dependent instruction's WL overlaps the
             // producer's tail even without OF).
-            Cycles ff_earliest = reg_full_ready_[reg];
+            Cycles ff_earliest = full_ready;
             if (output_forwarding_) {
                 // OF: C may be read once the producer has begun
                 // writing it back, Nrows + log2(beta) cycles after the
                 // producer's FF begin, element by element in the same
                 // order (Figure 10d).
-                if (reg_of_valid_[reg]) {
+                const Cycles producer_ff =
+                    reg_of_producer_ff_[reg];
+                if (producer_ff != 0) {
                     const Cycles of_delay =
                         config_.nRows() + config_.reductionDepth();
-                    ff_earliest = reg_of_producer_ff_[reg] + of_delay;
+                    ff_earliest = producer_ff + of_delay;
                 }
             }
             if (ff_earliest > lat.ffOffset())
@@ -78,13 +81,14 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
         } else {
             // A/B operands are stationary weights / west inputs needed
             // from WL onward: wait for the full write-back.
-            start = std::max(start, reg_full_ready_[reg]);
+            start = std::max(start, full_ready);
         }
     }
 
-    // WAW on outputs: never reorder write-back of the same register.
+    // WAW on outputs: never reorder write-back of the same register
+    // (the zero sentinel makes the max() a no-op for untouched regs).
     for (u32 reg : instr.writeRegList()) {
-        if (reg_full_valid_[reg] && !is_accumulate(reg))
+        if (!is_accumulate(reg))
             start = std::max(start, reg_full_ready_[reg]);
     }
 
@@ -104,9 +108,7 @@ PipelineModel::issue(const isa::Instruction &instr, Cycles earliest_start)
 
     for (u32 reg : instr.writeRegList()) {
         reg_full_ready_[reg] = op.finish;
-        reg_full_valid_[reg] = true;
-        reg_of_producer_ff_[reg] = op.ffStart;
-        reg_of_valid_[reg] = is_accumulate(reg);
+        reg_of_producer_ff_[reg] = is_accumulate(reg) ? op.ffStart : 0;
     }
 
     busy_until_ = std::max(busy_until_, op.finish);
@@ -117,15 +119,15 @@ Cycles
 PipelineModel::regReadyFull(u32 reg) const
 {
     VEGETA_ASSERT(reg < isa::kNumDepRegs, "dep-reg id out of range");
-    return reg_full_valid_[reg] ? reg_full_ready_[reg] : 0;
+    return reg_full_ready_[reg]; // 0 = never written, same contract
 }
 
 void
 PipelineModel::invalidateReg(u32 reg)
 {
     VEGETA_ASSERT(reg < isa::kNumDepRegs, "dep-reg id out of range");
-    reg_full_valid_[reg] = false;
-    reg_of_valid_[reg] = false;
+    reg_full_ready_[reg] = 0;
+    reg_of_producer_ff_[reg] = 0;
 }
 
 void
@@ -133,8 +135,8 @@ PipelineModel::reset()
 {
     last_stage_exit_.fill(0);
     any_issued_ = false;
-    reg_full_valid_.fill(false);
-    reg_of_valid_.fill(false);
+    reg_full_ready_.fill(0);
+    reg_of_producer_ff_.fill(0);
     busy_until_ = 0;
 }
 

@@ -113,14 +113,19 @@ class PipelineModel
     bool any_issued_ = false;
 
     // Per-register state, directly indexed by physical dependency id
-    // (the space is 16 entries: tregs 0-7, mregs 8-15).  The paired
-    // flag distinguishes "never written / invalidated" from cycle 0.
-    /** Per-register full write-back completion time. */
+    // (the space is 16 entries: tregs 0-7, mregs 8-15).  Zero is the
+    // "never written / invalidated" sentinel in both arrays: a finish
+    // time is start + wl + ff + dr >= 3 and an accumulate producer's
+    // FF begin is start + wl >= 1, so no real entry can collide with
+    // it.  Sentinel instead of paired valid flags keeps the register
+    // accounting two flat cycle arrays -- max() against the sentinel
+    // is a no-op, so the dependence scan stays branch-light, and a
+    // bank of lane-replicated PipelineModels carries half the state.
+    /** Per-register full write-back completion time (0 = invalid). */
     std::array<Cycles, isa::kNumDepRegs> reg_full_ready_{};
-    std::array<bool, isa::kNumDepRegs> reg_full_valid_{};
-    /** Per-register FF start of its last accumulate producer. */
+    /** FF start of the register's last *accumulate* producer (0 =
+     *  none: never written, invalidated, or a non-accumulate write). */
     std::array<Cycles, isa::kNumDepRegs> reg_of_producer_ff_{};
-    std::array<bool, isa::kNumDepRegs> reg_of_valid_{};
 
     Cycles busy_until_ = 0;
 };

@@ -86,11 +86,13 @@ currentExecutablePath()
 u32
 defaultPoolCrossoverJobs()
 {
-    // Measured on the committed BENCH_replay trajectory: the 45-job
-    // figure-13 grid consistently loses to a single process once
-    // fork/exec and shard-file costs are charged, while batches in
-    // the low hundreds amortize them.  Conservative on purpose --
-    // the in-process fallback is never slower on batches this size.
+    // Measured on the committed BENCH_replay trajectory: the bench's
+    // pool_crossover_measured_jobs row probes batches of 2..16 unique
+    // jobs and the pool has never beaten the in-process fallback at
+    // any of them (fork/exec plus shard-file costs dominate), while
+    // batches in the low hundreds amortize them.  Conservative on
+    // purpose -- the in-process fallback is never slower on batches
+    // this size.
     return 128;
 }
 
@@ -158,7 +160,8 @@ ProcessPool::run(const Session &session,
                 return fail("cannot open cache dir: " +
                             options_.cacheDir);
         }
-        out.results = local.runBatch(jobs, options_.threadsPerWorker);
+        out.results = local.runBatch(jobs, options_.threadsPerWorker,
+                                     options_.laneWidth);
         out.stats.simulationsPerformed = local.simulationsPerformed();
         out.stats.analysesPerformed = local.analysesPerformed();
         out.stats.usedProcessPool = false;
@@ -249,6 +252,10 @@ ProcessPool::run(const Session &session,
                         {"--cache-dir", options_.cacheDir});
         argv.insert(argv.end(),
                     {"--threads", std::to_string(worker_threads)});
+        if (options_.laneWidth > 0)
+            argv.insert(argv.end(),
+                        {"--lanes",
+                         std::to_string(options_.laneWidth)});
         shards[w].pid = spawnWorker(argv);
         if (shards[w].pid < 0) {
             // Reap whatever already started before reporting.
@@ -331,6 +338,7 @@ poolWorkerMain(const std::vector<std::string> &args)
 {
     std::string jobs_path, out_path, cache_dir;
     u32 threads = 0;
+    u32 lanes = 0;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
@@ -368,6 +376,17 @@ poolWorkerMain(const std::vector<std::string> &args)
                 return 2;
             }
             threads = *parsed;
+        } else if (arg == "--lanes") {
+            const auto *v = value();
+            if (!v)
+                return 2;
+            const auto parsed = parseU32(*v);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "pool worker: bad --lanes value '" << *v
+                          << "'\n";
+                return 2;
+            }
+            lanes = *parsed;
         } else {
             std::cerr << "pool worker: unknown option " << arg << "\n";
             return 2;
@@ -403,7 +422,7 @@ poolWorkerMain(const std::vector<std::string> &args)
         }
     }
 
-    const auto results = session.runBatch(*jobs, threads);
+    const auto results = session.runBatch(*jobs, threads, lanes);
 
     WorkerOutput output;
     output.results.reserve(results.size());

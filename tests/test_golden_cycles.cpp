@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/session.hpp"
 #include "sim/simulator.hpp"
 
 namespace vegeta::sim {
@@ -156,6 +157,79 @@ TEST(GoldenCycles, BatchReplayMatchesStreamingRun)
     EXPECT_EQ(streamed.cacheHits, replayed.cacheHits);
     EXPECT_EQ(streamed.cacheMisses, replayed.cacheMisses);
     EXPECT_EQ(streamed.macUtilization, replayed.macUtilization);
+}
+
+TEST(GoldenCycles, LanePackedBatchIsBitIdenticalForEveryWidth)
+{
+    // The whole golden matrix through Session::runBatch's lane packs:
+    // every lane width must reproduce the pinned pre-refactor values
+    // bit for bit, macUtilization included.  This is the end-to-end
+    // pin of the LaneReplayer bit-exactness contract.
+    std::vector<SimulationRequest> requests;
+    requests.reserve(std::size(kGolden));
+    {
+        const Session session;
+        for (const GoldenPoint &g : kGolden) {
+            auto request = session.request()
+                               .gemm(g.dims)
+                               .engine(g.engine)
+                               .pattern(g.patternN)
+                               .outputForwarding(g.outputForwarding)
+                               .build();
+            ASSERT_TRUE(request.has_value());
+            requests.push_back(*request);
+        }
+    }
+    for (const u32 lanes : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("lane width " + std::to_string(lanes));
+        // A fresh session per width: the in-memory result cache would
+        // otherwise satisfy every later width without replaying.
+        const Session session;
+        const auto results = session.runBatch(requests, 1, lanes);
+        ASSERT_EQ(results.size(), std::size(kGolden));
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const GoldenPoint &g = kGolden[i];
+            SCOPED_TRACE(std::string(g.engine) + " / " + g.workload +
+                         " N=" + std::to_string(g.patternN) +
+                         (g.outputForwarding ? " +OF" : ""));
+            EXPECT_EQ(results[i].coreCycles, g.coreCycles);
+            EXPECT_EQ(results[i].instructions, g.instructions);
+            EXPECT_EQ(results[i].engineInstructions,
+                      g.engineInstructions);
+            EXPECT_EQ(results[i].cacheHits, g.cacheHits);
+            EXPECT_EQ(results[i].cacheMisses, g.cacheMisses);
+            EXPECT_EQ(results[i].macUtilization, g.macUtilization)
+                << "macUtilization must match bit for bit";
+        }
+    }
+}
+
+TEST(GoldenCycles, LanePacksAreThreadCountIndependent)
+{
+    // Lane packs and worker threads compose: any (threads, lanes)
+    // combination is bit-identical to the serial single-stream batch.
+    std::vector<SimulationRequest> requests;
+    const Session builder;
+    for (const GoldenPoint &g : kGolden) {
+        auto request = builder.request()
+                           .gemm(g.dims)
+                           .engine(g.engine)
+                           .pattern(g.patternN)
+                           .outputForwarding(g.outputForwarding)
+                           .build();
+        ASSERT_TRUE(request.has_value());
+        requests.push_back(*request);
+    }
+    const auto baseline = Session{}.runBatch(requests, 1, 1);
+    const auto packed = Session{}.runBatch(requests, 3, 4);
+    ASSERT_EQ(packed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(packed[i].coreCycles, baseline[i].coreCycles);
+        EXPECT_EQ(packed[i].macUtilization,
+                  baseline[i].macUtilization);
+        EXPECT_EQ(packed[i].cacheHits, baseline[i].cacheHits);
+        EXPECT_EQ(packed[i].cacheMisses, baseline[i].cacheMisses);
+    }
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "cpu/flat_map.hpp"
+#include "cpu/lane_replayer.hpp"
 #include "cpu/trace_cpu.hpp"
 #include "cpu/trace_io.hpp"
 #include "kernels/gemm_kernels.hpp"
@@ -171,6 +172,186 @@ TEST(StreamingReplay, UnalignedStoreBlocksLoadsOfBothLines)
         TraceOp::load(0x3040, 4), // unrelated line
     });
     EXPECT_GE(dependent.totalCycles, independent.totalCycles);
+}
+
+// ---- LaneReplayer equivalence -------------------------------------
+//
+// Every test below pins the same contract from a different angle: a
+// lane-batched replay is bit-identical to K sequential single-stream
+// replays, because lanes share no state.
+
+/** The per-lane single-stream reference for a lane-batched run. */
+SimResult
+singleReference(const LaneReplayer::LaneSpec &spec, const Trace &trace)
+{
+    TraceCpu cpu(spec.core, spec.engine);
+    return cpu.run(trace);
+}
+
+TEST(LaneReplay, EveryWidthMatchesSingleStream)
+{
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    const auto kernel =
+        kernels::runSpmmKernel({64, 64, 256}, 2, opts);
+
+    for (u32 width : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("K=" + std::to_string(width));
+        const std::vector<LaneReplayer::LaneSpec> specs(
+            width, {{}, engine::vegetaS162()});
+        LaneReplayer replayer(specs);
+        const auto results = replayer.replay(
+            std::vector<Trace>(width, kernel.trace));
+        ASSERT_EQ(results.size(), width);
+        const SimResult expected =
+            singleReference(specs[0], kernel.trace);
+        for (u32 lane = 0; lane < width; ++lane) {
+            SCOPED_TRACE("lane " + std::to_string(lane));
+            expectIdentical(results[lane], expected);
+        }
+    }
+}
+
+TEST(LaneReplay, MixedLengthLanesWithEarlyFinishers)
+{
+    // Lane trace lengths differ by more than an order of magnitude;
+    // short lanes drop out of the rotation long before the long ones
+    // finish, and that must not perturb any surviving lane.
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    const std::vector<Trace> traces = {
+        kernels::runSpmmKernel({64, 64, 256}, 2, opts).trace,
+        {TraceOp::alu(), TraceOp::load(0x1000, 64)}, // 2 ops
+        kernels::runSpmmKernel({32, 32, 128}, 4, opts).trace,
+        kernels::runSpmmKernel({32, 32, 128}, 1, opts).trace,
+        {},                                          // empty lane
+        kernels::runSpmmKernel({64, 64, 256}, 1, opts).trace,
+        {TraceOp::vectorFma(1), TraceOp::vectorFma(1)},
+        kernels::runSpmmKernel({32, 64, 128}, 2, opts).trace,
+    };
+    const std::vector<LaneReplayer::LaneSpec> specs(
+        traces.size(), {{}, engine::vegetaS162()});
+    LaneReplayer replayer(specs);
+    const auto results = replayer.replay(traces);
+    ASSERT_EQ(results.size(), traces.size());
+    for (std::size_t lane = 0; lane < traces.size(); ++lane) {
+        SCOPED_TRACE("lane " + std::to_string(lane));
+        expectIdentical(results[lane],
+                        singleReference(specs[lane], traces[lane]));
+    }
+}
+
+TEST(LaneReplay, HeterogeneousLaneConfigs)
+{
+    // Per-lane core AND engine configs differ; dense engines get
+    // dense (N = 4) traces, sparse engines get sparse ones.
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    const Trace dense =
+        kernels::runSpmmKernel({32, 32, 128}, 4, opts).trace;
+    const Trace sparse2 =
+        kernels::runSpmmKernel({64, 64, 256}, 2, opts).trace;
+    // N=1 programs use TILE_SPMM_V, which only the VEGETA sparse
+    // engines support; STC-like lanes get the 2:4 trace instead.
+    const Trace sparse1 =
+        kernels::runSpmmKernel({32, 32, 128}, 1, opts).trace;
+    const Trace stc_trace =
+        kernels::runSpmmKernel({32, 32, 128}, 2, opts).trace;
+
+    CoreConfig narrow;
+    narrow.fetchWidth = 2;
+    narrow.retireWidth = 2;
+    narrow.robEntries = 32;
+    narrow.loadBufferEntries = 16;
+    CoreConfig divided;
+    divided.engineClockDivider = 2;
+    CoreConfig shallow;
+    shallow.frontEndDepth = 0;
+    shallow.numLsuPorts = 1;
+
+    const std::vector<LaneReplayer::LaneSpec> specs = {
+        {{}, engine::vegetaS162()},
+        {narrow, engine::vegetaD12()},
+        {divided, engine::vegetaS42()},
+        {shallow, engine::stcLike()},
+    };
+    const std::vector<Trace> traces = {sparse1, dense, sparse2,
+                                       stc_trace};
+    LaneReplayer replayer(specs);
+    const auto results = replayer.replay(traces);
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t lane = 0; lane < specs.size(); ++lane) {
+        SCOPED_TRACE("lane " + std::to_string(lane));
+        expectIdentical(results[lane],
+                        singleReference(specs[lane], traces[lane]));
+    }
+}
+
+TEST(LaneReplay, ScrambledSinkInterleavingIsOrderIndependent)
+{
+    // Feed lanes through their TraceSink facades in a deterministic
+    // scramble (bursts of different sizes per lane) instead of
+    // replay()'s round-robin; per-lane results must not change.
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    const std::vector<Trace> traces = {
+        kernels::runSpmmKernel({32, 32, 128}, 2, opts).trace,
+        kernels::runSpmmKernel({64, 64, 256}, 4, opts).trace,
+        kernels::runSpmmKernel({32, 32, 128}, 1, opts).trace,
+    };
+    const std::vector<LaneReplayer::LaneSpec> specs(
+        traces.size(), {{}, engine::vegetaS162()});
+    LaneReplayer replayer(specs);
+
+    std::vector<std::size_t> cursor(traces.size(), 0);
+    std::size_t remaining = 0;
+    for (const Trace &t : traces)
+        remaining += t.size();
+    // Deterministic burst pattern: lane l emits (l * 3 + round) % 7 + 1
+    // ops per visit, so the interleave never resembles round-robin.
+    for (u64 round = 0; remaining > 0; ++round) {
+        for (std::size_t lane = 0; lane < traces.size(); ++lane) {
+            const std::size_t burst = (lane * 3 + round) % 7 + 1;
+            for (std::size_t n = 0;
+                 n < burst && cursor[lane] < traces[lane].size();
+                 ++n) {
+                replayer.sink(static_cast<u32>(lane))
+                    .emit(traces[lane][cursor[lane]++]);
+                --remaining;
+            }
+        }
+    }
+    for (std::size_t lane = 0; lane < traces.size(); ++lane) {
+        SCOPED_TRACE("lane " + std::to_string(lane));
+        expectIdentical(
+            replayer.finishLane(static_cast<u32>(lane)),
+            singleReference(specs[lane], traces[lane]));
+    }
+}
+
+TEST(LaneReplay, LanesAreReusableAfterFinish)
+{
+    // finishLane leaves the lane cold: a second stream through the
+    // same lane must match a cold single-stream run, even after other
+    // lanes ran unrelated streams.
+    kernels::KernelOptions opts;
+    opts.traceOnly = true;
+    const Trace small =
+        kernels::runSpmmKernel({32, 32, 128}, 4, opts).trace;
+    const Trace big =
+        kernels::runSpmmKernel({64, 64, 256}, 2, opts).trace;
+
+    const std::vector<LaneReplayer::LaneSpec> specs(
+        2, {{}, engine::vegetaS162()});
+    LaneReplayer replayer(specs);
+    const auto first = replayer.replay(
+        std::vector<const Trace *>{&small, &big});
+    const auto second = replayer.replay(
+        std::vector<const Trace *>{&big, &small});
+    expectIdentical(first[0], second[1]);
+    expectIdentical(first[1], second[0]);
+    expectIdentical(first[0], singleReference(specs[0], small));
+    expectIdentical(first[1], singleReference(specs[1], big));
 }
 
 TEST(FlatCycleMap, InsertFindGrowAndClear)
