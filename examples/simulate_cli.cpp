@@ -8,6 +8,7 @@
  *   simulate_cli run     one trace simulation (or trace replay)
  *   simulate_cli analyze one analytical model evaluation
  *   simulate_cli sweep   a (workload x pattern x engine) grid batch
+ *   simulate_cli tune    budgeted design-space search (sim/tune.hpp)
  *   simulate_cli serve   the long-lived simulation service daemon
  *   simulate_cli list    registered workloads/engines/models
  *   simulate_cli cache   persistent result-cache stats/clear/merge
@@ -46,6 +47,7 @@
 #include "sim/serial.hpp"
 #include "sim/server.hpp"
 #include "sim/session.hpp"
+#include "sim/tune.hpp"
 
 namespace {
 
@@ -67,6 +69,8 @@ usage(std::ostream &os)
           "  run      simulate one workload/GEMM, or replay a trace\n"
           "  analyze  evaluate an analytical model\n"
           "  sweep    run a workload x pattern x engine grid\n"
+          "  tune     budgeted design-space search (analytical\n"
+          "           prefilter + replay confirmation)\n"
           "  serve    run the long-lived simulation service daemon\n"
           "  list     list workloads, engines, and models\n"
           "  cache    persistent-cache maintenance "
@@ -116,6 +120,31 @@ usage(std::ostream &os)
           "                      locally (byte-identical output)\n"
           "  --csv | --json      machine-readable output\n"
           "\n"
+          "tune options:\n"
+          "  --quick             quick workload group (default "
+          "tableIV)\n"
+          "  --workload NAME     explicit workload (repeatable)\n"
+          "  --engine NAME       explicit engine (repeatable, default "
+          "all)\n"
+          "  --space NAME        search axes: full (default; adds the\n"
+          "                      C-blocking axis) or figure13\n"
+          "  --strategy NAME     exhaustive (default) or halving\n"
+          "  --budget N          replay confirmations (default 8,\n"
+          "                      strictly honored)\n"
+          "  --analyses N        analytical scorings (0 = every valid\n"
+          "                      point, the default)\n"
+          "  --seed N            search seed (halving pool sampling)\n"
+          "  --max-area X        reject designs above X area units\n"
+          "  --candidates        widen the engine axis with parametric\n"
+          "                      512-MAC design candidates\n"
+          "  --no-cost-model     ignore the cache-trained cost model\n"
+          "  --threads N         replay batch threads\n"
+          "  --lanes N           lane-batched replay width\n"
+          "  --cache-dir DIR     persistent cache (also the cost\n"
+          "                      model's training corpus)\n"
+          "  --connect ADDR      confirm replays on a serve daemon\n"
+          "  --csv | --json      machine-readable report\n"
+          "\n"
           "serve options:\n"
           "  --socket PATH       listen on a unix-domain socket\n"
           "  --port N            listen on 127.0.0.1:N (0 = pick an\n"
@@ -139,7 +168,10 @@ usage(std::ostream &os)
           "  --max-bytes N       prune: keep newest entries <= N "
           "bytes\n"
           "  --max-entries N     prune: keep at most N newest "
-          "entries\n";
+          "entries\n"
+          "  --json              stats as JSON (the default; accepted "
+          "for\n"
+          "                      symmetry with the other commands)\n";
 }
 
 /** Strict double parse: the whole string must be one number. */
@@ -741,6 +773,231 @@ cmdSweep(Args args)
 }
 
 int
+cmdTune(Args args)
+{
+    bool quick = false;
+    bool candidates = false;
+    bool cost_model = true;
+    std::vector<std::string> workload_names, engine_names;
+    std::string space_name = "full";
+    std::string cache_dir, connect_addr;
+    sim::TuneOptions options;
+    std::optional<double> max_area;
+    OutputFormat format = OutputFormat::Text;
+
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--workload") {
+            workload_names.push_back(args.value(arg));
+        } else if (arg == "--engine") {
+            engine_names.push_back(args.value(arg));
+        } else if (arg == "--space") {
+            space_name = args.value(arg);
+            if (space_name != "full" && space_name != "figure13") {
+                std::cerr << "error: --space expects full or "
+                             "figure13, got '"
+                          << space_name << "'\n";
+                return 1;
+            }
+        } else if (arg == "--strategy") {
+            const std::string text = args.value(arg);
+            const auto strategy = sim::parseTuneStrategy(text);
+            if (!strategy) {
+                std::cerr << "error: --strategy expects exhaustive "
+                             "or halving, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.strategy = *strategy;
+        } else if (arg == "--budget") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --budget expects a positive "
+                             "integer of replays, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.budget.replays = *parsed;
+        } else if (arg == "--analyses") {
+            const std::string text = args.value(arg);
+            u64 parsed;
+            if (!sim::serial::parseU64(text, &parsed)) {
+                std::cerr << "error: --analyses expects a "
+                             "non-negative integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.budget.analyses = parsed;
+        } else if (arg == "--seed") {
+            const std::string text = args.value(arg);
+            u64 parsed;
+            if (!sim::serial::parseU64(text, &parsed)) {
+                std::cerr << "error: --seed expects a non-negative "
+                             "integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.seed = parsed;
+        } else if (arg == "--max-area") {
+            const std::string text = args.value(arg);
+            const auto parsed = parseDouble(text);
+            if (!parsed || *parsed <= 0.0) {
+                std::cerr << "error: --max-area expects a positive "
+                             "number, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            max_area = *parsed;
+        } else if (arg == "--candidates") {
+            candidates = true;
+        } else if (arg == "--no-cost-model") {
+            cost_model = false;
+        } else if (arg == "--threads") {
+            const std::string text = args.value(arg);
+            const auto parsed = sim::parseU32(text);
+            if (!parsed || *parsed == 0) {
+                std::cerr << "error: --threads expects a positive "
+                             "integer, got '"
+                          << text << "'\n";
+                return 1;
+            }
+            options.threads = *parsed;
+        } else if (arg == "--lanes") {
+            options.laneWidth = parseLanesFlag(args);
+        } else if (arg == "--cache-dir") {
+            cache_dir = args.value(arg);
+        } else if (arg == "--connect") {
+            connect_addr = args.value(arg);
+        } else if (arg == "--csv") {
+            format = OutputFormat::Csv;
+        } else if (arg == "--json") {
+            format = OutputFormat::Json;
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "error: unknown tune option " << arg << "\n";
+            return 1;
+        }
+    }
+
+    if (!connect_addr.empty() &&
+        (options.threads > 0 || options.laneWidth > 0)) {
+        std::cerr << "error: --connect cannot be combined with "
+                     "--threads/--lanes (the server decides its own "
+                     "execution)\n";
+        return 1;
+    }
+    if (!connect_addr.empty() && candidates) {
+        std::cerr << "error: --connect cannot be combined with "
+                     "--candidates (the server only knows the "
+                     "builtin engine registry)\n";
+        return 1;
+    }
+    options.connectAddress = connect_addr;
+    options.useCostModel = cost_model;
+
+    // The candidate axis extends the registry BEFORE the session is
+    // built so the analytical prefilter and the replay path resolve
+    // the same names.
+    auto engines = sim::EngineRegistry::builtin();
+    if (candidates)
+        for (const auto &config : sim::candidateEngineConfigs())
+            engines.add(config);
+    sim::Session session(std::move(engines),
+                         sim::WorkloadRegistry::builtin());
+    if (!cache_dir.empty()) {
+        const auto disk = session.attachDiskCache(cache_dir);
+        if (!disk->ok()) {
+            std::cerr << "cannot open cache dir: " << cache_dir
+                      << "\n";
+            return 2;
+        }
+    }
+
+    if (workload_names.empty())
+        for (const auto &w : session.workloads().group(
+                 quick ? "quick" : "tableIV"))
+            workload_names.push_back(w.name);
+    for (const auto &name : workload_names) {
+        if (!session.workloads().contains(name)) {
+            std::cerr << "error: unknown workload: " << name << "\n";
+            return 1;
+        }
+    }
+    for (const auto &name : engine_names) {
+        if (!session.engines().contains(name)) {
+            std::cerr << "error: unknown engine: " << name << "\n";
+            return 1;
+        }
+    }
+
+    auto space =
+        space_name == "figure13"
+            ? sim::TuneSpace::figure13(session, workload_names)
+            : sim::TuneSpace::full(session, workload_names);
+    if (!engine_names.empty())
+        space.engines = engine_names;
+    space.maxAreaUnits = max_area;
+
+    const sim::Tuner tuner(session, options);
+    const auto report = tuner.run(space);
+
+    switch (format) {
+      case OutputFormat::Text: {
+        std::cout << "strategy:        "
+                  << sim::tuneStrategyName(report.strategy)
+                  << " (seed " << report.seed << ")\n"
+                  << "search space:    " << report.rawPoints
+                  << " raw, " << report.validPoints << " valid, "
+                  << report.rejectedPoints << " rejected\n"
+                  << "funnel:          " << report.analyzedPoints
+                  << " analyzed -> " << report.replayedPoints
+                  << " replayed\n"
+                  << "cost model:      "
+                  << (report.costModelUsed ? "trained" : "unused")
+                  << " (" << report.costModelSamples
+                  << " cached samples)\n";
+        if (const auto *best = report.best()) {
+            std::cout << "best:            "
+                      << sim::tunePointKey(best->point) << "\n"
+                      << "  cycles/MAC     "
+                      << best->measuredCyclesPerMac << " measured ("
+                      << best->estCyclesPerMac << " estimated)\n"
+                      << "  core cycles    " << best->measuredCoreCycles
+                      << "\n"
+                      << "  area units     " << best->areaUnits << "\n";
+        } else {
+            std::cout << "best:            none (nothing replayed)\n";
+        }
+        std::cout << "pareto front:    " << report.paretoFront.size()
+                  << " point(s)\n";
+        for (const auto &c : report.paretoFront)
+            std::cout << "  " << sim::tunePointKey(c.point)
+                      << "  cycles/MAC " << c.measuredCyclesPerMac
+                      << "  area " << c.areaUnits << "\n";
+        break;
+      }
+      case OutputFormat::Csv:
+        sim::writeCsv(std::cout, report);
+        break;
+      case OutputFormat::Json:
+        sim::writeJson(std::cout, report);
+        break;
+    }
+    std::cerr << "tune: " << report.analyzedPoints << " analyzed, "
+              << report.replayedPoints << " replayed";
+    if (!connect_addr.empty())
+        std::cerr << " (confirmations by server)";
+    std::cerr << "\n";
+    reportDiskCache(session);
+    return 0;
+}
+
+int
 cmdServe(Args args)
 {
     sim::ServerOptions options;
@@ -935,6 +1192,9 @@ cmdCache(Args args)
                 return 1;
             }
             (arg == "--max-bytes" ? max_bytes : max_entries) = parsed;
+        } else if (arg == "--json") {
+            // stats output is already JSON; accept the flag so
+            // scripted callers can spell the format explicitly.
         } else if (arg == "--help") {
             usage(std::cout);
             return 0;
@@ -1109,6 +1369,8 @@ main(int argc, char **argv)
         return cmdAnalyze(std::move(args));
     if (command == "sweep")
         return cmdSweep(std::move(args));
+    if (command == "tune")
+        return cmdTune(std::move(args));
     if (command == "serve")
         return cmdServe(std::move(args));
     if (command == "list")

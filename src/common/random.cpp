@@ -9,16 +9,6 @@ namespace vegeta {
 namespace {
 
 u64
-splitMix64(u64 &x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    u64 z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
-u64
 rotl(u64 x, int k)
 {
     return (x << k) | (x >> (64 - k));
@@ -26,11 +16,21 @@ rotl(u64 x, int k)
 
 } // namespace
 
+u64
+splitmix64(u64 &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 Rng::Rng(u64 seed)
 {
     u64 s = seed;
     for (auto &word : state_)
-        word = splitMix64(s);
+        word = splitmix64(s);
 }
 
 u64
@@ -87,6 +87,13 @@ Rng::nextGaussian()
     for (int i = 0; i < 12; ++i)
         sum += nextDouble();
     return static_cast<float>(sum - 6.0);
+}
+
+Rng
+Rng::fork()
+{
+    u64 s = next();
+    return Rng(splitmix64(s));
 }
 
 std::vector<u32>

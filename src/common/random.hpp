@@ -18,6 +18,15 @@
 
 namespace vegeta {
 
+/**
+ * One SplitMix64 step: advance @p state and return the next value of
+ * the stream.  This is the library's one audited seed expander -- Rng
+ * seeds its xoshiro state from it, and anything that needs a cheap
+ * standalone deterministic stream (hash mixing, substream seeds)
+ * should draw from it rather than hand-rolling a generator.
+ */
+u64 splitmix64(u64 &state);
+
 /** Deterministic 64-bit PRNG (xoshiro256**). */
 class Rng
 {
@@ -58,6 +67,14 @@ class Rng
      * partial Fisher-Yates).  Returned positions are sorted.
      */
     std::vector<u32> choose(u32 n, u32 k);
+
+    /**
+     * A statistically independent child generator: seeded from this
+     * generator's next value mixed through splitmix64, so N forks of
+     * one seeded Rng give N reproducible substreams (the tuner seeds
+     * one fork per search round this way).
+     */
+    Rng fork();
 
   private:
     std::array<u64, 4> state_;

@@ -14,6 +14,7 @@
 #include "model/unstructured_analysis.hpp"
 #include "model/vector_vs_matrix.hpp"
 #include "sim/session.hpp"
+#include "sim/tune_space.hpp"
 #include "sparsity/compressed_tile.hpp"
 #include "sparsity/pruning.hpp"
 #include "sparsity/rowwise_transform.hpp"
@@ -700,6 +701,73 @@ dynamicSparsityBackend(const Session &,
     return result;
 }
 
+/**
+ * The tuner's analytical prefilter: one closed-form cycle/area
+ * estimate per (workload, engine) pair at the requested pattern,
+ * output-forwarding, kernel, and C-blocking coordinates -- the
+ * scoring stage of sim/tune.hpp surfaced as a regular backend so the
+ * CLI and benches can inspect what the tuner ranks on.
+ */
+AnalyticalResult
+tunePrefilterBackend(const Session &simulator,
+                     const AnalyticalRequest &request)
+{
+    AnalyticalResult result;
+    result.model = request.model;
+    result.columns = {"workload",        "engine",
+                      "pattern",         "executed",
+                      "of",              "kernel",
+                      "cblocking",       "instructions",
+                      "tile_computes",   "est_core_cycles",
+                      "est_cycles_per_mac", "area_units"};
+
+    const u32 pattern = static_cast<u32>(request.param("pattern", 4));
+    VEGETA_ASSERT(pattern == 1 || pattern == 2 || pattern == 4,
+                  "tune-prefilter pattern must be 1, 2, or 4");
+    const bool of = request.param("of", 0) != 0;
+    const u32 c_blocking =
+        static_cast<u32>(request.param("cblocking", 3));
+    VEGETA_ASSERT(c_blocking >= 1 && c_blocking <= 3,
+                  "tune-prefilter cblocking must be 1..3");
+    const std::string kernel = request.option("kernel", "optimized");
+    VEGETA_ASSERT(kernel == "optimized" || kernel == "naive",
+                  "tune-prefilter kernel must be optimized or naive");
+    const bool naive = kernel == "naive";
+
+    for (const auto &workload :
+         resolveWorkloads(simulator, request, "tableIV")) {
+        for (const auto &config : resolveEngines(simulator, request)) {
+            const PrefilterEstimate est =
+                prefilterEstimate(workload.gemm, config, pattern, of,
+                                  naive, c_blocking);
+            auto &row = result.row();
+            row.push_back(AnalyticalCell::text(workload.name));
+            row.push_back(AnalyticalCell::text(config.name));
+            row.push_back(AnalyticalCell::number(pattern, 0));
+            row.push_back(AnalyticalCell::number(est.executedN, 0));
+            row.push_back(AnalyticalCell::number(of ? 1 : 0, 0));
+            row.push_back(AnalyticalCell::text(kernel));
+            row.push_back(AnalyticalCell::number(c_blocking, 0));
+            row.push_back(
+                AnalyticalCell::number(double(est.instructions), 0));
+            row.push_back(
+                AnalyticalCell::number(double(est.tileComputes), 0));
+            row.push_back(
+                AnalyticalCell::number(est.estCoreCycles, 1));
+            row.push_back(
+                AnalyticalCell::number(est.estCyclesPerMac, 9));
+            row.push_back(AnalyticalCell::number(est.areaUnits, 4));
+        }
+    }
+    result.notes = {
+        "closed-form: instruction counts mirror the kernel "
+        "generator's loop structure; engine term extrapolated from a "
+        "PipelineModel steady-state window (sim/tune_space.hpp)",
+        "est_cycles_per_mac is the tuner's ranking objective; "
+        "replay confirmation decides the final ordering"};
+    return result;
+}
+
 } // namespace
 
 AnalyticalRegistry
@@ -750,7 +818,11 @@ AnalyticalRegistry::builtin()
         .add("dynamic-sparsity",
              "Section VII: SAVE-style register-compaction probability "
              "for vector vs tile registers",
-             dynamicSparsityBackend);
+             dynamicSparsityBackend)
+        .add("tune-prefilter",
+             "Tuner stage 2: closed-form cycle/area estimate per "
+             "(workload, engine) search point",
+             tunePrefilterBackend);
     return registry;
 }
 

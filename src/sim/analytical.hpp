@@ -140,8 +140,8 @@ class AnalyticalRegistry
      * The paper's analytical models: fig3-roofline,
      * fig4-vector-vs-matrix, fig10-pipelining, fig14-area-power,
      * fig14-area-breakdown, fig15-unstructured, blocksize-coverage,
-     * blocksize-hardware, micro-latency, network-policy, and
-     * dynamic-sparsity.
+     * blocksize-hardware, micro-latency, network-policy,
+     * dynamic-sparsity, and the tuner's tune-prefilter estimator.
      */
     static AnalyticalRegistry builtin();
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cache-trained cost model: a small ridge regressor over cached
+ * simulation results that re-ranks the tuner's analytical prefilter.
+ *
+ * Every sweep that ever ran with a --cache-dir left canonical
+ * (cacheKey, SimulationResult) records behind; harvestCostSamples()
+ * parses those keys back into search-space coordinates and turns each
+ * record into one training sample.  The regression target is
+ * log2(coreCycles) and the features include the closed-form prefilter
+ * estimate, so the model is a *residual corrector*: with no data it
+ * cannot be consulted (the tuner falls back to the prefilter), and
+ * with data it learns exactly the systematic errors the closed form
+ * makes on this machine's corpus -- the random-forest-predictor idea
+ * of the isaac/triton autotuner in its smallest deterministic form.
+ *
+ * Everything here is closed-form and order-stable: the harvest walks
+ * the cache's append order, the fit is a fixed-pivot Gaussian
+ * elimination of the normal equations, and equal cache files always
+ * produce bit-identical models.
+ */
+
+#ifndef VEGETA_SIM_COST_MODEL_HPP
+#define VEGETA_SIM_COST_MODEL_HPP
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+#include "sim/tune_space.hpp"
+
+namespace vegeta::sim {
+
+class DiskResultCache;
+
+/** Regression feature count (leading bias term included). */
+inline constexpr u32 kCostFeatureCount = 12;
+
+/** Samples below this leave the model untrusted (prefilter rules). */
+inline constexpr u64 kMinCostSamples = 32;
+
+/** One training sample: features + log2(core cycles) target. */
+struct CostSample
+{
+    std::array<double, kCostFeatureCount> features{};
+    double log2Cycles = 0.0;
+};
+
+/** Ridge regressor over log2(core cycles). */
+class CostModel
+{
+  public:
+    /**
+     * The feature vector of one search point: bias, log2 GEMM dims,
+     * executed N, log2 engine geometry, sparsity/forwarding/kernel
+     * flags, C blocking, and log2 of the closed-form prefilter
+     * estimate (the residual-learning anchor).
+     */
+    static std::array<double, kCostFeatureCount>
+    features(const kernels::GemmDims &gemm,
+             const engine::EngineConfig &engine, u32 pattern_n,
+             bool output_forwarding, bool naive, u32 c_blocking);
+
+    /**
+     * Closed-form ridge fit (normal equations, penalty @p lambda on
+     * every non-bias weight).  Nullopt when @p samples is empty or
+     * the system is numerically singular.
+     */
+    static std::optional<CostModel>
+    fit(const std::vector<CostSample> &samples, double lambda = 1e-3);
+
+    double predictLog2Cycles(
+        const std::array<double, kCostFeatureCount> &x) const;
+
+    u64 sampleCount() const { return samples_; }
+
+    /** Training-set RMSE in log2 cycles (fit diagnostics). */
+    double trainRmse() const { return rmse_; }
+
+  private:
+    std::array<double, kCostFeatureCount> weights_{};
+    u64 samples_ = 0;
+    double rmse_ = 0.0;
+};
+
+/**
+ * Parse one canonical v1 cacheKey back into the tune coordinates it
+ * encodes, validated against @p session's engine registry and
+ * round-tripped through cacheKey() so records with non-default core
+ * configurations (or replay records, or unknown engines) are skipped
+ * rather than mis-featurized.  Returns the ready sample.
+ */
+std::optional<CostSample>
+costSampleFromCacheEntry(const Session &session,
+                         const std::string &key,
+                         const SimulationResult &result);
+
+/**
+ * Harvest every eligible cached simulation record of @p cache into
+ * training samples, in the cache's append order (deterministic for a
+ * given cache file).
+ */
+std::vector<CostSample>
+harvestCostSamples(const Session &session,
+                   const DiskResultCache &cache);
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_COST_MODEL_HPP

@@ -86,13 +86,17 @@ currentExecutablePath()
 u32
 defaultPoolCrossoverJobs()
 {
-    // Measured on the committed BENCH_replay trajectory: the bench's
-    // pool_crossover_measured_jobs row probes batches of 2..16 unique
-    // jobs and the pool has never beaten the in-process fallback at
-    // any of them (fork/exec plus shard-file costs dominate), while
-    // batches in the low hundreds amortize them.  Conservative on
-    // purpose -- the in-process fallback is never slower on batches
-    // this size.
+    // Re-read off the committed BENCH_replay trajectory (entry
+    // "pr7-lane-replay"): its pool_crossover_measured_jobs row is 0,
+    // meaning the bench's probe over 2..16 unique jobs never found a
+    // batch size where the process pool beat the in-process fallback
+    // (fork/exec plus shard-file costs dominate every probed size),
+    // and its pool_crossover_unique_jobs row records 128 as the
+    // default that was in effect.  With no measured win below the
+    // probe ceiling, the crossover stays at 128 -- the low-hundreds
+    // scale where per-worker setup provably amortizes -- and is
+    // conservative on purpose: the in-process fallback is never
+    // slower on batches this size, and both paths are bit-identical.
     return 128;
 }
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Declarative description of the tuner's search space and the cheap
+ * structural validity predicates that guard it.
+ *
+ * A TuneSpace is a set of axes (workloads, engines, patterns, output
+ * forwarding, kernel variants, C blocking) whose cross product is the
+ * raw candidate set; a TunePoint is one coordinate of that product.
+ * Before any analytical scoring or replay, every point passes through
+ * invalidReason() -- the isaac-gemm `is_invalid_impl` idiom: reject
+ * structurally infeasible or aliased configurations (output
+ * forwarding on an engine with no forwarding path, blocking knobs the
+ * naive kernel ignores, broken engine geometry, an area budget the
+ * design exceeds) with a one-line reason, at a cost of a few integer
+ * checks per point.  The predicates are conservative by contract:
+ * they never reject any configuration the figure13Grid / Table IV
+ * evaluation actually runs (tests/test_tune.cpp pins this).
+ *
+ * The space can optionally extend the engine axis beyond the
+ * registered Table III designs with candidateEngineConfigs():
+ * parametric (alpha, beta, sparse, minN) geometries that keep the
+ * paper's invariant of 512 total MACs.
+ */
+
+#ifndef VEGETA_SIM_TUNE_SPACE_HPP
+#define VEGETA_SIM_TUNE_SPACE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "sim/request.hpp"
+
+namespace vegeta::sim {
+
+class Session;
+
+/** One coordinate of the search space. */
+struct TunePoint
+{
+    std::string workload;
+    std::string engine;
+    u32 patternN = 4;
+    bool outputForwarding = false;
+    KernelVariant kernel = KernelVariant::Optimized;
+    u32 cBlocking = 3;
+};
+
+/**
+ * Canonical one-line serialization of a point: the tuner's sort key,
+ * dedupe key, and report identifier.  Pure function of the point.
+ */
+std::string tunePointKey(const TunePoint &point);
+
+/** The declarative axes whose cross product is the candidate set. */
+struct TuneSpace
+{
+    /** Registered workload names (empty = invalid space). */
+    std::vector<std::string> workloads;
+
+    /** Registered engine names (empty = invalid space). */
+    std::vector<std::string> engines;
+
+    std::vector<u32> patterns = {4, 2, 1};
+
+    /** Output-forwarding settings to explore. */
+    std::vector<bool> outputForwarding = {false, true};
+
+    std::vector<KernelVariant> kernels = {KernelVariant::Optimized};
+
+    /** C-register blocking factors for the optimized kernel. */
+    std::vector<u32> cBlockings = {1, 2, 3};
+
+    /** Optional area budget (engine::PhysicalEstimate units). */
+    std::optional<double> maxAreaUnits;
+
+    /** |workloads x engines x patterns x OF x kernels x cBlockings|. */
+    u64 rawSize() const;
+
+    /**
+     * Every raw point, row-major in axis declaration order --
+     * deterministic, so equal spaces always enumerate identically.
+     */
+    std::vector<TunePoint> enumerate() const;
+
+    /**
+     * The space the Figure 13 evaluation grid lives in: every
+     * registered engine, all three patterns, both OF settings, the
+     * optimized kernel at full C blocking.  Restricting the replayed
+     * subset of this space to valid points reproduces figure13Grid
+     * exactly.
+     */
+    static TuneSpace figure13(const Session &session,
+                              std::vector<std::string> workload_names);
+
+    /**
+     * The tuner's default space: figure13 axes widened with the
+     * kernel-blocking axis (cBlocking 1..3).
+     */
+    static TuneSpace full(const Session &session,
+                          std::vector<std::string> workload_names);
+};
+
+/**
+ * Why @p point is structurally infeasible in @p space (checked
+ * against @p session's registries), or nullopt if it must be scored.
+ * Cheap by contract -- name lookups and integer checks only, no
+ * kernel generation and no simulation.
+ */
+std::optional<std::string>
+invalidReason(const Session &session, const TuneSpace &space,
+              const TunePoint &point);
+
+/**
+ * Closed-form cycle estimate of one point -- the scoring half of the
+ * analytical prefilter (surfaced through the AnalyticalRegistry as
+ * the "tune-prefilter" backend).  Instruction and tile-op counts
+ * mirror the kernel generator's loop structure exactly;
+ * the engine-bound term replays a small steady-state window of
+ * compute instructions on engine::PipelineModel (the same scheduler
+ * the cycle model delegates to) and extrapolates, so engine-side
+ * ranking inherits the real stage/forwarding rules.  Cost: a few
+ * dozen PipelineModel::issue calls per point, no trace generation.
+ */
+struct PrefilterEstimate
+{
+    u32 executedN = 4;
+    u64 instructions = 0;
+    u64 tileComputes = 0;
+    u64 tileLoads = 0;
+    u64 tileStores = 0;
+    double engineBoundCoreCycles = 0.0;
+    double frontendBoundCoreCycles = 0.0;
+    double estCoreCycles = 0.0;
+
+    /** estCoreCycles / logical (unpadded) MACs -- the tuner's
+     *  workload-comparable objective. */
+    double estCyclesPerMac = 0.0;
+
+    double areaUnits = 0.0;
+};
+
+PrefilterEstimate
+prefilterEstimate(const kernels::GemmDims &gemm,
+                  const engine::EngineConfig &engine, u32 pattern_n,
+                  bool output_forwarding, bool naive, u32 c_blocking,
+                  const cpu::CoreConfig &core = {});
+
+/**
+ * Parametric engine-design candidates beyond the registered Table III
+ * rows: every (sparse, alpha, beta, minN) geometry that preserves the
+ * 512-MAC invariant (dense sweeps beta over divisors of 32; sparse
+ * keeps the paper's beta = 2 and sweeps minSupportedN over {1, 2}),
+ * minus any geometry a builtin registry entry already covers.  Names
+ * are "CAND-D-<alpha>-<beta>" / "CAND-S-<alpha>-2[-N2]".
+ */
+std::vector<engine::EngineConfig> candidateEngineConfigs();
+
+} // namespace vegeta::sim
+
+#endif // VEGETA_SIM_TUNE_SPACE_HPP

@@ -7,14 +7,15 @@
  * random op mixes, aliasing load/store addresses crowded into a small
  * region, load-buffer pressure, random vector chains, random lane
  * counts and lengths -- and requires every lane of every round to be
- * bit-identical to its own sequential single-stream replay.  Seeds are
- * fixed so a failure is a repro, not a flake.
+ * bit-identical to its own sequential single-stream replay.  All
+ * randomness draws from the library's audited common/Rng (the same
+ * generator the tuner's random search uses), so a failure is a repro,
+ * not a flake.
  */
 
 #include <gtest/gtest.h>
 
-#include <random>
-
+#include "common/random.hpp"
 #include "cpu/lane_replayer.hpp"
 #include "cpu/trace_cpu.hpp"
 #include "kernels/gemm_kernels.hpp"
@@ -37,22 +38,20 @@ expectIdentical(const SimResult &a, const SimResult &b)
 
 /** One random scalar trace biased toward memory hazards. */
 Trace
-randomScalarTrace(std::mt19937_64 &rng)
+randomScalarTrace(Rng &rng)
 {
-    std::uniform_int_distribution<u64> length(50, 2000);
     // A few KiB of addresses so loads and stores collide in both the
     // cache sets and the store-to-load dependence map.
-    std::uniform_int_distribution<Addr> addr(0x1000, 0x3000);
-    std::uniform_int_distribution<u32> bytes_pick(0, 3);
-    std::uniform_int_distribution<u32> kind(0, 9);
-    std::uniform_int_distribution<u32> chain(0, 3);
+    const auto addr = [&] {
+        return Addr{0x1000} + rng.nextBelow(0x2001);
+    };
     static constexpr u32 kBytes[] = {4, 8, 64, 256};
 
     Trace trace;
-    const u64 n = length(rng);
+    const u64 n = 50 + rng.nextBelow(1951); // length in [50, 2000]
     trace.reserve(n);
     for (u64 i = 0; i < n; ++i) {
-        switch (kind(rng)) {
+        switch (rng.nextBelow(10)) {
         case 0:
         case 1:
         case 2:
@@ -65,15 +64,16 @@ randomScalarTrace(std::mt19937_64 &rng)
         case 5:
         case 6: // unaligned addresses exercise line straddles
             trace.push_back(
-                TraceOp::load(addr(rng), kBytes[bytes_pick(rng)]));
+                TraceOp::load(addr(), kBytes[rng.nextBelow(4)]));
             break;
         case 7:
         case 8:
             trace.push_back(
-                TraceOp::store(addr(rng), kBytes[bytes_pick(rng)]));
+                TraceOp::store(addr(), kBytes[rng.nextBelow(4)]));
             break;
         default:
-            trace.push_back(TraceOp::vectorFma(chain(rng)));
+            trace.push_back(
+                TraceOp::vectorFma(u32(rng.nextBelow(4))));
             break;
         }
     }
@@ -82,10 +82,10 @@ randomScalarTrace(std::mt19937_64 &rng)
 
 TEST(ReplayFuzz, RandomScalarTracesMatchSingleStream)
 {
-    std::mt19937_64 rng(0x5ee7a11e5u); // fixed: failures must repro
+    Rng rng(0x5ee7a11e5u); // fixed: failures must repro
     for (u32 round = 0; round < 12; ++round) {
         SCOPED_TRACE("round " + std::to_string(round));
-        const u32 width = 1 + static_cast<u32>(rng() % 8);
+        const u32 width = 1 + static_cast<u32>(rng.nextBelow(8));
         std::vector<Trace> traces;
         traces.reserve(width);
         for (u32 lane = 0; lane < width; ++lane)
@@ -111,29 +111,29 @@ TEST(ReplayFuzz, RandomKernelTracesMatchSingleStream)
     // Random small GEMMs through the real kernel generator: tile
     // instructions, engine occupancy, and output forwarding all in
     // play.  Dense lanes (N = 4) ride alongside sparse ones.
-    std::mt19937_64 rng(0xdecafbadu);
+    Rng rng(0xdecafbadu);
     kernels::KernelOptions opts;
     opts.traceOnly = true;
     static constexpr u32 kPatterns[] = {1, 2, 4};
 
     for (u32 round = 0; round < 4; ++round) {
         SCOPED_TRACE("round " + std::to_string(round));
-        const u32 width = 2 + static_cast<u32>(rng() % 5);
+        const u32 width = 2 + static_cast<u32>(rng.nextBelow(5));
         std::vector<Trace> traces;
         std::vector<LaneReplayer::LaneSpec> specs;
         for (u32 lane = 0; lane < width; ++lane) {
             const kernels::GemmDims dims{
-                16 * (1 + static_cast<u32>(rng() % 3)),
-                16 * (1 + static_cast<u32>(rng() % 3)),
-                32 * (1 + static_cast<u32>(rng() % 4))};
-            const u32 pattern = kPatterns[rng() % 3];
+                16 * (1 + static_cast<u32>(rng.nextBelow(3))),
+                16 * (1 + static_cast<u32>(rng.nextBelow(3))),
+                32 * (1 + static_cast<u32>(rng.nextBelow(4)))};
+            const u32 pattern = kPatterns[rng.nextBelow(3)];
             traces.push_back(
                 kernels::runSpmmKernel(dims, pattern, opts).trace);
             CoreConfig core;
-            core.outputForwarding = rng() % 2 == 0;
+            core.outputForwarding = rng.nextBelow(2) == 0;
             // Dense engines cannot execute sparse tile programs, so
             // only N = 4 lanes may draw the dense config.
-            if (pattern == 4 && rng() % 2 == 0)
+            if (pattern == 4 && rng.nextBelow(2) == 0)
                 specs.push_back({core, engine::vegetaD12()});
             else
                 specs.push_back({core, engine::vegetaS162()});
