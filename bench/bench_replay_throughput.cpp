@@ -26,9 +26,13 @@
  * calibration loop is timed too and the baseline is scaled by the
  * calibration ratio (clamped to 4x either way) before comparing.
  *
+ * A telemetry_overhead row measures the same batch replay with span
+ * tracing armed vs disarmed (interleaved arms) and the run fails
+ * past --max-telemetry-overhead PCT (default 2).
+ *
  * Usage: bench_replay_throughput [--smoke] [--out FILE]
  *        [--threads N] [--commit KEY] [--baseline FILE]
- *        [--max-regress PCT]
+ *        [--max-regress PCT] [--max-telemetry-overhead PCT]
  */
 
 #include <sys/resource.h>
@@ -49,6 +53,7 @@
 #include "engine/config.hpp"
 #include "sim/pool.hpp"
 #include "sim/session.hpp"
+#include "sim/telemetry.hpp"
 
 #include "trajectory.hpp"
 
@@ -156,6 +161,7 @@ main(int argc, char **argv)
     std::string baseline_path;
     std::string commit;
     double max_regress_pct = 30;
+    double max_telemetry_overhead_pct = 2;
     u32 threads = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -177,6 +183,8 @@ main(int argc, char **argv)
             commit = next();
         } else if (arg == "--max-regress") {
             max_regress_pct = std::strtod(next(), nullptr);
+        } else if (arg == "--max-telemetry-overhead") {
+            max_telemetry_overhead_pct = std::strtod(next(), nullptr);
         } else if (arg == "--threads") {
             const auto parsed = sim::parseU32(next());
             if (!parsed) {
@@ -188,7 +196,8 @@ main(int argc, char **argv)
             std::cerr << "unknown argument: " << arg << "\n"
                       << "usage: bench_replay_throughput [--smoke] "
                          "[--out FILE] [--threads N] [--commit KEY] "
-                         "[--baseline FILE] [--max-regress PCT]\n";
+                         "[--baseline FILE] [--max-regress PCT] "
+                         "[--max-telemetry-overhead PCT]\n";
             return 2;
         }
     }
@@ -322,6 +331,56 @@ main(int argc, char **argv)
                         "stream batch)\n",
                         k, rate / 1e6, rate / batch_geomean);
         }
+    }
+
+    // Telemetry-overhead row: the same batch replay measured with
+    // span tracing armed vs disarmed, arms interleaved per rep so
+    // frequency drift hits both equally.  The disarmed arm is what a
+    // VEGETA_NO_TELEMETRY build pays everywhere (in that build both
+    // arms are no-ops and the row pins the macro path at ~0%); the
+    // armed arm bounds the cost of running with --trace-out.
+    double telemetry_disarmed = 0, telemetry_traced = 0;
+    double telemetry_overhead_pct = 0;
+    {
+        const std::size_t overhead_points =
+            std::min<std::size_t>(results.size(), 4);
+        std::vector<PointResult> disarmed_arm, traced_arm;
+        for (std::size_t p = 0; p < overhead_points; ++p) {
+            // Carry the measured uop count over: measureBatch asserts
+            // its trace against it.
+            disarmed_arm.push_back(
+                {results[p].point, results[p].uops, 0, 0});
+            traced_arm.push_back(
+                {results[p].point, results[p].uops, 0, 0});
+        }
+        // More best-of reps than the throughput rows: the gate
+        // compares two near-identical rates, so both arms need tight
+        // maxima or scheduler noise masquerades as overhead.
+        const int overhead_reps = std::max(reps, 4);
+        for (int r = 0; r < overhead_reps; ++r) {
+            telemetry::setTraceEnabled(false);
+            for (auto &arm : disarmed_arm)
+                measureBatch(simulator, arm, 1);
+            telemetry::setTraceEnabled(true);
+            for (auto &arm : traced_arm)
+                measureBatch(simulator, arm, 1);
+        }
+        telemetry::setTraceEnabled(false);
+        telemetry::clearTrace();
+        std::vector<double> disarmed_rates, traced_rates;
+        for (std::size_t p = 0; p < overhead_points; ++p) {
+            disarmed_rates.push_back(disarmed_arm[p].batchUopsPerSec);
+            traced_rates.push_back(traced_arm[p].batchUopsPerSec);
+        }
+        telemetry_disarmed = geomean(disarmed_rates);
+        telemetry_traced = geomean(traced_rates);
+        if (telemetry_disarmed > 0)
+            telemetry_overhead_pct =
+                (1 - telemetry_traced / telemetry_disarmed) * 100;
+        std::printf("telemetry: disarmed %.2f Muops/s, traced %.2f "
+                    "Muops/s, overhead %.2f%%\n",
+                    telemetry_disarmed / 1e6, telemetry_traced / 1e6,
+                    telemetry_overhead_pct);
     }
 
     // Threaded sweep over the Figure 13 grid of the quick workloads.
@@ -525,7 +584,16 @@ main(int argc, char **argv)
           << measured_crossover
           << ", \"memory_probe_uops\": " << big.uops
           << ", \"stream_peak_rss_bytes\": " << stream_peak_rss
-          << ", \"batch_peak_rss_bytes\": " << batch_peak_rss << "}";
+          << ", \"batch_peak_rss_bytes\": " << batch_peak_rss
+          << ", \"telemetry_overhead\": {\"telemetry_build\": "
+#ifdef VEGETA_NO_TELEMETRY
+          << "false"
+#else
+          << "true"
+#endif
+          << ", \"disarmed_uops_per_sec\": " << telemetry_disarmed
+          << ", \"traced_uops_per_sec\": " << telemetry_traced
+          << ", \"overhead_pct\": " << telemetry_overhead_pct << "}}";
 
     // Snapshot the baseline BEFORE rewriting --out, so gating still
     // compares against the previous entry when both name the same
@@ -542,9 +610,20 @@ main(int argc, char **argv)
             continue;
         const std::string service =
             bench::extractEntryField(old, "service");
-        if (!service.empty())
-            merged_entry = bench::upsertEntryField(merged_entry,
-                                                   "service", service);
+        if (service.empty())
+            continue;
+        // Not our row family: refuse to clobber (duplicate
+        // same-commit entries disagreeing about "service" would
+        // otherwise silently last-win here).
+        std::string conflict;
+        merged_entry = bench::upsertEntryField(
+            merged_entry, "service", service, /*owned=*/false,
+            &conflict);
+        if (!conflict.empty()) {
+            std::cerr << "trajectory merge failed: " << conflict
+                      << "\n";
+            return 2;
+        }
     }
     std::size_t total_entries = 0;
     if (!bench::mergeTrajectoryEntry(out_path, commit, merged_entry,
@@ -601,6 +680,12 @@ main(int argc, char **argv)
                       << max_regress_pct << "%\n";
             return 1;
         }
+    }
+    if (telemetry_overhead_pct > max_telemetry_overhead_pct) {
+        std::cerr << "FAIL: telemetry overhead "
+                  << telemetry_overhead_pct << "% exceeds the "
+                  << max_telemetry_overhead_pct << "% gate\n";
+        return 1;
     }
     return 0;
 }

@@ -176,7 +176,8 @@ main(int argc, char **argv)
     if (entry.empty())
         entry = "{\"commit\": \"" + commit + "\", \"mode\": \"" +
                 (smoke ? "smoke" : "full") + "\"}";
-    entry = bench::upsertEntryField(entry, "tune", tune.str());
+    entry = bench::upsertEntryField(entry, "tune", tune.str(),
+                                    /*owned=*/true, nullptr);
     std::size_t total_entries = 0;
     if (!bench::mergeTrajectoryEntry(out_path, commit, entry,
                                      &total_entries)) {

@@ -179,10 +179,19 @@ entryCommit(const std::string &entry)
  * replacement scans balanced braces/brackets, string-aware).  Lets a
  * second bench add its row family to an existing commit's entry
  * without touching the fields the first bench wrote.
+ *
+ * Ownership guard: pass @p owned = true only for the one row family
+ * this bench writes -- a re-run may refresh its own numbers.  With
+ * @p owned = false (carrying over another bench's field), a key that
+ * is already present with a DIFFERENT value is a merge conflict: the
+ * entry is returned unchanged and *conflict describes the collision
+ * instead of silently clobbering one bench's numbers with the
+ * other's.  An identical value is always an idempotent no-op.
  */
 inline std::string
 upsertEntryField(const std::string &entry, const std::string &key,
-                 const std::string &json_value)
+                 const std::string &json_value, bool owned,
+                 std::string *conflict)
 {
     const std::string needle = "\"" + key + "\": ";
     const auto pos = entry.find(needle);
@@ -226,6 +235,17 @@ upsertEntryField(const std::string &entry, const std::string &key,
             end = i;
             break;
         }
+    }
+    const std::string existing =
+        entry.substr(pos + needle.size(), end - pos - needle.size());
+    if (existing == json_value)
+        return entry;
+    if (!owned) {
+        if (conflict)
+            *conflict = "conflicting values for \"" + key +
+                        "\": entry holds " + existing +
+                        " but the merge wants " + json_value;
+        return entry;
     }
     return entry.substr(0, pos + needle.size()) + json_value +
            entry.substr(end);

@@ -47,6 +47,7 @@
 #include "sim/serial.hpp"
 #include "sim/server.hpp"
 #include "sim/session.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/tune.hpp"
 
 namespace {
@@ -72,6 +73,7 @@ usage(std::ostream &os)
           "  tune     budgeted design-space search (analytical\n"
           "           prefilter + replay confirmation)\n"
           "  serve    run the long-lived simulation service daemon\n"
+          "  stats    live stats of a running serve daemon\n"
           "  list     list workloads, engines, and models\n"
           "  cache    persistent-cache maintenance "
           "(stats|clear|prune|merge)\n"
@@ -91,6 +93,7 @@ usage(std::ostream &os)
           "  --cache-dir DIR     attach the persistent result cache\n"
           "  --connect ADDR      run on a serve daemon instead of\n"
           "                      locally (byte-identical output)\n"
+          "  --metrics-out FILE  write telemetry metrics JSON\n"
           "  --csv | --json      machine-readable output\n"
           "\n"
           "analyze options:\n"
@@ -118,6 +121,9 @@ usage(std::ostream &os)
           "                      (shared by all pool workers)\n"
           "  --connect ADDR      run on a serve daemon instead of\n"
           "                      locally (byte-identical output)\n"
+          "  --trace-out FILE    write a Chrome trace_event span\n"
+          "                      trace of the sweep\n"
+          "  --metrics-out FILE  write telemetry metrics JSON\n"
           "  --csv | --json      machine-readable output\n"
           "\n"
           "tune options:\n"
@@ -143,6 +149,9 @@ usage(std::ostream &os)
           "  --cache-dir DIR     persistent cache (also the cost\n"
           "                      model's training corpus)\n"
           "  --connect ADDR      confirm replays on a serve daemon\n"
+          "  --trace-out FILE    write a Chrome trace_event span\n"
+          "                      trace of the search\n"
+          "  --metrics-out FILE  write telemetry metrics JSON\n"
           "  --csv | --json      machine-readable report\n"
           "\n"
           "serve options:\n"
@@ -160,6 +169,10 @@ usage(std::ostream &os)
           "  ADDR for --connect is unix:PATH, tcp:HOST:PORT, a bare\n"
           "  port number (127.0.0.1), or a bare socket path.\n"
           "\n"
+          "stats options:\n"
+          "  --connect ADDR      the serve daemon to query (required);\n"
+          "                      prints its live stats JSON\n"
+          "\n"
           "cache options:\n"
           "  stats | clear | prune   action (needs --cache-dir)\n"
           "  merge DST SRC...    fold SRC cache dirs into DST\n"
@@ -169,9 +182,9 @@ usage(std::ostream &os)
           "bytes\n"
           "  --max-entries N     prune: keep at most N newest "
           "entries\n"
-          "  --json              stats as JSON (the default; accepted "
-          "for\n"
-          "                      symmetry with the other commands)\n";
+          "  --json              stats: extend the JSON with hit_rate,\n"
+          "                      last_prune_bytes, and entries_by_type\n"
+          "                      (the plain output stays stable)\n";
 }
 
 /** Strict double parse: the whole string must be one number. */
@@ -306,6 +319,30 @@ runOnServer(const std::string &address,
     return run;
 }
 
+/**
+ * Flush telemetry output files ("" skips one).  Returns 0, or 2 when
+ * a file cannot be written.  In a VEGETA_NO_TELEMETRY build the files
+ * still appear, with empty metric/span lists.
+ */
+int
+writeTelemetryFiles(const std::string &metrics_out,
+                    const std::string &span_trace_out)
+{
+    if (!metrics_out.empty() &&
+        !telemetry::writeMetricsFile(metrics_out)) {
+        std::cerr << "cannot write metrics file: " << metrics_out
+                  << "\n";
+        return 2;
+    }
+    if (!span_trace_out.empty() &&
+        !telemetry::writeTraceFile(span_trace_out)) {
+        std::cerr << "cannot write trace file: " << span_trace_out
+                  << "\n";
+        return 2;
+    }
+    return 0;
+}
+
 int
 cmdRun(Args args)
 {
@@ -313,6 +350,7 @@ cmdRun(Args args)
     bool have_workload = false, have_gemm = false;
     std::string engine_name = "VEGETA-S-16-2";
     std::string trace_out, trace_in, cache_dir, connect_addr;
+    std::string metrics_out;
     u32 pattern = 2;
     u32 cblocking = 3;
     u32 lanes = 0;
@@ -359,6 +397,8 @@ cmdRun(Args args)
             cache_dir = args.value(arg);
         } else if (arg == "--connect") {
             connect_addr = args.value(arg);
+        } else if (arg == "--metrics-out") {
+            metrics_out = args.value(arg);
         } else if (arg == "--help") {
             usage(std::cout);
             return 0;
@@ -479,7 +519,7 @@ cmdRun(Args args)
         break;
     }
     reportDiskCache(session);
-    return 0;
+    return writeTelemetryFiles(metrics_out, "");
 }
 
 int
@@ -582,6 +622,7 @@ cmdSweep(Args args)
     u32 workers = 0;
     u32 lanes = 0;
     std::string cache_dir, connect_addr;
+    std::string span_trace_out, metrics_out;
     OutputFormat format = OutputFormat::Text;
 
     while (!args.done()) {
@@ -594,6 +635,10 @@ cmdSweep(Args args)
             engine_names.push_back(args.value(arg));
         } else if (arg == "--pattern") {
             patterns.push_back(parsePatternFlag(args));
+        } else if (arg == "--trace-out") {
+            span_trace_out = args.value(arg);
+        } else if (arg == "--metrics-out") {
+            metrics_out = args.value(arg);
         } else if (arg == "--threads") {
             const std::string text = args.value(arg);
             const auto parsed = sim::parseU32(text);
@@ -698,6 +743,11 @@ cmdSweep(Args args)
     const auto grid = sim::figure13Grid(session, workload_names,
                                         engine_names, patterns);
 
+    // Arm span recording only when a trace was asked for: disarmed
+    // spans cost one relaxed load each.
+    if (!span_trace_out.empty())
+        telemetry::setTraceEnabled(true);
+
     std::vector<sim::SimulationResult> results;
     u64 simulated = 0;
     if (!connect_addr.empty()) {
@@ -769,7 +819,7 @@ cmdSweep(Args args)
     // the parent's view would read 0/0 regardless, so say nothing.
     if (workers == 0 && connect_addr.empty())
         reportDiskCache(session);
-    return 0;
+    return writeTelemetryFiles(metrics_out, span_trace_out);
 }
 
 int
@@ -781,6 +831,7 @@ cmdTune(Args args)
     std::vector<std::string> workload_names, engine_names;
     std::string space_name = "full";
     std::string cache_dir, connect_addr;
+    std::string span_trace_out, metrics_out;
     sim::TuneOptions options;
     std::optional<double> max_area;
     OutputFormat format = OutputFormat::Text;
@@ -871,6 +922,10 @@ cmdTune(Args args)
             cache_dir = args.value(arg);
         } else if (arg == "--connect") {
             connect_addr = args.value(arg);
+        } else if (arg == "--trace-out") {
+            span_trace_out = args.value(arg);
+        } else if (arg == "--metrics-out") {
+            metrics_out = args.value(arg);
         } else if (arg == "--csv") {
             format = OutputFormat::Csv;
         } else if (arg == "--json") {
@@ -943,6 +998,9 @@ cmdTune(Args args)
         space.engines = engine_names;
     space.maxAreaUnits = max_area;
 
+    if (!span_trace_out.empty())
+        telemetry::setTraceEnabled(true);
+
     const sim::Tuner tuner(session, options);
     const auto report = tuner.run(space);
 
@@ -994,7 +1052,7 @@ cmdTune(Args args)
         std::cerr << " (confirmations by server)";
     std::cerr << "\n";
     reportDiskCache(session);
-    return 0;
+    return writeTelemetryFiles(metrics_out, span_trace_out);
 }
 
 int
@@ -1070,6 +1128,46 @@ cmdServe(Args args)
         return 1;
     }
     return sim::SimServer::serveMain(options);
+}
+
+int
+cmdStats(Args args)
+{
+    std::string connect_addr;
+    while (!args.done()) {
+        const std::string arg = args.take();
+        if (arg == "--connect") {
+            connect_addr = args.value(arg);
+        } else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "error: unknown stats option " << arg
+                      << "\n";
+            return 1;
+        }
+    }
+    if (connect_addr.empty()) {
+        std::cerr << "error: stats needs --connect ADDR (the serve "
+                     "daemon to query)\n";
+        return 1;
+    }
+
+    sim::ClientOptions options;
+    options.address = connect_addr;
+    sim::SimClient client(options);
+    std::string error;
+    if (!client.connect(&error)) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
+    const auto stats = client.fetchStats(&error);
+    if (!stats) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
+    std::cout << *stats;
+    return 0;
 }
 
 int
@@ -1176,6 +1274,7 @@ cmdCache(Args args)
     std::string action, cache_dir;
     std::vector<std::string> merge_dirs;
     std::optional<u64> max_bytes, max_entries;
+    bool extended_json = false;
     while (!args.done()) {
         const std::string arg = args.take();
         if (arg == "--cache-dir") {
@@ -1193,8 +1292,10 @@ cmdCache(Args args)
             }
             (arg == "--max-bytes" ? max_bytes : max_entries) = parsed;
         } else if (arg == "--json") {
-            // stats output is already JSON; accept the flag so
-            // scripted callers can spell the format explicitly.
+            // stats output is already JSON; --json opts into the
+            // extended fields while the plain document stays stable
+            // for existing scripted callers.
+            extended_json = true;
         } else if (arg == "--help") {
             usage(std::cout);
             return 0;
@@ -1335,7 +1436,18 @@ cmdCache(Args args)
               << ", \"loaded\": " << stats.loaded
               << ", \"rejected_records\": " << stats.rejected
               << ", \"version_mismatch\": "
-              << (stats.versionMismatch ? "true" : "false") << "}\n";
+              << (stats.versionMismatch ? "true" : "false");
+    if (extended_json) {
+        // Extended fields ride behind --json only: the plain document
+        // above is pinned byte-for-byte by the CLI tests.
+        std::cout << ", \"hit_rate\": " << stats.hitRate()
+                  << ", \"last_prune_bytes\": " << stats.lastPruneBytes
+                  << ", \"entries_by_type\": {\"simulation\": "
+                  << stats.simulationEntries
+                  << ", \"analysis\": " << stats.analysisEntries
+                  << "}";
+    }
+    std::cout << "}\n";
     return 0;
 }
 
@@ -1373,6 +1485,8 @@ main(int argc, char **argv)
         return cmdTune(std::move(args));
     if (command == "serve")
         return cmdServe(std::move(args));
+    if (command == "stats")
+        return cmdStats(std::move(args));
     if (command == "list")
         return cmdList(std::move(args));
     if (command == "cache")

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::cpu {
 
@@ -668,6 +669,22 @@ LaneReplayer::replay(const std::vector<const Trace *> &traces)
                   "replay needs exactly one trace per lane, got ",
                   traces.size(), " traces for ", num_lanes_,
                   " lanes");
+
+    // Coarse telemetry only, outside the hot loop: one timer sample
+    // and two counter adds per replay() call, nothing per uop.
+    u64 total_uops = 0;
+    for (const Trace *trace : traces)
+        total_uops += trace->size();
+    static const telemetry::MetricId replays_id =
+        telemetry::counterId("lane.replays");
+    static const telemetry::MetricId uops_id =
+        telemetry::counterId("lane.uops");
+    static const telemetry::MetricId timer_id =
+        telemetry::timerId("lane.replay");
+    telemetry::add(replays_id, 1);
+    telemetry::add(uops_id, total_uops);
+    telemetry::ScopedTimer replay_scope(timer_id);
+    telemetry::Span replay_span("lane.replay", total_uops);
 
     // Park-and-strip interleaving.  Per round, every unfinished lane
     // advances through its cheap ops (step()) until it reaches a

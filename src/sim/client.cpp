@@ -284,4 +284,36 @@ SimClient::runBatch(const std::vector<Job> &jobs, std::string *error)
     return run;
 }
 
+std::optional<std::string>
+SimClient::fetchStats(std::string *error)
+{
+    auto fail =
+        [&](const std::string &reason) -> std::optional<std::string> {
+        if (error)
+            *error = reason;
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+        return std::nullopt;
+    };
+    if (fd_ < 0)
+        return fail("not connected");
+
+    std::string wire_error;
+    if (!wire::writeFrame(fd_, wire::FrameType::Stats, "",
+                          &wire_error))
+        return fail("send failed: " + wire_error);
+    wire::Frame reply;
+    if (!wire::readFrame(fd_, &reply, options_.requestTimeoutMs,
+                         &wire_error))
+        return fail("no reply: " + wire_error);
+    if (reply.type == wire::FrameType::Error)
+        return fail("server: " + reply.payload);
+    if (reply.type != wire::FrameType::Stats)
+        return fail(std::string("unexpected reply frame: ") +
+                    wire::frameTypeName(reply.type));
+    return reply.payload;
+}
+
 } // namespace vegeta::sim

@@ -92,6 +92,13 @@ class SimClient
     std::optional<ClientRun> runBatch(const std::vector<Job> &jobs,
                                       std::string *error);
 
+    /**
+     * Fetch the server's live stats document (one `stats` frame out,
+     * one back; the JSON payload is returned verbatim).  Nullopt with
+     * a reason on any transport failure; the connection then closes.
+     */
+    std::optional<std::string> fetchStats(std::string *error);
+
   private:
     ClientOptions options_;
     int fd_ = -1;

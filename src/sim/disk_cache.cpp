@@ -9,10 +9,37 @@
 #include <fstream>
 
 #include "sim/serial.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::sim {
 
 namespace {
+
+// Disk-cache traffic counters (distinct from the session-level
+// probe counters: these count every call into THIS cache object).
+void
+countCacheHit()
+{
+    static const telemetry::MetricId id =
+        telemetry::counterId("cache.disk.hit");
+    telemetry::add(id, 1);
+}
+
+void
+countCacheMiss()
+{
+    static const telemetry::MetricId id =
+        telemetry::counterId("cache.disk.miss");
+    telemetry::add(id, 1);
+}
+
+void
+countCacheInsert()
+{
+    static const telemetry::MetricId id =
+        telemetry::counterId("cache.disk.insert");
+    telemetry::add(id, 1);
+}
 
 /** Record type tags, the first field of every v2 line. */
 constexpr const char *kSimTag = "S";
@@ -126,9 +153,46 @@ DiskResultCache::DiskResultCache(const std::string &directory)
     std::filesystem::create_directories(directory_, ec);
     file_ = (std::filesystem::path(directory_) / "results.vgc")
                 .string();
+    prune_note_file_ =
+        (std::filesystem::path(directory_) / "last_prune.vgc")
+            .string();
     ok_ = !ec && std::filesystem::is_directory(directory_);
-    if (ok_)
+    if (ok_) {
         load();
+        loadLastPrune();
+    }
+}
+
+void
+DiskResultCache::loadLastPrune()
+{
+    std::ifstream is(prune_note_file_);
+    if (!is)
+        return; // never pruned: 0
+    std::string line;
+    if (!std::getline(is, line))
+        return;
+    auto fields = serial::checkedFields(line);
+    if (!fields)
+        return; // corrupt note degrades to 0, never to an error
+    serial::FieldReader reader(std::move(*fields));
+    if (reader.raw() != "lastprune")
+        return;
+    const u64 bytes = reader.num();
+    if (reader.done())
+        last_prune_bytes_ = bytes;
+}
+
+void
+DiskResultCache::saveLastPruneLocked(u64 reclaimed)
+{
+    last_prune_bytes_ = reclaimed;
+    std::ofstream os(prune_note_file_, std::ios::trunc);
+    if (!os)
+        return; // stats fall back to this process's value
+    serial::FieldWriter writer;
+    writer.raw("lastprune").num(reclaimed);
+    os << writer.line() << '\n';
 }
 
 void
@@ -197,9 +261,11 @@ DiskResultCache::find(const std::string &key) const
     const auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++misses_;
+        countCacheMiss();
         return std::nullopt;
     }
     ++hits_;
+    countCacheHit();
     return it->second;
 }
 
@@ -212,6 +278,7 @@ DiskResultCache::insert(const std::string &key,
         return;
     order_.emplace_back(RecordKind::Simulation, key);
     ++insertions_;
+    countCacheInsert();
     if (needs_rewrite_) {
         if (rewriteLocked())
             needs_rewrite_ = false;
@@ -227,9 +294,11 @@ DiskResultCache::findAnalysis(const std::string &key) const
     const auto it = analyses_.find(key);
     if (it == analyses_.end()) {
         ++misses_;
+        countCacheMiss();
         return std::nullopt;
     }
     ++hits_;
+    countCacheHit();
     return it->second;
 }
 
@@ -242,6 +311,7 @@ DiskResultCache::insertAnalysis(const std::string &key,
         return;
     order_.emplace_back(RecordKind::Analysis, key);
     ++insertions_;
+    countCacheInsert();
     if (needs_rewrite_) {
         if (rewriteLocked())
             needs_rewrite_ = false;
@@ -334,6 +404,7 @@ DiskResultCache::prune(std::optional<u64> max_bytes,
 {
     std::lock_guard<std::mutex> lock(mutex_);
     DiskCachePrune pruned;
+    const u64 bytes_before = fileBytesLocked();
 
     // Walk newest-to-oldest accumulating record sizes; the kept set
     // is the longest most-recent suffix fitting both budgets.
@@ -373,6 +444,10 @@ DiskResultCache::prune(std::optional<u64> max_bytes,
     if (keep_from > 0 || fileBytesLocked() > bytes)
         needs_rewrite_ = !rewriteLocked();
     pruned.fileBytes = fileBytesLocked();
+    pruned.reclaimedBytes = bytes_before > pruned.fileBytes
+                                ? bytes_before - pruned.fileBytes
+                                : 0;
+    saveLastPruneLocked(pruned.reclaimedBytes);
     return pruned;
 }
 
@@ -458,6 +533,7 @@ DiskResultCache::stats() const
     stats.simulationEntries = entries_.size();
     stats.analysisEntries = analyses_.size();
     stats.fileBytes = fileBytesLocked();
+    stats.lastPruneBytes = last_prune_bytes_;
     return stats;
 }
 

@@ -55,6 +55,18 @@ struct DiskCacheStats
     u64 simulationEntries = 0; ///< cached simulation results
     u64 analysisEntries = 0;   ///< cached analytical results
     u64 fileBytes = 0;         ///< current size of the backing file
+
+    /** Bytes the most recent prune() reclaimed (persisted in the
+     *  cache directory, so it survives across processes). */
+    u64 lastPruneBytes = 0;
+
+    /** hits / (hits + misses) of this process (0 with no traffic). */
+    double hitRate() const
+    {
+        const u64 total = hits + misses;
+        return total == 0 ? 0.0
+                          : double(hits) / double(total);
+    }
 };
 
 /** What prune() kept and dropped. */
@@ -62,7 +74,8 @@ struct DiskCachePrune
 {
     u64 kept = 0;
     u64 dropped = 0;
-    u64 fileBytes = 0; ///< backing-file size after compaction
+    u64 fileBytes = 0;      ///< backing-file size after compaction
+    u64 reclaimedBytes = 0; ///< backing-file bytes freed
 };
 
 /** What one mergeFrom() call added and skipped. */
@@ -157,6 +170,8 @@ class DiskResultCache
     };
 
     void load();
+    void loadLastPrune();
+    void saveLastPruneLocked(u64 reclaimed);
     bool rewriteLocked();
     bool appendRecordLocked(const std::string &record);
     std::string formatEntryLocked(RecordKind kind,
@@ -165,6 +180,7 @@ class DiskResultCache
 
     std::string directory_;
     std::string file_;
+    std::string prune_note_file_;
     bool ok_ = false;
     bool needs_rewrite_ = false;
 
@@ -177,6 +193,7 @@ class DiskResultCache
 
     mutable u64 hits_ = 0;
     mutable u64 misses_ = 0;
+    u64 last_prune_bytes_ = 0;
     u64 insertions_ = 0;
     u64 loaded_ = 0;
     u64 rejected_ = 0;

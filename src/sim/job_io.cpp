@@ -18,6 +18,41 @@ constexpr const char *kSimTag = "S";
 constexpr const char *kAnaTag = "A";
 
 /**
+ * First field of a worker-telemetry record in a v2 result file.
+ * Result records start with a canonical job key, and every job key
+ * is prefixed ("sim|", "ana|"), so the bare token can never collide.
+ */
+constexpr const char *kMetricTag = "metric";
+
+void
+appendMetricRecord(FieldWriter &writer,
+                   const telemetry::MetricRecord &metric)
+{
+    writer.raw(kMetricTag)
+        .str(metric.name)
+        .num(metric.kind == telemetry::MetricKind::Timer ? 1 : 0)
+        .num(metric.count)
+        .num(metric.sumNs)
+        .num(metric.minNs)
+        .num(metric.maxNs);
+}
+
+bool
+readMetricRecord(FieldReader &reader,
+                 telemetry::MetricRecord *metric)
+{
+    metric->name = reader.str();
+    const u64 kind = reader.num();
+    metric->kind = kind == 1 ? telemetry::MetricKind::Timer
+                             : telemetry::MetricKind::Counter;
+    metric->count = reader.num();
+    metric->sumNs = reader.num();
+    metric->minNs = reader.num();
+    metric->maxNs = reader.num();
+    return reader.done() && kind <= 1 && !metric->name.empty();
+}
+
+/**
  * A SimulationRequest, every field in jobKey's canonical spelling
  * (kernelVariantName for the variant, the full core and L1
  * configuration) so a worker reruns exactly what the parent keyed.
@@ -294,7 +329,9 @@ jobFileHeader()
 const char *
 resultFileHeader()
 {
-    return "vegeta-result-file v1";
+    // v2 added optional "metric" records (worker-side telemetry);
+    // result records themselves are unchanged from v1.
+    return "vegeta-result-file v2";
 }
 
 std::string
@@ -400,7 +437,15 @@ encodeWorkerOutput(const WorkerOutput &output)
         text += writer.line();
         text += '\n';
     }
-    text += footerLine({output.results.size(),
+    for (const auto &metric : output.metrics) {
+        FieldWriter writer;
+        appendMetricRecord(writer, metric);
+        text += writer.line();
+        text += '\n';
+    }
+    // The footer count covers every record, metrics included.
+    text += footerLine({output.results.size() +
+                            output.metrics.size(),
                         output.simulationsPerformed,
                         output.analysesPerformed});
     text += '\n';
@@ -418,7 +463,17 @@ readWorkerOutputStream(std::istream &is, WorkerOutput *output,
     const bool ok = readRecordStream(
         is, resultFileHeader(),
         [&](FieldReader &reader) {
-            const std::string key = reader.str();
+            const std::string first = reader.raw();
+            if (first == kMetricTag) {
+                telemetry::MetricRecord metric;
+                if (!readMetricRecord(reader, &metric))
+                    return false;
+                output->metrics.push_back(std::move(metric));
+                return true;
+            }
+            std::string key;
+            if (!serial::unescape(first, &key))
+                return false;
             JobResult result;
             if (!readJobResult(reader, &result) || !reader.done())
                 return false;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/job.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::sim {
 
@@ -78,6 +79,16 @@ struct WorkerOutput
 
     /** Analytical backends the worker actually evaluated. */
     u64 analysesPerformed = 0;
+
+    /**
+     * The worker's cumulative telemetry snapshot at encode time
+     * (v2 `metric` records).  The pool parent absorbs these into its
+     * own registry for merged post-run reports; the service replaces
+     * its per-worker copy on every results frame.  Always empty in a
+     * `VEGETA_NO_TELEMETRY` build -- the records stay decodable, so
+     * the two builds read each other's files.
+     */
+    std::vector<telemetry::MetricRecord> metrics;
 };
 
 /**

@@ -14,6 +14,7 @@
 
 #include "sim/job_io.hpp"
 #include "sim/session.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::sim {
 
@@ -110,6 +111,7 @@ ProcessPool::run(const Session &session,
                  const std::vector<Job> &jobs) const
 {
     PoolRun out;
+    telemetry::Span run_span("pool.run", jobs.size());
     auto fail = [&](const std::string &reason) {
         out.ok = false;
         out.results.clear();
@@ -155,6 +157,9 @@ ProcessPool::run(const Session &session,
                                ? defaultPoolCrossoverJobs()
                                : options_.minPooledJobs;
     if (unique.size() < min_pooled) {
+        static const telemetry::MetricId fallback_id =
+            telemetry::counterId("pool.fallback");
+        telemetry::add(fallback_id, 1);
         Session local;
         local.enableCache();
         if (!options_.cacheDir.empty()) {
@@ -222,19 +227,27 @@ ProcessPool::run(const Session &session,
         }
     }
 
+    static const telemetry::MetricId shards_id =
+        telemetry::counterId("pool.shards");
+    telemetry::add(shards_id, workers);
+
     // Write every shard file before spawning anything: a write
     // failure must not leave half a pool running.
-    for (u32 w = 0; w < workers; ++w) {
-        const fs::path base = fs::path(work_dir);
-        shards[w].jobFile =
-            (base / ("shard-" + std::to_string(w) + ".jobs")).string();
-        shards[w].resultFile =
-            (base / ("shard-" + std::to_string(w) + ".results"))
-                .string();
-        if (!writeJobFile(shards[w].jobFile, shards[w].jobs)) {
-            cleanup();
-            return fail("cannot write shard file: " +
-                        shards[w].jobFile);
+    {
+        telemetry::Span write_span("pool.shard.write", workers);
+        for (u32 w = 0; w < workers; ++w) {
+            const fs::path base = fs::path(work_dir);
+            shards[w].jobFile =
+                (base / ("shard-" + std::to_string(w) + ".jobs"))
+                    .string();
+            shards[w].resultFile =
+                (base / ("shard-" + std::to_string(w) + ".results"))
+                    .string();
+            if (!writeJobFile(shards[w].jobFile, shards[w].jobs)) {
+                cleanup();
+                return fail("cannot write shard file: " +
+                            shards[w].jobFile);
+            }
         }
     }
 
@@ -247,6 +260,7 @@ ProcessPool::run(const Session &session,
         worker_threads = std::max(1u, static_cast<u32>(hw) / workers);
     }
 
+    telemetry::Span spawn_span("pool.spawn", workers);
     for (u32 w = 0; w < workers; ++w) {
         std::vector<std::string> argv = command;
         argv.insert(argv.end(), {"--jobs", shards[w].jobFile, "--out",
@@ -272,9 +286,14 @@ ProcessPool::run(const Session &session,
         }
     }
     out.stats.workersSpawned = workers;
+    spawn_span.close();
 
     // Collect every worker before judging any: no zombie is left
-    // behind even when an early worker failed.
+    // behind even when an early worker failed.  The wait span covers
+    // the full worker lifetime as the parent sees it: every shard's
+    // fork -> load -> replay -> encode happens inside it, and the
+    // worker-side phase timers ride back in the shard files.
+    telemetry::Span wait_span("pool.shard.wait", workers);
     std::string worker_error;
     for (u32 w = 0; w < workers; ++w) {
         int status = 0;
@@ -295,6 +314,7 @@ ProcessPool::run(const Session &session,
                     ")";
         }
     }
+    wait_span.close();
     if (!worker_error.empty()) {
         cleanup();
         return fail(worker_error);
@@ -303,6 +323,7 @@ ProcessPool::run(const Session &session,
     // Merge: every shard key must come back exactly once; the output
     // vector is filled in original batch order through the dedupe
     // map, so the merge is bit-for-bit the single-process answer.
+    telemetry::Span merge_span("pool.merge", workers);
     std::unordered_map<std::string, JobResult> by_key;
     by_key.reserve(unique.size());
     for (u32 w = 0; w < workers; ++w) {
@@ -314,6 +335,11 @@ ProcessPool::run(const Session &session,
         }
         out.stats.simulationsPerformed += output->simulationsPerformed;
         out.stats.analysesPerformed += output->analysesPerformed;
+        // Fold each worker's cumulative snapshot into this process so
+        // a post-run metrics report covers the whole pool.  Workers
+        // are fresh processes, so one absorb per shard never double
+        // counts.
+        telemetry::absorb(output->metrics);
         for (auto &[key, result] : output->results) {
             if (!by_key.emplace(key, std::move(result)).second) {
                 cleanup();
@@ -401,12 +427,22 @@ poolWorkerMain(const std::vector<std::string> &args)
         return 2;
     }
 
+    static const telemetry::MetricId load_timer =
+        telemetry::timerId("worker.load");
+    static const telemetry::MetricId replay_timer =
+        telemetry::timerId("worker.replay");
+    static const telemetry::MetricId encode_timer =
+        telemetry::timerId("worker.encode");
+
     std::string error;
+    const u64 load_start = telemetry::nowNs();
     const auto jobs = readJobFile(jobs_path, &error);
     if (!jobs) {
         std::cerr << "pool worker: " << error << "\n";
         return 3;
     }
+    telemetry::recordNs(load_timer,
+                        telemetry::nowNs() - load_start);
 
     Session session;
     session.enableCache();
@@ -426,7 +462,10 @@ poolWorkerMain(const std::vector<std::string> &args)
         }
     }
 
+    const u64 replay_start = telemetry::nowNs();
     const auto results = session.runBatch(*jobs, threads, lanes);
+    telemetry::recordNs(replay_timer,
+                        telemetry::nowNs() - replay_start);
 
     WorkerOutput output;
     output.results.reserve(results.size());
@@ -434,6 +473,20 @@ poolWorkerMain(const std::vector<std::string> &args)
         output.results.emplace_back(jobKey((*jobs)[i]), results[i]);
     output.simulationsPerformed = session.simulationsPerformed();
     output.analysesPerformed = session.analysesPerformed();
+#ifndef VEGETA_NO_TELEMETRY
+    // Sample the encode cost on a dry run first, so the snapshot
+    // shipped in the file covers every worker phase (load, replay,
+    // encode); the real write below re-encodes with metrics attached.
+    {
+        const u64 encode_start = telemetry::nowNs();
+        const std::string probe = encodeWorkerOutput(output);
+        telemetry::recordNs(encode_timer,
+                            telemetry::nowNs() - encode_start);
+    }
+    output.metrics = telemetry::snapshot().metrics;
+#else
+    (void)encode_timer;
+#endif
     if (!writeResultFile(out_path, output)) {
         std::cerr << "pool worker: cannot write " << out_path << "\n";
         return 6;

@@ -19,12 +19,14 @@
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/job_io.hpp"
 #include "sim/session.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/wire.hpp"
 
 namespace vegeta::sim {
@@ -39,13 +41,20 @@ struct ServiceWorker
     int outFd = -1; ///< parent reads results here
 };
 
+/** One queued batch plus when it entered the queue. */
+struct PendingBatch
+{
+    std::vector<Job> jobs;
+    u64 enqueuedNs = 0;
+};
+
 /** One connected client. */
 struct ClientConn
 {
     int fd = -1;
     std::thread reader;
     std::mutex writeMutex; ///< reader (errors) vs dispatcher (results)
-    std::deque<std::vector<Job>> queue; ///< guarded by Impl::mutex
+    std::deque<PendingBatch> queue; ///< guarded by Impl::mutex
     bool done = false; ///< reader exited; guarded by Impl::mutex
 };
 
@@ -56,6 +65,55 @@ closeFd(int &fd)
         ::close(fd);
         fd = -1;
     }
+}
+
+/** Bounded sample ring for stats percentiles (keeps the newest). */
+constexpr std::size_t kLatencyRingCap = 512;
+
+void
+pushRing(std::vector<u64> &ring, u64 &next, u64 value)
+{
+    if (ring.size() < kLatencyRingCap)
+        ring.push_back(value);
+    else
+        ring[next % kLatencyRingCap] = value;
+    ++next;
+}
+
+/** The p-quantile of the ring's samples, in milliseconds. */
+double
+ringPercentileMs(const std::vector<u64> &ring, double p)
+{
+    if (ring.empty())
+        return 0.0;
+    std::vector<u64> sorted = ring;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        p * double(sorted.size() - 1) + 0.5);
+    return double(sorted[idx]) / 1e6;
+}
+
+/** A named counter's value inside one metric snapshot (0 absent). */
+u64
+snapshotCounter(const std::vector<telemetry::MetricRecord> &records,
+                const char *name)
+{
+    for (const auto &record : records)
+        if (record.name == name)
+            return record.count;
+    return 0;
+}
+
+/** A snapshot counter summed over per-worker metric snapshots. */
+u64
+sumWorkerCounter(
+    const std::vector<std::vector<telemetry::MetricRecord>> &workers,
+    const char *name)
+{
+    u64 total = 0;
+    for (const auto &records : workers)
+        total += snapshotCounter(records, name);
+    return total;
 }
 
 } // namespace
@@ -93,8 +151,24 @@ struct SimServer::Impl
 
     ServerStats statsData; ///< guarded by mutex
 
+    // --- live-stats state (all guarded by mutex) ---
+    u64 startNs = 0; ///< telemetry::nowNs() at start()
+    std::vector<u64> dispatchRing; ///< recent batch execute ns
+    u64 dispatchNext = 0;
+    std::vector<u64> waitRing; ///< recent batch queue-wait ns
+    u64 waitNext = 0;
+    /** Trailing (completionNs, jobs) pairs for the recent rate. */
+    std::deque<std::pair<u64, u64>> recentBatches;
+    /** Latest cumulative metric snapshot per service worker. */
+    std::vector<std::vector<telemetry::MetricRecord>> workerMetrics;
+    /** Unique jobs each service worker has answered. */
+    std::vector<u64> workerJobs;
+
     bool start(std::string *error);
     void stop();
+
+    /** The live stats document a `stats` frame answers with. */
+    std::string statsJson();
 
     void acceptLoop();
     void readerLoop(std::shared_ptr<ClientConn> conn);
@@ -211,6 +285,10 @@ SimServer::Impl::start(std::string *error)
             }
         }
     }
+
+    startNs = telemetry::nowNs();
+    workerMetrics.assign(workers.size(), {});
+    workerJobs.assign(workers.size(), 0);
 
     started = true;
     stopping = false;
@@ -529,6 +607,19 @@ SimServer::Impl::readerLoop(std::shared_ptr<ClientConn> conn)
             finish();
             return;
         }
+        if (frame.type == wire::FrameType::Stats) {
+            // Answered inline by the reader (never queued), so a
+            // stats probe sees the live state even while every
+            // dispatch slot is busy.
+            const std::string body = statsJson();
+            std::lock_guard<std::mutex> lock(conn->writeMutex);
+            if (!wire::writeFrame(conn->fd, wire::FrameType::Stats,
+                                  body, &error)) {
+                finish();
+                return;
+            }
+            continue;
+        }
         if (frame.type != wire::FrameType::Batch) {
             protocolError(std::string("unexpected frame: ") +
                           wire::frameTypeName(frame.type));
@@ -564,7 +655,8 @@ SimServer::Impl::readerLoop(std::shared_ptr<ClientConn> conn)
                 return;
             }
             statsData.jobs += jobs->size();
-            conn->queue.push_back(std::move(*jobs));
+            conn->queue.push_back(
+                PendingBatch{std::move(*jobs), telemetry::nowNs()});
         }
         workCv.notify_all();
     }
@@ -573,9 +665,14 @@ SimServer::Impl::readerLoop(std::shared_ptr<ClientConn> conn)
 void
 SimServer::Impl::dispatchLoop()
 {
+    static const telemetry::MetricId wait_timer =
+        telemetry::timerId("service.queue.wait");
+    static const telemetry::MetricId dispatch_timer =
+        telemetry::timerId("service.dispatch");
     for (;;) {
         std::shared_ptr<ClientConn> conn;
         std::vector<Job> jobs;
+        u64 enqueued_ns = 0;
         {
             std::unique_lock<std::mutex> lock(mutex);
             for (;;) {
@@ -607,8 +704,10 @@ SimServer::Impl::dispatchLoop()
                             (rrCursor + step) % conns.size();
                         if (!conns[i]->queue.empty()) {
                             conn = conns[i];
-                            jobs =
-                                std::move(conns[i]->queue.front());
+                            jobs = std::move(
+                                conns[i]->queue.front().jobs);
+                            enqueued_ns =
+                                conns[i]->queue.front().enqueuedNs;
                             conns[i]->queue.pop_front();
                             rrCursor = (i + 1) % conns.size();
                             break;
@@ -622,7 +721,20 @@ SimServer::Impl::dispatchLoop()
         }
         spaceCv.notify_all();
 
-        const ExecOutcome outcome = executeBatch(jobs);
+        const u64 dispatch_start = telemetry::nowNs();
+        const u64 wait_ns = dispatch_start > enqueued_ns
+                                ? dispatch_start - enqueued_ns
+                                : 0;
+        telemetry::recordNs(wait_timer, wait_ns);
+        ExecOutcome outcome;
+        {
+            telemetry::Span dispatch_span("service.dispatch",
+                                          jobs.size());
+            outcome = executeBatch(jobs);
+        }
+        const u64 dispatch_ns =
+            telemetry::nowNs() - dispatch_start;
+        telemetry::recordNs(dispatch_timer, dispatch_ns);
         {
             std::lock_guard<std::mutex> lock(mutex);
             ++statsData.batches;
@@ -630,6 +742,14 @@ SimServer::Impl::dispatchLoop()
                 outcome.output.simulationsPerformed;
             statsData.analysesPerformed +=
                 outcome.output.analysesPerformed;
+            pushRing(waitRing, waitNext, wait_ns);
+            pushRing(dispatchRing, dispatchNext, dispatch_ns);
+            const u64 now = telemetry::nowNs();
+            recentBatches.emplace_back(now, jobs.size());
+            while (!recentBatches.empty() &&
+                   now - recentBatches.front().first >
+                       10'000'000'000ull)
+                recentBatches.pop_front();
         }
         std::string error;
         std::lock_guard<std::mutex> lock(conn->writeMutex);
@@ -726,6 +846,16 @@ SimServer::Impl::executeBatch(const std::vector<Job> &jobs)
                             ": " + error;
             return outcome;
         }
+        {
+            // The worker ships its whole-process cumulative snapshot
+            // on every results frame: REPLACE the latest copy (an
+            // absorb per frame would double count).
+            std::lock_guard<std::mutex> lock(mutex);
+            if (w < workerMetrics.size()) {
+                workerMetrics[w] = std::move(output->metrics);
+                workerJobs[w] += output->results.size();
+            }
+        }
         outcome.output.simulationsPerformed +=
             output->simulationsPerformed;
         outcome.output.analysesPerformed +=
@@ -749,6 +879,102 @@ SimServer::Impl::executeBatch(const std::vector<Job> &jobs)
     }
     outcome.ok = true;
     return outcome;
+}
+
+std::string
+SimServer::Impl::statsJson()
+{
+    // Process-local cache counters (in-process mode the server's own
+    // session does the work; worker mode sums the latest per-worker
+    // snapshots instead).
+    const telemetry::MetricsSnapshot local = telemetry::snapshot();
+
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    std::lock_guard<std::mutex> lock(mutex);
+
+    const u64 now = telemetry::nowNs();
+    const double uptime_s =
+        double(now > startNs ? now - startNs : 0) / 1e9;
+
+    u64 cache_hits = 0, cache_misses = 0;
+    if (workerMetrics.empty()) {
+        cache_hits = local.counter("session.cache.hit.memory") +
+                     local.counter("session.cache.hit.disk");
+        cache_misses = local.counter("session.cache.miss");
+    } else {
+        cache_hits =
+            sumWorkerCounter(workerMetrics,
+                             "session.cache.hit.memory") +
+            sumWorkerCounter(workerMetrics,
+                             "session.cache.hit.disk");
+        cache_misses =
+            sumWorkerCounter(workerMetrics, "session.cache.miss");
+    }
+    const u64 cache_total = cache_hits + cache_misses;
+
+    u64 recent_jobs = 0;
+    for (const auto &[ns, count] : recentBatches) {
+        (void)ns;
+        recent_jobs += count;
+    }
+    const double recent_window_s =
+        std::min(uptime_s > 0.0 ? uptime_s : 1.0, 10.0);
+
+    os.precision(3);
+    os << "{\n";
+    os << "  \"uptime_s\": " << uptime_s << ",\n";
+    os << "  \"connections\": {\"total\": " << statsData.connections
+       << ", \"active\": " << conns.size()
+       << ", \"queue_depths\": [";
+    for (std::size_t i = 0; i < conns.size(); ++i)
+        os << (i ? ", " : "") << conns[i]->queue.size();
+    os << "]},\n";
+    os << "  \"batches\": " << statsData.batches << ",\n";
+    os << "  \"jobs\": " << statsData.jobs << ",\n";
+    os << "  \"simulations\": " << statsData.simulationsPerformed
+       << ",\n";
+    os << "  \"analyses\": " << statsData.analysesPerformed << ",\n";
+    os << "  \"protocol_errors\": " << statsData.protocolErrors
+       << ",\n";
+    os << "  \"jobs_per_s\": {\"lifetime\": "
+       << (uptime_s > 0.0 ? double(statsData.jobs) / uptime_s : 0.0)
+       << ", \"recent_10s\": "
+       << double(recent_jobs) / recent_window_s << "},\n";
+    os << "  \"latency_ms\": {\"dispatch\": {\"p50\": "
+       << ringPercentileMs(dispatchRing, 0.5) << ", \"p99\": "
+       << ringPercentileMs(dispatchRing, 0.99) << ", \"samples\": "
+       << dispatchRing.size() << "}, \"queue_wait\": {\"p50\": "
+       << ringPercentileMs(waitRing, 0.5) << ", \"p99\": "
+       << ringPercentileMs(waitRing, 0.99) << ", \"samples\": "
+       << waitRing.size() << "}},\n";
+    os.precision(4);
+    os << "  \"cache\": {\"hits\": " << cache_hits
+       << ", \"misses\": " << cache_misses << ", \"hit_rate\": "
+       << (cache_total > 0 ? double(cache_hits) / double(cache_total)
+                           : 0.0)
+       << "},\n";
+    os << "  \"workers\": {\"count\": " << workerMetrics.size()
+       << ", \"per_worker\": [";
+    for (std::size_t w = 0; w < workerMetrics.size(); ++w) {
+        const u64 w_hits =
+            snapshotCounter(workerMetrics[w],
+                            "session.cache.hit.memory") +
+            snapshotCounter(workerMetrics[w],
+                            "session.cache.hit.disk");
+        const u64 w_misses = snapshotCounter(workerMetrics[w],
+                                             "session.cache.miss");
+        const u64 w_total = w_hits + w_misses;
+        os << (w ? ", " : "") << "{\"jobs\": " << workerJobs[w]
+           << ", \"cache_hits\": " << w_hits
+           << ", \"cache_misses\": " << w_misses
+           << ", \"cache_hit_rate\": "
+           << (w_total > 0 ? double(w_hits) / double(w_total) : 0.0)
+           << "}";
+    }
+    os << "]}\n";
+    os << "}\n";
+    return os.str();
 }
 
 // --- the persistent worker -------------------------------------------
@@ -818,6 +1044,10 @@ serviceWorkerLoop(int in_fd, int out_fd, const std::string &cache_dir,
             session.simulationsPerformed() - sims0;
         output.analysesPerformed =
             session.analysesPerformed() - anas0;
+        // Cumulative whole-process snapshot on EVERY frame: the
+        // server keeps only the latest copy per worker, so this is
+        // idempotent, never double counted.
+        output.metrics = telemetry::snapshot().metrics;
         if (!wire::writeFrame(out_fd, wire::FrameType::Results,
                               encodeWorkerOutput(output), &error)) {
             std::cerr << "service worker: " << error << "\n";

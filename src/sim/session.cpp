@@ -6,8 +6,39 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "cpu/lane_replayer.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::sim {
+
+namespace {
+
+// Cache-probe outcome counters, shared by run() and runSimPack() so
+// the two probe sequences report identically.
+void
+countMemoryHit()
+{
+    static const telemetry::MetricId id =
+        telemetry::counterId("session.cache.hit.memory");
+    telemetry::add(id, 1);
+}
+
+void
+countDiskHit()
+{
+    static const telemetry::MetricId id =
+        telemetry::counterId("session.cache.hit.disk");
+    telemetry::add(id, 1);
+}
+
+void
+countMiss()
+{
+    static const telemetry::MetricId id =
+        telemetry::counterId("session.cache.miss");
+    telemetry::add(id, 1);
+}
+
+} // namespace
 
 Session::Session()
     : Session(EngineRegistry::builtin(), WorkloadRegistry::builtin())
@@ -77,18 +108,23 @@ Session::run(const SimulationRequest &request,
     // pass -- a cache hit has no trace to hand back -- but their
     // result still warms the caches for later trace-less runs.
     if (!trace_out) {
-        if (cache_)
-            if (auto hit = cache_->find(key))
+        if (cache_) {
+            if (auto hit = cache_->find(key)) {
+                countMemoryHit();
                 return *hit;
+            }
+        }
         if (disk_cache_) {
             if (auto hit = disk_cache_->find(key)) {
                 // Promote: later repeats hit memory, not the disk
                 // map.
+                countDiskHit();
                 if (cache_)
                     cache_->insert(key, *hit);
                 return *hit;
             }
         }
+        countMiss();
     }
     const SimulationResult result = runUncached(request, trace_out);
     if (cache_)
@@ -106,6 +142,9 @@ Session::runUncached(const SimulationRequest &request,
     VEGETA_ASSERT(engine.has_value(), "unregistered engine ",
                   request.engine);
     simulations_.fetch_add(1, std::memory_order_relaxed);
+    static const telemetry::MetricId sims_id =
+        telemetry::counterId("session.simulations");
+    telemetry::add(sims_id, 1);
 
     const u32 executed_n = engine->effectiveN(request.patternN);
     kernels::KernelOptions opts;
@@ -187,17 +226,24 @@ Session::analyze(const AnalyticalRequest &request) const
                   error.value_or(""));
     const AnalyticalRegistry::Backend *backend =
         analytics_.find(request.model);
+    static const telemetry::MetricId analyses_id =
+        telemetry::counterId("session.analyses");
     if (!disk_cache_) {
         analyses_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::add(analyses_id, 1);
         return (*backend)(*this, request);
     }
     // Analytical results persist like simulation results: equal
     // canonical keys imply bit-identical tables (backends are pure
     // functions of the request), so a warm cache skips the backend.
     const std::string key = analyticalKey(request);
-    if (auto hit = disk_cache_->findAnalysis(key))
+    if (auto hit = disk_cache_->findAnalysis(key)) {
+        countDiskHit();
         return *hit;
+    }
     analyses_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::add(analyses_id, 1);
+    countMiss();
     AnalyticalResult result = (*backend)(*this, request);
     disk_cache_->insertAnalysis(key, result);
     return result;
@@ -219,6 +265,10 @@ Session::jobError(const Job &job) const
 JobResult
 Session::run(const Job &job) const
 {
+    // One "session.job" span per job materialized here; runSimPack
+    // emits the same span for pack members, so a trace's span count
+    // equals the batch's unique job count.
+    telemetry::Span span("session.job");
     JobResult result;
     result.kind = job.kind;
     if (job.kind == JobKind::Analysis)
@@ -267,6 +317,7 @@ Session::runSimPack(const std::vector<Job> &jobs,
     // the misses replay.
     std::vector<std::size_t> missing;
     for (const std::size_t i : pack) {
+        telemetry::Span span("session.job");
         results[i].kind = JobKind::Simulation;
         if (!cache_ && !disk_cache_) {
             missing.push_back(i);
@@ -275,18 +326,21 @@ Session::runSimPack(const std::vector<Job> &jobs,
         const std::string key = cacheKey(jobs[i].simulation);
         if (cache_) {
             if (auto hit = cache_->find(key)) {
+                countMemoryHit();
                 results[i].simulation = *hit;
                 continue;
             }
         }
         if (disk_cache_) {
             if (auto hit = disk_cache_->find(key)) {
+                countDiskHit();
                 if (cache_)
                     cache_->insert(key, *hit);
                 results[i].simulation = *hit;
                 continue;
             }
         }
+        countMiss();
         missing.push_back(i);
     }
     if (missing.empty())
@@ -320,6 +374,7 @@ Session::runSimPack(const std::vector<Job> &jobs,
     auto flush = [&]() {
         if (lanes.empty())
             return;
+        telemetry::Span span("session.pack.replay", lanes.size());
         std::vector<cpu::LaneReplayer::LaneSpec> specs;
         std::vector<const cpu::Trace *> traces;
         specs.reserve(lanes.size());
@@ -346,6 +401,8 @@ Session::runSimPack(const std::vector<Job> &jobs,
         buffered_uops = 0;
     };
 
+    telemetry::Span assemble_span("session.pack.assemble",
+                                  missing.size());
     for (const std::size_t i : missing) {
         if (!lanes.empty() && buffered_uops >= kPackUopBudget)
             flush();
@@ -382,6 +439,18 @@ Session::runBatch(const std::vector<Job> &jobs, u32 threads,
     if (jobs.empty())
         return results;
 
+    static const telemetry::MetricId batches_id =
+        telemetry::counterId("session.batches");
+    static const telemetry::MetricId jobs_id =
+        telemetry::counterId("session.batch.jobs");
+    static const telemetry::MetricId unique_id =
+        telemetry::counterId("session.batch.unique");
+    static const telemetry::MetricId batch_timer =
+        telemetry::timerId("session.batch");
+    telemetry::add(batches_id, 1);
+    telemetry::add(jobs_id, jobs.size());
+    telemetry::ScopedTimer batch_scope(batch_timer);
+
     if (threads == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         threads = hw == 0 ? 1 : static_cast<u32>(hw);
@@ -397,6 +466,7 @@ Session::runBatch(const std::vector<Job> &jobs, u32 threads,
     std::vector<std::size_t> unique;
     std::vector<std::size_t> source(jobs.size());
     {
+        telemetry::Span plan_span("session.batch.plan", jobs.size());
         std::unordered_map<std::string, std::size_t> first;
         first.reserve(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -407,6 +477,7 @@ Session::runBatch(const std::vector<Job> &jobs, u32 threads,
                 unique.push_back(i);
         }
     }
+    telemetry::add(unique_id, unique.size());
 
     // The work units: every unique job on its own at lane_width 1;
     // otherwise unique simulation jobs chunk into packs of up to

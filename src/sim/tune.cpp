@@ -11,6 +11,7 @@
 #include "sim/client.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/session.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::sim {
 
@@ -262,17 +263,31 @@ Tuner::run(const TuneSpace &space) const
     report.budget = options_.budget;
     report.rawPoints = space.rawSize();
 
+    static const telemetry::MetricId validity_timer =
+        telemetry::timerId("tune.validity");
+    static const telemetry::MetricId analyze_timer =
+        telemetry::timerId("tune.analyze");
+    static const telemetry::MetricId replay_timer =
+        telemetry::timerId("tune.replay");
+
     // Stage 1: validity.  Canonical key order makes every later
     // ranking (and therefore the report bytes) independent of
     // enumeration details.
+    const u64 validity_start = telemetry::nowNs();
     std::vector<TunePoint> valid;
-    for (auto &point : space.enumerate())
-        if (!invalidReason(session_, space, point))
-            valid.push_back(std::move(point));
-    std::sort(valid.begin(), valid.end(),
-              [](const TunePoint &a, const TunePoint &b) {
-                  return tunePointKey(a) < tunePointKey(b);
-              });
+    {
+        telemetry::Span span("tune.validity", report.rawPoints);
+        for (auto &point : space.enumerate())
+            if (!invalidReason(session_, space, point))
+                valid.push_back(std::move(point));
+        std::sort(valid.begin(), valid.end(),
+                  [](const TunePoint &a, const TunePoint &b) {
+                      return tunePointKey(a) < tunePointKey(b);
+                  });
+    }
+    const u64 validity_ns = telemetry::nowNs() - validity_start;
+    telemetry::recordNs(validity_timer, validity_ns);
+    report.validityMs = double(validity_ns) / 1e6;
     report.validPoints = valid.size();
     report.rejectedPoints = report.rawPoints - report.validPoints;
 
@@ -282,6 +297,8 @@ Tuner::run(const TuneSpace &space) const
 
     // Stage 2 candidate set: everything (exhaustive) or a seeded
     // random pool sized to the replay budget (halving).
+    const u64 analyze_start = telemetry::nowNs();
+    telemetry::Span analyze_span("tune.analyze", valid.size());
     std::vector<TuneCandidate> scored;
     if (options_.strategy == TuneStrategy::RandomHalving &&
         !valid.empty()) {
@@ -299,8 +316,15 @@ Tuner::run(const TuneSpace &space) const
     } else {
         scored = scoreCandidates(space, valid, analysis_cap, report);
     }
+    analyze_span.close();
+    const u64 analyze_ns = telemetry::nowNs() - analyze_start;
+    telemetry::recordNs(analyze_timer, analyze_ns);
+    report.analyzeMs = double(analyze_ns) / 1e6;
 
     // Stage 3: replay confirmation, strictly bounded by the budget.
+    const u64 replay_start = telemetry::nowNs();
+    telemetry::Span replay_span("tune.replay",
+                                options_.budget.replays);
     u32 replays_left = options_.budget.replays;
     if (options_.strategy == TuneStrategy::CappedExhaustive) {
         std::sort(scored.begin(), scored.end(), candidateScoreLess);
@@ -371,6 +395,11 @@ Tuner::run(const TuneSpace &space) const
             }
         }
     }
+
+    replay_span.close();
+    const u64 replay_ns = telemetry::nowNs() - replay_start;
+    telemetry::recordNs(replay_timer, replay_ns);
+    report.replayMs = double(replay_ns) / 1e6;
 
     for (auto &candidate : scored)
         if (candidate.replayed)

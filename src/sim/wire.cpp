@@ -123,7 +123,8 @@ parseFrameType(const std::string &token, FrameType *type)
 {
     for (const FrameType t :
          {FrameType::Hello, FrameType::HelloAck, FrameType::Batch,
-          FrameType::Results, FrameType::Error, FrameType::Bye}) {
+          FrameType::Results, FrameType::Stats, FrameType::Error,
+          FrameType::Bye}) {
         if (token == frameTypeName(t)) {
             *type = t;
             return true;
@@ -146,6 +147,8 @@ frameTypeName(FrameType type)
         return "batch";
       case FrameType::Results:
         return "results";
+      case FrameType::Stats:
+        return "stats";
       case FrameType::Error:
         return "error";
       case FrameType::Bye:

@@ -48,6 +48,7 @@ enum class FrameType
     HelloAck, ///< server -> client: handshake accepted
     Batch,    ///< a job batch (encodeJobBatch payload)
     Results,  ///< batch results (encodeWorkerOutput payload)
+    Stats,    ///< client: request (empty) / server: live stats JSON
     Error,    ///< one-line human-readable failure; connection closes
     Bye,      ///< clean goodbye (empty payload)
 };

@@ -399,6 +399,42 @@ TEST(DiskCache, PruneByBytesBoundsTheFile)
     EXPECT_EQ(again.kept, pruned.kept);
 }
 
+TEST(DiskCache, HitRateTracksTraffic)
+{
+    const std::string dir = freshDir("hit_rate");
+    DiskResultCache cache(dir);
+    EXPECT_EQ(cache.stats().hitRate(), 0.0); // no traffic yet
+    cache.insert("k", sampleResult("w", 0.5));
+    EXPECT_TRUE(cache.find("k").has_value());  // hit
+    EXPECT_FALSE(cache.find("x").has_value()); // miss
+    EXPECT_FALSE(cache.find("y").has_value()); // miss
+    const DiskCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 1.0 / 3.0);
+}
+
+TEST(DiskCache, LastPruneBytesPersistsAcrossProcesses)
+{
+    const std::string dir = freshDir("last_prune");
+    u64 reclaimed = 0;
+    {
+        DiskResultCache cache(dir);
+        for (int i = 0; i < 8; ++i)
+            cache.insert("k" + std::to_string(i),
+                         sampleResult("w" + std::to_string(i), 0.25));
+        EXPECT_EQ(cache.stats().lastPruneBytes, 0u);
+        const auto pruned = cache.prune(std::nullopt, 2u);
+        reclaimed = pruned.reclaimedBytes;
+        ASSERT_GT(reclaimed, 0u);
+        EXPECT_EQ(cache.stats().lastPruneBytes, reclaimed);
+    }
+    // A fresh instance (a new process in real life) reads the
+    // persisted prune note back from the cache directory.
+    DiskResultCache reopened(dir);
+    EXPECT_EQ(reopened.stats().lastPruneBytes, reclaimed);
+}
+
 TEST(DiskCache, PruneCompactsDuplicateAndGarbageLines)
 {
     const std::string dir = freshDir("prune_compact");

@@ -16,6 +16,7 @@
 
 #include "sim/session.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 
 namespace vegeta::sim {
 namespace {
@@ -202,6 +203,50 @@ TEST(GoldenCycles, LanePackedBatchIsBitIdenticalForEveryWidth)
                 << "macUtilization must match bit for bit";
         }
     }
+}
+
+TEST(GoldenCycles, MatrixIsBitIdenticalWithTracingEnabled)
+{
+    // Telemetry observes and never steers: with span recording armed
+    // (the --trace-out path), the batched golden matrix must still
+    // match every pinned value bit for bit, and the run must actually
+    // have recorded spans.
+    telemetry::setTraceEnabled(true);
+    telemetry::clearTrace();
+    std::vector<SimulationRequest> requests;
+    const Session session;
+    for (const GoldenPoint &g : kGolden) {
+        auto request = session.request()
+                           .gemm(g.dims)
+                           .engine(g.engine)
+                           .pattern(g.patternN)
+                           .outputForwarding(g.outputForwarding)
+                           .build();
+        ASSERT_TRUE(request.has_value());
+        requests.push_back(*request);
+    }
+    const auto results = session.runBatch(requests, 2, 4);
+    telemetry::setTraceEnabled(false);
+    ASSERT_EQ(results.size(), std::size(kGolden));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const GoldenPoint &g = kGolden[i];
+        SCOPED_TRACE(std::string(g.engine) + " / " + g.workload +
+                     " N=" + std::to_string(g.patternN) +
+                     (g.outputForwarding ? " +OF" : ""));
+        EXPECT_EQ(results[i].coreCycles, g.coreCycles);
+        EXPECT_EQ(results[i].instructions, g.instructions);
+        EXPECT_EQ(results[i].cacheHits, g.cacheHits);
+        EXPECT_EQ(results[i].cacheMisses, g.cacheMisses);
+        EXPECT_EQ(results[i].macUtilization, g.macUtilization)
+            << "macUtilization must match bit for bit";
+    }
+#ifndef VEGETA_NO_TELEMETRY
+    EXPECT_GT(telemetry::traceSpanCount("session.batch.plan"), 0u)
+        << "an armed golden batch must record its planning span";
+    EXPECT_GT(telemetry::traceSpanCount("lane.replay"), 0u)
+        << "an armed lane-packed batch must record replay spans";
+#endif
+    telemetry::clearTrace();
 }
 
 TEST(GoldenCycles, LanePacksAreThreadCountIndependent)

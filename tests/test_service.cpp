@@ -24,6 +24,7 @@
 #include "sim/client.hpp"
 #include "sim/server.hpp"
 #include "sim/session.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/wire.hpp"
 
 namespace vegeta::sim {
@@ -138,6 +139,71 @@ TEST(Service, InProcessBatchIdenticalToLocalRunBatch)
 TEST(Service, WorkerModeBatchIdenticalToLocalRunBatch)
 {
     expectRemoteMatchesLocal(2, "workers");
+}
+
+TEST(Service, BatchIdenticalToLocalWithTracingEnabled)
+{
+    // Byte-identity must survive armed span recording (--trace-out):
+    // both execution modes, full warm-repeat contract included.
+    telemetry::setTraceEnabled(true);
+    telemetry::clearTrace();
+    expectRemoteMatchesLocal(0, "traced-inproc");
+    expectRemoteMatchesLocal(2, "traced-workers");
+    telemetry::setTraceEnabled(false);
+#ifndef VEGETA_NO_TELEMETRY
+    EXPECT_GT(telemetry::traceSpanCount("service.dispatch"), 0u)
+        << "an armed service run must record dispatch spans";
+#endif
+    telemetry::clearTrace();
+}
+
+TEST(Service, StatsFrameReportsLiveState)
+{
+    ServerFixture fixture("statsframe");
+    const auto jobs = mixedBatch();
+    auto client = fixture.client();
+    std::string error;
+    ASSERT_TRUE(client.connect(&error)) << error;
+    ASSERT_TRUE(client.runBatch(jobs, &error).has_value()) << error;
+
+    const auto stats = client.fetchStats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    // One batch of four jobs from one live connection; the document
+    // must carry every advertised section.
+    EXPECT_NE(stats->find("\"batches\": 1"), std::string::npos)
+        << *stats;
+    EXPECT_NE(stats->find("\"jobs\": 4"), std::string::npos)
+        << *stats;
+    for (const char *key :
+         {"\"uptime_s\"", "\"queue_depths\"", "\"jobs_per_s\"",
+          "\"latency_ms\"", "\"dispatch\"", "\"queue_wait\"",
+          "\"p50\"", "\"p99\"", "\"cache\"", "\"hit_rate\"",
+          "\"workers\""})
+        EXPECT_NE(stats->find(key), std::string::npos)
+            << "missing " << key << " in:\n"
+            << *stats;
+
+    // The connection stays usable after a stats exchange.
+    ASSERT_TRUE(client.runBatch(jobs, &error).has_value()) << error;
+    fixture.server->stop();
+}
+
+TEST(Service, StatsFrameCountsPerWorkerJobs)
+{
+    ServerFixture fixture("statsworkers", 2);
+    const auto jobs = mixedBatch();
+    auto client = fixture.client();
+    std::string error;
+    ASSERT_TRUE(client.connect(&error)) << error;
+    ASSERT_TRUE(client.runBatch(jobs, &error).has_value()) << error;
+
+    const auto stats = client.fetchStats(&error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_NE(stats->find("\"workers\": {\"count\": 2"),
+              std::string::npos)
+        << *stats;
+    EXPECT_NE(stats->find("\"per_worker\""), std::string::npos);
+    fixture.server->stop();
 }
 
 TEST(Service, EphemeralTcpPortWorks)

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * bench/trajectory.hpp merge semantics: upsert appends, refreshes an
+ * owned row family, is idempotent for identical values, and refuses
+ * to clobber another bench's field with a conflicting value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../bench/trajectory.hpp"
+
+namespace vegeta::bench {
+namespace {
+
+const char kEntry[] =
+    "{\"commit\": \"abc\", \"mode\": \"full\", "
+    "\"service\": {\"p50_ms\": 1.5}}";
+
+TEST(Trajectory, UpsertAppendsMissingField)
+{
+    std::string conflict;
+    const std::string merged = upsertEntryField(
+        kEntry, "tune", "{\"regret\": 0}", false, &conflict);
+    EXPECT_TRUE(conflict.empty());
+    EXPECT_NE(merged.find("\"tune\": {\"regret\": 0}}"),
+              std::string::npos);
+    // The existing fields are untouched.
+    EXPECT_NE(merged.find("\"service\": {\"p50_ms\": 1.5}"),
+              std::string::npos);
+}
+
+TEST(Trajectory, UpsertReplacesOwnedField)
+{
+    const std::string merged = upsertEntryField(
+        kEntry, "service", "{\"p50_ms\": 2.5}", true, nullptr);
+    EXPECT_NE(merged.find("\"service\": {\"p50_ms\": 2.5}"),
+              std::string::npos);
+    EXPECT_EQ(merged.find("1.5"), std::string::npos);
+}
+
+TEST(Trajectory, UpsertIdenticalValueIsIdempotent)
+{
+    std::string conflict;
+    const std::string merged = upsertEntryField(
+        kEntry, "service", "{\"p50_ms\": 1.5}", false, &conflict);
+    EXPECT_TRUE(conflict.empty());
+    EXPECT_EQ(merged, kEntry);
+}
+
+TEST(Trajectory, UpsertRefusesConflictingUnownedValue)
+{
+    std::string conflict;
+    const std::string merged = upsertEntryField(
+        kEntry, "service", "{\"p50_ms\": 9.9}", false, &conflict);
+    // Nothing clobbered, and the collision names both values.
+    EXPECT_EQ(merged, kEntry);
+    ASSERT_FALSE(conflict.empty());
+    EXPECT_NE(conflict.find("service"), std::string::npos);
+    EXPECT_NE(conflict.find("1.5"), std::string::npos);
+    EXPECT_NE(conflict.find("9.9"), std::string::npos);
+}
+
+TEST(Trajectory, ExtractRoundTripsNestedValues)
+{
+    EXPECT_EQ(extractEntryField(kEntry, "service"),
+              "{\"p50_ms\": 1.5}");
+    EXPECT_EQ(extractEntryField(kEntry, "mode"), "\"full\"");
+    EXPECT_EQ(extractEntryField(kEntry, "absent"), "");
+}
+
+} // namespace
+} // namespace vegeta::bench
